@@ -1,0 +1,62 @@
+// Ablation (DESIGN.md): the Lemma-3 monotonicity pruning inside the
+// kNN-optimal DP (Algorithm 2). Sweeps the domain size and reports inner-
+// loop iterations and build time with and without the pruning; both runs
+// must produce the same metric value.
+
+#include <cmath>
+
+#include "bench/bench_common.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "hist/builders.h"
+
+int main() {
+  using namespace eeb;
+  bench::Banner("Ablation", "Lemma-3 pruning inside Algorithm 2");
+
+  std::printf("%-8s %6s %14s %14s %9s %12s %12s\n", "Ndom", "B",
+              "iters(prune)", "iters(full)", "speedup", "t(prune)ms",
+              "t(full)ms");
+  for (uint32_t ndom : {64u, 128u, 256u, 512u, 1024u}) {
+    const uint32_t buckets = ndom / 16;
+    // Concentrated F' (realistic workloads are concentrated) plus noise.
+    Rng rng(ndom);
+    hist::FrequencyArray f(ndom);
+    for (uint32_t x = ndom / 3; x < ndom / 3 + ndom / 10; ++x) {
+      f.Add(x, 50.0 + rng.Uniform(100));
+    }
+    for (uint32_t x = 0; x < ndom; ++x) {
+      if (rng.Bernoulli(0.2)) f.Add(x, 1.0 + rng.Uniform(5));
+    }
+
+    hist::Histogram hp, hf;
+    hist::DpStats sp, sf;
+    Timer t;
+    bench::Check(hist::BuildKnnOptimal(f, buckets, &hp, &sp, true),
+                 "pruned build");
+    const double tp = t.ElapsedMillis();
+    t.Start();
+    bench::Check(hist::BuildKnnOptimal(f, buckets, &hf, &sf, false),
+                 "full build");
+    const double tf = t.ElapsedMillis();
+
+    const double mp = hist::MetricM3(hp, f);
+    const double mf = hist::MetricM3(hf, f);
+    if (std::fabs(mp - mf) > 1e-6 * (1 + std::fabs(mf))) {
+      std::fprintf(stderr, "FATAL: pruning changed the optimum\n");
+      return 1;
+    }
+    std::printf("%-8u %6u %14llu %14llu %8.1fx %12.2f %12.2f\n", ndom,
+                buckets,
+                static_cast<unsigned long long>(sp.inner_iterations),
+                static_cast<unsigned long long>(sf.inner_iterations),
+                static_cast<double>(sf.inner_iterations) /
+                    std::max<uint64_t>(1, sp.inner_iterations),
+                tp, tf);
+  }
+  std::printf(
+      "\nExpected: identical optima; the pruning cuts DP inner iterations "
+      "by a growing\nfactor as the domain grows (the paper notes it "
+      "\"significantly reduces running\ntime when n is very large\").\n");
+  return 0;
+}

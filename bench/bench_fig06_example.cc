@@ -1,0 +1,95 @@
+// Paper Fig. 6: the worked 1-dimensional example comparing equi-width,
+// equi-depth / V-optimal, and the kNN-optimal histogram on the dataset
+// {3,4,10,12,22,24,30,31} with workload WL = {q = 17}, k = 2, B = 4.
+// The ideal histogram leaves zero remaining candidates.
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench/bench_common.h"
+#include "hist/bounds.h"
+#include "hist/builders.h"
+
+namespace {
+
+using namespace eeb;
+
+constexpr uint32_t kNdom = 32;
+const std::vector<Scalar> kValues = {3, 4, 10, 12, 22, 24, 30, 31};
+constexpr double kQuery = 17.0;
+constexpr size_t kK = 2;
+
+// Runs the candidate-reduction phase of Algorithm 1 on the 1-d example and
+// returns the number of candidates that still need refinement.
+size_t RemainingCandidates(const hist::Histogram& h) {
+  struct Cand {
+    double lb, ub;
+  };
+  std::vector<Cand> cands;
+  for (Scalar v : kValues) {
+    const hist::Bucket& b = h.bucket(h.Lookup(static_cast<uint32_t>(v)));
+    const double lb = std::sqrt(hist::LowerTerm(kQuery, b.lo, b.hi));
+    const double ub = std::sqrt(hist::UpperTerm(kQuery, b.lo, b.hi));
+    cands.push_back({lb, ub});
+  }
+  std::vector<double> lbs, ubs;
+  for (const auto& c : cands) {
+    lbs.push_back(c.lb);
+    ubs.push_back(c.ub);
+  }
+  std::nth_element(lbs.begin(), lbs.begin() + (kK - 1), lbs.end());
+  std::nth_element(ubs.begin(), ubs.begin() + (kK - 1), ubs.end());
+  const double lbk = lbs[kK - 1];
+  const double ubk = ubs[kK - 1];
+  size_t remaining = 0;
+  for (const auto& c : cands) {
+    const bool pruned = c.lb > ubk;
+    const bool sure = c.ub < lbk;
+    if (!pruned && !sure) ++remaining;
+  }
+  return remaining;
+}
+
+void Show(const char* name, const hist::Histogram& h) {
+  std::printf("%-12s buckets:", name);
+  for (const auto& b : h.buckets()) std::printf(" [%u..%u]", b.lo, b.hi);
+  std::printf("  -> remaining candidates: %zu\n", RemainingCandidates(h));
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Figure 6", "worked 1-d example: histogram effectiveness");
+
+  hist::FrequencyArray fdata(kNdom);
+  for (Scalar v : kValues) fdata.Add(static_cast<uint32_t>(v));
+
+  // F' for WL = {q}: the k nearest data values to q (12 and 22).
+  hist::FrequencyArray fprime(kNdom);
+  std::vector<std::pair<double, Scalar>> by_dist;
+  for (Scalar v : kValues) by_dist.push_back({std::fabs(v - kQuery), v});
+  std::sort(by_dist.begin(), by_dist.end());
+  for (size_t r = 0; r < kK; ++r) {
+    fprime.Add(static_cast<uint32_t>(by_dist[r].second));
+  }
+
+  hist::Histogram hw, hd, hv, ho;
+  bench::Check(hist::BuildEquiWidth(kNdom, 4, &hw), "equi-width");
+  bench::Check(hist::BuildEquiDepth(fdata, 4, &hd), "equi-depth");
+  bench::Check(hist::BuildVOptimal(fdata, 4, &hv), "v-optimal");
+  bench::Check(hist::BuildKnnOptimal(fprime, 4, &ho), "knn-optimal");
+
+  std::printf("dataset {3,4,10,12,22,24,30,31}, WL={q=17}, k=2, B=4\n\n");
+  Show("Equi-width", hw);
+  Show("Equi-depth", hd);
+  Show("V-optimal", hv);
+  Show("kNN-optimal", ho);
+  std::printf(
+      "\nPaper shape: equi-width leaves the most candidates (6), equi-depth/"
+      "V-optimal fewer (4),\nand the kNN-optimal histogram (tight buckets "
+      "near q) the least — only the k=2 true\nresults themselves. (The "
+      "paper's 'ideal 0' additionally counts those two as detected\nvia a "
+      "non-strict ub <= lbk test, which is unsafe under distance ties; we "
+      "use the\nstrict test of Algorithm 1.)\n");
+  return 0;
+}

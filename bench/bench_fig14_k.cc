@@ -1,0 +1,41 @@
+// Paper Fig. 14: average response time vs result size k on all three
+// datasets for HC-W, HC-D and HC-O (plus EXACT for reference).
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace eeb;
+  bench::Banner("Figure 14", "response time vs result size k");
+
+  struct Row {
+    const char* name;
+    core::CacheMethod method;
+  };
+  const Row rows[] = {
+      {"EXACT", core::CacheMethod::kExact},
+      {"HC-W", core::CacheMethod::kHcW},
+      {"HC-D", core::CacheMethod::kHcD},
+      {"HC-O", core::CacheMethod::kHcO},
+  };
+
+  for (const auto& spec : workload::AllSpecs()) {
+    auto wb = bench::MakeWorkbench(spec);
+    const size_t cs = wb->default_cache_bytes;
+    std::printf("\n[%s]\n", spec.name.c_str());
+    std::printf("%-6s", "k");
+    for (const Row& row : rows) std::printf(" %9s", row.name);
+    std::printf("\n");
+    for (size_t k : {1, 10, 20, 40, 60, 80, 100}) {
+      std::printf("%-6zu", k);
+      for (const Row& row : rows) {
+        const auto agg = bench::RunCell(*wb, row.method, cs, k);
+        std::printf(" %9.3f", agg.avg_response_seconds);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\nPaper shape: time rises with k for every method; HC-O stays the "
+      "lowest, then\nHC-D, then HC-W, with EXACT well above.\n");
+  return 0;
+}

@@ -1,0 +1,185 @@
+// Paper Fig. 16: EXACT vs HC-O caching on exact kNN indexes — (a) iDistance,
+// (b) VA-file, (c) VP-tree — average response time vs k on the IMGNET
+// surrogate. Tree indexes use leaf-node caches (Sec. 3.6.1); the VA-file
+// filter feeds the same Algorithm-1 point-cache pipeline as LSH.
+
+#include <filesystem>
+#include <numeric>
+
+#include "bench/bench_common.h"
+#include "common/timer.h"
+#include "cache/node_cache.h"
+#include "core/knn_engine.h"
+#include "core/workload.h"
+#include "hist/builders.h"
+#include "index/idistance/idistance.h"
+#include "index/mtree/mtree.h"
+#include "index/vafile/vafile.h"
+#include "index/vptree/vptree.h"
+
+namespace {
+
+using namespace eeb;
+
+const size_t kKs[] = {1, 10, 20, 40, 60, 80, 100};
+
+// Runs a tree index over the test queries with the given node cache and
+// returns the average modeled response seconds.
+template <typename Index>
+double RunTree(const Index& idx, const workload::QueryLog& log, size_t k,
+               cache::NodeCache* cache, const storage::DiskModel& disk) {
+  double total = 0;
+  for (const auto& q : log.test) {
+    index::TreeSearchResult res;
+    Timer t;
+    bench::Check(idx.Search(q, k, cache, &res), "tree search");
+    total += t.ElapsedSeconds() + disk.Seconds(res.io);
+  }
+  return total / log.test.size();
+}
+
+template <typename Index>
+void TreePanel(const char* title, const Index& idx, const Dataset& data,
+               const workload::QueryLog& log, size_t cache_bytes,
+               uint32_t ndom) {
+  // Leaf access frequencies from the workload (cache fill order), and the
+  // QR points for the HC-O histogram.
+  core::LeafWorkloadStats wl;
+  auto search = [&](std::span<const Scalar> q, size_t k,
+                    index::TreeSearchResult* out) {
+    return idx.Search(q, k, nullptr, out);
+  };
+  bench::Check(core::AnalyzeTreeWorkload(search, idx.num_leaves(),
+                                         log.workload, 10, &wl),
+               "tree workload");
+
+  hist::FrequencyArray fprime =
+      hist::FrequencyArray::FromPoints(data, wl.qr_points, ndom);
+  hist::Histogram hco;
+  bench::Check(hist::BuildKnnOptimal(fprime, 1u << 6, &hco), "HC-O");
+
+  cache::ExactNodeCache exact(cache_bytes);
+  bench::Check(exact.Fill(data, idx.store().leaf_points(), wl.leaves_by_freq),
+               "exact fill");
+  cache::ApproxNodeCache approx(&hco, data.dim(), cache_bytes,
+                                /*integral=*/true);
+  bench::Check(approx.Fill(data, idx.store().leaf_points(),
+                           wl.leaves_by_freq),
+               "approx fill");
+
+  storage::DiskModel disk;
+  std::printf("\n[%s]  leaves cached: EXACT=%zu HC-O=%zu of %zu\n", title,
+              exact.size(), approx.size(), idx.num_leaves());
+  std::printf("%-6s %12s %12s\n", "k", "EXACT(s)", "HC-O(s)");
+  for (size_t k : kKs) {
+    const double te = RunTree(idx, log, k, &exact, disk);
+    const double to = RunTree(idx, log, k, &approx, disk);
+    std::printf("%-6zu %12.3f %12.3f\n", k, te, to);
+  }
+}
+
+void VaFilePanel(const Dataset& data, const workload::QueryLog& log,
+                 size_t cache_bytes, uint32_t ndom, const std::string& dir) {
+  index::VaFileOptions vopt;
+  vopt.bits_per_dim = 4;
+  vopt.ndom = ndom;
+  vopt.integral = true;
+  std::unique_ptr<index::VaFile> va;
+  bench::Check(index::VaFile::Build(data, vopt, &va), "VA-file build");
+
+  const std::string path = dir + "/points_va.eeb";
+  bench::Check(storage::PointFile::Create(storage::Env::Default(), path,
+                                          data),
+               "point file");
+  std::unique_ptr<storage::PointFile> pf;
+  bench::Check(storage::PointFile::Open(storage::Env::Default(), path, &pf),
+               "open point file");
+
+  core::WorkloadStats wl;
+  bench::Check(core::AnalyzeWorkload(va.get(), data, log.workload, 10, &wl),
+               "VA workload");
+  hist::FrequencyArray fprime =
+      hist::FrequencyArray::FromPoints(data, wl.qr_points, ndom);
+  hist::Histogram hco;
+  bench::Check(hist::BuildKnnOptimal(fprime, 1u << 6, &hco), "HC-O");
+
+  cache::ExactCache exact(data.dim(), cache_bytes);
+  bench::Check(exact.Fill(data, wl.ids_by_freq), "exact fill");
+  cache::HistCodeCache approx(&hco, data.dim(), cache_bytes, false,
+                              /*integral=*/true);
+  bench::Check(approx.Fill(data, wl.ids_by_freq), "approx fill");
+
+  storage::DiskModel disk;
+  std::printf("\n[VA-file]  points cached: EXACT=%zu HC-O=%zu of %zu\n",
+              exact.size(), approx.size(), data.size());
+  std::printf("%-6s %12s %12s\n", "k", "EXACT(s)", "HC-O(s)");
+  for (size_t k : kKs) {
+    double te = 0, to = 0;
+    for (int which = 0; which < 2; ++which) {
+      core::KnnEngine engine(va.get(), pf.get(),
+                             which == 0
+                                 ? static_cast<cache::KnnCache*>(&exact)
+                                 : static_cast<cache::KnnCache*>(&approx));
+      double total = 0;
+      for (const auto& q : log.test) {
+        core::QueryResult r;
+        Timer t;
+        bench::Check(engine.Query(q, k, &r), "query");
+        storage::IoStats io = r.gen_io;
+        io += r.refine_io;
+        total += t.ElapsedSeconds() + disk.Seconds(io);
+      }
+      (which == 0 ? te : to) = total / log.test.size();
+    }
+    std::printf("%-6zu %12.3f %12.3f\n", k, te, to);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Figure 16", "EXACT vs HC-O on exact indexes (IMGNET-SIM)");
+
+  auto spec = workload::MaybeQuick(workload::ImgnetSimSpec());
+  Dataset data = workload::GenerateClustered(spec);
+  auto log = workload::GenerateQueryLog(
+      data, workload::MaybeQuick(workload::DefaultLogSpec()));
+  const size_t cs = workload::DefaultCacheBytes(spec);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "eeb_fig16").string();
+  std::filesystem::create_directories(dir);
+
+  {
+    index::IDistanceOptions opt;
+    opt.num_partitions = 64;
+    std::unique_ptr<index::IDistance> idist;
+    bench::Check(index::IDistance::Build(storage::Env::Default(),
+                                         dir + "/idist.eeb", data, opt,
+                                         &idist),
+                 "iDistance build");
+    TreePanel("iDistance", *idist, data, log, cs, spec.ndom);
+  }
+  VaFilePanel(data, log, cs, spec.ndom, dir);
+  {
+    std::unique_ptr<index::VpTree> vp;
+    bench::Check(index::VpTree::Build(storage::Env::Default(),
+                                      dir + "/vptree.eeb", data, {}, &vp),
+                 "VP-tree build");
+    TreePanel("VP-tree", *vp, data, log, cs, spec.ndom);
+  }
+  {
+    // Extension beyond the paper's three panels: the M-tree-family ball
+    // tree from index/mtree.
+    std::unique_ptr<index::MTree> mt;
+    bench::Check(index::MTree::Build(storage::Env::Default(),
+                                     dir + "/mtree.eeb", data, {}, &mt),
+                 "M-tree build");
+    TreePanel("M-tree (extension)", *mt, data, log, cs, spec.ndom);
+  }
+
+  std::printf(
+      "\nPaper shape: on every exact index HC-O caching beats EXACT caching "
+      "by a large\nfactor (the paper reports an order of magnitude), because "
+      "many more (approximate)\nleaf nodes / points fit in the same budget.\n");
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels: code packing and
+// decoding, distance-bound evaluation, histogram lookup, Euclidean distance,
+// and histogram construction. These are the operations the candidate-
+// reduction phase performs per candidate, so their throughput bounds how
+// cheap "no-I/O pruning" really is.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "cache/code_store.h"
+#include "cache/code_cache.h"
+#include "common/distance.h"
+#include "common/random.h"
+#include "hist/bounds.h"
+#include "hist/builders.h"
+
+namespace {
+
+using namespace eeb;
+
+std::vector<Scalar> RandomPoint(Rng& rng, size_t d, uint32_t ndom) {
+  std::vector<Scalar> p(d);
+  for (auto& v : p) v = static_cast<Scalar>(rng.Uniform(ndom));
+  return p;
+}
+
+void BM_PackCodes(benchmark::State& state) {
+  const size_t d = state.range(0);
+  const uint32_t tau = state.range(1);
+  cache::CodeStore store(d, tau);
+  const uint32_t slot = store.AllocateSlot();
+  Rng rng(1);
+  std::vector<BucketId> codes(d);
+  for (auto& c : codes) {
+    c = static_cast<BucketId>(rng.Uniform(1u << tau));
+  }
+  for (auto _ : state) {
+    store.Write(slot, codes);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * d);
+}
+BENCHMARK(BM_PackCodes)->Args({64, 4})->Args({64, 8})->Args({128, 8})
+    ->Args({960, 10});
+
+void BM_UnpackCodes(benchmark::State& state) {
+  const size_t d = state.range(0);
+  const uint32_t tau = state.range(1);
+  cache::CodeStore store(d, tau);
+  const uint32_t slot = store.AllocateSlot();
+  Rng rng(2);
+  std::vector<BucketId> codes(d), out(d);
+  for (auto& c : codes) {
+    c = static_cast<BucketId>(rng.Uniform(1u << tau));
+  }
+  store.Write(slot, codes);
+  for (auto _ : state) {
+    store.Read(slot, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * d);
+}
+BENCHMARK(BM_UnpackCodes)->Args({64, 4})->Args({64, 8})->Args({128, 8})
+    ->Args({960, 10});
+
+void BM_CodeBounds(benchmark::State& state) {
+  const size_t d = state.range(0);
+  const uint32_t buckets = state.range(1);
+  hist::Histogram h;
+  (void)hist::BuildEquiWidth(256, buckets, &h);
+  Rng rng(3);
+  const auto q = RandomPoint(rng, d, 256);
+  const auto p = RandomPoint(rng, d, 256);
+  std::vector<BucketId> codes(d);
+  cache::EncodeGlobal(h, p, codes);
+  double lb, ub;
+  for (auto _ : state) {
+    hist::CodeBoundsGlobal(h, q, codes, &lb, &ub);
+    benchmark::DoNotOptimize(lb);
+    benchmark::DoNotOptimize(ub);
+  }
+  state.SetItemsProcessed(state.iterations() * d);
+}
+BENCHMARK(BM_CodeBounds)->Args({64, 16})->Args({64, 256})->Args({128, 256})
+    ->Args({960, 1024});
+
+void BM_ExactDistance(benchmark::State& state) {
+  const size_t d = state.range(0);
+  Rng rng(4);
+  const auto q = RandomPoint(rng, d, 256);
+  const auto p = RandomPoint(rng, d, 256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(L2(q, p));
+  }
+  state.SetItemsProcessed(state.iterations() * d);
+}
+BENCHMARK(BM_ExactDistance)->Arg(64)->Arg(128)->Arg(960);
+
+void BM_HistogramLookup(benchmark::State& state) {
+  hist::Histogram h;
+  (void)hist::BuildEquiWidth(256, state.range(0), &h);
+  Rng rng(5);
+  uint32_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.Lookup(v));
+    v = (v + 97) & 255;
+  }
+}
+BENCHMARK(BM_HistogramLookup)->Arg(16)->Arg(256);
+
+void BM_EncodePoint(benchmark::State& state) {
+  const size_t d = state.range(0);
+  hist::Histogram h;
+  (void)hist::BuildEquiWidth(256, 256, &h);
+  Rng rng(6);
+  const auto p = RandomPoint(rng, d, 256);
+  std::vector<BucketId> codes(d);
+  for (auto _ : state) {
+    cache::EncodeGlobal(h, p, codes);
+    benchmark::DoNotOptimize(codes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * d);
+}
+BENCHMARK(BM_EncodePoint)->Arg(64)->Arg(960);
+
+void BM_BuildKnnOptimal(benchmark::State& state) {
+  const uint32_t ndom = state.range(0);
+  const uint32_t buckets = state.range(1);
+  Rng rng(7);
+  hist::FrequencyArray f(ndom);
+  for (uint32_t x = 0; x < ndom; ++x) {
+    if (rng.Bernoulli(0.4)) f.Add(x, 1.0 + rng.Uniform(40));
+  }
+  for (auto _ : state) {
+    hist::Histogram h;
+    (void)hist::BuildKnnOptimal(f, buckets, &h);
+    benchmark::DoNotOptimize(h.num_buckets());
+  }
+}
+BENCHMARK(BM_BuildKnnOptimal)->Args({256, 16})->Args({256, 256})
+    ->Args({1024, 64});
+
+void BM_BuildVOptimal(benchmark::State& state) {
+  const uint32_t ndom = state.range(0);
+  const uint32_t buckets = state.range(1);
+  Rng rng(8);
+  hist::FrequencyArray f(ndom);
+  for (uint32_t x = 0; x < ndom; ++x) f.Add(x, 1.0 + rng.Uniform(40));
+  for (auto _ : state) {
+    hist::Histogram h;
+    (void)hist::BuildVOptimal(f, buckets, &h);
+    benchmark::DoNotOptimize(h.num_buckets());
+  }
+}
+BENCHMARK(BM_BuildVOptimal)->Args({256, 16})->Args({256, 256});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+// Paper Table 3: histogram categories on the SOGOU surrogate — global
+// (HC-W/HC-D/HC-O) vs individual per-dimension (iHC-*) vs multi-dimensional
+// (mHC-R): histogram space, construction time, and average refinement time.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace eeb;
+  bench::Banner("Table 3", "effect of histogram categories (SOGOU-SIM)");
+
+  auto wb = bench::MakeWorkbench(workload::SogouSimSpec());
+  const size_t cs = wb->default_cache_bytes;
+  const size_t k = 10;
+
+  struct Row {
+    const char* name;
+    core::CacheMethod method;
+  };
+  const Row rows[] = {
+      {"HC-W", core::CacheMethod::kHcW},   {"iHC-W", core::CacheMethod::kIHcW},
+      {"HC-D", core::CacheMethod::kHcD},   {"iHC-D", core::CacheMethod::kIHcD},
+      {"HC-O", core::CacheMethod::kHcO},   {"iHC-O", core::CacheMethod::kIHcO},
+      {"mHC-R", core::CacheMethod::kMHcR},
+  };
+
+  std::printf("%-8s %12s %18s %16s\n", "method", "space(KB)", "construct(s)",
+              "avg Trefine(s)");
+  for (const Row& row : rows) {
+    const auto agg = bench::RunCell(*wb, row.method, cs, k);
+    std::printf("%-8s %12.2f %18.4f %16.4f\n", row.name,
+                wb->system->last_histogram_space_bytes() / 1024.0,
+                wb->system->last_histogram_build_seconds(),
+                agg.avg_refine_seconds);
+  }
+  std::printf(
+      "\nPaper shape: global and individual histograms achieve similar "
+      "Trefine, but the\nindividual variants cost d times more space and "
+      "construction time (iHC-O most\nexpensive); mHC-R is ineffective due "
+      "to the curse of dimensionality.\nNote: at the cost-model default "
+      "tau the global variants coincide on our 10-bit\nintegral domain "
+      "(lossless codes); their quality gap appears in the tau sweep\nof "
+      "Fig. 15 and at fixed tau in Fig. 11.\n");
+  return 0;
+}

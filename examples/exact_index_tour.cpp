@@ -1,0 +1,178 @@
+// Tour of the exact kNN indexes (paper Sec. 3.6.1 / Fig. 16): iDistance,
+// VP-tree and VA-file over the same dataset. Shows that (1) all three
+// return the exact kNN, (2) attaching the HC-O leaf-node / point cache cuts
+// their I/O without changing any result.
+
+#include <cstdio>
+#include <filesystem>
+#include <numeric>
+#include <set>
+
+#include "cache/code_cache.h"
+#include "cache/node_cache.h"
+#include "core/knn_engine.h"
+#include "core/workload.h"
+#include "hist/builders.h"
+#include "index/idistance/idistance.h"
+#include "index/linear_scan.h"
+#include "index/vafile/vafile.h"
+#include "index/vptree/vptree.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace eeb;
+
+bool Die(const Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, st.ToString().c_str());
+    return true;
+  }
+  return false;
+}
+
+std::set<PointId> Ids(const std::vector<Neighbor>& nbs) {
+  std::set<PointId> s;
+  for (const auto& nb : nbs) s.insert(nb.id);
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  workload::DatasetSpec spec;
+  spec.name = "tour";
+  spec.n = 30000;
+  spec.dim = 32;
+  spec.ndom = 256;
+  Dataset data = workload::GenerateClustered(spec);
+
+  workload::QueryLogSpec logspec;
+  logspec.pool_size = 100;
+  logspec.workload_size = 300;
+  logspec.test_size = 10;
+  workload::QueryLog log = workload::GenerateQueryLog(data, logspec);
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "eeb_tour").string();
+  std::filesystem::create_directories(dir);
+
+  // ---- build the three exact indexes ------------------------------------
+  std::unique_ptr<index::IDistance> idist;
+  index::IDistanceOptions iopt;
+  iopt.num_partitions = 32;
+  if (Die(index::IDistance::Build(storage::Env::Default(), dir + "/idist",
+                                  data, iopt, &idist),
+          "iDistance"))
+    return 1;
+
+  std::unique_ptr<index::VpTree> vptree;
+  if (Die(index::VpTree::Build(storage::Env::Default(), dir + "/vptree",
+                               data, {}, &vptree),
+          "VP-tree"))
+    return 1;
+
+  std::unique_ptr<index::VaFile> vafile;
+  index::VaFileOptions vopt;
+  vopt.bits_per_dim = 4;
+  vopt.integral = true;
+  if (Die(index::VaFile::Build(data, vopt, &vafile), "VA-file")) return 1;
+
+  std::printf("indexes built: iDistance (%zu leaves), VP-tree (%zu leaves), "
+              "VA-file (%.1f KB approximations)\n\n",
+              idist->num_leaves(), vptree->num_leaves(),
+              vafile->approximation_bytes() / 1024.0);
+
+  // ---- 1. exactness: everyone agrees with the linear scan ---------------
+  const size_t k = 10;
+  for (const auto& q : log.test) {
+    const auto truth = Ids(index::LinearScanKnn(data, q, k));
+    index::TreeSearchResult ri, rv;
+    if (Die(idist->Search(q, k, nullptr, &ri), "idist search")) return 1;
+    if (Die(vptree->Search(q, k, nullptr, &rv), "vptree search")) return 1;
+    if (Ids(ri.neighbors) != truth || Ids(rv.neighbors) != truth) {
+      std::fprintf(stderr, "exactness violated!\n");
+      return 1;
+    }
+  }
+  std::printf("1. exactness check passed: iDistance and VP-tree match the "
+              "linear scan on all test queries\n\n");
+
+  // ---- 2. HC-O node caches cut leaf fetches -----------------------------
+  const size_t cache_bytes = spec.n * spec.dim * sizeof(float) / 10;
+  core::LeafWorkloadStats wl;
+  auto search = [&](std::span<const Scalar> q, size_t kk,
+                    index::TreeSearchResult* out) {
+    return idist->Search(q, kk, nullptr, out);
+  };
+  if (Die(core::AnalyzeTreeWorkload(search, idist->num_leaves(),
+                                    log.workload, k, &wl),
+          "workload"))
+    return 1;
+
+  hist::FrequencyArray fprime =
+      hist::FrequencyArray::FromPoints(data, wl.qr_points, spec.ndom);
+  hist::Histogram hco;
+  if (Die(hist::BuildKnnOptimal(fprime, 64, &hco), "HC-O")) return 1;
+
+  cache::ExactNodeCache exact(cache_bytes);
+  cache::ApproxNodeCache approx(&hco, data.dim(), cache_bytes, true);
+  if (Die(exact.Fill(data, idist->store().leaf_points(), wl.leaves_by_freq),
+          "fill") ||
+      Die(approx.Fill(data, idist->store().leaf_points(), wl.leaves_by_freq),
+          "fill"))
+    return 1;
+
+  uint64_t plain = 0, with_exact = 0, with_hco = 0;
+  for (const auto& q : log.test) {
+    index::TreeSearchResult r0, r1, r2;
+    if (Die(idist->Search(q, k, nullptr, &r0), "s0")) return 1;
+    if (Die(idist->Search(q, k, &exact, &r1), "s1")) return 1;
+    if (Die(idist->Search(q, k, &approx, &r2), "s2")) return 1;
+    if (Ids(r1.neighbors) != Ids(r0.neighbors) ||
+        Ids(r2.neighbors) != Ids(r0.neighbors)) {
+      std::fprintf(stderr, "cache changed results!\n");
+      return 1;
+    }
+    plain += r0.leaves_fetched;
+    with_exact += r1.leaves_fetched;
+    with_hco += r2.leaves_fetched;
+  }
+  std::printf("2. iDistance leaf fetches over %zu queries (budget %.1f MB):\n",
+              log.test.size(), cache_bytes / (1024.0 * 1024.0));
+  std::printf("   no cache: %llu   EXACT node cache (%zu leaves): %llu   "
+              "HC-O node cache (%zu leaves): %llu\n\n",
+              (unsigned long long)plain, exact.size(),
+              (unsigned long long)with_exact, approx.size(),
+              (unsigned long long)with_hco);
+
+  // ---- 3. VA-file + point cache through the generic engine --------------
+  const std::string pf_path = dir + "/points";
+  if (Die(storage::PointFile::Create(storage::Env::Default(), pf_path, data),
+          "point file"))
+    return 1;
+  std::unique_ptr<storage::PointFile> pf;
+  if (Die(storage::PointFile::Open(storage::Env::Default(), pf_path, &pf),
+          "open"))
+    return 1;
+
+  core::WorkloadStats vwl;
+  if (Die(core::AnalyzeWorkload(vafile.get(), data, log.workload, k, &vwl),
+          "va workload"))
+    return 1;
+  cache::HistCodeCache pcache(&hco, data.dim(), cache_bytes, false, true);
+  if (Die(pcache.Fill(data, vwl.ids_by_freq), "fill")) return 1;
+
+  core::KnnEngine engine(vafile.get(), pf.get(), &pcache);
+  uint64_t fetched = 0, candidates = 0;
+  for (const auto& q : log.test) {
+    core::QueryResult r;
+    if (Die(engine.Query(q, k, &r), "query")) return 1;
+    fetched += r.fetched;
+    candidates += r.candidates;
+  }
+  std::printf("3. VA-file through the generic engine: %llu of %llu VA "
+              "survivors fetched after cache reduction\n",
+              (unsigned long long)fetched, (unsigned long long)candidates);
+  return 0;
+}

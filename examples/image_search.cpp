@@ -1,0 +1,100 @@
+// Scenario: a (simulated) image search service. Feature vectors of a photo
+// collection live on disk; a skewed query log (popular images are searched
+// again and again, paper Fig. 2) is available. The example compares the
+// service's per-query latency under NO-CACHE, EXACT caching and the paper's
+// HC-O histogram caching at the same memory budget, and shows the knobs a
+// deployment would tune.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/system.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace eeb;
+
+void Report(const char* name, const core::AggregateResult& agg) {
+  std::printf(
+      "%-10s response %7.3f s  (gen %6.3f + refine %6.3f)   hit %5.1f%%  "
+      "fetched %6.1f of %6.1f candidates\n",
+      name, agg.avg_response_seconds, agg.avg_gen_seconds,
+      agg.avg_refine_seconds, 100 * agg.hit_ratio, agg.avg_fetched,
+      agg.avg_candidates);
+}
+
+}  // namespace
+
+int main() {
+  // The photo collection: 100k images, 64-d sparse color-histogram-like
+  // features, stored in a page-aligned point file on disk.
+  workload::DatasetSpec spec;
+  spec.name = "photos";
+  spec.n = 100000;
+  spec.dim = 64;
+  spec.ndom = 256;
+  spec.sparsity = 0.35;
+  Dataset data = workload::GenerateClustered(spec);
+
+  // The search log: 400 distinct query images, Zipf-popular.
+  workload::QueryLogSpec logspec;
+  logspec.pool_size = 400;
+  logspec.workload_size = 1000;
+  logspec.test_size = 50;
+  workload::QueryLog log = workload::GenerateQueryLog(data, logspec);
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "eeb_image_search").string();
+  std::filesystem::create_directories(dir);
+
+  core::SystemOptions opt;
+  opt.lsh.beta_candidates = 250;  // candidate volume of the LSH index
+  std::unique_ptr<core::System> system;
+  Status st = core::System::Create(storage::Env::Default(), dir, data,
+                                   log.workload, opt, &system);
+  if (!st.ok()) {
+    std::fprintf(stderr, "create failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // Memory budget: 10% of the on-disk file.
+  const size_t file_bytes = spec.n * spec.dim * sizeof(float);
+  const size_t cache_bytes = file_bytes / 10;
+  std::printf("collection: %zu images, %zu-d features, %.1f MB on disk\n",
+              data.size(), data.dim(), file_bytes / (1024.0 * 1024.0));
+  std::printf("cache budget: %.1f MB (10%%)\n\n",
+              cache_bytes / (1024.0 * 1024.0));
+
+  struct Config {
+    const char* name;
+    core::CacheMethod method;
+  };
+  for (const Config& c :
+       {Config{"NO-CACHE", core::CacheMethod::kNone},
+        Config{"EXACT", core::CacheMethod::kExact},
+        Config{"HC-D", core::CacheMethod::kHcD},
+        Config{"HC-O", core::CacheMethod::kHcO}}) {
+    st = system->ConfigureCache(c.method,
+                                c.method == core::CacheMethod::kNone
+                                    ? 0
+                                    : cache_bytes);
+    if (!st.ok()) {
+      std::fprintf(stderr, "configure failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    core::AggregateResult agg;
+    st = system->RunQueries(log.test, /*k=*/10, &agg);
+    if (!st.ok()) {
+      std::fprintf(stderr, "queries failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    Report(c.name, agg);
+  }
+
+  std::printf(
+      "\nNotes: response time uses the library's disk model (5 ms per "
+      "random page);\nresults are identical under every configuration — "
+      "caching only removes I/O.\n");
+  return 0;
+}

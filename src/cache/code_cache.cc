@@ -1,0 +1,160 @@
+#include "cache/code_cache.h"
+
+#include <algorithm>
+
+namespace eeb::cache {
+namespace {
+
+uint32_t ClampValue(Scalar v, uint32_t ndom) {
+  if (v < 0) return 0;
+  uint32_t x = static_cast<uint32_t>(v);
+  return x >= ndom ? ndom - 1 : x;
+}
+
+uint32_t TauFor(uint32_t num_buckets) {
+  return std::max<uint32_t>(1, CeilLog2(num_buckets));
+}
+
+}  // namespace
+
+void EncodeGlobal(const hist::Histogram& h, std::span<const Scalar> p,
+                  std::span<BucketId> out) {
+  const uint32_t ndom = h.ndom();
+  for (size_t j = 0; j < p.size(); ++j) {
+    out[j] = h.Lookup(ClampValue(p[j], ndom));
+  }
+}
+
+void EncodeIndividual(const hist::IndividualHistograms& hs,
+                      std::span<const Scalar> p, std::span<BucketId> out) {
+  for (size_t j = 0; j < p.size(); ++j) {
+    const hist::Histogram& h = hs.at(j);
+    out[j] = h.Lookup(ClampValue(p[j], h.ndom()));
+  }
+}
+
+CodeCacheBase::CodeCacheBase(size_t dim, uint32_t tau, size_t capacity_bytes,
+                             bool lru)
+    : dim_(dim),
+      lru_(lru),
+      store_(dim, tau),
+      scratch_(dim) {
+  capacity_items_ =
+      store_.item_bytes() == 0 ? 0 : capacity_bytes / store_.item_bytes();
+}
+
+void CodeCacheBase::InsertStatic(PointId id, std::span<const BucketId> codes) {
+  if (slot_of_.size() >= capacity_items_ || slot_of_.count(id)) return;
+  const uint32_t slot = store_.AllocateSlot();
+  store_.Write(slot, codes);
+  slot_of_[id] = slot;
+  if (lru_) lru_list_.Insert(id);
+}
+
+void CodeCacheBase::AdmitCodes(PointId id, std::span<const BucketId> codes) {
+  if (capacity_items_ == 0) return;
+  auto it = slot_of_.find(id);
+  if (it != slot_of_.end()) {
+    lru_list_.Touch(id);
+    return;
+  }
+  uint32_t slot;
+  if (slot_of_.size() < capacity_items_) {
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      slot = store_.AllocateSlot();
+    }
+  } else {
+    const PointId victim = lru_list_.EvictBack();
+    auto vit = slot_of_.find(victim);
+    slot = vit->second;
+    slot_of_.erase(vit);
+  }
+  store_.Write(slot, codes);
+  slot_of_[id] = slot;
+  lru_list_.Insert(id);
+}
+
+bool CodeCacheBase::LookupCodes(PointId id) {
+  auto it = slot_of_.find(id);
+  if (it == slot_of_.end()) {
+    stats_.misses++;
+    return false;
+  }
+  stats_.hits++;
+  if (lru_) lru_list_.Touch(id);
+  store_.Read(it->second, scratch_);
+  return true;
+}
+
+HistCodeCache::HistCodeCache(const hist::Histogram* h, size_t dim,
+                             size_t capacity_bytes, bool lru, bool integral)
+    : CodeCacheBase(dim, TauFor(h->num_buckets()), capacity_bytes, lru),
+      hist_(h),
+      integral_(integral),
+      encode_buf_(dim) {}
+
+Status HistCodeCache::Fill(const Dataset& data,
+                           std::span<const PointId> ids_by_freq) {
+  if (data.dim() != dim_) {
+    return Status::InvalidArgument("dataset dim mismatch");
+  }
+  for (PointId id : ids_by_freq) {
+    if (slot_of_.size() >= capacity_items_) break;
+    EncodeGlobal(*hist_, data.point(id), encode_buf_);
+    InsertStatic(id, encode_buf_);
+  }
+  return Status::OK();
+}
+
+bool HistCodeCache::Probe(std::span<const Scalar> q, PointId id, double* lb,
+                          double* ub) {
+  if (!LookupCodes(id)) return false;
+  hist::CodeBoundsGlobal(*hist_, q, scratch_, lb, ub, integral_);
+  return true;
+}
+
+void HistCodeCache::Admit(PointId id, std::span<const Scalar> exact) {
+  if (!lru_) return;
+  EncodeGlobal(*hist_, exact, encode_buf_);
+  AdmitCodes(id, encode_buf_);
+}
+
+IndividualCodeCache::IndividualCodeCache(const hist::IndividualHistograms* hs,
+                                         uint32_t num_buckets,
+                                         size_t capacity_bytes, bool lru,
+                                         bool integral)
+    : CodeCacheBase(hs->dim(), TauFor(num_buckets), capacity_bytes, lru),
+      hists_(hs),
+      integral_(integral),
+      encode_buf_(hs->dim()) {}
+
+Status IndividualCodeCache::Fill(const Dataset& data,
+                                 std::span<const PointId> ids_by_freq) {
+  if (data.dim() != dim_) {
+    return Status::InvalidArgument("dataset dim mismatch");
+  }
+  for (PointId id : ids_by_freq) {
+    if (slot_of_.size() >= capacity_items_) break;
+    EncodeIndividual(*hists_, data.point(id), encode_buf_);
+    InsertStatic(id, encode_buf_);
+  }
+  return Status::OK();
+}
+
+bool IndividualCodeCache::Probe(std::span<const Scalar> q, PointId id,
+                                double* lb, double* ub) {
+  if (!LookupCodes(id)) return false;
+  hist::CodeBoundsIndividual(*hists_, q, scratch_, lb, ub, integral_);
+  return true;
+}
+
+void IndividualCodeCache::Admit(PointId id, std::span<const Scalar> exact) {
+  if (!lru_) return;
+  EncodeIndividual(*hists_, exact, encode_buf_);
+  AdmitCodes(id, encode_buf_);
+}
+
+}  // namespace eeb::cache

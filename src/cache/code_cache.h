@@ -1,0 +1,114 @@
+// Histogram-code caches (the paper's proposal, Sec. 3): each cached item is
+// the bit-packed approximate point p' — one tau-bit bucket position per
+// dimension. A probe decodes the codes and returns the dist-/dist+ interval.
+//
+// Two flavors share the implementation:
+//   HistCodeCache       — one global histogram H (HC-W/HC-D/HC-V/HC-O),
+//   IndividualCodeCache — d per-dimension histograms (iHC-*); also used to
+//                         realize the C-VA baseline (VA-file = per-dimension
+//                         equi-depth encoding of all points).
+
+#ifndef EEB_CACHE_CODE_CACHE_H_
+#define EEB_CACHE_CODE_CACHE_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/status.h"
+#include "cache/code_store.h"
+#include "cache/knn_cache.h"
+#include "hist/bounds.h"
+#include "hist/histogram.h"
+#include "hist/individual.h"
+
+namespace eeb::cache {
+
+/// Encodes an exact point into global-histogram bucket positions (Def. 8).
+/// Coordinates are clamped into [0, ndom).
+void EncodeGlobal(const hist::Histogram& h, std::span<const Scalar> p,
+                  std::span<BucketId> out);
+
+/// Encodes an exact point under per-dimension histograms.
+void EncodeIndividual(const hist::IndividualHistograms& hs,
+                      std::span<const Scalar> p, std::span<BucketId> out);
+
+/// Common machinery of the two code caches.
+class CodeCacheBase : public KnnCache {
+ public:
+  size_t item_bytes() const override { return store_.item_bytes(); }
+  size_t size() const override { return slot_of_.size(); }
+  size_t capacity_items() const { return capacity_items_; }
+  uint32_t tau() const { return store_.bits_per_code(); }
+
+ protected:
+  CodeCacheBase(size_t dim, uint32_t tau, size_t capacity_bytes, bool lru);
+
+  /// Inserts codes for `id` (static fill path). No-op when full or present.
+  void InsertStatic(PointId id, std::span<const BucketId> codes);
+
+  /// LRU admission of codes for `id`.
+  void AdmitCodes(PointId id, std::span<const BucketId> codes);
+
+  /// Looks up `id`; on hit decodes into `scratch_` and returns true.
+  bool LookupCodes(PointId id);
+
+  size_t dim_;
+  size_t capacity_items_;
+  bool lru_;
+  CodeStore store_;
+  std::unordered_map<PointId, uint32_t> slot_of_;
+  std::vector<uint32_t> free_slots_;
+  LruTracker lru_list_;
+  std::vector<BucketId> scratch_;  // decode buffer (single-threaded use)
+};
+
+/// Cache of codes under one global histogram.
+class HistCodeCache : public CodeCacheBase {
+ public:
+  /// The histogram must outlive the cache. `integral` asserts that data
+  /// coordinates are integers, enabling the paper-exact tight interval
+  /// edges (see hist/bounds.h).
+  HistCodeCache(const hist::Histogram* h, size_t dim, size_t capacity_bytes,
+                bool lru = false, bool integral = false);
+
+  /// Static HFF fill in the given (frequency-descending) id order.
+  Status Fill(const Dataset& data, std::span<const PointId> ids_by_freq);
+
+  bool Probe(std::span<const Scalar> q, PointId id, double* lb,
+             double* ub) override;
+
+  void Admit(PointId id, std::span<const Scalar> exact) override;
+
+  const hist::Histogram& histogram() const { return *hist_; }
+
+ private:
+  const hist::Histogram* hist_;
+  bool integral_;
+  std::vector<BucketId> encode_buf_;
+};
+
+/// Cache of codes under per-dimension histograms.
+class IndividualCodeCache : public CodeCacheBase {
+ public:
+  IndividualCodeCache(const hist::IndividualHistograms* hs,
+                      uint32_t num_buckets, size_t capacity_bytes,
+                      bool lru = false, bool integral = false);
+
+  Status Fill(const Dataset& data, std::span<const PointId> ids_by_freq);
+
+  bool Probe(std::span<const Scalar> q, PointId id, double* lb,
+             double* ub) override;
+
+  void Admit(PointId id, std::span<const Scalar> exact) override;
+
+ private:
+  const hist::IndividualHistograms* hists_;
+  bool integral_;
+  std::vector<BucketId> encode_buf_;
+};
+
+}  // namespace eeb::cache
+
+#endif  // EEB_CACHE_CODE_CACHE_H_

@@ -1,0 +1,81 @@
+#include "cache/exact_cache.h"
+
+#include <cstring>
+
+namespace eeb::cache {
+
+ExactCache::ExactCache(size_t dim, size_t capacity_bytes, bool lru)
+    : dim_(dim),
+      capacity_items_(item_bytes() == 0 ? 0 : capacity_bytes / item_bytes()),
+      lru_(lru) {}
+
+Status ExactCache::Fill(const Dataset& data,
+                        std::span<const PointId> ids_by_freq) {
+  if (data.dim() != dim_) {
+    return Status::InvalidArgument("dataset dim mismatch");
+  }
+  for (PointId id : ids_by_freq) {
+    if (slot_of_.size() >= capacity_items_) break;
+    if (slot_of_.count(id)) continue;
+    const uint32_t slot = static_cast<uint32_t>(slot_of_.size());
+    values_.resize(values_.size() + dim_);
+    auto p = data.point(id);
+    std::memcpy(values_.data() + static_cast<size_t>(slot) * dim_, p.data(),
+                dim_ * sizeof(Scalar));
+    slot_of_[id] = slot;
+    if (lru_) lru_list_.Insert(id);
+  }
+  return Status::OK();
+}
+
+bool ExactCache::Probe(std::span<const Scalar> q, PointId id, double* lb,
+                       double* ub) {
+  auto it = slot_of_.find(id);
+  if (it == slot_of_.end()) {
+    stats_.misses++;
+    return false;
+  }
+  stats_.hits++;
+  if (lru_) lru_list_.Touch(id);
+  std::span<const Scalar> p{values_.data() + static_cast<size_t>(it->second) * dim_,
+                            dim_};
+  const double d = L2(q, p);
+  *lb = d;
+  *ub = d;
+  return true;
+}
+
+uint32_t ExactCache::SlotFor() {
+  if (slot_of_.size() < capacity_items_) {
+    if (!free_slots_.empty()) {
+      uint32_t slot = free_slots_.back();
+      free_slots_.pop_back();
+      return slot;
+    }
+    const uint32_t slot = static_cast<uint32_t>(values_.size() / dim_);
+    values_.resize(values_.size() + dim_);
+    return slot;
+  }
+  // Evict the LRU victim and recycle its slot.
+  PointId victim = lru_list_.EvictBack();
+  auto it = slot_of_.find(victim);
+  const uint32_t slot = it->second;
+  slot_of_.erase(it);
+  return slot;
+}
+
+void ExactCache::Admit(PointId id, std::span<const Scalar> exact) {
+  if (!lru_ || capacity_items_ == 0) return;
+  auto it = slot_of_.find(id);
+  if (it != slot_of_.end()) {
+    lru_list_.Touch(id);
+    return;
+  }
+  const uint32_t slot = SlotFor();
+  std::memcpy(values_.data() + static_cast<size_t>(slot) * dim_, exact.data(),
+              dim_ * sizeof(Scalar));
+  slot_of_[id] = slot;
+  lru_list_.Insert(id);
+}
+
+}  // namespace eeb::cache

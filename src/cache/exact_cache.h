@@ -1,0 +1,55 @@
+// EXACT cache baseline (paper Sec. 5.1): caches full-precision points. A hit
+// yields the exact distance (lb == ub), a miss forces a disk fetch. Supports
+// the static HFF fill and the dynamic LRU policy (Fig. 8).
+
+#ifndef EEB_CACHE_EXACT_CACHE_H_
+#define EEB_CACHE_EXACT_CACHE_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/distance.h"
+#include "common/status.h"
+#include "cache/code_store.h"
+#include "cache/knn_cache.h"
+
+namespace eeb::cache {
+
+/// Cache of exact (full-precision) points.
+class ExactCache : public KnnCache {
+ public:
+  /// @param dim             point dimensionality
+  /// @param capacity_bytes  cache budget; item count = budget / item_bytes
+  /// @param lru             true enables dynamic admission/eviction
+  ExactCache(size_t dim, size_t capacity_bytes, bool lru = false);
+
+  /// Static HFF fill: inserts points from `data` in the given order (callers
+  /// pass ids sorted by descending workload frequency) until full.
+  Status Fill(const Dataset& data, std::span<const PointId> ids_by_freq);
+
+  bool Probe(std::span<const Scalar> q, PointId id, double* lb,
+             double* ub) override;
+
+  void Admit(PointId id, std::span<const Scalar> exact) override;
+
+  size_t item_bytes() const override { return dim_ * sizeof(Scalar); }
+  size_t size() const override { return slot_of_.size(); }
+  size_t capacity_items() const { return capacity_items_; }
+
+ private:
+  uint32_t SlotFor();  // allocates or recycles a slot (LRU)
+
+  size_t dim_;
+  size_t capacity_items_;
+  bool lru_;
+  std::unordered_map<PointId, uint32_t> slot_of_;
+  std::vector<Scalar> values_;  // slot-major storage
+  std::vector<uint32_t> free_slots_;
+  LruTracker lru_list_;
+};
+
+}  // namespace eeb::cache
+
+#endif  // EEB_CACHE_EXACT_CACHE_H_

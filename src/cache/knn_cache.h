@@ -1,0 +1,64 @@
+// Cache interface used by the kNN engine (paper Fig. 3). A cache answers a
+// probe for candidate `id` with distance bounds [lb, ub] relative to the
+// query: exact caches return lb == ub == dist, approximate (code) caches
+// return the dist-/dist+ interval, misses return false. The engine treats
+// all cache flavors uniformly, which is what makes the framework generic
+// across EXACT / HC-* / C-VA / mHC-R.
+
+#ifndef EEB_CACHE_KNN_CACHE_H_
+#define EEB_CACHE_KNN_CACHE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.h"
+
+namespace eeb::cache {
+
+/// Hit/miss accounting for a cache (feeds rho_hit in the experiments).
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+
+  double HitRatio() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+
+  void Reset() { *this = CacheStats{}; }
+};
+
+/// Abstract cache of (approximate) point representations.
+class KnnCache {
+ public:
+  virtual ~KnnCache() = default;
+
+  /// Probes for candidate `id` against query `q`. On a hit returns true and
+  /// fills `*lb` / `*ub`. On a miss returns false.
+  virtual bool Probe(std::span<const Scalar> q, PointId id, double* lb,
+                     double* ub) = 0;
+
+  /// Admission hook called by the engine after a candidate was fetched from
+  /// disk (its exact coordinates are supplied). Static policies (HFF)
+  /// ignore it; LRU caches insert/refresh.
+  virtual void Admit(PointId id, std::span<const Scalar> exact) {
+    (void)id;
+    (void)exact;
+  }
+
+  /// Bytes one cached item occupies (the paper's cache-size accounting).
+  virtual size_t item_bytes() const = 0;
+
+  /// Items currently cached.
+  virtual size_t size() const = 0;
+
+  CacheStats& stats() { return stats_; }
+  const CacheStats& stats() const { return stats_; }
+
+ protected:
+  CacheStats stats_;
+};
+
+}  // namespace eeb::cache
+
+#endif  // EEB_CACHE_KNN_CACHE_H_

@@ -1,0 +1,59 @@
+// Bit-level packing helpers used by the approximate-point cache: each point
+// is a string of d codes of tau bits each, packed into consecutive 64-bit
+// words (paper Sec. 3.1 footnote 5, "exploit every bit").
+
+#ifndef EEB_COMMON_BITOPS_H_
+#define EEB_COMMON_BITOPS_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace eeb {
+
+/// Writes `width` low bits of `value` at bit offset `bit_pos` of `words`.
+/// The destination bits must be zero (append-style writing). width in [1,57]
+/// keeps every field inside at most two words via the unaligned-64 trick
+/// below; we cap callers at 32 which is ample (codes never exceed Lvalue).
+inline void PackBits(std::vector<uint64_t>& words, size_t bit_pos,
+                     uint32_t width, uint64_t value) {
+  const size_t word = bit_pos >> 6;
+  const unsigned shift = bit_pos & 63;
+  words[word] |= value << shift;
+  if (shift + width > 64) {
+    words[word + 1] |= value >> (64 - shift);
+  }
+}
+
+/// Reads a `width`-bit field at bit offset `bit_pos`. Branch-free on the
+/// common path; width in [1, 57].
+inline uint64_t UnpackBits(const uint64_t* words, size_t bit_pos,
+                           uint32_t width) {
+  const size_t word = bit_pos >> 6;
+  const unsigned shift = bit_pos & 63;
+  uint64_t v = words[word] >> shift;
+  if (shift + width > 64) {
+    v |= words[word + 1] << (64 - shift);
+  }
+  const uint64_t mask =
+      width >= 64 ? ~0ULL : ((uint64_t{1} << width) - 1);
+  return v & mask;
+}
+
+/// Number of 64-bit words needed to hold `nbits` bits.
+inline size_t WordsForBits(size_t nbits) { return (nbits + 63) / 64; }
+
+/// ceil(log2(x)) for x >= 1; returns 0 for x == 1.
+inline uint32_t CeilLog2(uint64_t x) {
+  uint32_t b = 0;
+  uint64_t v = 1;
+  while (v < x) {
+    v <<= 1;
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace eeb
+
+#endif  // EEB_COMMON_BITOPS_H_

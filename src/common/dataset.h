@@ -1,0 +1,73 @@
+// In-memory dataset container: n points of fixed dimensionality d stored
+// row-major. This is the staging form used by generators, index builders and
+// tests; the disk-resident form is storage::PointFile.
+
+#ifndef EEB_COMMON_DATASET_H_
+#define EEB_COMMON_DATASET_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace eeb {
+
+/// Row-major matrix of points. Points are addressed by PointId in [0, size).
+class Dataset {
+ public:
+  Dataset() : dim_(0) {}
+
+  /// Creates an empty dataset of dimensionality `dim`.
+  explicit Dataset(size_t dim) : dim_(dim) {}
+
+  /// Creates a dataset of `n` zero points of dimensionality `dim`.
+  Dataset(size_t n, size_t dim) : dim_(dim), data_(n * dim, Scalar{0}) {}
+
+  size_t dim() const { return dim_; }
+  size_t size() const { return dim_ == 0 ? 0 : data_.size() / dim_; }
+  bool empty() const { return data_.empty(); }
+
+  /// Read-only view of point `id`.
+  std::span<const Scalar> point(PointId id) const {
+    return {data_.data() + static_cast<size_t>(id) * dim_, dim_};
+  }
+
+  /// Mutable view of point `id`.
+  std::span<Scalar> mutable_point(PointId id) {
+    return {data_.data() + static_cast<size_t>(id) * dim_, dim_};
+  }
+
+  /// Appends a point; returns its id. The span must have exactly dim()
+  /// elements.
+  PointId Append(std::span<const Scalar> p) {
+    data_.insert(data_.end(), p.begin(), p.end());
+    return static_cast<PointId>(size() - 1);
+  }
+
+  /// Raw row-major buffer (n * dim scalars).
+  const Scalar* raw() const { return data_.data(); }
+  Scalar* mutable_raw() { return data_.data(); }
+
+  /// Reserves space for `n` points.
+  void Reserve(size_t n) { data_.reserve(n * dim_); }
+
+  /// Largest coordinate value over all points and dimensions (paper's Ndom
+  /// anchor). Returns 0 for an empty dataset.
+  Scalar MaxValue() const {
+    Scalar m = 0;
+    for (Scalar v : data_) {
+      if (v > m) m = v;
+    }
+    return m;
+  }
+
+ private:
+  size_t dim_;
+  std::vector<Scalar> data_;
+};
+
+}  // namespace eeb
+
+#endif  // EEB_COMMON_DATASET_H_

@@ -1,0 +1,55 @@
+// Maps real-valued coordinates into the integer domain [0, Ndom) that
+// histograms operate on (paper Sec. 3.5 footnote: "applying discretization on
+// floating-point values").
+
+#ifndef EEB_COMMON_DISCRETIZER_H_
+#define EEB_COMMON_DISCRETIZER_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace eeb {
+
+/// Affine value <-> bin mapping. For datasets that are already integral in
+/// [0, Ndom) (our generated surrogates) this is the identity.
+class Discretizer {
+ public:
+  /// Identity mapping over [0, ndom).
+  explicit Discretizer(uint32_t ndom)
+      : ndom_(ndom), lo_(0.0), scale_(1.0) {}
+
+  /// Maps [lo, hi] onto bins [0, ndom).
+  Discretizer(uint32_t ndom, double lo, double hi)
+      : ndom_(ndom),
+        lo_(lo),
+        scale_(hi > lo ? static_cast<double>(ndom) / (hi - lo) : 1.0) {}
+
+  /// Bin index of a value; clamped to the domain.
+  uint32_t ToBin(Scalar v) const {
+    double x = (static_cast<double>(v) - lo_) * scale_;
+    long b = std::lround(std::floor(x));
+    if (b < 0) b = 0;
+    if (b >= static_cast<long>(ndom_)) b = static_cast<long>(ndom_) - 1;
+    return static_cast<uint32_t>(b);
+  }
+
+  /// Lower edge of a bin in value space.
+  double BinLower(uint32_t bin) const { return lo_ + bin / scale_; }
+
+  /// Upper edge of a bin in value space (inclusive end of its interval).
+  double BinUpper(uint32_t bin) const { return lo_ + (bin + 1) / scale_; }
+
+  uint32_t ndom() const { return ndom_; }
+
+ private:
+  uint32_t ndom_;
+  double lo_;
+  double scale_;
+};
+
+}  // namespace eeb
+
+#endif  // EEB_COMMON_DISCRETIZER_H_

@@ -1,0 +1,33 @@
+// Euclidean distance kernels (Def. 2). Squared forms are used internally to
+// avoid sqrt in comparisons; public results report true distances.
+
+#ifndef EEB_COMMON_DISTANCE_H_
+#define EEB_COMMON_DISTANCE_H_
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+#include "common/types.h"
+
+namespace eeb {
+
+/// Squared Euclidean distance between two equal-length vectors.
+inline double SquaredL2(std::span<const Scalar> a, std::span<const Scalar> b) {
+  double acc = 0.0;
+  const size_t d = a.size();
+  for (size_t j = 0; j < d; ++j) {
+    const double diff = static_cast<double>(a[j]) - static_cast<double>(b[j]);
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+/// Euclidean distance (Def. 2).
+inline double L2(std::span<const Scalar> a, std::span<const Scalar> b) {
+  return std::sqrt(SquaredL2(a, b));
+}
+
+}  // namespace eeb
+
+#endif  // EEB_COMMON_DISTANCE_H_

@@ -1,0 +1,115 @@
+#include "common/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/distance.h"
+#include "common/random.h"
+
+namespace eeb {
+namespace {
+
+// k-means++ seeding: first center uniform, subsequent centers sampled with
+// probability proportional to squared distance to the nearest chosen center.
+Dataset SeedCenters(const Dataset& data, uint32_t k, Rng& rng) {
+  const size_t n = data.size();
+  Dataset centers(data.dim());
+  centers.Reserve(k);
+
+  std::vector<double> d2(n, std::numeric_limits<double>::infinity());
+  PointId first = static_cast<PointId>(rng.Uniform(n));
+  centers.Append(data.point(first));
+
+  for (uint32_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    const PointId last = static_cast<PointId>(centers.size() - 1);
+    for (size_t i = 0; i < n; ++i) {
+      double d = SquaredL2(data.point(static_cast<PointId>(i)),
+                           centers.point(last));
+      if (d < d2[i]) d2[i] = d;
+      total += d2[i];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with chosen centers; reuse any point.
+      centers.Append(data.point(static_cast<PointId>(rng.Uniform(n))));
+      continue;
+    }
+    double target = rng.NextDouble() * total;
+    size_t pick = n - 1;
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      acc += d2[i];
+      if (acc >= target) {
+        pick = i;
+        break;
+      }
+    }
+    centers.Append(data.point(static_cast<PointId>(pick)));
+  }
+  return centers;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const Dataset& data, uint32_t k, uint32_t max_iters,
+                    uint64_t seed) {
+  KMeansResult res;
+  const size_t n = data.size();
+  const size_t d = data.dim();
+  if (n == 0) {
+    res.centers = Dataset(d);
+    return res;
+  }
+  if (k > n) k = static_cast<uint32_t>(n);
+
+  Rng rng(seed);
+  res.centers = SeedCenters(data, k, rng);
+  res.assign.assign(n, 0);
+  res.sizes.assign(k, 0);
+
+  std::vector<double> sums(static_cast<size_t>(k) * d);
+  for (uint32_t iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    res.inertia = 0.0;
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(res.sizes.begin(), res.sizes.end(), 0u);
+
+    for (size_t i = 0; i < n; ++i) {
+      auto p = data.point(static_cast<PointId>(i));
+      double best = std::numeric_limits<double>::infinity();
+      uint32_t best_c = 0;
+      for (uint32_t c = 0; c < k; ++c) {
+        double dist = SquaredL2(p, res.centers.point(c));
+        if (dist < best) {
+          best = dist;
+          best_c = c;
+        }
+      }
+      if (res.assign[i] != best_c) {
+        res.assign[i] = best_c;
+        changed = true;
+      }
+      res.inertia += best;
+      res.sizes[best_c]++;
+      double* s = sums.data() + static_cast<size_t>(best_c) * d;
+      for (size_t j = 0; j < d; ++j) s[j] += p[j];
+    }
+
+    res.iterations = iter + 1;
+    if (!changed && iter > 0) break;
+
+    for (uint32_t c = 0; c < k; ++c) {
+      if (res.sizes[c] == 0) continue;  // keep the old (possibly seed) center
+      auto center = res.centers.mutable_point(c);
+      const double* s = sums.data() + static_cast<size_t>(c) * d;
+      for (size_t j = 0; j < d; ++j) {
+        center[j] = static_cast<Scalar>(s[j] / res.sizes[c]);
+      }
+    }
+    if (!changed) break;
+  }
+  return res;
+}
+
+}  // namespace eeb

@@ -1,0 +1,37 @@
+// Lloyd's k-means over a Dataset. Shared substrate: iDistance reference
+// points, the clustered file ordering (Fig. 9), and dataset generators all
+// need a clustering primitive.
+
+#ifndef EEB_COMMON_KMEANS_H_
+#define EEB_COMMON_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/types.h"
+
+namespace eeb {
+
+/// Result of a k-means run.
+struct KMeansResult {
+  Dataset centers;                  ///< k centroids, same dim as the input
+  std::vector<uint32_t> assign;     ///< per-point cluster index
+  std::vector<uint32_t> sizes;      ///< points per cluster
+  double inertia = 0.0;             ///< sum of squared distances to centers
+  uint32_t iterations = 0;          ///< iterations actually run
+};
+
+/// Runs Lloyd's algorithm with k-means++ style seeding (greedy farthest-ish
+/// sampling driven by squared distances). Deterministic for a fixed seed.
+///
+/// @param data       input points (must be non-empty)
+/// @param k          number of clusters (clamped to data.size())
+/// @param max_iters  Lloyd iteration cap
+/// @param seed       RNG seed for the initialization
+KMeansResult KMeans(const Dataset& data, uint32_t k, uint32_t max_iters,
+                    uint64_t seed);
+
+}  // namespace eeb
+
+#endif  // EEB_COMMON_KMEANS_H_

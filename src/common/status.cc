@@ -1,0 +1,37 @@
+#include "common/status.h"
+
+namespace eeb {
+
+std::string Status::ToString() const {
+  const char* name = "Unknown";
+  switch (code_) {
+    case Code::kOk:
+      return "OK";
+    case Code::kNotFound:
+      name = "NotFound";
+      break;
+    case Code::kInvalidArgument:
+      name = "InvalidArgument";
+      break;
+    case Code::kIOError:
+      name = "IOError";
+      break;
+    case Code::kCorruption:
+      name = "Corruption";
+      break;
+    case Code::kNotSupported:
+      name = "NotSupported";
+      break;
+    case Code::kInternal:
+      name = "Internal";
+      break;
+  }
+  std::string out(name);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace eeb

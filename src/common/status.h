@@ -1,0 +1,83 @@
+// Status: lightweight error-code-plus-message result type used across the
+// library instead of exceptions (RocksDB idiom). All fallible public APIs
+// return Status or set an output parameter and return Status.
+
+#ifndef EEB_COMMON_STATUS_H_
+#define EEB_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace eeb {
+
+/// Result of a fallible operation. Cheap to copy when OK (no allocation).
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound = 1,
+    kInvalidArgument = 2,
+    kIOError = 3,
+    kCorruption = 4,
+    kNotSupported = 5,
+    kInternal = 6,
+  };
+
+  /// Constructs an OK status.
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status IOError(std::string_view msg) {
+    return Status(Code::kIOError, msg);
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status NotSupported(std::string_view msg) {
+    return Status(Code::kNotSupported, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(Code::kInternal, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  Code code() const { return code_; }
+
+  /// Human-readable rendering, e.g. "IOError: open failed: data.bin".
+  std::string ToString() const;
+
+  /// The message supplied at construction (empty for OK).
+  const std::string& message() const { return msg_; }
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), msg_(msg) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// Propagates a non-OK status to the caller. Use inside functions that
+/// themselves return Status.
+#define EEB_RETURN_IF_ERROR(expr)             \
+  do {                                        \
+    ::eeb::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+}  // namespace eeb
+
+#endif  // EEB_COMMON_STATUS_H_

@@ -1,0 +1,30 @@
+// Wall-clock timing for benchmarks and construction-time reporting.
+
+#ifndef EEB_COMMON_TIMER_H_
+#define EEB_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace eeb {
+
+/// Monotonic stopwatch. Start() resets; ElapsedSeconds() reads.
+class Timer {
+ public:
+  Timer() { Start(); }
+
+  void Start() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace eeb
+
+#endif  // EEB_COMMON_TIMER_H_

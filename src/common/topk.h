@@ -1,0 +1,78 @@
+// Bounded max-heap that keeps the k smallest (distance, id) pairs seen so
+// far — the standard kNN accumulator.
+
+#ifndef EEB_COMMON_TOPK_H_
+#define EEB_COMMON_TOPK_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace eeb {
+
+/// One kNN answer entry.
+struct Neighbor {
+  PointId id = kInvalidPointId;
+  double dist = std::numeric_limits<double>::infinity();
+
+  bool operator<(const Neighbor& o) const {
+    if (dist != o.dist) return dist < o.dist;
+    return id < o.id;  // deterministic tie-break by id
+  }
+};
+
+/// Keeps the k nearest candidates pushed into it.
+class TopK {
+ public:
+  explicit TopK(size_t k) : k_(k) {}
+
+  /// Current pruning threshold: distance of the k-th best so far, or +inf if
+  /// fewer than k entries are present.
+  double Threshold() const {
+    return heap_.size() < k_ ? std::numeric_limits<double>::infinity()
+                             : heap_.top().dist;
+  }
+
+  bool Full() const { return heap_.size() >= k_; }
+  size_t size() const { return heap_.size(); }
+
+  /// Offers a candidate; keeps it only if it improves the current top-k.
+  void Push(PointId id, double dist) {
+    if (heap_.size() < k_) {
+      heap_.push({id, dist});
+    } else if (Neighbor{id, dist} < heap_.top()) {
+      heap_.pop();
+      heap_.push({id, dist});
+    }
+  }
+
+  /// Extracts the result sorted ascending by distance (ties by id).
+  std::vector<Neighbor> TakeSorted() {
+    std::vector<Neighbor> out;
+    out.reserve(heap_.size());
+    while (!heap_.empty()) {
+      out.push_back(heap_.top());
+      heap_.pop();
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  struct Cmp {
+    bool operator()(const Neighbor& a, const Neighbor& b) const {
+      return a < b;  // max-heap on (dist, id)
+    }
+  };
+
+  size_t k_;
+  std::priority_queue<Neighbor, std::vector<Neighbor>, Cmp> heap_;
+};
+
+}  // namespace eeb
+
+#endif  // EEB_COMMON_TOPK_H_

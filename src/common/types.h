@@ -1,0 +1,27 @@
+// Core scalar/identifier typedefs shared by every module.
+
+#ifndef EEB_COMMON_TYPES_H_
+#define EEB_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace eeb {
+
+/// Coordinate type of data points. The paper's datasets hold discretized
+/// feature values; we keep float so generic (real-valued) data also works and
+/// discretize only where a histogram needs an integer domain.
+using Scalar = float;
+
+/// Identifier of a data point inside a dataset / point file.
+using PointId = uint32_t;
+
+inline constexpr PointId kInvalidPointId =
+    std::numeric_limits<PointId>::max();
+
+/// Identifier of a histogram bucket (position / code value, Def. 6).
+using BucketId = uint32_t;
+
+}  // namespace eeb
+
+#endif  // EEB_COMMON_TYPES_H_

@@ -1,0 +1,31 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eeb {
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) : n_(n), s_(s) {
+  cdf_.resize(n_);
+  double total = 0.0;
+  for (uint64_t i = 0; i < n_; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s_);
+    cdf_[i] = total;
+  }
+  for (uint64_t i = 0; i < n_; ++i) cdf_[i] /= total;
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Probability(uint64_t rank) const {
+  if (rank >= n_) return 0.0;
+  double lo = rank == 0 ? 0.0 : cdf_[rank - 1];
+  return cdf_[rank] - lo;
+}
+
+}  // namespace eeb

@@ -1,0 +1,40 @@
+// Zipf-distributed sampling, used to synthesize power-law query logs that
+// mimic the popularity skew the paper motivates with Flickr view counts
+// (paper Fig. 2).
+
+#ifndef EEB_COMMON_ZIPF_H_
+#define EEB_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace eeb {
+
+/// Samples ranks in [0, n) with P(rank = i) proportional to 1/(i+1)^s.
+/// Precomputes the CDF once; each sample is a binary search (O(log n)).
+class ZipfSampler {
+ public:
+  /// @param n     number of distinct items (must be > 0)
+  /// @param s     skew exponent; s = 0 degenerates to uniform
+  ZipfSampler(uint64_t n, double s);
+
+  /// Draws one rank in [0, n). Rank 0 is the most popular item.
+  uint64_t Sample(Rng& rng) const;
+
+  /// Probability mass of the given rank.
+  double Probability(uint64_t rank) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  uint64_t n_;
+  double s_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i)
+};
+
+}  // namespace eeb
+
+#endif  // EEB_COMMON_ZIPF_H_

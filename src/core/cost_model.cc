@@ -1,0 +1,152 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/bitops.h"
+
+namespace eeb::core {
+namespace {
+
+// Cache item bytes for a code cache at the given tau (packed whole words,
+// matching CodeStore::item_bytes).
+size_t CodeItemBytes(size_t dim, uint32_t tau) {
+  return WordsForBits(dim * tau) * sizeof(uint64_t);
+}
+
+double ClampRatio(double x) { return std::min(1.0, std::max(0.0, x)); }
+
+}  // namespace
+
+double HffHitRatio(const std::vector<double>& freq_sorted, size_t items) {
+  double total = 0.0;
+  double top = 0.0;
+  for (size_t i = 0; i < freq_sorted.size(); ++i) {
+    total += freq_sorted[i];
+    if (i < items) top += freq_sorted[i];
+  }
+  if (total <= 0.0) return 0.0;
+  return top / total;
+}
+
+double HitRatioBoundThm1(const CostModelInputs& in, uint32_t tau) {
+  const size_t exact_item = in.dim * sizeof(float);
+  const size_t exact_items = exact_item == 0 ? 0 : in.cache_bytes / exact_item;
+  const double exact_hit = HffHitRatio(in.freq_sorted, exact_items);
+  return ClampRatio(static_cast<double>(in.lvalue) / tau * exact_hit);
+}
+
+CostEstimate EstimateEquiWidth(const CostModelInputs& in, uint32_t tau) {
+  CostEstimate est;
+  const size_t items = in.cache_bytes / CodeItemBytes(in.dim, tau);
+  est.hit_ratio = HffHitRatio(in.freq_sorted, items);
+
+  // Thm. 3: rho_refine <= sqrt(d) * w / Dmax with w the bucket width.
+  const double w = std::pow(2.0, static_cast<double>(in.lvalue) -
+                                     static_cast<double>(tau));
+  const double rho_refine =
+      ClampRatio(std::sqrt(static_cast<double>(in.dim)) * w / in.dmax);
+  est.prune_ratio = 1.0 - rho_refine;
+  est.expected_crefine =
+      (1.0 - est.hit_ratio * est.prune_ratio) * in.avg_candidates;
+  return est;
+}
+
+namespace {
+
+// E[||eps||] ~= sqrt(d * E[w^2]) where E[w^2] is the weighted mean squared
+// bucket width under the given frequency array.
+double WeightedErrorNorm(const hist::Histogram& h,
+                         const hist::FrequencyArray& weights, size_t dim) {
+  double mass = 0.0;
+  double wsq = 0.0;
+  for (const hist::Bucket& b : h.buckets()) {
+    double m = 0.0;
+    for (uint32_t x = b.lo; x <= b.hi; ++x) m += weights[x];
+    mass += m;
+    wsq += m * static_cast<double>(b.width()) * b.width();
+  }
+  const double mean_wsq = mass > 0.0 ? wsq / mass : 0.0;
+  return std::sqrt(static_cast<double>(dim) * mean_wsq);
+}
+
+}  // namespace
+
+CostEstimate EstimateForHistogram(const CostModelInputs& in,
+                                  const hist::Histogram& h,
+                                  const hist::FrequencyArray& fprime,
+                                  const hist::FrequencyArray& fdata) {
+  CostEstimate est;
+  const uint32_t tau = std::max<uint32_t>(1, h.code_length());
+  const size_t items = in.cache_bytes / CodeItemBytes(in.dim, tau);
+  est.hit_ratio = HffHitRatio(in.freq_sorted, items);
+
+  const double eps_qr = WeightedErrorNorm(h, fprime, in.dim);
+  const double eps_cand = WeightedErrorNorm(h, fdata, in.dim);
+
+  double rho_refine;
+  if (!in.cand_dist_sample.empty() && in.avg_knn_dist > 0.0) {
+    // Empirical variant: a candidate needs refinement when
+    // dist(c) - eps_cand < ubk ~= dist(b_k) + eps_qr, i.e. when dist(c)
+    // falls below avg_knn_dist + eps_qr + eps_cand under the measured
+    // candidate-distance distribution.
+    const double threshold = in.avg_knn_dist + eps_qr + eps_cand;
+    const auto& s = in.cand_dist_sample;
+    const size_t below = static_cast<size_t>(
+        std::lower_bound(s.begin(), s.end(), threshold) - s.begin());
+    rho_refine = ClampRatio(static_cast<double>(below) / s.size());
+  } else {
+    // Thm. 2 with the uniform-density assumption.
+    rho_refine = ClampRatio((eps_qr + eps_cand) / in.dmax);
+  }
+  est.prune_ratio = 1.0 - rho_refine;
+  est.expected_crefine =
+      (1.0 - est.hit_ratio * est.prune_ratio) * in.avg_candidates;
+  return est;
+}
+
+CostEstimate EstimateExact(const CostModelInputs& in) {
+  CostEstimate est;
+  const size_t item = in.dim * sizeof(float);
+  const size_t items = item == 0 ? 0 : in.cache_bytes / item;
+  est.hit_ratio = HffHitRatio(in.freq_sorted, items);
+  est.prune_ratio = 1.0;  // every hit is fully resolved
+  est.expected_crefine =
+      (1.0 - est.hit_ratio * est.prune_ratio) * in.avg_candidates;
+  return est;
+}
+
+uint32_t OptimalTauEquiWidth(const CostModelInputs& in) {
+  uint32_t best_tau = 1;
+  double best = std::numeric_limits<double>::infinity();
+  for (uint32_t tau = 1; tau <= in.lvalue; ++tau) {
+    const double c = EstimateEquiWidth(in, tau).expected_crefine;
+    if (c < best) {
+      best = c;
+      best_tau = tau;
+    }
+  }
+  return best_tau;
+}
+
+uint32_t OptimalTauForBuilder(
+    const CostModelInputs& in,
+    const std::function<Status(uint32_t tau, hist::Histogram*)>& builder,
+    const hist::FrequencyArray& fprime, const hist::FrequencyArray& fdata) {
+  uint32_t best_tau = 1;
+  double best = std::numeric_limits<double>::infinity();
+  for (uint32_t tau = 1; tau <= in.lvalue; ++tau) {
+    hist::Histogram h;
+    if (!builder(tau, &h).ok()) continue;
+    const double c =
+        EstimateForHistogram(in, h, fprime, fdata).expected_crefine;
+    if (c < best) {
+      best = c;
+      best_tau = tau;
+    }
+  }
+  return best_tau;
+}
+
+}  // namespace eeb::core

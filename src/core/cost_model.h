@@ -1,0 +1,93 @@
+// Cost estimation model (paper Sec. 4): predicts the refinement I/O of a
+// histogram cache as a function of the cache size CS and code length tau,
+// and tunes the optimal tau.
+//
+//   Crefine_est = (1 - rho_hit * rho_prune) * E[|C(q)|]          (Eqn. 1)
+//   rho_hit     — from the HFF frequency distribution: the best Nitem =
+//                 CS / item_bytes(tau) items capture the top of the freq
+//                 curve (Thm. 1 gives the Lvalue/tau relation to an exact
+//                 cache; we also evaluate the exact sum).
+//   rho_prune   = 1 - rho_refine;  rho_refine <= ||eps(b_k)|| / Dmax
+//                 (Thm. 2), with the closed equi-width form
+//                 rho_refine <= sqrt(d) * w / Dmax, w = 2^(Lvalue - tau)
+//                 (Thm. 3).
+
+#ifndef EEB_CORE_COST_MODEL_H_
+#define EEB_CORE_COST_MODEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "hist/frequency.h"
+#include "hist/histogram.h"
+
+namespace eeb::core {
+
+/// Inputs shared by all estimators.
+struct CostModelInputs {
+  /// Per-point workload frequencies sorted descending (HFF order).
+  std::vector<double> freq_sorted;
+  double avg_candidates = 0.0;  ///< E[|C(q)|]
+  double dmax = 1.0;            ///< largest candidate distance (Thm. 2)
+  double avg_knn_dist = 0.0;    ///< mean k-th nearest candidate distance
+  /// Sorted sample of candidate distances. When non-empty, the generic
+  /// estimator replaces Thm. 2's uniform-density assumption with this
+  /// empirical distribution (clustered data is far from uniform; see
+  /// DESIGN.md "Deviations").
+  std::vector<double> cand_dist_sample;
+  size_t dim = 0;               ///< d
+  uint32_t lvalue = 8;          ///< bits of a full-precision stored value
+  size_t cache_bytes = 0;       ///< CS
+  size_t k = 10;
+};
+
+/// Output of one estimate.
+struct CostEstimate {
+  double hit_ratio = 0.0;    ///< rho_hit
+  double prune_ratio = 0.0;  ///< rho_prune
+  double expected_crefine = 0.0;  ///< estimated refinement I/O per query
+};
+
+/// Exact HFF hit ratio for a cache holding `items` entries: mass of the top
+/// `items` frequencies over the total mass.
+double HffHitRatio(const std::vector<double>& freq_sorted, size_t items);
+
+/// Upper bound of Theorem 1: rho_hit <= (Lvalue / tau) * rho_hit_exact.
+double HitRatioBoundThm1(const CostModelInputs& in, uint32_t tau);
+
+/// Equi-width estimate at code length tau (Thm. 3 closed form).
+CostEstimate EstimateEquiWidth(const CostModelInputs& in, uint32_t tau);
+
+/// Estimate for an arbitrary histogram. A candidate c escapes refinement
+/// when dist-(c) >= ubk; with dist-(c) >= dist(c) - ||eps(c)|| and
+/// ubk <= dist(b_k) + ||eps(b_k)|| (Lemma 1), the refinement probability
+/// under a uniform candidate-distance density is approximately
+/// (||eps(b_k)|| + ||eps(c)||) / Dmax: the near-result term uses the
+/// F'-weighted mean bucket width (Thm. 2) and the candidate term the
+/// data-frequency-weighted width. (For equi-width both terms coincide up to
+/// a constant and the closed Thm. 3 form applies.)
+CostEstimate EstimateForHistogram(const CostModelInputs& in,
+                                  const hist::Histogram& h,
+                                  const hist::FrequencyArray& fprime,
+                                  const hist::FrequencyArray& fdata);
+
+/// Estimate for the EXACT cache (tau = Lvalue, every hit resolved exactly).
+CostEstimate EstimateExact(const CostModelInputs& in);
+
+/// Optimal code length for the equi-width histogram: iterates tau in
+/// [1, Lvalue] and returns the minimizer of expected_crefine (Sec. 4.2.2).
+uint32_t OptimalTauEquiWidth(const CostModelInputs& in);
+
+/// Generic tuner: evaluates `estimate(tau)` for tau in [1, Lvalue] and
+/// returns the minimizer. `builder` maps tau to a histogram (e.g. HC-O with
+/// 2^tau buckets).
+uint32_t OptimalTauForBuilder(
+    const CostModelInputs& in,
+    const std::function<Status(uint32_t tau, hist::Histogram*)>& builder,
+    const hist::FrequencyArray& fprime, const hist::FrequencyArray& fdata);
+
+}  // namespace eeb::core
+
+#endif  // EEB_CORE_COST_MODEL_H_

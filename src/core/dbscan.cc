@@ -1,0 +1,72 @@
+#include "core/dbscan.h"
+
+#include <deque>
+
+namespace eeb::core {
+namespace {
+
+constexpr int32_t kUnvisited = -2;
+
+}  // namespace
+
+Status Dbscan(index::CandidateIndex* index, const storage::PointFile& points,
+              cache::KnnCache* cache, const Dataset& data,
+              const DbscanOptions& options, DbscanResult* out) {
+  const size_t n = data.size();
+  *out = DbscanResult{};
+  out->labels.assign(n, kUnvisited);
+
+  auto neighborhood = [&](PointId id, std::vector<PointId>* nbrs) -> Status {
+    RangeResult r;
+    EEB_RETURN_IF_ERROR(RangeQuery(index, points, cache,
+                                   data.point(id), options.eps,
+                                   options.k_hint, &r));
+    out->range_queries++;
+    out->io += r.io;
+    out->fetched += r.fetched;
+    out->bound_decided += r.sure_in + r.sure_out;
+    *nbrs = std::move(r.ids);
+    return Status::OK();
+  };
+
+  std::vector<PointId> nbrs;
+  std::deque<PointId> frontier;
+  for (size_t i = 0; i < n; ++i) {
+    const PointId seed = static_cast<PointId>(i);
+    if (out->labels[seed] != kUnvisited) continue;
+    EEB_RETURN_IF_ERROR(neighborhood(seed, &nbrs));
+    if (nbrs.size() < options.min_pts) {
+      out->labels[seed] = kDbscanNoise;
+      continue;
+    }
+    // Grow a new cluster by BFS over density-reachable points.
+    const int32_t cluster = out->num_clusters++;
+    out->labels[seed] = cluster;
+    frontier.assign(nbrs.begin(), nbrs.end());
+    while (!frontier.empty()) {
+      const PointId p = frontier.front();
+      frontier.pop_front();
+      if (out->labels[p] == kDbscanNoise) {
+        out->labels[p] = cluster;  // border point adopted by the cluster
+        continue;
+      }
+      if (out->labels[p] != kUnvisited) continue;
+      out->labels[p] = cluster;
+      EEB_RETURN_IF_ERROR(neighborhood(p, &nbrs));
+      if (nbrs.size() >= options.min_pts) {
+        for (PointId q : nbrs) {
+          if (out->labels[q] == kUnvisited || out->labels[q] == kDbscanNoise) {
+            frontier.push_back(q);
+          }
+        }
+      }
+    }
+  }
+  // Any kUnvisited left would be a logic error; normalize defensively.
+  for (auto& label : out->labels) {
+    if (label == kUnvisited) label = kDbscanNoise;
+  }
+  return Status::OK();
+}
+
+}  // namespace eeb::core

@@ -1,0 +1,45 @@
+// DBSCAN with cache-assisted neighborhoods — the paper's Sec. 7 names
+// density-based clustering on high-dimensional data as the target advanced
+// operation. Each eps-neighborhood probe is a cache-assisted RangeQuery, so
+// most neighborhood members are certified by distance bounds without disk
+// I/O. With FullScanIndex as the candidate generator the clustering is
+// exactly classic DBSCAN; with an LSH generator it is its approximate
+// variant (neighborhoods restricted to LSH candidates).
+
+#ifndef EEB_CORE_DBSCAN_H_
+#define EEB_CORE_DBSCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dataset.h"
+#include "core/range_search.h"
+
+namespace eeb::core {
+
+inline constexpr int32_t kDbscanNoise = -1;
+
+struct DbscanOptions {
+  double eps = 1.0;       ///< neighborhood radius
+  size_t min_pts = 5;     ///< core-point density threshold (incl. self)
+  size_t k_hint = 64;     ///< candidate-size hint for the index
+};
+
+struct DbscanResult {
+  std::vector<int32_t> labels;  ///< cluster id per point, kDbscanNoise = -1
+  int32_t num_clusters = 0;
+  storage::IoStats io;          ///< total I/O across all range queries
+  uint64_t range_queries = 0;
+  uint64_t fetched = 0;         ///< points resolved by disk reads
+  uint64_t bound_decided = 0;   ///< points decided by cache bounds alone
+};
+
+/// Clusters the staged dataset (queries use the in-memory coordinates; the
+/// neighborhoods read the disk-resident file like any query would).
+Status Dbscan(index::CandidateIndex* index, const storage::PointFile& points,
+              cache::KnnCache* cache, const Dataset& data,
+              const DbscanOptions& options, DbscanResult* out);
+
+}  // namespace eeb::core
+
+#endif  // EEB_CORE_DBSCAN_H_

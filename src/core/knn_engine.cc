@@ -1,0 +1,126 @@
+#include "core/knn_engine.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/distance.h"
+#include "common/timer.h"
+#include "common/topk.h"
+
+namespace eeb::core {
+namespace {
+
+// k-th smallest value (1-based k); +inf when the input is empty. When fewer
+// than k values exist, returns the largest (the bound degrades gracefully).
+double KthMin(std::vector<double> values, size_t k) {
+  if (values.empty()) return std::numeric_limits<double>::infinity();
+  const size_t idx = std::min(k, values.size()) - 1;
+  std::nth_element(values.begin(), values.begin() + idx, values.end());
+  return values[idx];
+}
+
+}  // namespace
+
+Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
+                        QueryResult* out) {
+  *out = QueryResult{};
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  Timer timer;
+
+  // ---- Phase 1: candidate generation -----------------------------------
+  std::vector<PointId> cand;
+  EEB_RETURN_IF_ERROR(index_->Candidates(q, k, &cand, &out->gen_io));
+  out->candidates = cand.size();
+  out->gen_seconds = timer.ElapsedSeconds();
+
+  // ---- Phase 2: candidate reduction (no I/O) ----------------------------
+  timer.Start();
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> lbs(cand.size(), 0.0);
+  std::vector<double> ubs(cand.size(), inf);
+  std::vector<bool> resolved(cand.size(), false);
+  storage::PageTracker tracker;
+  std::vector<Scalar> buf(points_->dim());
+  if (cache_ != nullptr) {
+    for (size_t i = 0; i < cand.size(); ++i) {
+      double lb, ub;
+      if (cache_->Probe(q, cand[i], &lb, &ub)) {
+        lbs[i] = lb;
+        ubs[i] = ub;
+        out->cache_hits++;
+      } else if (options_.eager_miss_fetch) {
+        // Footnote 6: resolve misses now so lbk/ubk are tight.
+        EEB_RETURN_IF_ERROR(
+            points_->ReadPoint(cand[i], buf, &out->refine_io, &tracker));
+        out->fetched++;
+        const double d = L2(q, buf);
+        lbs[i] = d;
+        ubs[i] = d;
+        resolved[i] = true;
+        cache_->Admit(cand[i], buf);
+      }
+    }
+  }
+
+  const double lbk = KthMin(lbs, k);
+  const double ubk = KthMin(ubs, k);
+
+  std::vector<PointId> sure;  // R: true results detected without fetching
+  struct Pending {
+    double lb;
+    PointId id;
+    bool resolved;  // exact distance already known (eager miss fetch)
+  };
+  std::vector<Pending> remaining;
+  remaining.reserve(cand.size());
+  for (size_t i = 0; i < cand.size(); ++i) {
+    if (lbs[i] > ubk) {
+      out->pruned++;  // early pruning (Line 10-11)
+    } else if (options_.true_result_detection && ubs[i] < lbk) {
+      sure.push_back(cand[i]);  // true result detection (Line 12-13)
+      out->true_hits++;
+    } else {
+      remaining.push_back({lbs[i], cand[i], resolved[i]});
+    }
+  }
+  out->remaining = remaining.size();
+  out->reduce_seconds = timer.ElapsedSeconds();
+
+  // ---- Phase 3: multi-step refinement ------------------------------------
+  timer.Start();
+  out->result_ids = std::move(sure);
+  if (out->result_ids.size() < k) {
+    const size_t kprime = k - out->result_ids.size();
+    if (remaining.size() <= kprime) {
+      // Everything left is a result; no fetch can change the id set.
+      for (const Pending& p : remaining) out->result_ids.push_back(p.id);
+    } else {
+      std::sort(remaining.begin(), remaining.end(),
+                [](const Pending& a, const Pending& b) {
+                  if (a.lb != b.lb) return a.lb < b.lb;
+                  return a.id < b.id;
+                });
+      TopK top(kprime);
+      for (const Pending& p : remaining) {
+        if (top.Full() && p.lb > top.Threshold()) break;  // optimal stop
+        if (p.resolved) {
+          top.Push(p.id, p.lb);  // lb == exact distance; no I/O needed
+          continue;
+        }
+        EEB_RETURN_IF_ERROR(
+            points_->ReadPoint(p.id, buf, &out->refine_io, &tracker));
+        out->fetched++;
+        top.Push(p.id, L2(q, buf));
+        if (cache_ != nullptr) cache_->Admit(p.id, buf);
+      }
+      for (const Neighbor& nb : top.TakeSorted()) {
+        out->result_ids.push_back(nb.id);
+      }
+    }
+  }
+  std::sort(out->result_ids.begin(), out->result_ids.end());
+  out->refine_seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+}  // namespace eeb::core

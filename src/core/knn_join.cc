@@ -1,0 +1,22 @@
+#include "core/knn_join.h"
+
+namespace eeb::core {
+
+Status KnnJoin(KnnEngine& engine, const Dataset& outer,
+               const KnnJoinOptions& options, KnnJoinResult* out) {
+  *out = KnnJoinResult{};
+  out->neighbors.reserve(outer.size());
+  QueryResult r;
+  for (size_t i = 0; i < outer.size(); ++i) {
+    EEB_RETURN_IF_ERROR(
+        engine.Query(outer.point(static_cast<PointId>(i)), options.k, &r));
+    out->neighbors.push_back(std::move(r.result_ids));
+    out->io += r.refine_io;
+    out->candidates += r.candidates;
+    out->fetched += r.fetched;
+    out->cache_hits += r.cache_hits;
+  }
+  return Status::OK();
+}
+
+}  // namespace eeb::core

@@ -1,0 +1,38 @@
+// kNN join with cache assistance — the second "advanced operation" of the
+// paper's Sec. 7: for every point of an outer set R, find its k nearest
+// neighbors in the indexed inner set S. The join runs each outer point
+// through the Algorithm-1 engine; with an LRU cache the join warms its own
+// working set, and with HFF the workload-driven content serves the hot
+// region of S.
+
+#ifndef EEB_CORE_KNN_JOIN_H_
+#define EEB_CORE_KNN_JOIN_H_
+
+#include <vector>
+
+#include "common/dataset.h"
+#include "core/knn_engine.h"
+
+namespace eeb::core {
+
+struct KnnJoinOptions {
+  size_t k = 10;
+};
+
+/// Outcome of a kNN join.
+struct KnnJoinResult {
+  /// neighbors[i]: the k nearest inner ids of outer point i, sorted by id.
+  std::vector<std::vector<PointId>> neighbors;
+  storage::IoStats io;        ///< total refinement I/O across the join
+  uint64_t candidates = 0;    ///< total candidates generated
+  uint64_t fetched = 0;       ///< total points fetched from disk
+  uint64_t cache_hits = 0;
+};
+
+/// Joins every point of `outer` against the engine's indexed set.
+Status KnnJoin(KnnEngine& engine, const Dataset& outer,
+               const KnnJoinOptions& options, KnnJoinResult* out);
+
+}  // namespace eeb::core
+
+#endif  // EEB_CORE_KNN_JOIN_H_

@@ -1,0 +1,66 @@
+#include "core/quality.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/distance.h"
+#include "index/linear_scan.h"
+
+namespace eeb::core {
+
+QueryQuality MeasureQuality(const Dataset& data, std::span<const Scalar> q,
+                            std::span<const PointId> result_ids, size_t k) {
+  QueryQuality quality;
+  if (k == 0) return quality;
+  const auto truth = index::LinearScanKnn(data, q, k);
+
+  std::set<PointId> truth_ids;
+  for (const auto& nb : truth) truth_ids.insert(nb.id);
+  size_t hits = 0;
+  for (PointId id : result_ids) hits += truth_ids.count(id);
+  quality.recall = static_cast<double>(hits) / static_cast<double>(k);
+
+  // Overall ratio: sort the result distances and compare rank by rank with
+  // the truth (the standard "overall ratio" of c-approximate kNN papers).
+  std::vector<double> result_dists;
+  result_dists.reserve(result_ids.size());
+  for (PointId id : result_ids) {
+    result_dists.push_back(L2(q, data.point(id)));
+  }
+  std::sort(result_dists.begin(), result_dists.end());
+  double acc = 0.0;
+  size_t terms = 0;
+  const size_t ranks = std::min(result_dists.size(), truth.size());
+  for (size_t r = 0; r < ranks; ++r) {
+    if (truth[r].dist <= 0.0) {
+      acc += result_dists[r] <= 0.0 ? 1.0 : 1.0;  // identical point: ratio 1
+    } else {
+      acc += result_dists[r] / truth[r].dist;
+    }
+    ++terms;
+  }
+  quality.overall_ratio = terms > 0 ? acc / terms : 1.0;
+  return quality;
+}
+
+BatchQuality MeasureBatchQuality(
+    const Dataset& data, const std::vector<std::vector<Scalar>>& queries,
+    const std::vector<std::vector<PointId>>& results, size_t k) {
+  BatchQuality batch;
+  const size_t n = std::min(queries.size(), results.size());
+  for (size_t i = 0; i < n; ++i) {
+    const QueryQuality q = MeasureQuality(data, queries[i], results[i], k);
+    batch.mean_recall += q.recall;
+    batch.mean_overall_ratio += q.overall_ratio;
+    ++batch.queries;
+  }
+  if (batch.queries > 0) {
+    batch.mean_recall /= batch.queries;
+    batch.mean_overall_ratio /= batch.queries;
+  } else {
+    batch.mean_overall_ratio = 1.0;
+  }
+  return batch;
+}
+
+}  // namespace eeb::core

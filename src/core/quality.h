@@ -1,0 +1,45 @@
+// Result-quality measurement. The paper's central non-performance claim is
+// that caching "offers speedup without affecting the quality of query
+// results" (Sec. 2.2): exact indexes stay exact and an LSH method returns
+// the same c-approximate answers. These helpers make the claim measurable:
+// recall@k against a ground truth and the overall (approximation) ratio of
+// result distances [Tao et al., SIGMOD'09].
+
+#ifndef EEB_CORE_QUALITY_H_
+#define EEB_CORE_QUALITY_H_
+
+#include <span>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/types.h"
+
+namespace eeb::core {
+
+/// Quality of one result id set against the exact kNN of the query.
+struct QueryQuality {
+  double recall = 0.0;         ///< |result ∩ truth| / k
+  double overall_ratio = 1.0;  ///< mean_i dist(result_i)/dist(truth_i), >= 1
+};
+
+/// Compares `result_ids` (sorted or not) with the exact kNN of `q` in
+/// `data`. `k` is inferred from the truth computation; `result_ids` may be
+/// shorter (missing entries count as infinitely bad for recall and are
+/// skipped in the ratio).
+QueryQuality MeasureQuality(const Dataset& data, std::span<const Scalar> q,
+                            std::span<const PointId> result_ids, size_t k);
+
+/// Averages quality over a batch of (query, result) pairs.
+struct BatchQuality {
+  double mean_recall = 0.0;
+  double mean_overall_ratio = 1.0;
+  size_t queries = 0;
+};
+
+BatchQuality MeasureBatchQuality(
+    const Dataset& data, const std::vector<std::vector<Scalar>>& queries,
+    const std::vector<std::vector<PointId>>& results, size_t k);
+
+}  // namespace eeb::core
+
+#endif  // EEB_CORE_QUALITY_H_

@@ -1,0 +1,45 @@
+#include "core/range_search.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/distance.h"
+
+namespace eeb::core {
+
+Status RangeQuery(index::CandidateIndex* index,
+                  const storage::PointFile& points, cache::KnnCache* cache,
+                  std::span<const Scalar> q, double eps, size_t k_hint,
+                  RangeResult* out) {
+  *out = RangeResult{};
+  std::vector<PointId> cand;
+  EEB_RETURN_IF_ERROR(index->Candidates(q, k_hint, &cand, &out->io));
+  out->candidates = cand.size();
+
+  storage::PageTracker tracker;
+  std::vector<Scalar> buf(points.dim());
+  for (PointId id : cand) {
+    double lb = 0.0;
+    double ub = std::numeric_limits<double>::infinity();
+    if (cache != nullptr && cache->Probe(q, id, &lb, &ub)) {
+      out->cache_hits++;
+      if (ub <= eps) {
+        out->ids.push_back(id);  // certainly inside
+        out->sure_in++;
+        continue;
+      }
+      if (lb > eps) {
+        out->sure_out++;  // certainly outside
+        continue;
+      }
+    }
+    EEB_RETURN_IF_ERROR(points.ReadPoint(id, buf, &out->io, &tracker));
+    out->fetched++;
+    if (L2(q, buf) <= eps) out->ids.push_back(id);
+    if (cache != nullptr) cache->Admit(id, buf);
+  }
+  std::sort(out->ids.begin(), out->ids.end());
+  return Status::OK();
+}
+
+}  // namespace eeb::core

@@ -1,0 +1,43 @@
+// eps-range search with histogram-cache assistance — the first of the
+// paper's "advanced operations" (Sec. 7 future work). The cache bounds
+// split candidates three ways without I/O:
+//   ub <= eps  -> certainly inside (no fetch),
+//   lb  > eps  -> certainly outside (no fetch),
+//   otherwise  -> fetch and test exactly.
+// Results are exact with respect to the candidate set; with FullScanIndex
+// they are exact, period.
+
+#ifndef EEB_CORE_RANGE_SEARCH_H_
+#define EEB_CORE_RANGE_SEARCH_H_
+
+#include <vector>
+
+#include "cache/knn_cache.h"
+#include "index/candidate_index.h"
+#include "storage/point_file.h"
+
+namespace eeb::core {
+
+/// Outcome of one range query.
+struct RangeResult {
+  std::vector<PointId> ids;  ///< all candidates within eps, sorted
+  storage::IoStats io;
+  size_t candidates = 0;
+  size_t cache_hits = 0;
+  size_t sure_in = 0;    ///< included via ub <= eps (no fetch)
+  size_t sure_out = 0;   ///< excluded via lb > eps (no fetch)
+  size_t fetched = 0;    ///< resolved by reading the point
+};
+
+/// Runs one eps-range query.
+///
+/// @param k_hint  passed to the candidate index (LSH uses it to size its
+///                search; FullScanIndex ignores it)
+Status RangeQuery(index::CandidateIndex* index,
+                  const storage::PointFile& points, cache::KnnCache* cache,
+                  std::span<const Scalar> q, double eps, size_t k_hint,
+                  RangeResult* out);
+
+}  // namespace eeb::core
+
+#endif  // EEB_CORE_RANGE_SEARCH_H_

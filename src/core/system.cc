@@ -1,0 +1,377 @@
+#include "core/system.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitops.h"
+#include "common/timer.h"
+#include "index/rtree/rtree_histogram.h"
+#include "storage/file_ordering.h"
+
+namespace eeb::core {
+
+const char* CacheMethodName(CacheMethod method) {
+  switch (method) {
+    case CacheMethod::kNone:
+      return "NO-CACHE";
+    case CacheMethod::kExact:
+      return "EXACT";
+    case CacheMethod::kHcW:
+      return "HC-W";
+    case CacheMethod::kHcV:
+      return "HC-V";
+    case CacheMethod::kHcM:
+      return "HC-M";
+    case CacheMethod::kHcD:
+      return "HC-D";
+    case CacheMethod::kHcO:
+      return "HC-O";
+    case CacheMethod::kIHcW:
+      return "iHC-W";
+    case CacheMethod::kIHcD:
+      return "iHC-D";
+    case CacheMethod::kIHcO:
+      return "iHC-O";
+    case CacheMethod::kMHcR:
+      return "mHC-R";
+    case CacheMethod::kCVa:
+      return "C-VA";
+  }
+  return "?";
+}
+
+uint32_t System::lvalue() const { return CeilLog2(options_.ndom); }
+
+Status System::Create(storage::Env* env, const std::string& dir,
+                      const Dataset& data,
+                      const std::vector<std::vector<Scalar>>& workload,
+                      const SystemOptions& options,
+                      std::unique_ptr<System>* out) {
+  std::unique_ptr<System> sys(new System());
+  sys->env_ = env;
+  sys->options_ = options;
+  sys->data_ = &data;
+
+  // Physical ordering of the point file (Fig. 9 configurations).
+  std::vector<PointId> order;
+  switch (options.ordering) {
+    case FileOrdering::kRaw:
+      order = storage::RawOrder(data.size());
+      break;
+    case FileOrdering::kClustered:
+      order = storage::ClusteredOrder(data, /*num_clusters=*/64, options.seed);
+      break;
+    case FileOrdering::kSortedKey:
+      order = storage::SortedKeyOrder(data, /*num_keys=*/4, /*w=*/64.0,
+                                      options.seed);
+      break;
+  }
+  const std::string path = dir + "/points.eeb";
+  EEB_RETURN_IF_ERROR(storage::PointFile::Create(env, path, data, order,
+                                                 options.page_size));
+  EEB_RETURN_IF_ERROR(storage::PointFile::Open(env, path, &sys->points_));
+
+  EEB_RETURN_IF_ERROR(index::C2Lsh::Build(data, options.lsh, &sys->lsh_));
+
+  EEB_RETURN_IF_ERROR(AnalyzeWorkload(sys->lsh_.get(), data, workload,
+                                      options.analysis_k, &sys->wl_));
+  sys->fprime_ = std::make_unique<hist::FrequencyArray>(
+      hist::FrequencyArray::FromPoints(data, sys->wl_.qr_points,
+                                       options.ndom));
+  sys->fdata_ = std::make_unique<hist::FrequencyArray>(
+      hist::FrequencyArray::FromDataset(data, options.ndom));
+
+  sys->engine_ = std::make_unique<KnnEngine>(sys->lsh_.get(),
+                                             sys->points_.get(), nullptr);
+  *out = std::move(sys);
+  return Status::OK();
+}
+
+Status System::BuildGlobalHistogram(CacheMethod method, uint32_t tau,
+                                    hist::Histogram* out) const {
+  const uint32_t buckets = 1u << tau;
+  switch (method) {
+    case CacheMethod::kHcW:
+      return hist::BuildEquiWidth(options_.ndom, buckets, out);
+    case CacheMethod::kHcV:
+      return hist::BuildVOptimal(*fdata_, buckets, out);
+    case CacheMethod::kHcM:
+      return hist::BuildMaxDiff(*fdata_, buckets, out);
+    case CacheMethod::kHcD:
+      return hist::BuildEquiDepth(*fdata_, buckets, out);
+    case CacheMethod::kHcO:
+      return hist::BuildKnnOptimal(*fprime_, buckets, out);
+    default:
+      return Status::InvalidArgument("not a global-histogram method");
+  }
+}
+
+CostModelInputs System::MakeCostInputs(size_t cache_bytes, size_t k) const {
+  CostModelInputs in;
+  in.freq_sorted.reserve(wl_.freq.size());
+  for (PointId id : wl_.ids_by_freq) in.freq_sorted.push_back(wl_.freq[id]);
+  in.avg_candidates = wl_.avg_candidates;
+  in.dmax = std::max(1e-9, wl_.dmax);
+  in.avg_knn_dist = wl_.avg_knn_dist;
+  in.cand_dist_sample = wl_.cand_dist_sample;
+  in.dim = data_->dim();
+  in.lvalue = lvalue();
+  in.cache_bytes = cache_bytes;
+  in.k = k;
+  return in;
+}
+
+uint32_t System::AutoTau(CacheMethod method, size_t cache_bytes,
+                         size_t k) const {
+  const CostModelInputs in = MakeCostInputs(cache_bytes, k);
+  switch (method) {
+    case CacheMethod::kHcW:
+    case CacheMethod::kIHcW:
+    case CacheMethod::kHcV:
+    case CacheMethod::kHcM:
+    case CacheMethod::kHcD:
+    case CacheMethod::kHcO:
+    case CacheMethod::kIHcD:
+    case CacheMethod::kIHcO:
+    case CacheMethod::kMHcR: {
+      auto builder = [&](uint32_t tau, hist::Histogram* h) -> Status {
+        CacheMethod gm = method;
+        if (method == CacheMethod::kIHcW) gm = CacheMethod::kHcW;
+        if (method == CacheMethod::kIHcD) gm = CacheMethod::kHcD;
+        if (method == CacheMethod::kIHcO) gm = CacheMethod::kHcO;
+        if (method == CacheMethod::kMHcR) gm = CacheMethod::kHcW;
+        return BuildGlobalHistogram(gm, tau, h);
+      };
+      return OptimalTauForBuilder(in, builder, *fprime_, *fdata_);
+    }
+    default:
+      return lvalue();
+  }
+}
+
+Status System::BuildCacheObject(CacheMethod method, size_t cache_bytes,
+                                uint32_t tau, bool lru) {
+  const Dataset& data = *data_;
+  const uint32_t buckets = 1u << tau;
+  Timer timer;
+  last_space_bytes_ = 0;
+
+  switch (method) {
+    case CacheMethod::kNone:
+      cache_.reset();
+      return Status::OK();
+
+    case CacheMethod::kExact: {
+      auto c = std::make_unique<cache::ExactCache>(data.dim(), cache_bytes,
+                                                   lru);
+      if (!lru) EEB_RETURN_IF_ERROR(c->Fill(data, wl_.ids_by_freq));
+      cache_ = std::move(c);
+      return Status::OK();
+    }
+
+    case CacheMethod::kHcW:
+    case CacheMethod::kHcV:
+    case CacheMethod::kHcM:
+    case CacheMethod::kHcD:
+    case CacheMethod::kHcO: {
+      EEB_RETURN_IF_ERROR(BuildGlobalHistogram(method, tau, &global_hist_));
+      last_build_seconds_ = timer.ElapsedSeconds();
+      last_space_bytes_ = global_hist_.SpaceBytes();
+      auto c = std::make_unique<cache::HistCodeCache>(
+          &global_hist_, data.dim(), cache_bytes, lru,
+          options_.integral_values);
+      if (!lru) EEB_RETURN_IF_ERROR(c->Fill(data, wl_.ids_by_freq));
+      cache_ = std::move(c);
+      return Status::OK();
+    }
+
+    case CacheMethod::kIHcW:
+    case CacheMethod::kIHcD:
+    case CacheMethod::kIHcO: {
+      hist::BuilderKind kind = hist::BuilderKind::kEquiWidth;
+      std::vector<hist::FrequencyArray> freqs;
+      if (method == CacheMethod::kIHcW) {
+        kind = hist::BuilderKind::kEquiWidth;
+        freqs.assign(data.dim(), hist::FrequencyArray(options_.ndom));
+      } else if (method == CacheMethod::kIHcD) {
+        kind = hist::BuilderKind::kEquiDepth;
+        std::vector<PointId> all(data.size());
+        for (size_t i = 0; i < all.size(); ++i) {
+          all[i] = static_cast<PointId>(i);
+        }
+        freqs = hist::PerDimFrequencies(data, all, options_.ndom);
+      } else {
+        kind = hist::BuilderKind::kKnnOptimal;
+        freqs = hist::PerDimFrequencies(data, wl_.qr_points, options_.ndom);
+      }
+      EEB_RETURN_IF_ERROR(
+          hist::BuildIndividual(freqs, buckets, kind, &indiv_hist_));
+      last_build_seconds_ = timer.ElapsedSeconds();
+      last_space_bytes_ = indiv_hist_.SpaceBytes();
+      auto c = std::make_unique<cache::IndividualCodeCache>(
+          &indiv_hist_, buckets, cache_bytes, lru,
+          options_.integral_values);
+      if (!lru) EEB_RETURN_IF_ERROR(c->Fill(data, wl_.ids_by_freq));
+      cache_ = std::move(c);
+      return Status::OK();
+    }
+
+    case CacheMethod::kMHcR: {
+      EEB_RETURN_IF_ERROR(index::BuildRTreeHistogram(data, buckets, &md_hist_,
+                                                     &md_assignment_));
+      last_build_seconds_ = timer.ElapsedSeconds();
+      last_space_bytes_ = md_hist_.SpaceBytes();
+      auto c = std::make_unique<cache::MultiDimCodeCache>(&md_hist_,
+                                                          cache_bytes);
+      EEB_RETURN_IF_ERROR(c->Fill(wl_.ids_by_freq, md_assignment_));
+      cache_ = std::move(c);
+      return Status::OK();
+    }
+
+    case CacheMethod::kCVa: {
+      // Fit ALL points: the largest tau whose packed VA-file fits CS.
+      uint32_t fit_tau = 1;
+      for (uint32_t t = lvalue(); t >= 1; --t) {
+        const size_t bytes =
+            data.size() * WordsForBits(data.dim() * t) * sizeof(uint64_t);
+        if (bytes <= cache_bytes) {
+          fit_tau = t;
+          break;
+        }
+        if (t == 1) fit_tau = 1;
+      }
+      last_tau_ = fit_tau;
+      std::vector<PointId> all(data.size());
+      for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<PointId>(i);
+      auto freqs = hist::PerDimFrequencies(data, all, options_.ndom);
+      EEB_RETURN_IF_ERROR(hist::BuildIndividual(freqs, 1u << fit_tau,
+                                                hist::BuilderKind::kEquiDepth,
+                                                &indiv_hist_));
+      last_build_seconds_ = timer.ElapsedSeconds();
+      last_space_bytes_ = indiv_hist_.SpaceBytes();
+      // Capacity: whole VA-file; fill in frequency order (complete anyway
+      // when it fits).
+      auto c = std::make_unique<cache::IndividualCodeCache>(
+          &indiv_hist_, 1u << fit_tau, cache_bytes, /*lru=*/false,
+          options_.integral_values);
+      EEB_RETURN_IF_ERROR(c->Fill(data, wl_.ids_by_freq));
+      cache_ = std::move(c);
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown cache method");
+}
+
+Status System::RefreshWorkload(
+    const std::vector<std::vector<Scalar>>& workload) {
+  EEB_RETURN_IF_ERROR(AnalyzeWorkload(lsh_.get(), *data_, workload,
+                                      options_.analysis_k, &wl_));
+  fprime_ = std::make_unique<hist::FrequencyArray>(
+      hist::FrequencyArray::FromPoints(*data_, wl_.qr_points, options_.ndom));
+  return Status::OK();
+}
+
+Status System::SetWorkloadStats(WorkloadStats stats,
+                                hist::FrequencyArray fprime) {
+  if (fprime.ndom() != options_.ndom) {
+    return Status::InvalidArgument("fprime domain mismatch");
+  }
+  if (stats.freq.size() != data_->size()) {
+    return Status::InvalidArgument("freq size mismatch");
+  }
+  wl_ = std::move(stats);
+  fprime_ = std::make_unique<hist::FrequencyArray>(std::move(fprime));
+  return Status::OK();
+}
+
+Status System::ReconfigureCache() {
+  if (last_method_ == CacheMethod::kNone && last_cache_bytes_ == 0) {
+    return Status::OK();
+  }
+  return ConfigureCache(last_method_, last_cache_bytes_, last_requested_tau_,
+                        last_lru_);
+}
+
+Status System::ConfigureCache(CacheMethod method, size_t cache_bytes,
+                              uint32_t tau, bool lru) {
+  last_method_ = method;
+  last_cache_bytes_ = cache_bytes;
+  last_requested_tau_ = tau;
+  last_lru_ = lru;
+  last_build_seconds_ = 0.0;
+  if (method != CacheMethod::kCVa) {
+    if (tau == 0) tau = AutoTau(method, cache_bytes, options_.analysis_k);
+    if (tau > 24) return Status::InvalidArgument("tau too large");
+    last_tau_ = tau;
+  }
+  EEB_RETURN_IF_ERROR(BuildCacheObject(method, cache_bytes, tau, lru));
+  engine_->set_cache(cache_.get());
+  return Status::OK();
+}
+
+Status System::Query(std::span<const Scalar> q, size_t k, QueryResult* out) {
+  return engine_->Query(q, k, out);
+}
+
+Status System::RunQueries(const std::vector<std::vector<Scalar>>& queries,
+                          size_t k, AggregateResult* out) {
+  *out = AggregateResult{};
+  if (queries.empty()) return Status::OK();
+  double hits = 0.0;
+  double probes = 0.0;
+  double reduced = 0.0;
+  storage::IoStats gen_total, refine_total;
+  std::vector<double> latencies;
+  latencies.reserve(queries.size());
+  QueryResult r;
+  for (const auto& q : queries) {
+    EEB_RETURN_IF_ERROR(Query(q, k, &r));
+    storage::IoStats io = r.gen_io;
+    io += r.refine_io;
+    latencies.push_back(r.gen_seconds + r.reduce_seconds + r.refine_seconds +
+                        disk_model_.Seconds(io));
+    out->avg_candidates += static_cast<double>(r.candidates);
+    out->avg_remaining += static_cast<double>(r.remaining);
+    out->avg_fetched += static_cast<double>(r.fetched);
+    out->avg_refine_pages += static_cast<double>(r.refine_io.page_reads);
+    out->avg_gen_pages += static_cast<double>(r.gen_io.page_reads);
+    out->avg_gen_seq_pages += static_cast<double>(r.gen_io.seq_page_reads);
+    gen_total += r.gen_io;
+    refine_total += r.refine_io;
+    out->avg_gen_cpu += r.gen_seconds;
+    out->avg_reduce_cpu += r.reduce_seconds;
+    out->avg_refine_cpu += r.refine_seconds;
+    hits += static_cast<double>(r.cache_hits);
+    probes += static_cast<double>(r.candidates);
+    reduced += static_cast<double>(r.pruned + r.true_hits);
+  }
+  const double nq = static_cast<double>(queries.size());
+  out->queries = queries.size();
+  out->avg_candidates /= nq;
+  out->avg_remaining /= nq;
+  out->avg_fetched /= nq;
+  out->avg_refine_pages /= nq;
+  out->avg_gen_pages /= nq;
+  out->avg_gen_seq_pages /= nq;
+  out->avg_gen_cpu /= nq;
+  out->avg_reduce_cpu /= nq;
+  out->avg_refine_cpu /= nq;
+  out->hit_ratio = probes > 0 ? hits / probes : 0.0;
+  out->prune_ratio = hits > 0 ? reduced / hits : 0.0;
+  out->avg_gen_seconds = out->avg_gen_cpu + disk_model_.Seconds(gen_total) / nq;
+  out->avg_refine_seconds = out->avg_reduce_cpu + out->avg_refine_cpu +
+                            disk_model_.Seconds(refine_total) / nq;
+  out->avg_response_seconds = out->avg_gen_seconds + out->avg_refine_seconds;
+
+  std::sort(latencies.begin(), latencies.end());
+  auto pct = [&](double p) {
+    const size_t idx = static_cast<size_t>(p * (latencies.size() - 1));
+    return latencies[idx];
+  };
+  out->p50_response_seconds = pct(0.50);
+  out->p95_response_seconds = pct(0.95);
+  out->p99_response_seconds = pct(0.99);
+  return Status::OK();
+}
+
+}  // namespace eeb::core

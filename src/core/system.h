@@ -1,0 +1,196 @@
+// System facade: assembles the full pipeline of paper Fig. 3 — disk-resident
+// point file, C2LSH index, workload analysis, histogram construction, cache
+// fill, and the query engine — behind one object. Benchmarks and examples
+// configure a System per experiment cell instead of re-wiring modules.
+
+#ifndef EEB_CORE_SYSTEM_H_
+#define EEB_CORE_SYSTEM_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/status.h"
+#include "cache/code_cache.h"
+#include "cache/exact_cache.h"
+#include "cache/multidim_cache.h"
+#include "core/cost_model.h"
+#include "core/knn_engine.h"
+#include "core/workload.h"
+#include "hist/builders.h"
+#include "hist/individual.h"
+#include "hist/multidim_histogram.h"
+#include "index/lsh/c2lsh.h"
+#include "storage/env.h"
+#include "storage/io_stats.h"
+#include "storage/point_file.h"
+
+namespace eeb::core {
+
+/// The cache configurations evaluated in the paper (Sec. 5.1).
+enum class CacheMethod {
+  kNone,   ///< NO-CACHE baseline
+  kExact,  ///< EXACT: full-precision points
+  kHcW,    ///< global equi-width
+  kHcV,    ///< global V-optimal
+  kHcM,    ///< global MaxDiff (extension; classical family completion)
+  kHcD,    ///< global equi-depth
+  kHcO,    ///< global kNN-optimal (the paper's method)
+  kIHcW,   ///< per-dimension equi-width
+  kIHcD,   ///< per-dimension equi-depth
+  kIHcO,   ///< per-dimension kNN-optimal
+  kMHcR,   ///< multi-dimensional (R-tree) histogram
+  kCVa,    ///< cache the whole VA-file (per-dim equi-depth, all points)
+};
+
+/// Short display name, e.g. "HC-O".
+const char* CacheMethodName(CacheMethod method);
+
+/// Physical ordering of the point file (Fig. 9).
+enum class FileOrdering { kRaw, kClustered, kSortedKey };
+
+struct SystemOptions {
+  uint32_t ndom = 256;
+  /// Data coordinates are integers in [0, ndom) (true for the generated
+  /// surrogate datasets): enables the paper-exact tight bucket edges.
+  bool integral_values = true;
+  size_t analysis_k = 10;  ///< k used for workload analysis (QR shape)
+  index::C2LshOptions lsh;
+  size_t page_size = storage::kDefaultPageSize;
+  FileOrdering ordering = FileOrdering::kRaw;
+  uint64_t seed = 5;
+};
+
+/// Aggregate statistics over a batch of queries.
+struct AggregateResult {
+  size_t queries = 0;
+  double avg_candidates = 0.0;
+  double avg_remaining = 0.0;     ///< Crefine after reduction
+  double avg_fetched = 0.0;       ///< points actually fetched (multi-step)
+  double avg_refine_pages = 0.0;  ///< refinement random-page I/O per query
+  double avg_gen_pages = 0.0;     ///< index random-page I/O per query
+  double avg_gen_seq_pages = 0.0;  ///< index sequential pages per query
+  double hit_ratio = 0.0;         ///< rho_hit over the batch
+  double prune_ratio = 0.0;       ///< rho_prune: pruned+sure over hits
+  double avg_gen_cpu = 0.0;       ///< measured CPU seconds, phase 1
+  double avg_reduce_cpu = 0.0;    ///< measured CPU seconds, phase 2
+  double avg_refine_cpu = 0.0;    ///< measured CPU seconds, phase 3
+  double avg_gen_seconds = 0.0;   ///< CPU + modeled index I/O
+  double avg_refine_seconds = 0.0;  ///< CPU + modeled refinement I/O
+  double avg_response_seconds = 0.0;  ///< total per query
+
+  // Modeled per-query response-time distribution (tail latency matters to
+  // interactive retrieval; the paper reports means only).
+  double p50_response_seconds = 0.0;
+  double p95_response_seconds = 0.0;
+  double p99_response_seconds = 0.0;
+};
+
+/// Fully assembled kNN-search system with pluggable caching.
+class System {
+ public:
+  /// Builds the offline state: writes the point file under `dir`, builds the
+  /// C2LSH index, runs the workload analysis and derives F'/F. `data` and
+  /// `workload` must outlive the system (no copies are made of `data`).
+  static Status Create(storage::Env* env, const std::string& dir,
+                       const Dataset& data,
+                       const std::vector<std::vector<Scalar>>& workload,
+                       const SystemOptions& options,
+                       std::unique_ptr<System>* out);
+
+  /// Installs a cache. `tau == 0` lets the cost model choose (Sec. 4.2).
+  /// `lru` switches from the default HFF fill to dynamic LRU caching.
+  Status ConfigureCache(CacheMethod method, size_t cache_bytes,
+                        uint32_t tau = 0, bool lru = false);
+
+  /// Re-runs the workload analysis against a new query log (paper
+  /// Sec. 3.5: the histogram/cache are rebuilt periodically from the
+  /// latest log). Call ConfigureCache afterwards to rebuild the cache
+  /// content; the installed cache keeps serving until then.
+  Status RefreshWorkload(const std::vector<std::vector<Scalar>>& workload);
+
+  /// Re-applies the most recent ConfigureCache arguments (after a
+  /// RefreshWorkload, this rebuilds histogram + cache from the new stats).
+  Status ReconfigureCache();
+
+  /// Installs externally computed workload statistics — e.g. an EWMA blend
+  /// over epochs from CacheMaintainer. `fprime` must be over
+  /// options().ndom. Call ReconfigureCache afterwards.
+  Status SetWorkloadStats(WorkloadStats stats, hist::FrequencyArray fprime);
+
+  /// Runs one query (Algorithm 1).
+  Status Query(std::span<const Scalar> q, size_t k, QueryResult* out);
+
+  /// Runs a batch and aggregates, converting I/O counts into modeled time
+  /// with the disk model.
+  Status RunQueries(const std::vector<std::vector<Scalar>>& queries, size_t k,
+                    AggregateResult* out);
+
+  /// Builds the global histogram a method would use at code length tau.
+  Status BuildGlobalHistogram(CacheMethod method, uint32_t tau,
+                              hist::Histogram* out) const;
+
+  /// Cost-model inputs for the current workload at the given budget.
+  CostModelInputs MakeCostInputs(size_t cache_bytes, size_t k) const;
+
+  /// Cost-model-chosen tau for a method at the given budget (Sec. 4.2).
+  uint32_t AutoTau(CacheMethod method, size_t cache_bytes, size_t k) const;
+
+  // --- accessors -----------------------------------------------------------
+  const Dataset& data() const { return *data_; }
+  const WorkloadStats& workload_stats() const { return wl_; }
+  const hist::FrequencyArray& fprime() const { return *fprime_; }
+  const hist::FrequencyArray& fdata() const { return *fdata_; }
+  const storage::PointFile& point_file() const { return *points_; }
+  index::C2Lsh& lsh() { return *lsh_; }
+  cache::KnnCache* cache() { return cache_.get(); }
+  const SystemOptions& options() const { return options_; }
+  uint32_t lvalue() const;
+
+  storage::DiskModel& disk_model() { return disk_model_; }
+
+  /// Offline cost of the last ConfigureCache call (Table 3 columns).
+  double last_histogram_build_seconds() const { return last_build_seconds_; }
+  size_t last_histogram_space_bytes() const { return last_space_bytes_; }
+  uint32_t last_tau() const { return last_tau_; }
+
+ private:
+  System() = default;
+
+  Status BuildCacheObject(CacheMethod method, size_t cache_bytes, uint32_t tau,
+                          bool lru);
+
+  storage::Env* env_ = nullptr;
+  SystemOptions options_;
+  const Dataset* data_ = nullptr;
+  std::unique_ptr<storage::PointFile> points_;
+  std::unique_ptr<index::C2Lsh> lsh_;
+  std::unique_ptr<KnnEngine> engine_;
+  WorkloadStats wl_;
+  std::unique_ptr<hist::FrequencyArray> fprime_;  // workload QR coords
+  std::unique_ptr<hist::FrequencyArray> fdata_;   // raw data distribution
+  storage::DiskModel disk_model_;
+
+  // Cache state (owned; histograms must outlive the cache objects).
+  hist::Histogram global_hist_;
+  hist::IndividualHistograms indiv_hist_;
+  hist::MultiDimHistogram md_hist_;
+  std::vector<BucketId> md_assignment_;
+  std::unique_ptr<cache::KnnCache> cache_;
+
+  double last_build_seconds_ = 0.0;
+  size_t last_space_bytes_ = 0;
+  uint32_t last_tau_ = 0;
+
+  // Most recent ConfigureCache arguments, for ReconfigureCache().
+  CacheMethod last_method_ = CacheMethod::kNone;
+  size_t last_cache_bytes_ = 0;
+  uint32_t last_requested_tau_ = 0;
+  bool last_lru_ = false;
+};
+
+}  // namespace eeb::core
+
+#endif  // EEB_CORE_SYSTEM_H_

@@ -1,0 +1,94 @@
+#include "core/workload.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/distance.h"
+#include "common/random.h"
+#include "common/topk.h"
+
+namespace eeb::core {
+
+Status AnalyzeWorkload(index::CandidateIndex* index, const Dataset& data,
+                       const std::vector<std::vector<Scalar>>& workload,
+                       size_t k, WorkloadStats* out) {
+  const size_t n = data.size();
+  *out = WorkloadStats{};
+  out->freq.assign(n, 0.0);
+
+  std::vector<PointId> cand;
+  double total_cands = 0.0;
+  double total_kdist = 0.0;
+  // Reservoir sample of candidate distances (empirical g_q of Thm. 2).
+  constexpr size_t kSampleCap = 4096;
+  Rng reservoir_rng(0xD157);
+  uint64_t seen = 0;
+  for (const auto& q : workload) {
+    EEB_RETURN_IF_ERROR(index->Candidates(q, k, &cand, nullptr));
+    total_cands += static_cast<double>(cand.size());
+
+    // Frequencies, Dmax and the k nearest candidates (QR members).
+    TopK top(k);
+    for (PointId id : cand) {
+      out->freq[id] += 1.0;
+      const double d = L2(q, data.point(id));
+      if (d > out->dmax) out->dmax = d;
+      top.Push(id, d);
+      ++seen;
+      if (out->cand_dist_sample.size() < kSampleCap) {
+        out->cand_dist_sample.push_back(d);
+      } else {
+        const uint64_t slot = reservoir_rng.Uniform(seen);
+        if (slot < kSampleCap) out->cand_dist_sample[slot] = d;
+      }
+    }
+    const auto nearest = top.TakeSorted();
+    for (const Neighbor& nb : nearest) out->qr_points.push_back(nb.id);
+    if (!nearest.empty()) total_kdist += nearest.back().dist;
+  }
+
+  if (!workload.empty()) {
+    out->avg_candidates = total_cands / static_cast<double>(workload.size());
+    out->avg_knn_dist = total_kdist / static_cast<double>(workload.size());
+  }
+
+  std::sort(out->cand_dist_sample.begin(), out->cand_dist_sample.end());
+
+  out->ids_by_freq.resize(n);
+  std::iota(out->ids_by_freq.begin(), out->ids_by_freq.end(), 0u);
+  std::stable_sort(out->ids_by_freq.begin(), out->ids_by_freq.end(),
+                   [&](PointId a, PointId b) {
+                     if (out->freq[a] != out->freq[b]) {
+                       return out->freq[a] > out->freq[b];
+                     }
+                     return a < b;
+                   });
+  return Status::OK();
+}
+
+Status AnalyzeTreeWorkload(const TreeSearchFn& search, size_t num_leaves,
+                           const std::vector<std::vector<Scalar>>& workload,
+                           size_t k, LeafWorkloadStats* out) {
+  *out = LeafWorkloadStats{};
+  out->leaf_freq.assign(num_leaves, 0.0);
+
+  index::TreeSearchResult res;
+  for (const auto& q : workload) {
+    EEB_RETURN_IF_ERROR(search(q, k, &res));
+    for (uint32_t leaf : res.fetched_leaves) out->leaf_freq[leaf] += 1.0;
+    for (const Neighbor& nb : res.neighbors) out->qr_points.push_back(nb.id);
+  }
+
+  out->leaves_by_freq.resize(num_leaves);
+  std::iota(out->leaves_by_freq.begin(), out->leaves_by_freq.end(), 0u);
+  std::stable_sort(out->leaves_by_freq.begin(), out->leaves_by_freq.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     if (out->leaf_freq[a] != out->leaf_freq[b]) {
+                       return out->leaf_freq[a] > out->leaf_freq[b];
+                     }
+                     return a < b;
+                   });
+  return Status::OK();
+}
+
+}  // namespace eeb::core

@@ -1,0 +1,75 @@
+// Offline workload analysis (paper Sec. 2.2, 3.4, 4): given the historical
+// query log WL and the index, compute
+//   * per-point access frequencies freq(p) = |{q in WL : p in C(q)}| — the
+//     HFF fill order,
+//   * the QR multiset of near-result candidates b^q_r (Eqn. 2), whose
+//     coordinates define the F' frequency array (Eqn. 3) that drives the
+//     kNN-optimal histogram,
+//   * Dmax, the largest candidate distance (Thm. 2/3),
+//   * the average candidate-set size (cost model input).
+//
+// This runs offline against the in-memory staging dataset — the paper's
+// setup equally assumes the histogram/cache are built in a maintenance
+// window (Sec. 3.5, "histogram maintenance").
+
+#ifndef EEB_CORE_WORKLOAD_H_
+#define EEB_CORE_WORKLOAD_H_
+
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/status.h"
+#include "index/candidate_index.h"
+#include "index/tree_common.h"
+
+namespace eeb::core {
+
+/// Aggregated workload statistics.
+struct WorkloadStats {
+  /// freq[id]: number of workload queries whose candidate set contains id.
+  std::vector<double> freq;
+
+  /// Point ids sorted by descending freq (ties by id) — the HFF fill order.
+  std::vector<PointId> ids_by_freq;
+
+  /// QR multiset (Eqn. 2): for each workload query, its k nearest
+  /// candidates. Ids may repeat across queries (multiset semantics).
+  std::vector<PointId> qr_points;
+
+  double dmax = 0.0;            ///< max candidate distance seen in WL
+  double avg_candidates = 0.0;  ///< mean |C(q)| over WL
+  double avg_knn_dist = 0.0;    ///< mean k-th candidate distance
+
+  /// Sorted reservoir sample of candidate distances (the empirical g_q(x)
+  /// of Thm. 2; the uniform-density assumption is replaced by this in the
+  /// generic tau tuner — see DESIGN.md).
+  std::vector<double> cand_dist_sample;
+};
+
+/// Runs every workload query through `index` and aggregates statistics.
+/// `k` should match the online result size (it shapes QR).
+Status AnalyzeWorkload(index::CandidateIndex* index, const Dataset& data,
+                       const std::vector<std::vector<Scalar>>& workload,
+                       size_t k, WorkloadStats* out);
+
+/// Leaf access frequencies for tree-based indexes (Sec. 3.6.1): runs the
+/// workload with `search` (a cache-less search callback filling a
+/// TreeSearchResult) and counts how often each leaf is fetched. Returns leaf
+/// ids in descending frequency — the node-cache fill order.
+struct LeafWorkloadStats {
+  std::vector<double> leaf_freq;
+  std::vector<uint32_t> leaves_by_freq;
+  /// QR multiset from result neighborhoods (k nearest per query).
+  std::vector<PointId> qr_points;
+};
+
+using TreeSearchFn = std::function<Status(std::span<const Scalar> q, size_t k,
+                                          index::TreeSearchResult* out)>;
+
+Status AnalyzeTreeWorkload(const TreeSearchFn& search, size_t num_leaves,
+                           const std::vector<std::vector<Scalar>>& workload,
+                           size_t k, LeafWorkloadStats* out);
+
+}  // namespace eeb::core
+
+#endif  // EEB_CORE_WORKLOAD_H_

@@ -1,0 +1,105 @@
+// Lower/upper Euclidean distance bounds between a query point and the
+// approximate (code) representation of a data point — the dist+ / dist-
+// formulas of paper Sec. 3.2. A code fixes, per dimension, the interval the
+// true coordinate lies in; the bounds are the nearest/farthest distances to
+// the implied hyper-rectangle.
+//
+// Interval semantics: the paper works on integer value domains, where bucket
+// i covers the integer values {li..ui} and the interval edges are exactly
+// [li, ui]. Real-valued coordinates discretize into bucket i when they fall
+// in the half-open real interval [li, ui + 1); using ui as the upper edge
+// would produce INVALID lower bounds (a coordinate of 123.7 lies outside
+// [123, 123]). Every function below therefore takes an `integral` flag:
+//   integral = true   coordinates are known integers -> tight paper-exact
+//                     edges [li, ui],
+//   integral = false  (default, always safe) real coordinates -> edges
+//                     [li, ui + 1).
+
+#ifndef EEB_HIST_BOUNDS_H_
+#define EEB_HIST_BOUNDS_H_
+
+#include <cmath>
+#include <span>
+
+#include "hist/histogram.h"
+#include "hist/individual.h"
+
+namespace eeb::hist {
+
+/// Per-dimension squared contribution to dist- given interval edges [lo, hi].
+inline double LowerTerm(double q, double lo, double hi) {
+  if (q < lo) {
+    const double diff = lo - q;
+    return diff * diff;
+  }
+  if (q > hi) {
+    const double diff = q - hi;
+    return diff * diff;
+  }
+  return 0.0;  // pl.j <= q.j <= pu.j
+}
+
+/// Per-dimension squared contribution to dist+ given interval edges [lo, hi].
+inline double UpperTerm(double q, double lo, double hi) {
+  const double a = std::fabs(q - lo);
+  const double b = std::fabs(q - hi);
+  const double m = a > b ? a : b;
+  return m * m;
+}
+
+/// dist-/dist+ of an approximate point under a single global histogram
+/// (Def. 8 encoding). `codes` holds one bucket position per dimension.
+inline void CodeBoundsGlobal(const Histogram& h, std::span<const Scalar> q,
+                             std::span<const BucketId> codes, double* lb,
+                             double* ub, bool integral = false) {
+  const double pad = integral ? 0.0 : 1.0;
+  double lo_acc = 0.0;
+  double hi_acc = 0.0;
+  for (size_t j = 0; j < q.size(); ++j) {
+    const Bucket& b = h.bucket(codes[j]);
+    const double qj = q[j];
+    const double hi_edge = static_cast<double>(b.hi) + pad;
+    lo_acc += LowerTerm(qj, b.lo, hi_edge);
+    hi_acc += UpperTerm(qj, b.lo, hi_edge);
+  }
+  *lb = std::sqrt(lo_acc);
+  *ub = std::sqrt(hi_acc);
+}
+
+/// dist-/dist+ under individual per-dimension histograms (Sec. 3.6.2).
+inline void CodeBoundsIndividual(const IndividualHistograms& hs,
+                                 std::span<const Scalar> q,
+                                 std::span<const BucketId> codes, double* lb,
+                                 double* ub, bool integral = false) {
+  const double pad = integral ? 0.0 : 1.0;
+  double lo_acc = 0.0;
+  double hi_acc = 0.0;
+  for (size_t j = 0; j < q.size(); ++j) {
+    const Bucket& b = hs.at(j).bucket(codes[j]);
+    const double qj = q[j];
+    const double hi_edge = static_cast<double>(b.hi) + pad;
+    lo_acc += LowerTerm(qj, b.lo, hi_edge);
+    hi_acc += UpperTerm(qj, b.lo, hi_edge);
+  }
+  *lb = std::sqrt(lo_acc);
+  *ub = std::sqrt(hi_acc);
+}
+
+/// Error-vector norm ||eps(c)|| (Def. 10): the L2 norm of per-dimension
+/// interval widths of the code. Used by the cost model (Thm. 2) and in
+/// tests of Lemma 1 (dist+ - dist <= ||eps||).
+inline double ErrorVectorNorm(const Histogram& h,
+                              std::span<const BucketId> codes,
+                              bool integral = false) {
+  const double pad = integral ? 0.0 : 1.0;
+  double acc = 0.0;
+  for (BucketId c : codes) {
+    const double w = static_cast<double>(h.bucket(c).width()) + pad;
+    acc += w * w;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace eeb::hist
+
+#endif  // EEB_HIST_BOUNDS_H_

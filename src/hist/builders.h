@@ -1,0 +1,69 @@
+// Histogram construction algorithms (paper Sec. 3.3-3.5):
+//   BuildEquiWidth  — HC-W: equal-width buckets,
+//   BuildEquiDepth  — HC-D: equal total frequency per bucket (also the
+//                     VA-file encoding per [Weber&Blott]),
+//   BuildVOptimal   — HC-V: DP minimizing the SSE selectivity-estimation
+//                     metric [Jagadish et al., VLDB'98],
+//   BuildKnnOptimal — HC-O: the paper's contribution, DP minimizing metric
+//                     M3 over the workload frequency array F' (Algorithm 2)
+//                     with the Lemma-3 monotonicity pruning.
+//
+// All builders return histograms with at most `num_buckets` buckets tiling
+// [0, ndom); code length is ceil(log2(B)).
+
+#ifndef EEB_HIST_BUILDERS_H_
+#define EEB_HIST_BUILDERS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "hist/frequency.h"
+#include "hist/histogram.h"
+
+namespace eeb::hist {
+
+/// Statistics of a DP builder run, for the Lemma-3 ablation benchmark.
+struct DpStats {
+  uint64_t cells = 0;           ///< (n, m) cells evaluated
+  uint64_t inner_iterations = 0;  ///< split positions t examined
+  uint64_t pruned_breaks = 0;   ///< inner loops cut short by Lemma 3
+};
+
+/// HC-W. Buckets have equal width (the last one absorbs the remainder).
+Status BuildEquiWidth(uint32_t ndom, uint32_t num_buckets, Histogram* out);
+
+/// HC-D. Greedy equal-frequency partition of `f`; every bucket is non-empty
+/// in value range even when frequencies are concentrated.
+Status BuildEquiDepth(const FrequencyArray& f, uint32_t num_buckets,
+                      Histogram* out);
+
+/// HC-V. Dynamic program minimizing sum-of-SSE over buckets.
+Status BuildVOptimal(const FrequencyArray& f, uint32_t num_buckets,
+                     Histogram* out);
+
+/// MaxDiff [Poosala et al., VLDB'96]: places bucket boundaries at the
+/// B-1 largest adjacent frequency differences. Completes the classical
+/// selectivity-estimation family ([18],[19]) the paper contrasts HC-O
+/// against; like HC-D/HC-V it ignores the workload and is therefore not
+/// expected to prune as well.
+Status BuildMaxDiff(const FrequencyArray& f, uint32_t num_buckets,
+                    Histogram* out);
+
+/// HC-O (Algorithm 2). Dynamic program minimizing metric
+/// M3 = sum_buckets sum_{x in [l,u]} F'[x] * (u-l)^2 with the Lemma-3
+/// early-termination. `fprime` is the workload near-result frequency array
+/// (Eqn. 3). Pass `use_lemma3_pruning=false` only for the ablation bench.
+Status BuildKnnOptimal(const FrequencyArray& fprime, uint32_t num_buckets,
+                       Histogram* out, DpStats* stats = nullptr,
+                       bool use_lemma3_pruning = true);
+
+/// Metric M3 of a histogram under F' (Lemma 2's right-hand side). Lower is
+/// better for kNN pruning power.
+double MetricM3(const Histogram& h, const FrequencyArray& fprime);
+
+/// Classic SSE selectivity-estimation metric (what V-optimal minimizes).
+double MetricSse(const Histogram& h, const FrequencyArray& f);
+
+}  // namespace eeb::hist
+
+#endif  // EEB_HIST_BUILDERS_H_

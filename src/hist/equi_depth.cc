@@ -1,0 +1,50 @@
+#include "hist/builders.h"
+
+namespace eeb::hist {
+
+Status BuildEquiDepth(const FrequencyArray& f, uint32_t num_buckets,
+                      Histogram* out) {
+  const uint32_t ndom = f.ndom();
+  if (ndom == 0 || num_buckets == 0) {
+    return Status::InvalidArgument("ndom and num_buckets must be positive");
+  }
+  if (num_buckets > ndom) num_buckets = ndom;
+
+  const double total = f.Total();
+  std::vector<Bucket> buckets;
+  buckets.reserve(num_buckets);
+
+  uint32_t lo = 0;
+  double acc = 0.0;
+  double consumed = 0.0;
+  for (uint32_t x = 0; x < ndom; ++x) {
+    acc += f[x];
+    const uint32_t remaining_buckets =
+        num_buckets - static_cast<uint32_t>(buckets.size());
+    const uint32_t remaining_values = ndom - x - 1;
+    // Close the bucket when it reached its fair share of the remaining mass,
+    // or when we must cut to leave one value per remaining bucket.
+    const double target =
+        (total - consumed) / static_cast<double>(remaining_buckets);
+    const bool must_cut = remaining_values < remaining_buckets;
+    const bool reached = remaining_buckets > 1 && acc >= target && acc > 0.0;
+    if (must_cut || reached || x == ndom - 1) {
+      buckets.push_back({lo, x});
+      consumed += acc;
+      acc = 0.0;
+      lo = x + 1;
+      if (buckets.size() == num_buckets) break;
+    }
+  }
+  // If frequencies ran out early (trailing zeros), extend the last bucket.
+  if (lo < ndom) {
+    if (buckets.empty()) {
+      buckets.push_back({0, ndom - 1});
+    } else {
+      buckets.back().hi = ndom - 1;
+    }
+  }
+  return Histogram::Create(std::move(buckets), ndom, out);
+}
+
+}  // namespace eeb::hist

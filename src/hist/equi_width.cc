@@ -1,0 +1,26 @@
+#include "hist/builders.h"
+
+namespace eeb::hist {
+
+Status BuildEquiWidth(uint32_t ndom, uint32_t num_buckets, Histogram* out) {
+  if (ndom == 0 || num_buckets == 0) {
+    return Status::InvalidArgument("ndom and num_buckets must be positive");
+  }
+  if (num_buckets > ndom) num_buckets = ndom;
+
+  std::vector<Bucket> buckets;
+  buckets.reserve(num_buckets);
+  // Distribute the domain as evenly as possible: the first (ndom % B)
+  // buckets get one extra value.
+  const uint32_t base = ndom / num_buckets;
+  const uint32_t extra = ndom % num_buckets;
+  uint32_t lo = 0;
+  for (uint32_t i = 0; i < num_buckets; ++i) {
+    const uint32_t width = base + (i < extra ? 1 : 0);
+    buckets.push_back({lo, lo + width - 1});
+    lo += width;
+  }
+  return Histogram::Create(std::move(buckets), ndom, out);
+}
+
+}  // namespace eeb::hist

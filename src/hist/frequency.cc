@@ -1,0 +1,47 @@
+#include "hist/frequency.h"
+
+namespace eeb::hist {
+
+FrequencyArray FrequencyArray::FromDataset(const Dataset& data,
+                                           uint32_t ndom) {
+  FrequencyArray f(ndom);
+  const size_t n = data.size();
+  const size_t d = data.dim();
+  for (size_t i = 0; i < n; ++i) {
+    auto p = data.point(static_cast<PointId>(i));
+    for (size_t j = 0; j < d; ++j) {
+      uint32_t v = static_cast<uint32_t>(p[j]);
+      if (v >= ndom) v = ndom - 1;
+      f.Add(v);
+    }
+  }
+  return f;
+}
+
+FrequencyArray FrequencyArray::FromPoints(const Dataset& data,
+                                          std::span<const PointId> ids,
+                                          uint32_t ndom) {
+  FrequencyArray f(ndom);
+  const size_t d = data.dim();
+  for (PointId id : ids) {
+    auto p = data.point(id);
+    for (size_t j = 0; j < d; ++j) {
+      uint32_t v = static_cast<uint32_t>(p[j]);
+      if (v >= ndom) v = ndom - 1;
+      f.Add(v);
+    }
+  }
+  return f;
+}
+
+PrefixStats::PrefixStats(const FrequencyArray& f) {
+  const uint32_t n = f.ndom();
+  sum_.assign(n + 1, 0.0);
+  sumsq_.assign(n + 1, 0.0);
+  for (uint32_t x = 0; x < n; ++x) {
+    sum_[x + 1] = sum_[x] + f[x];
+    sumsq_[x + 1] = sumsq_[x] + f[x] * f[x];
+  }
+}
+
+}  // namespace eeb::hist

@@ -1,0 +1,31 @@
+#include "hist/histogram.h"
+
+namespace eeb::hist {
+
+Status Histogram::Create(std::vector<Bucket> buckets, uint32_t ndom,
+                         Histogram* out) {
+  if (buckets.empty()) return Status::InvalidArgument("no buckets");
+  if (ndom == 0) return Status::InvalidArgument("empty domain");
+  uint32_t expect = 0;
+  for (const Bucket& b : buckets) {
+    if (b.lo != expect) {
+      return Status::InvalidArgument("buckets must tile the domain");
+    }
+    if (b.hi < b.lo) return Status::InvalidArgument("bucket hi < lo");
+    expect = b.hi + 1;
+  }
+  if (expect != ndom) {
+    return Status::InvalidArgument("buckets do not cover [0, ndom)");
+  }
+
+  out->ndom_ = ndom;
+  out->buckets_ = std::move(buckets);
+  out->lut_.resize(ndom);
+  for (BucketId i = 0; i < out->buckets_.size(); ++i) {
+    const Bucket& b = out->buckets_[i];
+    for (uint32_t v = b.lo; v <= b.hi; ++v) out->lut_[v] = i;
+  }
+  return Status::OK();
+}
+
+}  // namespace eeb::hist

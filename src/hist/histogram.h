@@ -1,0 +1,64 @@
+// Histogram core (paper Def. 6-8). A histogram partitions the integer value
+// domain [0, ndom) into B contiguous buckets; the bucket position of a value
+// is its tau-bit code, tau = ceil(log2(B)). The same structure backs every
+// global histogram variant (HC-W, HC-D, HC-V, HC-O) and, instantiated per
+// dimension, the individual histograms (iHC-*).
+
+#ifndef EEB_HIST_HISTOGRAM_H_
+#define EEB_HIST_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace eeb::hist {
+
+/// One bucket: the inclusive value interval [lo..hi] it covers (Def. 6).
+/// Frequencies are not stored — the paper's cache only needs positions and
+/// intervals ("we only care about the bucket position i and its interval").
+struct Bucket {
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+
+  uint32_t width() const { return hi - lo; }  // (ui - li), as in metric M3
+};
+
+/// Immutable histogram over the integer domain [0, ndom). Buckets are
+/// contiguous, ordered and cover the whole domain, so Lookup is total.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  /// Validates that `buckets` tile [0, ndom) and builds the O(1) lookup
+  /// table. Fails with InvalidArgument on gaps, overlaps or empty input.
+  static Status Create(std::vector<Bucket> buckets, uint32_t ndom,
+                       Histogram* out);
+
+  uint32_t num_buckets() const { return static_cast<uint32_t>(buckets_.size()); }
+  uint32_t ndom() const { return ndom_; }
+
+  /// Code length tau = ceil(log2(B)) (Sec. 3.1).
+  uint32_t code_length() const { return CeilLog2(num_buckets()); }
+
+  /// Bucket lookup H(v) (Def. 7). `value` must be < ndom().
+  BucketId Lookup(uint32_t value) const { return lut_[value]; }
+
+  const Bucket& bucket(BucketId b) const { return buckets_[b]; }
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+
+  /// Serialized footprint in bytes: two 32-bit interval endpoints per bucket
+  /// (what Table 3 reports as histogram space).
+  size_t SpaceBytes() const { return buckets_.size() * 2 * sizeof(uint32_t); }
+
+ private:
+  uint32_t ndom_ = 0;
+  std::vector<Bucket> buckets_;
+  std::vector<BucketId> lut_;  // value -> bucket position
+};
+
+}  // namespace eeb::hist
+
+#endif  // EEB_HIST_HISTOGRAM_H_

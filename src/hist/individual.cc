@@ -1,0 +1,47 @@
+#include "hist/individual.h"
+
+namespace eeb::hist {
+
+std::vector<FrequencyArray> PerDimFrequencies(const Dataset& data,
+                                              std::span<const PointId> ids,
+                                              uint32_t ndom) {
+  const size_t d = data.dim();
+  std::vector<FrequencyArray> freqs(d, FrequencyArray(ndom));
+  for (PointId id : ids) {
+    auto p = data.point(id);
+    for (size_t j = 0; j < d; ++j) {
+      uint32_t v = static_cast<uint32_t>(p[j]);
+      if (v >= ndom) v = ndom - 1;
+      freqs[j].Add(v);
+    }
+  }
+  return freqs;
+}
+
+Status BuildIndividual(const std::vector<FrequencyArray>& freqs,
+                       uint32_t num_buckets, BuilderKind kind,
+                       IndividualHistograms* out) {
+  std::vector<Histogram> dims(freqs.size());
+  for (size_t j = 0; j < freqs.size(); ++j) {
+    Status st;
+    switch (kind) {
+      case BuilderKind::kEquiWidth:
+        st = BuildEquiWidth(freqs[j].ndom(), num_buckets, &dims[j]);
+        break;
+      case BuilderKind::kEquiDepth:
+        st = BuildEquiDepth(freqs[j], num_buckets, &dims[j]);
+        break;
+      case BuilderKind::kVOptimal:
+        st = BuildVOptimal(freqs[j], num_buckets, &dims[j]);
+        break;
+      case BuilderKind::kKnnOptimal:
+        st = BuildKnnOptimal(freqs[j], num_buckets, &dims[j]);
+        break;
+    }
+    EEB_RETURN_IF_ERROR(st);
+  }
+  *out = IndividualHistograms(std::move(dims));
+  return Status::OK();
+}
+
+}  // namespace eeb::hist

@@ -1,0 +1,62 @@
+// Individual (per-dimension) histograms, iHC-* (paper Sec. 3.6.2): one
+// histogram per dimension, all with the same bucket count 2^tau. Metric M3
+// decomposes over dimensions, so each H_j independently minimizes its own
+// term using the per-dimension frequency array F'_j.
+
+#ifndef EEB_HIST_INDIVIDUAL_H_
+#define EEB_HIST_INDIVIDUAL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/status.h"
+#include "hist/builders.h"
+#include "hist/histogram.h"
+
+namespace eeb::hist {
+
+/// Which one-dimensional builder to apply per dimension.
+enum class BuilderKind {
+  kEquiWidth,
+  kEquiDepth,
+  kVOptimal,
+  kKnnOptimal,
+};
+
+/// A bundle of d histograms, one per dimension.
+class IndividualHistograms {
+ public:
+  IndividualHistograms() = default;
+  explicit IndividualHistograms(std::vector<Histogram> dims)
+      : dims_(std::move(dims)) {}
+
+  size_t dim() const { return dims_.size(); }
+  const Histogram& at(size_t j) const { return dims_[j]; }
+
+  size_t SpaceBytes() const {
+    size_t s = 0;
+    for (const Histogram& h : dims_) s += h.SpaceBytes();
+    return s;
+  }
+
+ private:
+  std::vector<Histogram> dims_;
+};
+
+/// Builds per-dimension frequency arrays F'_j from the coordinates of the
+/// given points (decomposition of Eqn. 3).
+std::vector<FrequencyArray> PerDimFrequencies(const Dataset& data,
+                                              std::span<const PointId> ids,
+                                              uint32_t ndom);
+
+/// Builds d histograms of `num_buckets` buckets each with the chosen
+/// builder. `freqs` must have one array per dimension.
+Status BuildIndividual(const std::vector<FrequencyArray>& freqs,
+                       uint32_t num_buckets, BuilderKind kind,
+                       IndividualHistograms* out);
+
+}  // namespace eeb::hist
+
+#endif  // EEB_HIST_INDIVIDUAL_H_

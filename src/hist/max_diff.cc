@@ -1,0 +1,43 @@
+#include "hist/builders.h"
+
+#include <algorithm>
+
+namespace eeb::hist {
+
+Status BuildMaxDiff(const FrequencyArray& f, uint32_t num_buckets,
+                    Histogram* out) {
+  const uint32_t ndom = f.ndom();
+  if (ndom == 0 || num_buckets == 0) {
+    return Status::InvalidArgument("ndom and num_buckets must be positive");
+  }
+  if (num_buckets > ndom) num_buckets = ndom;
+
+  // Rank boundary positions x (a boundary after value x) by the adjacent
+  // frequency difference |F[x+1] - F[x]|, ties by position for determinism.
+  std::vector<uint32_t> positions(ndom - 1);
+  for (uint32_t x = 0; x + 1 < ndom; ++x) positions[x] = x;
+  std::stable_sort(positions.begin(), positions.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     const double da = std::abs(f[a + 1] - f[a]);
+                     const double db = std::abs(f[b + 1] - f[b]);
+                     if (da != db) return da > db;
+                     return a < b;
+                   });
+
+  std::vector<uint32_t> cuts(positions.begin(),
+                             positions.begin() +
+                                 std::min<size_t>(num_buckets - 1,
+                                                  positions.size()));
+  std::sort(cuts.begin(), cuts.end());
+
+  std::vector<Bucket> buckets;
+  uint32_t lo = 0;
+  for (uint32_t cut : cuts) {
+    buckets.push_back({lo, cut});
+    lo = cut + 1;
+  }
+  buckets.push_back({lo, ndom - 1});
+  return Histogram::Create(std::move(buckets), ndom, out);
+}
+
+}  // namespace eeb::hist

@@ -1,0 +1,98 @@
+// Multi-dimensional histogram (paper Sec. 3.6.2, mHC-R): the space is
+// partitioned into B bounding rectangles; the approximate representation of
+// a point is the identifier of its enclosing rectangle (a single tau-bit
+// code per point, not per dimension). The builder lives in index/rtree
+// (leaf MBRs of a bulk-loaded R-tree); this file holds the data structure
+// and the distance-bound logic against an MBR.
+
+#ifndef EEB_HIST_MULTIDIM_HISTOGRAM_H_
+#define EEB_HIST_MULTIDIM_HISTOGRAM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bitops.h"
+#include "common/types.h"
+
+namespace eeb::hist {
+
+/// Axis-aligned bounding rectangle in d dimensions.
+struct Mbr {
+  std::vector<Scalar> lo;
+  std::vector<Scalar> hi;
+
+  size_t dim() const { return lo.size(); }
+
+  /// Grows the MBR to include `p`.
+  void Expand(std::span<const Scalar> p) {
+    if (lo.empty()) {
+      lo.assign(p.begin(), p.end());
+      hi.assign(p.begin(), p.end());
+      return;
+    }
+    for (size_t j = 0; j < p.size(); ++j) {
+      if (p[j] < lo[j]) lo[j] = p[j];
+      if (p[j] > hi[j]) hi[j] = p[j];
+    }
+  }
+
+  /// Lower bound of the Euclidean distance from q to any point inside.
+  double MinDist(std::span<const Scalar> q) const {
+    double acc = 0.0;
+    for (size_t j = 0; j < lo.size(); ++j) {
+      double diff = 0.0;
+      if (q[j] < lo[j]) {
+        diff = lo[j] - q[j];
+      } else if (q[j] > hi[j]) {
+        diff = q[j] - hi[j];
+      }
+      acc += diff * diff;
+    }
+    return std::sqrt(acc);
+  }
+
+  /// Upper bound of the Euclidean distance from q to any point inside.
+  double MaxDist(std::span<const Scalar> q) const {
+    double acc = 0.0;
+    for (size_t j = 0; j < lo.size(); ++j) {
+      const double a = std::fabs(static_cast<double>(q[j]) - lo[j]);
+      const double b = std::fabs(static_cast<double>(q[j]) - hi[j]);
+      const double m = a > b ? a : b;
+      acc += m * m;
+    }
+    return std::sqrt(acc);
+  }
+};
+
+/// The histogram itself: B rectangles plus nothing else. Point->bucket
+/// assignments are computed at build time (each point belongs to the R-tree
+/// leaf that stores it) and carried by the cache, not recomputed here.
+class MultiDimHistogram {
+ public:
+  MultiDimHistogram() = default;
+  explicit MultiDimHistogram(std::vector<Mbr> buckets)
+      : buckets_(std::move(buckets)) {}
+
+  uint32_t num_buckets() const { return static_cast<uint32_t>(buckets_.size()); }
+
+  /// Code length of one point: ceil(log2(B)) bits total (Sec. 3.6.2).
+  uint32_t code_length() const { return CeilLog2(num_buckets()); }
+
+  const Mbr& bucket(BucketId b) const { return buckets_[b]; }
+
+  /// Serialized footprint: 2*d scalars per rectangle.
+  size_t SpaceBytes() const {
+    size_t s = 0;
+    for (const Mbr& b : buckets_) s += 2 * b.dim() * sizeof(Scalar);
+    return s;
+  }
+
+ private:
+  std::vector<Mbr> buckets_;
+};
+
+}  // namespace eeb::hist
+
+#endif  // EEB_HIST_MULTIDIM_HISTOGRAM_H_

@@ -1,0 +1,42 @@
+// Serialization of histograms. The paper's maintenance story (Sec. 3.5)
+// rebuilds the histogram and cache periodically (e.g. daily) from the
+// latest query log; persisting the histogram lets query servers load the
+// current build instead of re-running the DP.
+//
+// Format (little-endian): magic u32, ndom u32, num_buckets u32, then per
+// bucket lo u32 / hi u32. Individual bundles prepend a dimension count.
+
+#ifndef EEB_HIST_SERIALIZE_H_
+#define EEB_HIST_SERIALIZE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "hist/histogram.h"
+#include "hist/individual.h"
+#include "storage/env.h"
+
+namespace eeb::hist {
+
+/// Appends the wire form of `h` to `out`.
+void AppendHistogram(const Histogram& h, std::string* out);
+
+/// Parses one histogram from the front of `in`; advances `in` past it.
+Status ParseHistogram(std::string_view* in, Histogram* out);
+
+/// Appends a per-dimension bundle.
+void AppendIndividual(const IndividualHistograms& hs, std::string* out);
+
+/// Parses a per-dimension bundle from the front of `in`.
+Status ParseIndividual(std::string_view* in, IndividualHistograms* out);
+
+/// Convenience file round trip through an Env.
+Status SaveHistogram(storage::Env* env, const std::string& path,
+                     const Histogram& h);
+Status LoadHistogram(storage::Env* env, const std::string& path,
+                     Histogram* out);
+
+}  // namespace eeb::hist
+
+#endif  // EEB_HIST_SERIALIZE_H_

@@ -1,0 +1,109 @@
+#include "hist/builders.h"
+
+#include <limits>
+
+namespace eeb::hist {
+namespace {
+
+// Shared DP skeleton: minimizes sum over buckets of `cost(l, u)` where cost
+// is provided by the caller. Reconstructs bucket boundaries from the split
+// table. Used by both V-optimal (SSE cost) and the kNN-optimal builder
+// (Upsilon cost, with Lemma-3 pruning enabled).
+template <typename CostFn>
+Status RunIntervalDp(uint32_t ndom, uint32_t num_buckets, CostFn cost,
+                     bool monotone_prune, Histogram* out, DpStats* stats) {
+  if (ndom == 0 || num_buckets == 0) {
+    return Status::InvalidArgument("ndom and num_buckets must be positive");
+  }
+  if (num_buckets > ndom) num_buckets = ndom;
+
+  const uint32_t kNoSplit = ndom;  // sentinel for "single bucket"
+  // opt[m][n]: minimum cost covering values [0..n] with at most m+1 buckets.
+  std::vector<std::vector<double>> opt(
+      num_buckets, std::vector<double>(ndom, 0.0));
+  std::vector<std::vector<uint32_t>> pos(
+      num_buckets, std::vector<uint32_t>(ndom, kNoSplit));
+
+  for (uint32_t n = 0; n < ndom; ++n) {
+    opt[0][n] = cost(0, n);
+    if (stats) stats->cells++;
+  }
+  for (uint32_t m = 1; m < num_buckets; ++m) {
+    for (uint32_t n = 0; n < ndom; ++n) {
+      if (stats) stats->cells++;
+      // Using fewer buckets is always allowed ("at most m buckets").
+      double best = opt[m - 1][n];
+      uint32_t best_t = pos[m - 1][n];
+      // t = last value of the previous prefix; the last bucket is [t+1..n].
+      for (uint32_t t = n; t-- > 0;) {
+        if (stats) stats->inner_iterations++;
+        const double last = cost(t + 1, n);
+        const double cand = opt[m - 1][t] + last;
+        if (cand < best) {
+          best = cand;
+          best_t = t;
+        } else if (monotone_prune && last >= best) {
+          // Lemma 3: cost([t'+1, n]) only grows as t' decreases, so no
+          // earlier split can beat `best`.
+          if (stats) stats->pruned_breaks++;
+          break;
+        }
+      }
+      opt[m][n] = best;
+      pos[m][n] = best_t;
+    }
+  }
+
+  // Reconstruct buckets by walking the split table from the full domain.
+  std::vector<Bucket> rev;
+  uint32_t n = ndom - 1;
+  uint32_t m = num_buckets - 1;
+  while (true) {
+    const uint32_t t = pos[m][n];
+    if (t == kNoSplit || m == 0) {
+      rev.push_back({0, n});
+      break;
+    }
+    rev.push_back({t + 1, n});
+    n = t;
+    --m;
+  }
+  std::vector<Bucket> buckets(rev.rbegin(), rev.rend());
+  return Histogram::Create(std::move(buckets), ndom, out);
+}
+
+}  // namespace
+
+Status BuildVOptimal(const FrequencyArray& f, uint32_t num_buckets,
+                     Histogram* out) {
+  PrefixStats ps(f);
+  auto cost = [&ps](uint32_t l, uint32_t u) { return ps.Sse(l, u); };
+  // SSE is not monotone in the Lemma-3 sense, so no pruning here.
+  return RunIntervalDp(f.ndom(), num_buckets, cost, /*monotone_prune=*/false,
+                       out, nullptr);
+}
+
+Status BuildKnnOptimal(const FrequencyArray& fprime, uint32_t num_buckets,
+                       Histogram* out, DpStats* stats,
+                       bool use_lemma3_pruning) {
+  PrefixStats ps(fprime);
+  auto cost = [&ps](uint32_t l, uint32_t u) { return ps.Upsilon(l, u); };
+  return RunIntervalDp(fprime.ndom(), num_buckets, cost, use_lemma3_pruning,
+                       out, stats);
+}
+
+double MetricM3(const Histogram& h, const FrequencyArray& fprime) {
+  PrefixStats ps(fprime);
+  double total = 0.0;
+  for (const Bucket& b : h.buckets()) total += ps.Upsilon(b.lo, b.hi);
+  return total;
+}
+
+double MetricSse(const Histogram& h, const FrequencyArray& f) {
+  PrefixStats ps(f);
+  double total = 0.0;
+  for (const Bucket& b : h.buckets()) total += ps.Sse(b.lo, b.hi);
+  return total;
+}
+
+}  // namespace eeb::hist

@@ -1,0 +1,35 @@
+// Candidate-generation interface (paper Def. 4): an index I that, given a
+// query, reports a set of point identifiers to refine. C2LSH is the primary
+// implementation; tree-based indexes (iDistance, VP-tree, VA-file) use their
+// own interleaved search (Sec. 3.6.1) and live in their own headers.
+
+#ifndef EEB_INDEX_CANDIDATE_INDEX_H_
+#define EEB_INDEX_CANDIDATE_INDEX_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/io_stats.h"
+
+namespace eeb::index {
+
+/// Abstract candidate generator.
+class CandidateIndex {
+ public:
+  virtual ~CandidateIndex() = default;
+
+  /// Reports the candidate set C(q) for a kNN query. Disk-resident indexes
+  /// charge their accesses to `stats` (may be nullptr).
+  virtual Status Candidates(std::span<const Scalar> q, size_t k,
+                            std::vector<PointId>* out,
+                            storage::IoStats* stats) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace eeb::index
+
+#endif  // EEB_INDEX_CANDIDATE_INDEX_H_

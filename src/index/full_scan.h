@@ -1,0 +1,40 @@
+// Full-scan candidate generator: reports every point id as a candidate.
+// This is the NO-INDEX baseline the curse of dimensionality forces exact
+// methods toward (paper Sec. 6), and it makes the cache-assisted operators
+// (range query, DBSCAN) exact: the candidate set provably contains every
+// qualifying point, so only the cache decides how much I/O the scan costs.
+
+#ifndef EEB_INDEX_FULL_SCAN_H_
+#define EEB_INDEX_FULL_SCAN_H_
+
+#include <numeric>
+
+#include "index/candidate_index.h"
+
+namespace eeb::index {
+
+/// CandidateIndex that returns all ids [0, n).
+class FullScanIndex : public CandidateIndex {
+ public:
+  explicit FullScanIndex(size_t n) : n_(n) {}
+
+  Status Candidates(std::span<const Scalar> q, size_t k,
+                    std::vector<PointId>* out,
+                    storage::IoStats* stats) override {
+    (void)q;
+    (void)k;
+    (void)stats;  // the id list is implicit; no index I/O
+    out->resize(n_);
+    std::iota(out->begin(), out->end(), 0u);
+    return Status::OK();
+  }
+
+  std::string name() const override { return "full-scan"; }
+
+ private:
+  size_t n_;
+};
+
+}  // namespace eeb::index
+
+#endif  // EEB_INDEX_FULL_SCAN_H_

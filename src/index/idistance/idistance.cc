@@ -1,0 +1,88 @@
+#include "index/idistance/idistance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/distance.h"
+#include "common/kmeans.h"
+
+namespace eeb::index {
+
+Status IDistance::Build(storage::Env* env, const std::string& path,
+                        const Dataset& data, const IDistanceOptions& options,
+                        std::unique_ptr<IDistance>* out) {
+  if (data.empty()) return Status::InvalidArgument("empty dataset");
+  const size_t n = data.size();
+  const size_t record_bytes = data.dim() * sizeof(Scalar);
+  const size_t leaf_cap =
+      std::max<size_t>(1, options.page_size / record_bytes);
+
+  std::unique_ptr<IDistance> idx(new IDistance());
+  KMeansResult km =
+      KMeans(data, options.num_partitions, options.kmeans_iters, options.seed);
+  idx->centers_ = std::move(km.centers);
+  const uint32_t parts = static_cast<uint32_t>(idx->centers_.size());
+
+  // Per partition: member ids sorted by distance to the center (the
+  // B+-tree key order), chunked into page-sized leaves.
+  struct Member {
+    double dist;
+    PointId id;
+  };
+  std::vector<std::vector<Member>> by_part(parts);
+  for (size_t i = 0; i < n; ++i) {
+    const PointId id = static_cast<PointId>(i);
+    const uint32_t c = km.assign[i];
+    by_part[c].push_back({L2(data.point(id), idx->centers_.point(c)), id});
+  }
+
+  std::vector<std::vector<PointId>> leaves;
+  for (uint32_t c = 0; c < parts; ++c) {
+    auto& members = by_part[c];
+    std::sort(members.begin(), members.end(), [](const Member& a,
+                                                 const Member& b) {
+      if (a.dist != b.dist) return a.dist < b.dist;
+      return a.id < b.id;
+    });
+    for (size_t start = 0; start < members.size(); start += leaf_cap) {
+      const size_t stop = std::min(start + leaf_cap, members.size());
+      std::vector<PointId> ids;
+      ids.reserve(stop - start);
+      for (size_t i = start; i < stop; ++i) ids.push_back(members[i].id);
+      idx->leaf_meta_.push_back(
+          {c, members[start].dist, members[stop - 1].dist});
+      leaves.push_back(std::move(ids));
+    }
+  }
+
+  EEB_RETURN_IF_ERROR(LeafStore::Create(env, path, data, std::move(leaves),
+                                        &idx->store_, options.page_size));
+  *out = std::move(idx);
+  return Status::OK();
+}
+
+void IDistance::LeafLowerBounds(std::span<const Scalar> q,
+                                std::vector<double>* lb) const {
+  const uint32_t parts = static_cast<uint32_t>(centers_.size());
+  std::vector<double> dq(parts);
+  for (uint32_t c = 0; c < parts; ++c) dq[c] = L2(q, centers_.point(c));
+
+  lb->resize(leaf_meta_.size());
+  for (size_t i = 0; i < leaf_meta_.size(); ++i) {
+    const LeafMeta& m = leaf_meta_[i];
+    // Members p satisfy rmin <= dist(p, O) <= rmax, so by the triangle
+    // inequality dist(q, p) >= max(0, dq - rmax, rmin - dq).
+    const double d = dq[m.partition];
+    (*lb)[i] = std::max({0.0, d - m.rmax, m.rmin - d});
+  }
+}
+
+Status IDistance::Search(std::span<const Scalar> q, size_t k,
+                         cache::NodeCache* cache,
+                         TreeSearchResult* out) const {
+  std::vector<double> lb;
+  LeafLowerBounds(q, &lb);
+  return TreeKnnSearch(*store_, lb, q, k, cache, out);
+}
+
+}  // namespace eeb::index

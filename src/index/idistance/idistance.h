@@ -1,0 +1,68 @@
+// iDistance [Jagadish et al., TODS'05]: metric-space index mapping each
+// point to the 1-D key  i * C + dist(p, O_i)  where O_i is its nearest
+// reference point (k-means center). Points sorted by key are packed into
+// page-sized leaf nodes of a B+-tree; kNN search expands a radius around the
+// query, visiting leaves whose key ring intersects the annulus.
+//
+// Per paper Fig. 7 / Sec. 3.6.1, the non-leaf part (centers + per-leaf key
+// rings) stays in RAM; the leaf level is the disk-resident point set. Our
+// search delegates to TreeKnnSearch with per-leaf metric lower bounds, which
+// visits leaves in exactly the radius-expansion order of the original
+// algorithm while also exploiting the leaf-node cache.
+
+#ifndef EEB_INDEX_IDISTANCE_IDISTANCE_H_
+#define EEB_INDEX_IDISTANCE_IDISTANCE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+#include "index/tree_common.h"
+
+namespace eeb::index {
+
+struct IDistanceOptions {
+  uint32_t num_partitions = 64;  ///< reference points (k-means k)
+  uint32_t kmeans_iters = 10;
+  uint64_t seed = 7;
+  size_t page_size = storage::kDefaultPageSize;
+};
+
+/// Disk-based iDistance index with cache-aware kNN search.
+class IDistance {
+ public:
+  /// Builds the index over `data`, writing the leaf file to `path`.
+  static Status Build(storage::Env* env, const std::string& path,
+                      const Dataset& data, const IDistanceOptions& options,
+                      std::unique_ptr<IDistance>* out);
+
+  /// kNN search. `cache` (leaf-node cache, nullable) is probed before any
+  /// leaf is fetched from disk.
+  Status Search(std::span<const Scalar> q, size_t k, cache::NodeCache* cache,
+                TreeSearchResult* out) const;
+
+  const LeafStore& store() const { return *store_; }
+  size_t num_leaves() const { return store_->num_leaves(); }
+
+  /// Per-leaf lower bounds of dist(q, .) — exposed for tests.
+  void LeafLowerBounds(std::span<const Scalar> q,
+                       std::vector<double>* lb) const;
+
+ private:
+  IDistance() = default;
+
+  struct LeafMeta {
+    uint32_t partition;
+    double rmin;  // min dist(p, center) among members
+    double rmax;  // max dist(p, center) among members
+  };
+
+  Dataset centers_;
+  std::vector<LeafMeta> leaf_meta_;
+  std::unique_ptr<LeafStore> store_;
+};
+
+}  // namespace eeb::index
+
+#endif  // EEB_INDEX_IDISTANCE_IDISTANCE_H_

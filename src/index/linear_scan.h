@@ -1,0 +1,31 @@
+// Exact in-memory linear scan — the ground-truth oracle for tests and the
+// reference the curse-of-dimensionality discussion compares against.
+
+#ifndef EEB_INDEX_LINEAR_SCAN_H_
+#define EEB_INDEX_LINEAR_SCAN_H_
+
+#include <span>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/distance.h"
+#include "common/topk.h"
+
+namespace eeb::index {
+
+/// Exact kNN by scanning every point of `data`.
+inline std::vector<Neighbor> LinearScanKnn(const Dataset& data,
+                                           std::span<const Scalar> q,
+                                           size_t k) {
+  TopK top(k);
+  const size_t n = data.size();
+  for (size_t i = 0; i < n; ++i) {
+    const PointId id = static_cast<PointId>(i);
+    top.Push(id, L2(q, data.point(id)));
+  }
+  return top.TakeSorted();
+}
+
+}  // namespace eeb::index
+
+#endif  // EEB_INDEX_LINEAR_SCAN_H_

@@ -1,0 +1,187 @@
+#include "index/lsh/c2lsh.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "storage/point_file.h"
+
+namespace eeb::index {
+namespace {
+
+int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+// Bytes per hash-table entry (key prefix compressed away on disk; an id list
+// entry is one 8-byte word). Used only for index-I/O accounting.
+constexpr size_t kEntryBytes = 8;
+
+}  // namespace
+
+Status C2Lsh::Build(const Dataset& data, const C2LshOptions& options,
+                    std::unique_ptr<C2Lsh>* out) {
+  if (data.empty()) return Status::InvalidArgument("empty dataset");
+  if (options.collision_threshold > options.num_functions) {
+    return Status::InvalidArgument("collision threshold exceeds m");
+  }
+  if (options.approximation_ratio < 2.0) {
+    return Status::InvalidArgument("approximation ratio c must be >= 2");
+  }
+
+  std::unique_ptr<C2Lsh> idx(new C2Lsh(options, data.dim()));
+  const size_t n = data.size();
+  const size_t d = data.dim();
+  const uint32_t m = options.num_functions;
+  idx->n_ = n;
+
+  Rng rng(options.seed);
+  idx->proj_.assign(m, std::vector<double>(d));
+  idx->shift_.assign(m, 0.0);
+  for (uint32_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < d; ++j) idx->proj_[i][j] = rng.NextGaussian();
+  }
+
+  // Project everything once; optionally scale w by the projection spread so
+  // level-0 buckets are meaningfully narrow for any data scale.
+  std::vector<std::vector<double>> dots(m, std::vector<double>(n));
+  double mean_abs = 0.0;
+  for (uint32_t i = 0; i < m; ++i) {
+    for (size_t p = 0; p < n; ++p) {
+      auto pt = data.point(static_cast<PointId>(p));
+      double dot = 0.0;
+      for (size_t j = 0; j < d; ++j) dot += idx->proj_[i][j] * pt[j];
+      dots[i][p] = dot;
+      mean_abs += std::fabs(dot);
+    }
+  }
+  mean_abs /= static_cast<double>(m) * n;
+
+  idx->width_ = options.bucket_width;
+  if (options.auto_scale_width) {
+    // ~1/64 of the mean absolute projection: narrow enough that level 0
+    // separates points, wide enough that virtual rehashing converges fast.
+    idx->width_ = options.bucket_width * std::max(1e-9, mean_abs / 64.0);
+  }
+
+  for (uint32_t i = 0; i < m; ++i) {
+    idx->shift_[i] = rng.NextDouble() * idx->width_;
+  }
+
+  idx->tables_.assign(m, {});
+  for (uint32_t i = 0; i < m; ++i) {
+    auto& table = idx->tables_[i];
+    table.resize(n);
+    for (size_t p = 0; p < n; ++p) {
+      const int64_t key = static_cast<int64_t>(
+          std::floor((dots[i][p] + idx->shift_[i]) / idx->width_));
+      table[p] = {key, static_cast<PointId>(p)};
+    }
+    std::sort(table.begin(), table.end());
+  }
+
+  idx->counts_.assign(n, 0);
+  idx->touched_.reserve(1024);
+  *out = std::move(idx);
+  return Status::OK();
+}
+
+int64_t C2Lsh::KeyFor(uint32_t func, std::span<const Scalar> p) const {
+  double dot = shift_[func];
+  const auto& a = proj_[func];
+  for (size_t j = 0; j < dim_; ++j) dot += a[j] * p[j];
+  return static_cast<int64_t>(std::floor(dot / width_));
+}
+
+Status C2Lsh::Candidates(std::span<const Scalar> q, size_t k,
+                         std::vector<PointId>* out,
+                         storage::IoStats* stats) {
+  if (q.size() != dim_) return Status::InvalidArgument("query dim mismatch");
+  out->clear();
+
+  const uint32_t m = options_.num_functions;
+  const uint32_t l = options_.collision_threshold;
+  const int64_t c = static_cast<int64_t>(options_.approximation_ratio);
+  const size_t want = std::min<size_t>(n_, k + options_.beta_candidates);
+
+  // Reset scratch counters from the previous query.
+  for (PointId id : touched_) counts_[id] = 0;
+  touched_.clear();
+
+  std::vector<int64_t> qkeys(m);
+  for (uint32_t i = 0; i < m; ++i) qkeys[i] = KeyFor(i, q);
+
+  // Covered key interval per function, inclusive; empty before level 0.
+  std::vector<int64_t> lo(m), hi(m);
+  bool first_level = true;
+
+  int64_t bucket = 1;  // c^level
+  uint32_t level = 0;
+  for (; level < options_.max_levels; ++level) {
+    for (uint32_t i = 0; i < m; ++i) {
+      const int64_t idx = FloorDiv(qkeys[i], bucket);
+      const int64_t new_lo = idx * bucket;
+      const int64_t new_hi = new_lo + bucket - 1;
+
+      // Ranges of keys covered for the first time at this level.
+      struct Range {
+        int64_t a, b;
+      };
+      Range fresh[2];
+      int nfresh = 0;
+      if (first_level) {
+        fresh[nfresh++] = {new_lo, new_hi};
+      } else {
+        if (new_lo < lo[i]) fresh[nfresh++] = {new_lo, lo[i] - 1};
+        if (new_hi > hi[i]) fresh[nfresh++] = {hi[i] + 1, new_hi};
+      }
+      lo[i] = new_lo;
+      hi[i] = new_hi;
+
+      size_t entries_scanned = 0;
+      const auto& table = tables_[i];
+      for (int r = 0; r < nfresh; ++r) {
+        auto begin = std::lower_bound(
+            table.begin(), table.end(), fresh[r].a,
+            [](const Entry& e, int64_t key) { return e.key < key; });
+        auto end = std::lower_bound(
+            table.begin(), table.end(), fresh[r].b + 1,
+            [](const Entry& e, int64_t key) { return e.key < key; });
+        for (auto it = begin; it != end; ++it) {
+          if (counts_[it->id] == 0) touched_.push_back(it->id);
+          if (counts_[it->id] < 255) counts_[it->id]++;
+          // Admit candidates until the k + beta*n target is reached; points
+          // crossing the collision threshold earliest (i.e. at the smallest
+          // radius) are the most promising, so capping keeps the candidate
+          // volume near the C2LSH termination target instead of admitting a
+          // whole cluster when one level jump engulfs it.
+          if (counts_[it->id] == l && out->size() < want) {
+            out->push_back(it->id);
+          }
+        }
+        entries_scanned += static_cast<size_t>(end - begin);
+      }
+
+      if (stats != nullptr) {
+        // One random bucket-directory probe per function and level, plus
+        // the id-list pages, which are scanned sequentially.
+        stats->page_reads += 1;
+        stats->seq_page_reads +=
+            (entries_scanned * kEntryBytes) / storage::kDefaultPageSize;
+        stats->bytes_read += entries_scanned * kEntryBytes;
+      }
+    }
+    first_level = false;
+    if (out->size() >= want) break;
+    if (bucket > (int64_t{1} << 60) / c) break;  // overflow guard
+    bucket *= c;
+  }
+
+  last_radius_ = width_ * static_cast<double>(bucket);
+  std::sort(out->begin(), out->end());
+  return Status::OK();
+}
+
+}  // namespace eeb::index

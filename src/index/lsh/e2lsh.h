@@ -1,0 +1,58 @@
+// Classic E2LSH [Datar et al. '04 / Gionis et al. '99]: L hash tables, each
+// keyed by a compound of m p-stable hashes g(p) = (h_1(p), ..., h_m(p)).
+// A query probes exactly one bucket per table; the candidate set is the
+// union. Included as a second LSH-family candidate generator (paper
+// Sec. 6 classifies it with the c-approximate methods): the caching layer
+// is index-agnostic, and tests verify the engine works unchanged on top.
+
+#ifndef EEB_INDEX_LSH_E2LSH_H_
+#define EEB_INDEX_LSH_E2LSH_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/dataset.h"
+#include "index/candidate_index.h"
+
+namespace eeb::index {
+
+struct E2LshOptions {
+  uint32_t num_tables = 8;      ///< L
+  uint32_t hashes_per_table = 4;  ///< m (compound length)
+  double bucket_width = 4.0;    ///< w, scaled by projection spread at build
+  uint64_t seed = 91;
+  bool auto_scale_width = true;
+};
+
+/// Static E2LSH index over an in-memory dataset.
+class E2Lsh : public CandidateIndex {
+ public:
+  static Status Build(const Dataset& data, const E2LshOptions& options,
+                      std::unique_ptr<E2Lsh>* out);
+
+  Status Candidates(std::span<const Scalar> q, size_t k,
+                    std::vector<PointId>* out,
+                    storage::IoStats* stats) override;
+
+  std::string name() const override { return "E2LSH"; }
+
+ private:
+  E2Lsh(const E2LshOptions& options, size_t dim)
+      : options_(options), dim_(dim) {}
+
+  uint64_t CompoundKey(uint32_t table, std::span<const Scalar> p) const;
+
+  E2LshOptions options_;
+  size_t dim_;
+  double width_ = 1.0;
+  // proj_[t]: m*d projection coefficients for table t; shift_[t]: m offsets.
+  std::vector<std::vector<double>> proj_;
+  std::vector<std::vector<double>> shift_;
+  std::vector<std::unordered_map<uint64_t, std::vector<PointId>>> tables_;
+};
+
+}  // namespace eeb::index
+
+#endif  // EEB_INDEX_LSH_E2LSH_H_

@@ -1,0 +1,166 @@
+#include "index/lsh/multiprobe.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "storage/point_file.h"
+
+namespace eeb::index {
+namespace {
+
+constexpr size_t kEntryBytes = 8;
+
+}  // namespace
+
+Status MultiProbeLsh::Build(const Dataset& data,
+                            const MultiProbeOptions& options,
+                            std::unique_ptr<MultiProbeLsh>* out) {
+  if (data.empty()) return Status::InvalidArgument("empty dataset");
+  if (options.num_tables == 0 || options.hashes_per_table == 0) {
+    return Status::InvalidArgument("L and m must be positive");
+  }
+  std::unique_ptr<MultiProbeLsh> idx(
+      new MultiProbeLsh(options, data.dim()));
+  const size_t n = data.size();
+  const size_t d = data.dim();
+  const uint32_t L = options.num_tables;
+  const uint32_t m = options.hashes_per_table;
+
+  Rng rng(options.seed);
+  idx->proj_.assign(L, {});
+  idx->shift_.assign(L, {});
+  for (uint32_t t = 0; t < L; ++t) {
+    idx->proj_[t].resize(static_cast<size_t>(m) * d);
+    for (auto& v : idx->proj_[t]) v = rng.NextGaussian();
+    idx->shift_[t].resize(m);
+  }
+
+  // Scale w by the projection SPREAD (stddev around the mean), averaged
+  // over the hashes of table 0. Using the mean absolute projection would be
+  // dominated by the random offset a . mu of the data mean, which varies
+  // wildly across seeds and makes bucket occupancy a lottery.
+  if (options.auto_scale_width) {
+    const size_t samples = std::min<size_t>(n, 512);
+    double spread = 0.0;
+    for (uint32_t i = 0; i < m; ++i) {
+      const double* a =
+          idx->proj_[0].data() + static_cast<size_t>(i) * d;
+      double sum = 0.0, sumsq = 0.0;
+      for (size_t s = 0; s < samples; ++s) {
+        auto p = data.point(static_cast<PointId>(s));
+        double dot = 0.0;
+        for (size_t j = 0; j < d; ++j) dot += a[j] * p[j];
+        sum += dot;
+        sumsq += dot * dot;
+      }
+      const double mean = sum / samples;
+      spread += std::sqrt(std::max(0.0, sumsq / samples - mean * mean));
+    }
+    spread /= m;
+    idx->width_ = options.bucket_width * std::max(1e-9, spread / 4.0);
+  } else {
+    idx->width_ = options.bucket_width;
+  }
+  for (uint32_t t = 0; t < L; ++t) {
+    for (uint32_t i = 0; i < m; ++i) {
+      idx->shift_[t][i] = rng.NextDouble() * idx->width_;
+    }
+  }
+
+  idx->tables_.resize(L);
+  std::vector<int64_t> keys;
+  std::vector<double> fractions;
+  for (uint32_t t = 0; t < L; ++t) {
+    for (size_t p = 0; p < n; ++p) {
+      idx->HashQuery(t, data.point(static_cast<PointId>(p)), &keys,
+                     &fractions);
+      idx->tables_[t][CombineKeys(keys)].push_back(static_cast<PointId>(p));
+    }
+  }
+  *out = std::move(idx);
+  return Status::OK();
+}
+
+void MultiProbeLsh::HashQuery(uint32_t table, std::span<const Scalar> p,
+                              std::vector<int64_t>* keys,
+                              std::vector<double>* fractions) const {
+  const uint32_t m = options_.hashes_per_table;
+  keys->resize(m);
+  fractions->resize(m);
+  const double* proj = proj_[table].data();
+  for (uint32_t i = 0; i < m; ++i) {
+    double dot = shift_[table][i];
+    const double* a = proj + static_cast<size_t>(i) * dim_;
+    for (size_t j = 0; j < dim_; ++j) dot += a[j] * p[j];
+    const double scaled = dot / width_;
+    const double fl = std::floor(scaled);
+    (*keys)[i] = static_cast<int64_t>(fl);
+    (*fractions)[i] = scaled - fl;  // in [0, 1): distance to lower boundary
+  }
+}
+
+uint64_t MultiProbeLsh::CombineKeys(const std::vector<int64_t>& keys) {
+  uint64_t h = 1469598103934665603ULL;
+  for (int64_t v : keys) {
+    h ^= static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+  }
+  return h;
+}
+
+Status MultiProbeLsh::Candidates(std::span<const Scalar> q, size_t k,
+                                 std::vector<PointId>* out,
+                                 storage::IoStats* stats) {
+  (void)k;
+  if (q.size() != dim_) return Status::InvalidArgument("query dim mismatch");
+  out->clear();
+
+  const uint32_t m = options_.hashes_per_table;
+  std::vector<int64_t> keys;
+  std::vector<double> fractions;
+  for (uint32_t t = 0; t < options_.num_tables; ++t) {
+    HashQuery(t, q, &keys, &fractions);
+
+    // Query-directed single-coordinate perturbations: score of moving hash
+    // i by delta is the squared distance of the projection to that bucket
+    // boundary. Smaller score = more likely to hold near neighbors.
+    struct Probe {
+      double score;
+      uint32_t hash;
+      int delta;
+    };
+    std::vector<Probe> probes;
+    probes.reserve(2 * m);
+    for (uint32_t i = 0; i < m; ++i) {
+      probes.push_back({fractions[i] * fractions[i], i, -1});
+      probes.push_back({(1 - fractions[i]) * (1 - fractions[i]), i, +1});
+    }
+    std::sort(probes.begin(), probes.end(),
+              [](const Probe& a, const Probe& b) { return a.score < b.score; });
+
+    const size_t extra =
+        std::min<size_t>(options_.probes_per_table, probes.size());
+    for (size_t pi = 0; pi <= extra; ++pi) {
+      if (pi > 0) keys[probes[pi - 1].hash] += probes[pi - 1].delta;
+      auto it = tables_[t].find(CombineKeys(keys));
+      size_t entries = 0;
+      if (it != tables_[t].end()) {
+        out->insert(out->end(), it->second.begin(), it->second.end());
+        entries = it->second.size();
+      }
+      if (pi > 0) keys[probes[pi - 1].hash] -= probes[pi - 1].delta;
+      if (stats != nullptr) {
+        stats->page_reads += 1;
+        stats->seq_page_reads +=
+            (entries * kEntryBytes) / storage::kDefaultPageSize;
+        stats->bytes_read += entries * kEntryBytes;
+      }
+    }
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+  return Status::OK();
+}
+
+}  // namespace eeb::index

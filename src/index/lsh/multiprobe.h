@@ -1,0 +1,65 @@
+// Multi-Probe LSH [Lv et al., VLDB'07]: instead of many tables, probe a few
+// perturbed buckets per table. Each probe perturbs one compound-hash
+// coordinate by +-1, chosen by the query-directed score (distance of the
+// query's projection to the respective bucket boundary), so the most likely
+// neighboring buckets are visited first. The paper cites it among the
+// c-approximate methods its cache applies to; having it alongside C2LSH and
+// E2LSH demonstrates the index-agnostic cache once more and gives the
+// benchmarks a low-memory candidate generator.
+
+#ifndef EEB_INDEX_LSH_MULTIPROBE_H_
+#define EEB_INDEX_LSH_MULTIPROBE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/dataset.h"
+#include "index/candidate_index.h"
+
+namespace eeb::index {
+
+struct MultiProbeOptions {
+  uint32_t num_tables = 4;        ///< L (fewer than E2LSH needs)
+  uint32_t hashes_per_table = 4;  ///< m
+  uint32_t probes_per_table = 8;  ///< extra perturbed buckets per table
+  double bucket_width = 4.0;
+  uint64_t seed = 57;
+  bool auto_scale_width = true;
+};
+
+/// Multi-probe LSH index with single-coordinate query-directed probing.
+class MultiProbeLsh : public CandidateIndex {
+ public:
+  static Status Build(const Dataset& data, const MultiProbeOptions& options,
+                      std::unique_ptr<MultiProbeLsh>* out);
+
+  Status Candidates(std::span<const Scalar> q, size_t k,
+                    std::vector<PointId>* out,
+                    storage::IoStats* stats) override;
+
+  std::string name() const override { return "MP-LSH"; }
+
+ private:
+  MultiProbeLsh(const MultiProbeOptions& options, size_t dim)
+      : options_(options), dim_(dim) {}
+
+  /// Computes the per-hash integer keys and fractional offsets for table t.
+  void HashQuery(uint32_t table, std::span<const Scalar> p,
+                 std::vector<int64_t>* keys,
+                 std::vector<double>* fractions) const;
+
+  static uint64_t CombineKeys(const std::vector<int64_t>& keys);
+
+  MultiProbeOptions options_;
+  size_t dim_;
+  double width_ = 1.0;
+  std::vector<std::vector<double>> proj_;   // per table: m * d
+  std::vector<std::vector<double>> shift_;  // per table: m
+  std::vector<std::unordered_map<uint64_t, std::vector<PointId>>> tables_;
+};
+
+}  // namespace eeb::index
+
+#endif  // EEB_INDEX_LSH_MULTIPROBE_H_

@@ -1,0 +1,88 @@
+#include "index/lsh/sklsh.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "storage/point_file.h"
+
+namespace eeb::index {
+
+Status SkLsh::Build(const Dataset& data, const SkLshOptions& options,
+                    std::unique_ptr<SkLsh>* out) {
+  if (data.empty()) return Status::InvalidArgument("empty dataset");
+  if (options.num_keys == 0) {
+    return Status::InvalidArgument("num_keys must be positive");
+  }
+  std::unique_ptr<SkLsh> idx(new SkLsh(options, data.dim()));
+  const size_t n = data.size();
+  const size_t d = data.dim();
+  const uint32_t m = options.num_keys;
+
+  Rng rng(options.seed);
+  idx->proj_.resize(static_cast<size_t>(m) * d);
+  for (auto& v : idx->proj_) v = rng.NextGaussian();
+  idx->shift_.resize(m);
+  for (auto& v : idx->shift_) v = rng.NextDouble() * options.bucket_width;
+
+  std::vector<std::vector<int64_t>> keys(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = idx->KeyFor(data.point(static_cast<PointId>(i)));
+  }
+  idx->order_.resize(n);
+  for (size_t i = 0; i < n; ++i) idx->order_[i] = static_cast<PointId>(i);
+  std::sort(idx->order_.begin(), idx->order_.end(),
+            [&](PointId a, PointId b) {
+              if (keys[a] != keys[b]) return keys[a] < keys[b];
+              return a < b;
+            });
+  idx->keys_.resize(n);
+  for (size_t i = 0; i < n; ++i) idx->keys_[i] = keys[idx->order_[i]];
+  *out = std::move(idx);
+  return Status::OK();
+}
+
+std::vector<int64_t> SkLsh::KeyFor(std::span<const Scalar> p) const {
+  const uint32_t m = options_.num_keys;
+  std::vector<int64_t> key(m);
+  for (uint32_t i = 0; i < m; ++i) {
+    const double* a = proj_.data() + static_cast<size_t>(i) * dim_;
+    double dot = shift_[i];
+    for (size_t j = 0; j < dim_; ++j) dot += a[j] * p[j];
+    key[i] = static_cast<int64_t>(std::floor(dot / options_.bucket_width));
+  }
+  return key;
+}
+
+Status SkLsh::Candidates(std::span<const Scalar> q, size_t k,
+                         std::vector<PointId>* out,
+                         storage::IoStats* stats) {
+  if (q.size() != dim_) return Status::InvalidArgument("query dim mismatch");
+  out->clear();
+  const size_t n = order_.size();
+  const size_t want = std::min<size_t>(
+      n, std::max<size_t>(options_.window, 2 * k));
+
+  const std::vector<int64_t> qkey = KeyFor(q);
+  const size_t pos = static_cast<size_t>(
+      std::lower_bound(keys_.begin(), keys_.end(), qkey) - keys_.begin());
+
+  // Symmetric window around the query's rank, clamped to the array.
+  size_t lo = pos > want / 2 ? pos - want / 2 : 0;
+  size_t hi = std::min(n, lo + want);
+  if (hi - lo < want && lo > 0) lo = hi > want ? hi - want : 0;
+
+  out->assign(order_.begin() + lo, order_.begin() + hi);
+  std::sort(out->begin(), out->end());
+
+  if (stats != nullptr) {
+    // One seek into the key-ordered file, then a sequential window.
+    stats->page_reads += 1;
+    stats->seq_page_reads +=
+        ((hi - lo) * sizeof(PointId)) / storage::kDefaultPageSize;
+    stats->bytes_read += (hi - lo) * sizeof(PointId);
+  }
+  return Status::OK();
+}
+
+}  // namespace eeb::index

@@ -1,0 +1,60 @@
+// SK-LSH [Liu et al., VLDB'14]: arrange points in the linear order of a
+// compound LSH key so that similar points land on nearby positions (and,
+// on disk, nearby pages). A query locates its own position in the order by
+// binary search and takes the surrounding window as candidates — turning
+// candidate generation into a handful of sequential page reads.
+//
+// The paper cites SK-LSH both as the source of the "sorted-key" file
+// ordering (Fig. 9) and as an orthogonal I/O reduction (Sec. 6). This
+// implementation provides it as a CandidateIndex so the caching layer can
+// be combined with it, demonstrating that orthogonality.
+
+#ifndef EEB_INDEX_LSH_SKLSH_H_
+#define EEB_INDEX_LSH_SKLSH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/dataset.h"
+#include "index/candidate_index.h"
+
+namespace eeb::index {
+
+struct SkLshOptions {
+  uint32_t num_keys = 4;      ///< compound-key length
+  double bucket_width = 16.0;  ///< projection quantization width
+  uint32_t window = 256;      ///< candidates taken around the query position
+  uint64_t seed = 77;
+};
+
+/// Sorted-key LSH candidate generator.
+class SkLsh : public CandidateIndex {
+ public:
+  static Status Build(const Dataset& data, const SkLshOptions& options,
+                      std::unique_ptr<SkLsh>* out);
+
+  /// Takes max(window, 2k) candidates around the query's rank.
+  Status Candidates(std::span<const Scalar> q, size_t k,
+                    std::vector<PointId>* out,
+                    storage::IoStats* stats) override;
+
+  std::string name() const override { return "SK-LSH"; }
+
+ private:
+  SkLsh(const SkLshOptions& options, size_t dim)
+      : options_(options), dim_(dim) {}
+
+  std::vector<int64_t> KeyFor(std::span<const Scalar> p) const;
+
+  SkLshOptions options_;
+  size_t dim_;
+  std::vector<double> proj_;   // num_keys * d
+  std::vector<double> shift_;  // num_keys
+  std::vector<std::vector<int64_t>> keys_;  // sorted compound keys
+  std::vector<PointId> order_;              // ids in key order
+};
+
+}  // namespace eeb::index
+
+#endif  // EEB_INDEX_LSH_SKLSH_H_

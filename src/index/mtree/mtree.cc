@@ -1,0 +1,161 @@
+#include "index/mtree/mtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/distance.h"
+#include "common/random.h"
+
+namespace eeb::index {
+
+int32_t MTree::BuildNode(const Dataset& data, std::vector<PointId>& ids,
+                         size_t lo, size_t hi, size_t leaf_cap, uint64_t seed,
+                         std::vector<std::vector<PointId>>* leaves) {
+  const int32_t node_id = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+
+  // Routing object: the member closest to the set's mean would be ideal;
+  // a random member is standard for bulk loads and cheaper.
+  Rng rng(seed ^ (static_cast<uint64_t>(lo) << 32) ^ hi);
+  const PointId routing = ids[lo + rng.Uniform(hi - lo)];
+  const uint32_t crow = static_cast<uint32_t>(centers_.size());
+  centers_.Append(data.point(routing));
+  double radius = 0.0;
+  for (size_t i = lo; i < hi; ++i) {
+    radius = std::max(radius,
+                      L2(data.point(ids[i]), centers_.point(crow)));
+  }
+
+  if (hi - lo <= leaf_cap) {
+    const uint32_t leaf_id = static_cast<uint32_t>(leaves->size());
+    leaves->emplace_back(ids.begin() + lo, ids.begin() + hi);
+    nodes_[node_id] = {true, leaf_id, crow, radius, -1, -1};
+    return node_id;
+  }
+
+  // 2-means-style split: two distinct seed routing objects, iterative
+  // nearest-assignment with mean recentering in latent space is overkill —
+  // reassignment against the two seeds, re-picking each seed as the member
+  // farthest-from-the-other, converges well enough in a few passes.
+  PointId a = ids[lo + rng.Uniform(hi - lo)];
+  PointId b = a;
+  double far = -1.0;
+  for (size_t i = lo; i < hi; ++i) {
+    const double dist = L2(data.point(ids[i]), data.point(a));
+    if (dist > far) {
+      far = dist;
+      b = ids[i];
+    }
+  }
+  if (a == b) {
+    // All points identical: emit one oversized leaf (it will span several
+    // pages in the LeafStore but stays correct).
+    const uint32_t leaf_id = static_cast<uint32_t>(leaves->size());
+    leaves->emplace_back(ids.begin() + lo, ids.begin() + hi);
+    nodes_[node_id] = {true, leaf_id, crow, radius, -1, -1};
+    return node_id;
+  }
+
+  size_t split = lo;
+  for (uint32_t iter = 0; iter < options_.split_iterations; ++iter) {
+    // Partition by nearest seed (ties to `a`).
+    split = lo;
+    for (size_t i = lo; i < hi; ++i) {
+      const double da = L2(data.point(ids[i]), data.point(a));
+      const double db = L2(data.point(ids[i]), data.point(b));
+      if (da <= db) std::swap(ids[i], ids[split++]);
+    }
+    if (split == lo || split == hi) break;
+    if (iter + 1 == options_.split_iterations) break;
+    // Recenter: a = member of A closest to A's centroid proxy (the old a);
+    // keeping it simple, pick the member of each side farthest from the
+    // other side's seed as the new seed.
+    double best_a = -1, best_b = -1;
+    PointId na = a, nb = b;
+    for (size_t i = lo; i < split; ++i) {
+      const double dist = L2(data.point(ids[i]), data.point(b));
+      if (dist > best_a) {
+        best_a = dist;
+        na = ids[i];
+      }
+    }
+    for (size_t i = split; i < hi; ++i) {
+      const double dist = L2(data.point(ids[i]), data.point(a));
+      if (dist > best_b) {
+        best_b = dist;
+        nb = ids[i];
+      }
+    }
+    a = na;
+    b = nb;
+  }
+  if (split == lo || split == hi) {
+    // Degenerate partition: force a balanced cut.
+    split = lo + (hi - lo) / 2;
+  }
+
+  const int32_t left =
+      BuildNode(data, ids, lo, split, leaf_cap, seed * 6364136223846793005ULL + 1,
+                leaves);
+  const int32_t right =
+      BuildNode(data, ids, split, hi, leaf_cap,
+                seed * 6364136223846793005ULL + 2, leaves);
+  nodes_[node_id] = {false, 0, crow, radius, left, right};
+  return node_id;
+}
+
+Status MTree::Build(storage::Env* env, const std::string& path,
+                    const Dataset& data, const MTreeOptions& options,
+                    std::unique_ptr<MTree>* out) {
+  if (data.empty()) return Status::InvalidArgument("empty dataset");
+  const size_t record_bytes = data.dim() * sizeof(Scalar);
+  const size_t leaf_cap =
+      std::max<size_t>(1, options.page_size / record_bytes);
+
+  std::unique_ptr<MTree> idx(new MTree());
+  idx->options_ = options;
+  idx->centers_ = Dataset(data.dim());
+
+  std::vector<PointId> ids(data.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<PointId>(i);
+  std::vector<std::vector<PointId>> leaves;
+  idx->BuildNode(data, ids, 0, ids.size(), leaf_cap, options.seed, &leaves);
+
+  EEB_RETURN_IF_ERROR(LeafStore::Create(env, path, data, std::move(leaves),
+                                        &idx->store_, options.page_size));
+  *out = std::move(idx);
+  return Status::OK();
+}
+
+void MTree::LeafLowerBounds(std::span<const Scalar> q,
+                            std::vector<double>* lb) const {
+  lb->assign(store_->num_leaves(), 0.0);
+  struct Frame {
+    int32_t node;
+    double bound;
+  };
+  std::vector<Frame> stack;
+  if (!nodes_.empty()) stack.push_back({0, 0.0});
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[f.node];
+    const double dq = L2(q, centers_.point(node.center_row));
+    const double ball = std::max(f.bound, dq - node.radius);
+    if (node.is_leaf) {
+      (*lb)[node.leaf_id] = ball;
+      continue;
+    }
+    stack.push_back({node.left, ball});
+    stack.push_back({node.right, ball});
+  }
+}
+
+Status MTree::Search(std::span<const Scalar> q, size_t k,
+                     cache::NodeCache* cache, TreeSearchResult* out) const {
+  std::vector<double> lb;
+  LeafLowerBounds(q, &lb);
+  return TreeKnnSearch(*store_, lb, q, k, cache, out);
+}
+
+}  // namespace eeb::index

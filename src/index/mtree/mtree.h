@@ -1,0 +1,73 @@
+// Bulk-loaded ball tree of the M-tree family [Ciaccia et al., VLDB'97]:
+// every node is a (routing object, covering radius) ball; leaves hold a
+// page of points. The paper cites M-tree as the canonical distance-based
+// access method whose kNN caches ([11],[27]) do not transfer to LSH; having
+// it here lets the leaf-node cache of Sec. 3.6.1 be exercised on a third
+// tree index beyond iDistance and the VP-tree.
+//
+// Bulk construction recursively splits a point set into two balls by a
+// 2-means-style pass (two seed routing objects, nearest-assignment) until a
+// set fits a disk page. Inner nodes stay in RAM (index I); search computes
+// per-leaf lower bounds max(0, dist(q, center) - radius) accumulated along
+// the path and delegates to TreeKnnSearch.
+
+#ifndef EEB_INDEX_MTREE_MTREE_H_
+#define EEB_INDEX_MTREE_MTREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+#include "index/tree_common.h"
+
+namespace eeb::index {
+
+struct MTreeOptions {
+  uint64_t seed = 29;
+  size_t page_size = storage::kDefaultPageSize;
+  uint32_t split_iterations = 3;  ///< 2-means refinement passes per split
+};
+
+/// Disk-based M-tree(-family ball tree) with cache-aware kNN search.
+class MTree {
+ public:
+  static Status Build(storage::Env* env, const std::string& path,
+                      const Dataset& data, const MTreeOptions& options,
+                      std::unique_ptr<MTree>* out);
+
+  Status Search(std::span<const Scalar> q, size_t k, cache::NodeCache* cache,
+                TreeSearchResult* out) const;
+
+  const LeafStore& store() const { return *store_; }
+  size_t num_leaves() const { return store_->num_leaves(); }
+
+  /// Per-leaf ball lower bounds — exposed for tests.
+  void LeafLowerBounds(std::span<const Scalar> q,
+                       std::vector<double>* lb) const;
+
+ private:
+  MTree() = default;
+
+  struct Node {
+    bool is_leaf;
+    uint32_t leaf_id;     // when leaf
+    uint32_t center_row;  // row in centers_ (all nodes)
+    double radius;        // covering radius of the subtree
+    int32_t left;
+    int32_t right;
+  };
+
+  int32_t BuildNode(const Dataset& data, std::vector<PointId>& ids, size_t lo,
+                    size_t hi, size_t leaf_cap, uint64_t seed,
+                    std::vector<std::vector<PointId>>* leaves);
+
+  std::vector<Node> nodes_;
+  Dataset centers_;  // routing-object coordinates (RAM-resident index I)
+  MTreeOptions options_;
+  std::unique_ptr<LeafStore> store_;
+};
+
+}  // namespace eeb::index
+
+#endif  // EEB_INDEX_MTREE_MTREE_H_

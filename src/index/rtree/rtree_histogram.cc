@@ -1,0 +1,86 @@
+#include "index/rtree/rtree_histogram.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace eeb::index {
+namespace {
+
+// Dimension with the largest value spread among the given points.
+size_t WidestDim(const Dataset& data, std::span<const PointId> ids) {
+  const size_t d = data.dim();
+  size_t best = 0;
+  double best_spread = -1.0;
+  for (size_t j = 0; j < d; ++j) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -lo;
+    for (PointId id : ids) {
+      const double v = data.point(id)[j];
+      if (v < lo) lo = v;
+      if (v > hi) hi = v;
+    }
+    const double spread = hi - lo;
+    if (spread > best_spread) {
+      best_spread = spread;
+      best = j;
+    }
+  }
+  return best;
+}
+
+void Split(const Dataset& data, std::vector<PointId>& ids, size_t lo,
+           size_t hi, uint32_t parts,
+           std::vector<std::pair<size_t, size_t>>* leaves) {
+  if (parts <= 1 || hi - lo <= 1) {
+    leaves->emplace_back(lo, hi);
+    return;
+  }
+  std::span<const PointId> view(ids.data() + lo, hi - lo);
+  const size_t dim = WidestDim(data, view);
+
+  // Balanced split: left gets ceil(parts/2)/parts of the points.
+  const uint32_t left_parts = parts / 2;
+  const uint32_t right_parts = parts - left_parts;
+  const size_t mid =
+      lo + (hi - lo) * left_parts / parts;
+  std::nth_element(ids.begin() + lo, ids.begin() + mid, ids.begin() + hi,
+                   [&](PointId a, PointId b) {
+                     const Scalar va = data.point(a)[dim];
+                     const Scalar vb = data.point(b)[dim];
+                     if (va != vb) return va < vb;
+                     return a < b;
+                   });
+  Split(data, ids, lo, mid, left_parts, leaves);
+  Split(data, ids, mid, hi, right_parts, leaves);
+}
+
+}  // namespace
+
+Status BuildRTreeHistogram(const Dataset& data, uint32_t num_buckets,
+                           hist::MultiDimHistogram* out,
+                           std::vector<BucketId>* assignment) {
+  const size_t n = data.size();
+  if (n == 0) return Status::InvalidArgument("empty dataset");
+  if (num_buckets == 0) return Status::InvalidArgument("num_buckets == 0");
+  if (num_buckets > n) num_buckets = static_cast<uint32_t>(n);
+
+  std::vector<PointId> ids(n);
+  for (size_t i = 0; i < n; ++i) ids[i] = static_cast<PointId>(i);
+
+  std::vector<std::pair<size_t, size_t>> leaves;
+  Split(data, ids, 0, n, num_buckets, &leaves);
+
+  std::vector<hist::Mbr> mbrs(leaves.size());
+  assignment->assign(n, 0);
+  for (size_t b = 0; b < leaves.size(); ++b) {
+    for (size_t i = leaves[b].first; i < leaves[b].second; ++i) {
+      const PointId id = ids[i];
+      mbrs[b].Expand(data.point(id));
+      (*assignment)[id] = static_cast<BucketId>(b);
+    }
+  }
+  *out = hist::MultiDimHistogram(std::move(mbrs));
+  return Status::OK();
+}
+
+}  // namespace eeb::index

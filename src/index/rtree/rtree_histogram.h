@@ -1,0 +1,35 @@
+// Multi-dimensional histogram builder for mHC-R (paper Sec. 3.6.2 / 5.1):
+// "build an R-tree with 2^tau leaf nodes, then map the MBR of each leaf to a
+// bucket". We bulk-load the leaf level with a TGS/kd-style recursive
+// partition (split the widest dimension at the median until the target leaf
+// count), which yields balanced leaves and, in high dimensions, the huge
+// MBRs that make mHC-R ineffective — the curse-of-dimensionality effect the
+// paper demonstrates (its Appendix B).
+
+#ifndef EEB_INDEX_RTREE_RTREE_HISTOGRAM_H_
+#define EEB_INDEX_RTREE_RTREE_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/status.h"
+#include "hist/multidim_histogram.h"
+
+namespace eeb::index {
+
+/// Partitions `data` into `num_buckets` leaf MBRs and reports, for every
+/// point, the bucket containing it.
+///
+/// @param data         input points
+/// @param num_buckets  target leaf count (rounded down to what balanced
+///                     splitting produces; always >= 1)
+/// @param out          receives the histogram (leaf MBRs)
+/// @param assignment   receives per-point bucket ids (size data.size())
+Status BuildRTreeHistogram(const Dataset& data, uint32_t num_buckets,
+                           hist::MultiDimHistogram* out,
+                           std::vector<BucketId>* assignment);
+
+}  // namespace eeb::index
+
+#endif  // EEB_INDEX_RTREE_RTREE_HISTOGRAM_H_

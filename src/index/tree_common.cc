@@ -1,0 +1,149 @@
+#include "index/tree_common.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/distance.h"
+
+namespace eeb::index {
+
+Status LeafStore::Create(storage::Env* env, const std::string& path,
+                         const Dataset& data,
+                         std::vector<std::vector<PointId>> leaf_points,
+                         std::unique_ptr<LeafStore>* out, size_t page_size) {
+  const size_t record_bytes = data.dim() * sizeof(Scalar);
+  const size_t ppp = record_bytes <= page_size ? page_size / record_bytes : 1;
+
+  // Page-align every leaf: pad the order with invalid ids up to the next
+  // page boundary so leaves never share pages.
+  std::vector<PointId> order;
+  order.reserve(data.size() + leaf_points.size() * ppp);
+  for (const auto& ids : leaf_points) {
+    for (PointId id : ids) order.push_back(id);
+    while (order.size() % ppp != 0) order.push_back(kInvalidPointId);
+  }
+
+  std::unique_ptr<LeafStore> store(new LeafStore());
+  EEB_RETURN_IF_ERROR(
+      storage::PointFile::Create(env, path, data, order, page_size));
+  EEB_RETURN_IF_ERROR(storage::PointFile::Open(env, path, &store->file_));
+  store->leaf_points_ = std::move(leaf_points);
+  store->scratch_.resize(data.dim());
+  *out = std::move(store);
+  return Status::OK();
+}
+
+Status LeafStore::FetchLeaf(
+    uint32_t leaf,
+    const std::function<void(PointId, std::span<const Scalar>)>& fn,
+    storage::IoStats* stats, storage::PageTracker* tracker) const {
+  for (PointId id : leaf_points_[leaf]) {
+    EEB_RETURN_IF_ERROR(file_->ReadPoint(id, scratch_, stats, tracker));
+    fn(id, scratch_);
+  }
+  return Status::OK();
+}
+
+Status TreeKnnSearch(const LeafStore& store, std::span<const double> leaf_lb,
+                     std::span<const Scalar> q, size_t k,
+                     cache::NodeCache* cache, TreeSearchResult* out) {
+  const size_t num_leaves = store.num_leaves();
+  if (leaf_lb.size() != num_leaves) {
+    return Status::InvalidArgument("leaf_lb size mismatch");
+  }
+  *out = TreeSearchResult{};
+  storage::PageTracker tracker;
+
+  // Search units ordered by lower bound: whole (uncached or cached) leaves
+  // first appear as leaf units; probing a cached leaf spawns per-point units
+  // with code bounds.
+  struct Unit {
+    double lb;
+    uint32_t leaf;
+    bool is_point;
+    PointId point;
+
+    bool operator>(const Unit& o) const {
+      if (lb != o.lb) return lb > o.lb;
+      if (leaf != o.leaf) return leaf > o.leaf;
+      return point > o.point;
+    }
+  };
+  std::priority_queue<Unit, std::vector<Unit>, std::greater<Unit>> pq;
+  for (uint32_t leaf = 0; leaf < num_leaves; ++leaf) {
+    pq.push({leaf_lb[leaf], leaf, false, kInvalidPointId});
+  }
+
+  TopK exact(k);      // exact distances of fetched points
+  TopK optimistic(k);  // upper bounds of cached, unfetched points
+  std::vector<bool> fetched(num_leaves, false);
+
+  auto threshold = [&]() {
+    return std::min(exact.Threshold(), optimistic.Threshold());
+  };
+
+  auto fetch_leaf = [&](uint32_t leaf) -> Status {
+    if (fetched[leaf]) return Status::OK();
+    fetched[leaf] = true;
+    out->leaves_fetched++;
+    out->fetched_leaves.push_back(leaf);
+    return store.FetchLeaf(
+        leaf,
+        [&](PointId id, std::span<const Scalar> p) {
+          exact.Push(id, L2(q, p));
+        },
+        &out->io, &tracker);
+  };
+
+  while (!pq.empty()) {
+    const Unit u = pq.top();
+    pq.pop();
+    if (exact.Full() && u.lb > threshold()) {
+      // Everything remaining is farther than the kth bound: count the
+      // untouched leaves as pruned and stop.
+      if (!u.is_point && !fetched[u.leaf]) out->leaves_pruned++;
+      while (!pq.empty()) {
+        const Unit& r = pq.top();
+        if (!r.is_point && !fetched[r.leaf]) out->leaves_pruned++;
+        pq.pop();
+      }
+      break;
+    }
+    if (fetched[u.leaf]) continue;  // resolved as a side effect earlier
+
+    if (!u.is_point) {
+      if (cache != nullptr) {
+        bool hit;
+        if (cache->exact()) {
+          // Exact node cache: hits ARE the distances; the leaf never needs
+          // a disk fetch, mark it resolved outright.
+          hit = cache->ProbeNode(u.leaf, q,
+                                 [&](PointId id, double /*lb*/, double ub) {
+                                   exact.Push(id, ub);
+                                 });
+          if (hit) fetched[u.leaf] = true;  // resolved without I/O
+        } else {
+          hit = cache->ProbeNode(u.leaf, q, [&](PointId id, double lb,
+                                                double ub) {
+            optimistic.Push(id, ub);
+            pq.push({lb, u.leaf, true, id});
+          });
+        }
+        if (hit) {
+          out->cache_hits++;
+          continue;  // resolved, or per-point units queued
+        }
+      }
+      EEB_RETURN_IF_ERROR(fetch_leaf(u.leaf));
+    } else {
+      // A cached point whose lower bound survived pruning: its leaf must be
+      // materialized to resolve exact distances.
+      EEB_RETURN_IF_ERROR(fetch_leaf(u.leaf));
+    }
+  }
+
+  out->neighbors = exact.TakeSorted();
+  return Status::OK();
+}
+
+}  // namespace eeb::index

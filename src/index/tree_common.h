@@ -1,0 +1,87 @@
+// Shared machinery for tree-based kNN indexes (paper Sec. 3.6.1):
+//  * LeafStore — leaf-grouped on-disk point storage. Each leaf occupies
+//    whole pages of a PointFile written in leaf order, so "fetch a leaf"
+//    costs its page count in I/O. The in-RAM part (member id lists) models
+//    the non-leaf index I kept in memory.
+//  * TreeKnnSearch — the generic cache-aware multi-step kNN: visit units
+//    (uncached leaves / cached approximate points) in lower-bound order,
+//    maintain the kth-upper-bound threshold, fetch a leaf only when some
+//    member survives pruning.
+//
+// iDistance and the VP-tree differ only in how they compute per-leaf lower
+// bounds for a query; both delegate the search to TreeKnnSearch.
+
+#ifndef EEB_INDEX_TREE_COMMON_H_
+#define EEB_INDEX_TREE_COMMON_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/status.h"
+#include "common/topk.h"
+#include "cache/node_cache.h"
+#include "storage/env.h"
+#include "storage/io_stats.h"
+#include "storage/point_file.h"
+
+namespace eeb::index {
+
+/// Leaf-grouped point storage: the "dataset P = set of leaf nodes" half of
+/// the paper's Fig. 7 split.
+class LeafStore {
+ public:
+  /// Writes the point file in leaf order and keeps the member lists.
+  /// Every point id must appear in exactly one leaf.
+  static Status Create(storage::Env* env, const std::string& path,
+                       const Dataset& data,
+                       std::vector<std::vector<PointId>> leaf_points,
+                       std::unique_ptr<LeafStore>* out,
+                       size_t page_size = storage::kDefaultPageSize);
+
+  size_t num_leaves() const { return leaf_points_.size(); }
+  const std::vector<std::vector<PointId>>& leaf_points() const {
+    return leaf_points_;
+  }
+  size_t dim() const { return file_->dim(); }
+  const storage::PointFile& file() const { return *file_; }
+
+  /// Reads every point of `leaf` from disk; invokes fn(id, point) per point.
+  /// Page I/O is deduplicated within the query via `tracker`.
+  Status FetchLeaf(uint32_t leaf,
+                   const std::function<void(PointId, std::span<const Scalar>)>&
+                       fn,
+                   storage::IoStats* stats, storage::PageTracker* tracker) const;
+
+ private:
+  LeafStore() = default;
+
+  std::vector<std::vector<PointId>> leaf_points_;
+  std::unique_ptr<storage::PointFile> file_;
+  mutable std::vector<Scalar> scratch_;
+};
+
+/// Outcome of one tree kNN search.
+struct TreeSearchResult {
+  std::vector<Neighbor> neighbors;
+  storage::IoStats io;
+  uint64_t leaves_fetched = 0;
+  uint64_t leaves_pruned = 0;   ///< leaves never fetched thanks to bounds
+  uint64_t cache_hits = 0;
+  std::vector<uint32_t> fetched_leaves;  ///< ids, in fetch order
+};
+
+/// Cache-aware multi-step kNN over a LeafStore.
+///
+/// @param leaf_lb  per-leaf lower bound of dist(q, any point in leaf); must
+///                 be a valid lower bound or results will be wrong
+/// @param cache    leaf-node cache (nullptr disables caching)
+Status TreeKnnSearch(const LeafStore& store, std::span<const double> leaf_lb,
+                     std::span<const Scalar> q, size_t k,
+                     cache::NodeCache* cache, TreeSearchResult* out);
+
+}  // namespace eeb::index
+
+#endif  // EEB_INDEX_TREE_COMMON_H_

@@ -1,0 +1,97 @@
+#include "index/vafile/vafile.h"
+
+#include <algorithm>
+
+#include "common/bitops.h"
+#include "common/topk.h"
+#include "cache/code_cache.h"
+#include "hist/bounds.h"
+#include "storage/point_file.h"
+
+namespace eeb::index {
+
+Status VaFile::Build(const Dataset& data, const VaFileOptions& options,
+                     std::unique_ptr<VaFile>* out) {
+  if (data.empty()) return Status::InvalidArgument("empty dataset");
+  if (options.bits_per_dim == 0 || options.bits_per_dim > 16) {
+    return Status::InvalidArgument("bits_per_dim must be in [1, 16]");
+  }
+  std::unique_ptr<VaFile> va(new VaFile());
+  va->options_ = options;
+  va->dim_ = data.dim();
+  va->n_ = data.size();
+
+  // Per-dimension equi-depth marks over the full dataset.
+  std::vector<PointId> all(data.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<PointId>(i);
+  const std::vector<hist::FrequencyArray> freqs =
+      hist::PerDimFrequencies(data, all, options.ndom);
+  EEB_RETURN_IF_ERROR(hist::BuildIndividual(
+      freqs, 1u << options.bits_per_dim, hist::BuilderKind::kEquiDepth,
+      &va->marks_));
+
+  // Pack the approximation of every point.
+  const uint32_t b = options.bits_per_dim;
+  va->words_per_point_ = WordsForBits(va->dim_ * b);
+  va->words_.assign(va->n_ * va->words_per_point_, 0);
+  std::vector<BucketId> codes(va->dim_);
+  for (size_t i = 0; i < va->n_; ++i) {
+    cache::EncodeIndividual(va->marks_, data.point(static_cast<PointId>(i)),
+                            codes);
+    uint64_t* base = va->words_.data() + i * va->words_per_point_;
+    size_t bit = 0;
+    for (size_t j = 0; j < va->dim_; ++j) {
+      const size_t word = bit >> 6;
+      const unsigned shift = bit & 63;
+      base[word] |= static_cast<uint64_t>(codes[j]) << shift;
+      if (shift + b > 64) {
+        base[word + 1] |= static_cast<uint64_t>(codes[j]) >> (64 - shift);
+      }
+      bit += b;
+    }
+  }
+  *out = std::move(va);
+  return Status::OK();
+}
+
+Status VaFile::Candidates(std::span<const Scalar> q, size_t k,
+                          std::vector<PointId>* out,
+                          storage::IoStats* stats) {
+  if (q.size() != dim_) return Status::InvalidArgument("query dim mismatch");
+  out->clear();
+
+  const uint32_t b = options_.bits_per_dim;
+  std::vector<BucketId> codes(dim_);
+  std::vector<double> lbs(n_);
+  TopK ub_topk(k);
+
+  for (size_t i = 0; i < n_; ++i) {
+    const uint64_t* base = words_.data() + i * words_per_point_;
+    size_t bit = 0;
+    for (size_t j = 0; j < dim_; ++j) {
+      codes[j] = static_cast<BucketId>(UnpackBits(base, bit, b));
+      bit += b;
+    }
+    double lb, ub;
+    hist::CodeBoundsIndividual(marks_, q, codes, &lb, &ub,
+                               options_.integral);
+    lbs[i] = lb;
+    ub_topk.Push(static_cast<PointId>(i), ub);
+  }
+
+  const double threshold = ub_topk.Threshold();
+  for (size_t i = 0; i < n_; ++i) {
+    if (lbs[i] <= threshold) out->push_back(static_cast<PointId>(i));
+  }
+
+  if (stats != nullptr) {
+    // Sequential scan of the approximation file.
+    const uint64_t bytes = approximation_bytes();
+    stats->seq_page_reads += (bytes + storage::kDefaultPageSize - 1) /
+                             storage::kDefaultPageSize;
+    stats->bytes_read += bytes;
+  }
+  return Status::OK();
+}
+
+}  // namespace eeb::index

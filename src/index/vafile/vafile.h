@@ -1,0 +1,65 @@
+// VA-file [Weber & Blott '97]: every point is approximated by b bits per
+// dimension using per-dimension equi-depth (quantile) partitions. A query
+// first scans the (small) approximation file computing lower/upper distance
+// bounds per point, keeps the points whose lower bound does not exceed the
+// k-th smallest upper bound (the VA-SSA filter), and refines the survivors
+// against the full-precision file.
+//
+// Exposed as a CandidateIndex: Candidates() runs the filtering scan (charged
+// as sequential I/O over the approximation file) and reports the survivors,
+// which then flow through the same cache-assisted reduction/refinement
+// pipeline as LSH candidates. This is how Fig. 16(b) pairs VA-file with
+// EXACT / HC-O caching.
+
+#ifndef EEB_INDEX_VAFILE_VAFILE_H_
+#define EEB_INDEX_VAFILE_VAFILE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/dataset.h"
+#include "hist/individual.h"
+#include "index/candidate_index.h"
+
+namespace eeb::index {
+
+struct VaFileOptions {
+  uint32_t bits_per_dim = 4;  ///< b, the VA-file resolution
+  uint32_t ndom = 256;        ///< integer value domain of the data
+  bool integral = false;      ///< coordinates are integers (tight edges)
+};
+
+/// VA-file over a dataset. The approximation array lives in RAM (it is what
+/// the original system keeps hot); its sequential scan cost is charged per
+/// query so the filter is not free.
+class VaFile : public CandidateIndex {
+ public:
+  static Status Build(const Dataset& data, const VaFileOptions& options,
+                      std::unique_ptr<VaFile>* out);
+
+  /// VA-SSA filter: survivors of the bound test, sorted by id.
+  Status Candidates(std::span<const Scalar> q, size_t k,
+                    std::vector<PointId>* out,
+                    storage::IoStats* stats) override;
+
+  std::string name() const override { return "VA-file"; }
+
+  /// Bytes of the approximation array (n * d * b / 8).
+  size_t approximation_bytes() const { return words_.size() * sizeof(uint64_t); }
+
+  const hist::IndividualHistograms& marks() const { return marks_; }
+
+ private:
+  VaFile() = default;
+
+  VaFileOptions options_;
+  size_t dim_ = 0;
+  size_t n_ = 0;
+  size_t words_per_point_ = 0;
+  hist::IndividualHistograms marks_;  // per-dimension equi-depth partitions
+  std::vector<uint64_t> words_;       // packed approximations of all points
+};
+
+}  // namespace eeb::index
+
+#endif  // EEB_INDEX_VAFILE_VAFILE_H_

@@ -1,0 +1,150 @@
+#include "index/vptree/vptree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/distance.h"
+#include "common/random.h"
+
+namespace eeb::index {
+
+int32_t VpTree::BuildNode(const Dataset& data, std::vector<PointId>& ids,
+                          size_t lo, size_t hi, size_t leaf_cap, uint64_t seed,
+                          std::vector<std::vector<PointId>>* leaves) {
+  const int32_t node_id = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+
+  if (hi - lo <= leaf_cap) {
+    const uint32_t leaf_id = static_cast<uint32_t>(leaves->size());
+    leaves->emplace_back(ids.begin() + lo, ids.begin() + hi);
+    nodes_[node_id] = {true, leaf_id, 0, 0.0, -1, -1};
+    return node_id;
+  }
+
+  // Deterministic pseudo-random vantage pick within the range.
+  Rng rng(seed ^ (static_cast<uint64_t>(lo) << 32) ^ hi);
+  const size_t vidx = lo + rng.Uniform(hi - lo);
+  std::swap(ids[lo], ids[vidx]);
+  const PointId vantage = ids[lo];
+  const uint32_t vrow = static_cast<uint32_t>(vantages_.size());
+  vantages_.Append(data.point(vantage));
+
+  // Median split of the remaining points by distance to the vantage. The
+  // vantage itself goes to the inner side (distance 0).
+  struct DistId {
+    double dist;
+    PointId id;
+  };
+  std::vector<DistId> dists;
+  dists.reserve(hi - lo);
+  for (size_t i = lo; i < hi; ++i) {
+    dists.push_back({L2(data.point(ids[i]), data.point(vantage)), ids[i]});
+  }
+  const size_t mid = dists.size() / 2;
+  std::nth_element(dists.begin(), dists.begin() + mid, dists.end(),
+                   [](const DistId& a, const DistId& b) {
+                     if (a.dist != b.dist) return a.dist < b.dist;
+                     return a.id < b.id;
+                   });
+  const double radius = dists[mid].dist;
+  // Partition: [lo, lo+mid) inner (dist <= radius by nth_element ordering is
+  // not guaranteed for ties, so re-partition explicitly).
+  size_t w = lo;
+  std::vector<PointId> outer;
+  for (const DistId& e : dists) {
+    if (e.dist < radius || (e.dist == radius && w - lo < mid)) {
+      ids[w++] = e.id;
+    } else {
+      outer.push_back(e.id);
+    }
+  }
+  const size_t split = w;
+  for (PointId id : outer) ids[w++] = id;
+
+  // Degenerate split (e.g. all identical distances): emit a flat chain of
+  // leaves. The extra nodes are unreachable from the returned one; their
+  // leaves keep the always-valid lower bound 0. The appended vantage row is
+  // simply left unreferenced.
+  if (split == lo || split == hi) {
+    int32_t first = -1;
+    nodes_.pop_back();
+    for (size_t start = lo; start < hi; start += leaf_cap) {
+      const size_t stop = std::min(start + leaf_cap, hi);
+      const int32_t nid = static_cast<int32_t>(nodes_.size());
+      nodes_.emplace_back();
+      const uint32_t leaf_id = static_cast<uint32_t>(leaves->size());
+      leaves->emplace_back(ids.begin() + start, ids.begin() + stop);
+      nodes_[nid] = {true, leaf_id, 0, 0.0, -1, -1};
+      if (first < 0) first = nid;
+    }
+    return first;
+  }
+
+  const int32_t inner =
+      BuildNode(data, ids, lo, split, leaf_cap, seed * 2654435761u + 1, leaves);
+  const int32_t outer_child =
+      BuildNode(data, ids, split, hi, leaf_cap, seed * 2654435761u + 2, leaves);
+  nodes_[node_id] = {false, 0, vrow, radius, inner, outer_child};
+  return node_id;
+}
+
+Status VpTree::Build(storage::Env* env, const std::string& path,
+                     const Dataset& data, const VpTreeOptions& options,
+                     std::unique_ptr<VpTree>* out) {
+  if (data.empty()) return Status::InvalidArgument("empty dataset");
+  const size_t record_bytes = data.dim() * sizeof(Scalar);
+  const size_t leaf_cap =
+      std::max<size_t>(1, options.page_size / record_bytes);
+
+  std::unique_ptr<VpTree> idx(new VpTree());
+  idx->vantages_ = Dataset(data.dim());
+
+  std::vector<PointId> ids(data.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<PointId>(i);
+  std::vector<std::vector<PointId>> leaves;
+  idx->BuildNode(data, ids, 0, ids.size(), leaf_cap, options.seed, &leaves);
+
+  EEB_RETURN_IF_ERROR(LeafStore::Create(env, path, data, std::move(leaves),
+                                        &idx->store_, options.page_size));
+  *out = std::move(idx);
+  return Status::OK();
+}
+
+void VpTree::LeafLowerBounds(std::span<const Scalar> q,
+                             std::vector<double>* lb) const {
+  lb->assign(store_->num_leaves(), 0.0);
+
+  // Iterative DFS carrying the accumulated lower bound. Degenerate leaf
+  // chains (nodes unreachable from node 0) keep bound 0, which is safe.
+  struct Frame {
+    int32_t node;
+    double bound;
+  };
+  std::vector<Frame> stack;
+  if (!nodes_.empty()) stack.push_back({0, 0.0});
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[f.node];
+    if (node.is_leaf) {
+      (*lb)[node.leaf_id] = f.bound;
+      continue;
+    }
+    const double dq = L2(q, vantages_.point(node.vantage_row));
+    const double inner_b = std::max(f.bound, dq - node.radius);
+    const double outer_b = std::max(f.bound, node.radius - dq);
+    stack.push_back({node.inner_child, inner_b});
+    stack.push_back({node.outer_child, outer_b});
+  }
+  // Leaves emitted by the degenerate path may not be reachable from the
+  // root; their bound stays 0 (always correct).
+}
+
+Status VpTree::Search(std::span<const Scalar> q, size_t k,
+                      cache::NodeCache* cache, TreeSearchResult* out) const {
+  std::vector<double> lb;
+  LeafLowerBounds(q, &lb);
+  return TreeKnnSearch(*store_, lb, q, k, cache, out);
+}
+
+}  // namespace eeb::index

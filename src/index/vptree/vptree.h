@@ -1,0 +1,65 @@
+// VP-tree (vantage-point tree) [Yianilos'93; used for kNN pruning in
+// Boytsov&Naidan'13]: each inner node picks a vantage point and splits the
+// remaining points by the median distance to it; leaves hold a page worth of
+// points. Inner nodes (vantage coordinates + radii) stay in RAM as index I;
+// leaves are the disk-resident point set (paper Fig. 7). Search computes
+// per-leaf triangle-inequality lower bounds and delegates to TreeKnnSearch.
+
+#ifndef EEB_INDEX_VPTREE_VPTREE_H_
+#define EEB_INDEX_VPTREE_VPTREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+#include "index/tree_common.h"
+
+namespace eeb::index {
+
+struct VpTreeOptions {
+  uint64_t seed = 11;
+  size_t page_size = storage::kDefaultPageSize;
+};
+
+/// Disk-based VP-tree with cache-aware kNN search.
+class VpTree {
+ public:
+  static Status Build(storage::Env* env, const std::string& path,
+                      const Dataset& data, const VpTreeOptions& options,
+                      std::unique_ptr<VpTree>* out);
+
+  Status Search(std::span<const Scalar> q, size_t k, cache::NodeCache* cache,
+                TreeSearchResult* out) const;
+
+  const LeafStore& store() const { return *store_; }
+  size_t num_leaves() const { return store_->num_leaves(); }
+
+  /// Per-leaf triangle-inequality lower bounds — exposed for tests.
+  void LeafLowerBounds(std::span<const Scalar> q,
+                       std::vector<double>* lb) const;
+
+ private:
+  VpTree() = default;
+
+  struct Node {
+    bool is_leaf;
+    uint32_t leaf_id;      // when is_leaf
+    uint32_t vantage_row;  // row in vantages_ (when inner)
+    double radius;         // median split distance (when inner)
+    int32_t inner_child;   // dist(p, v) <= radius subtree
+    int32_t outer_child;   // dist(p, v) >  radius subtree
+  };
+
+  int32_t BuildNode(const Dataset& data, std::vector<PointId>& ids, size_t lo,
+                    size_t hi, size_t leaf_cap, uint64_t seed,
+                    std::vector<std::vector<PointId>>* leaves);
+
+  std::vector<Node> nodes_;
+  Dataset vantages_;  // vantage point coordinates (RAM-resident index I)
+  std::unique_ptr<LeafStore> store_;
+};
+
+}  // namespace eeb::index
+
+#endif  // EEB_INDEX_VPTREE_VPTREE_H_

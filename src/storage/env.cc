@@ -1,0 +1,125 @@
+#include "storage/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace eeb::storage {
+namespace {
+
+std::string ErrnoMessage(const std::string& context) {
+  return context + ": " + std::strerror(errno);
+}
+
+class PosixRandomAccessFile : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(int fd, uint64_t size) : fd_(fd), size_(size) {}
+  ~PosixRandomAccessFile() override { ::close(fd_); }
+
+  Status Read(uint64_t offset, size_t n, char* scratch) const override {
+    size_t done = 0;
+    while (done < n) {
+      ssize_t r = ::pread(fd_, scratch + done, n - done,
+                          static_cast<off_t>(offset + done));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(ErrnoMessage("pread"));
+      }
+      if (r == 0) return Status::IOError("pread: unexpected EOF");
+      done += static_cast<size_t>(r);
+    }
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return size_; }
+
+ private:
+  int fd_;
+  uint64_t size_;
+};
+
+class PosixWritableFile : public WritableFile {
+ public:
+  explicit PosixWritableFile(int fd) : fd_(fd) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(const char* data, size_t n) override {
+    size_t done = 0;
+    while (done < n) {
+      ssize_t w = ::write(fd_, data + done, n - done);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(ErrnoMessage("write"));
+      }
+      done += static_cast<size_t>(w);
+    }
+    offset_ += n;
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int r = ::close(fd_);
+    fd_ = -1;
+    if (r != 0) return Status::IOError(ErrnoMessage("close"));
+    return Status::OK();
+  }
+
+  uint64_t Offset() const override { return offset_; }
+
+ private:
+  int fd_;
+  uint64_t offset_ = 0;
+};
+
+class PosixEnv : public Env {
+ public:
+  Status NewRandomAccessFile(
+      const std::string& path,
+      std::unique_ptr<RandomAccessFile>* out) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return Status::IOError(ErrnoMessage("open " + path));
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return Status::IOError(ErrnoMessage("fstat " + path));
+    }
+    out->reset(
+        new PosixRandomAccessFile(fd, static_cast<uint64_t>(st.st_size)));
+    return Status::OK();
+  }
+
+  Status NewWritableFile(const std::string& path,
+                         std::unique_ptr<WritableFile>* out) override {
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return Status::IOError(ErrnoMessage("open " + path));
+    out->reset(new PosixWritableFile(fd));
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      return Status::IOError(ErrnoMessage("unlink " + path));
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+}  // namespace eeb::storage

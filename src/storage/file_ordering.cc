@@ -1,0 +1,77 @@
+#include "storage/file_ordering.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/distance.h"
+#include "common/kmeans.h"
+#include "common/random.h"
+
+namespace eeb::storage {
+
+std::vector<PointId> RawOrder(size_t n) {
+  std::vector<PointId> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<PointId>(i);
+  return order;
+}
+
+std::vector<PointId> ClusteredOrder(const Dataset& data, uint32_t num_clusters,
+                                    uint64_t seed) {
+  const size_t n = data.size();
+  KMeansResult km = KMeans(data, num_clusters, /*max_iters=*/10, seed);
+
+  struct Key {
+    uint32_t cluster;
+    double dist;
+    PointId id;
+  };
+  std::vector<Key> keys(n);
+  for (size_t i = 0; i < n; ++i) {
+    const PointId id = static_cast<PointId>(i);
+    const uint32_t c = km.assign[i];
+    keys[i] = {c, L2(data.point(id), km.centers.point(c)), id};
+  }
+  std::sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
+    if (a.cluster != b.cluster) return a.cluster < b.cluster;
+    if (a.dist != b.dist) return a.dist < b.dist;
+    return a.id < b.id;
+  });
+
+  std::vector<PointId> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = keys[i].id;
+  return order;
+}
+
+std::vector<PointId> SortedKeyOrder(const Dataset& data, uint32_t num_keys,
+                                    double w, uint64_t seed) {
+  const size_t n = data.size();
+  const size_t d = data.dim();
+  Rng rng(seed);
+
+  // Gaussian projection vectors (2-stable, as in E2LSH / SK-LSH).
+  std::vector<double> proj(static_cast<size_t>(num_keys) * d);
+  std::vector<double> shift(num_keys);
+  for (size_t i = 0; i < proj.size(); ++i) proj[i] = rng.NextGaussian();
+  for (uint32_t i = 0; i < num_keys; ++i) shift[i] = rng.NextDouble() * w;
+
+  std::vector<std::vector<int64_t>> keys(n, std::vector<int64_t>(num_keys));
+  for (size_t i = 0; i < n; ++i) {
+    auto p = data.point(static_cast<PointId>(i));
+    for (uint32_t m = 0; m < num_keys; ++m) {
+      const double* a = proj.data() + static_cast<size_t>(m) * d;
+      double dot = shift[m];
+      for (size_t j = 0; j < d; ++j) dot += a[j] * p[j];
+      keys[i][m] = static_cast<int64_t>(std::floor(dot / w));
+    }
+  }
+
+  std::vector<PointId> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<PointId>(i);
+  std::sort(order.begin(), order.end(), [&](PointId a, PointId b) {
+    if (keys[a] != keys[b]) return keys[a] < keys[b];
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace eeb::storage

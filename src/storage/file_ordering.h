@@ -1,0 +1,34 @@
+// Physical orderings of the point file P (paper Sec. 5.2.2 / Fig. 9):
+//   raw        — dataset order as generated,
+//   clustered  — iDistance-style: grouped by k-means cluster, sorted by
+//                distance to the cluster center within each group,
+//   sorted-key — SK-LSH-style: sorted lexicographically by a compound of LSH
+//                projection keys so similar points land on nearby pages.
+
+#ifndef EEB_STORAGE_FILE_ORDERING_H_
+#define EEB_STORAGE_FILE_ORDERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/types.h"
+
+namespace eeb::storage {
+
+/// Identity permutation: slot i holds point i.
+std::vector<PointId> RawOrder(size_t n);
+
+/// iDistance-style clustered ordering.
+/// @param num_clusters  number of k-means reference points
+std::vector<PointId> ClusteredOrder(const Dataset& data, uint32_t num_clusters,
+                                    uint64_t seed);
+
+/// SK-LSH-style sorted-key ordering using `num_keys` p-stable projections of
+/// width `w` as a compound sort key.
+std::vector<PointId> SortedKeyOrder(const Dataset& data, uint32_t num_keys,
+                                    double w, uint64_t seed);
+
+}  // namespace eeb::storage
+
+#endif  // EEB_STORAGE_FILE_ORDERING_H_

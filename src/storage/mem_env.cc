@@ -1,0 +1,126 @@
+#include "storage/mem_env.h"
+
+#include <cstring>
+
+namespace eeb::storage {
+namespace {
+
+class MemRandomAccessFile : public RandomAccessFile {
+ public:
+  explicit MemRandomAccessFile(std::shared_ptr<std::vector<char>> data)
+      : data_(std::move(data)) {}
+
+  Status Read(uint64_t offset, size_t n, char* scratch) const override {
+    if (offset + n > data_->size()) {
+      return Status::IOError("mem read past EOF");
+    }
+    std::memcpy(scratch, data_->data() + offset, n);
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return data_->size(); }
+
+ private:
+  std::shared_ptr<std::vector<char>> data_;
+};
+
+class MemWritableFile : public WritableFile {
+ public:
+  explicit MemWritableFile(std::shared_ptr<std::vector<char>> data)
+      : data_(std::move(data)) {}
+
+  Status Append(const char* data, size_t n) override {
+    data_->insert(data_->end(), data, data + n);
+    return Status::OK();
+  }
+
+  Status Close() override { return Status::OK(); }
+
+  uint64_t Offset() const override { return data_->size(); }
+
+ private:
+  std::shared_ptr<std::vector<char>> data_;
+};
+
+}  // namespace
+
+Status MemEnv::NewRandomAccessFile(const std::string& path,
+                                   std::unique_ptr<RandomAccessFile>* out) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::IOError("mem open: " + path);
+  out->reset(new MemRandomAccessFile(it->second));
+  return Status::OK();
+}
+
+Status MemEnv::NewWritableFile(const std::string& path,
+                               std::unique_ptr<WritableFile>* out) {
+  auto data = std::make_shared<std::vector<char>>();
+  files_[path] = data;
+  out->reset(new MemWritableFile(std::move(data)));
+  return Status::OK();
+}
+
+bool MemEnv::FileExists(const std::string& path) {
+  return files_.count(path) > 0;
+}
+
+Status MemEnv::DeleteFile(const std::string& path) {
+  if (files_.erase(path) == 0) {
+    return Status::IOError("mem unlink: " + path);
+  }
+  return Status::OK();
+}
+
+size_t MemEnv::TotalBytes() const {
+  size_t total = 0;
+  for (const auto& [_, data] : files_) total += data->size();
+  return total;
+}
+
+namespace {
+
+class FaultyFile : public RandomAccessFile {
+ public:
+  FaultyFile(std::unique_ptr<RandomAccessFile> base, FaultInjectionEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Read(uint64_t offset, size_t n, char* scratch) const override {
+    EEB_RETURN_IF_ERROR(env_->OnRead());
+    return base_->Read(offset, n, scratch);
+  }
+
+  uint64_t Size() const override { return base_->Size(); }
+
+ private:
+  std::unique_ptr<RandomAccessFile> base_;
+  FaultInjectionEnv* env_;
+};
+
+}  // namespace
+
+Status FaultInjectionEnv::NewRandomAccessFile(
+    const std::string& path, std::unique_ptr<RandomAccessFile>* out) {
+  std::unique_ptr<RandomAccessFile> base;
+  EEB_RETURN_IF_ERROR(base_->NewRandomAccessFile(path, &base));
+  out->reset(new FaultyFile(std::move(base), this));
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::OnRead() {
+  const uint64_t index = reads_++;
+  if (index >= plan_.fail_after_reads && (plan_.persistent || !tripped_)) {
+    // One-shot plans trip exactly once (on the triggering read).
+    if (!plan_.persistent) {
+      if (index == plan_.fail_after_reads) {
+        tripped_ = true;
+        return Status::IOError("injected read fault");
+      }
+      return Status::OK();
+    }
+    tripped_ = true;
+    return Status::IOError("injected read fault");
+  }
+  return Status::OK();
+}
+
+}  // namespace eeb::storage

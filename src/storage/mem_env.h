@@ -1,0 +1,91 @@
+// In-memory Env (testing substrate) and a fault-injection wrapper.
+//
+// MemEnv keeps whole "files" in RAM: tests exercise the exact storage code
+// paths (headers, slot tables, page alignment) without touching the
+// filesystem, and CI stays hermetic.
+//
+// FaultInjectionEnv wraps any Env and fails the N-th read (or all reads
+// after N), letting tests verify that every layer propagates Status instead
+// of crashing or corrupting results.
+
+#ifndef EEB_STORAGE_MEM_ENV_H_
+#define EEB_STORAGE_MEM_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/env.h"
+
+namespace eeb::storage {
+
+/// Heap-backed Env. Not thread-safe (tests are single-threaded).
+class MemEnv : public Env {
+ public:
+  Status NewRandomAccessFile(const std::string& path,
+                             std::unique_ptr<RandomAccessFile>* out) override;
+  Status NewWritableFile(const std::string& path,
+                         std::unique_ptr<WritableFile>* out) override;
+  bool FileExists(const std::string& path) override;
+  Status DeleteFile(const std::string& path) override;
+
+  /// Bytes currently held across all files.
+  size_t TotalBytes() const;
+
+ private:
+  // shared_ptr so an open reader stays valid across DeleteFile, matching
+  // POSIX unlink semantics.
+  std::map<std::string, std::shared_ptr<std::vector<char>>> files_;
+};
+
+/// Failure schedule for FaultInjectionEnv.
+struct FaultPlan {
+  /// Reads before the first injected failure (0 = fail immediately).
+  uint64_t fail_after_reads = UINT64_MAX;
+  /// When true, every read past the trigger fails; otherwise only one.
+  bool persistent = true;
+};
+
+/// Env wrapper that injects IOError into reads according to a FaultPlan.
+/// Writes pass through untouched (write-path fault tests would need their
+/// own plan; the read path is what queries exercise).
+class FaultInjectionEnv : public Env {
+ public:
+  explicit FaultInjectionEnv(Env* base) : base_(base) {}
+
+  void set_plan(const FaultPlan& plan) {
+    plan_ = plan;
+    reads_ = 0;
+    tripped_ = false;
+  }
+  uint64_t reads() const { return reads_; }
+
+  Status NewRandomAccessFile(const std::string& path,
+                             std::unique_ptr<RandomAccessFile>* out) override;
+  Status NewWritableFile(const std::string& path,
+                         std::unique_ptr<WritableFile>* out) override {
+    return base_->NewWritableFile(path, out);
+  }
+  bool FileExists(const std::string& path) override {
+    return base_->FileExists(path);
+  }
+  Status DeleteFile(const std::string& path) override {
+    return base_->DeleteFile(path);
+  }
+
+  /// Called by wrapped files before each read; returns non-OK when the
+  /// read must fail. Public so the file wrapper (internal) can reach it.
+  Status OnRead();
+
+ private:
+  Env* base_;
+  FaultPlan plan_;
+  uint64_t reads_ = 0;
+  bool tripped_ = false;
+};
+
+}  // namespace eeb::storage
+
+#endif  // EEB_STORAGE_MEM_ENV_H_

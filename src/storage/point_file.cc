@@ -1,0 +1,186 @@
+#include "storage/point_file.h"
+
+#include <cstring>
+
+namespace eeb::storage {
+namespace {
+
+constexpr uint64_t kMagic = 0x4545425046494c45ULL;  // "EEBPFILE"
+
+struct Header {
+  uint64_t magic;
+  uint64_t n;
+  uint64_t dim;
+  uint64_t page_size;
+  uint64_t n_slots;
+};
+
+}  // namespace
+
+Status PointFile::Create(Env* env, const std::string& path,
+                         const Dataset& data,
+                         const std::vector<PointId>& order,
+                         size_t page_size) {
+  const size_t n = data.size();
+  const size_t dim = data.dim();
+  const size_t n_slots = order.size();
+  if (n_slots < n) {
+    return Status::InvalidArgument("order has fewer slots than points");
+  }
+  const size_t record_bytes = dim * sizeof(Scalar);
+  if (record_bytes == 0 || page_size == 0) {
+    return Status::InvalidArgument("empty record or page");
+  }
+
+  std::unique_ptr<WritableFile> f;
+  EEB_RETURN_IF_ERROR(env->NewWritableFile(path, &f));
+
+  // Header page.
+  std::vector<char> page(page_size, 0);
+  Header h{kMagic, n, dim, page_size, n_slots};
+  std::memcpy(page.data(), &h, sizeof(h));
+  EEB_RETURN_IF_ERROR(f->Append(page.data(), page.size()));
+
+  // Data pages in slot order.
+  const size_t ppp = record_bytes <= page_size ? page_size / record_bytes : 0;
+  const size_t pages_per_point =
+      ppp > 0 ? 1 : (record_bytes + page_size - 1) / page_size;
+
+  // Build the inverse permutation (id -> slot) while writing, validating
+  // that every real id appears exactly once (a duplicate would silently
+  // orphan another point's slot-table entry).
+  std::vector<bool> seen(n, false);
+  std::vector<uint32_t> id_to_slot(n);
+  if (ppp > 0) {
+    size_t slot = 0;
+    while (slot < n_slots) {
+      std::fill(page.begin(), page.end(), 0);
+      size_t in_page = std::min(ppp, n_slots - slot);
+      for (size_t i = 0; i < in_page; ++i) {
+        PointId id = order[slot + i];
+        if (id == kInvalidPointId) continue;  // padding slot
+        if (id >= n) return Status::InvalidArgument("order id out of range");
+        if (seen[id]) return Status::InvalidArgument("duplicate id in order");
+        seen[id] = true;
+        id_to_slot[id] = static_cast<uint32_t>(slot + i);
+        auto p = data.point(id);
+        std::memcpy(page.data() + i * record_bytes, p.data(), record_bytes);
+      }
+      EEB_RETURN_IF_ERROR(f->Append(page.data(), page.size()));
+      slot += in_page;
+    }
+  } else {
+    std::vector<char> rec(pages_per_point * page_size, 0);
+    for (size_t slot = 0; slot < n_slots; ++slot) {
+      PointId id = order[slot];
+      std::memset(rec.data(), 0, rec.size());
+      if (id != kInvalidPointId) {
+        if (id >= n) return Status::InvalidArgument("order id out of range");
+        if (seen[id]) return Status::InvalidArgument("duplicate id in order");
+        seen[id] = true;
+        id_to_slot[id] = static_cast<uint32_t>(slot);
+        auto p = data.point(id);
+        std::memcpy(rec.data(), p.data(), record_bytes);
+      }
+      EEB_RETURN_IF_ERROR(f->Append(rec.data(), rec.size()));
+    }
+  }
+
+  for (size_t id = 0; id < n; ++id) {
+    if (!seen[id]) return Status::InvalidArgument("order is missing an id");
+  }
+
+  // Slot table tail: id -> slot, 4 bytes per point.
+  EEB_RETURN_IF_ERROR(
+      f->Append(reinterpret_cast<const char*>(id_to_slot.data()),
+                id_to_slot.size() * sizeof(uint32_t)));
+  return f->Close();
+}
+
+Status PointFile::Create(Env* env, const std::string& path,
+                         const Dataset& data, size_t page_size) {
+  std::vector<PointId> order(data.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<PointId>(i);
+  return Create(env, path, data, order, page_size);
+}
+
+Status PointFile::Open(Env* env, const std::string& path,
+                       std::unique_ptr<PointFile>* out) {
+  std::unique_ptr<PointFile> pf(new PointFile());
+  EEB_RETURN_IF_ERROR(pf->Init(env, path));
+  *out = std::move(pf);
+  return Status::OK();
+}
+
+Status PointFile::Init(Env* env, const std::string& path) {
+  EEB_RETURN_IF_ERROR(env->NewRandomAccessFile(path, &file_));
+  Header h;
+  EEB_RETURN_IF_ERROR(file_->Read(0, sizeof(h), reinterpret_cast<char*>(&h)));
+  if (h.magic != kMagic) return Status::Corruption("bad point file magic");
+  n_ = h.n;
+  dim_ = h.dim;
+  page_size_ = h.page_size;
+  n_slots_ = h.n_slots;
+  record_bytes_ = dim_ * sizeof(Scalar);
+  points_per_page_ =
+      record_bytes_ <= page_size_ ? page_size_ / record_bytes_ : 0;
+  pages_per_point_ = points_per_page_ > 0
+                         ? 1
+                         : (record_bytes_ + page_size_ - 1) / page_size_;
+  data_start_ = page_size_;
+  if (points_per_page_ > 0) {
+    data_pages_ = (n_slots_ + points_per_page_ - 1) / points_per_page_;
+  } else {
+    data_pages_ = n_slots_ * pages_per_point_;
+  }
+
+  id_to_slot_.resize(n_);
+  const uint64_t table_off = data_start_ + data_pages_ * page_size_;
+  EEB_RETURN_IF_ERROR(file_->Read(table_off, n_ * sizeof(uint32_t),
+                                  reinterpret_cast<char*>(id_to_slot_.data())));
+  return Status::OK();
+}
+
+uint64_t PointFile::PageOfPoint(PointId id) const {
+  const uint32_t slot = id_to_slot_[id];
+  if (points_per_page_ > 0) return slot / points_per_page_;
+  return static_cast<uint64_t>(slot) * pages_per_point_;
+}
+
+Status PointFile::ReadPoint(PointId id, std::span<Scalar> out, IoStats* stats,
+                            PageTracker* tracker) const {
+  if (id >= n_) return Status::InvalidArgument("point id out of range");
+  if (out.size() != dim_) return Status::InvalidArgument("bad output span");
+  const uint32_t slot = id_to_slot_[id];
+
+  uint64_t offset;
+  uint64_t first_page;
+  size_t pages_touched;
+  if (points_per_page_ > 0) {
+    first_page = slot / points_per_page_;
+    const size_t in_page = slot % points_per_page_;
+    offset = data_start_ + first_page * page_size_ + in_page * record_bytes_;
+    pages_touched = 1;
+  } else {
+    first_page = static_cast<uint64_t>(slot) * pages_per_point_;
+    offset = data_start_ + first_page * page_size_;
+    pages_touched = pages_per_point_;
+  }
+
+  EEB_RETURN_IF_ERROR(
+      file_->Read(offset, record_bytes_, reinterpret_cast<char*>(out.data())));
+
+  if (stats != nullptr) {
+    stats->point_reads += 1;
+    stats->bytes_read += record_bytes_;
+    for (size_t i = 0; i < pages_touched; ++i) {
+      const uint64_t page = first_page + i;
+      if (tracker == nullptr || tracker->Touch(page)) {
+        stats->page_reads += 1;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace eeb::storage

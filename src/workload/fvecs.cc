@@ -1,0 +1,62 @@
+#include "workload/fvecs.h"
+
+#include <cstring>
+#include <vector>
+
+namespace eeb::workload {
+
+Status ReadFvecs(storage::Env* env, const std::string& path, Dataset* out,
+                 size_t max_vectors) {
+  std::unique_ptr<storage::RandomAccessFile> f;
+  EEB_RETURN_IF_ERROR(env->NewRandomAccessFile(path, &f));
+  const uint64_t size = f->Size();
+
+  uint64_t offset = 0;
+  int32_t dim = -1;
+  std::vector<Scalar> vec;
+  size_t count = 0;
+  while (offset < size && (max_vectors == 0 || count < max_vectors)) {
+    int32_t d;
+    if (offset + 4 > size) return Status::Corruption("fvecs: truncated dim");
+    EEB_RETURN_IF_ERROR(f->Read(offset, 4, reinterpret_cast<char*>(&d)));
+    offset += 4;
+    if (d <= 0 || d > (1 << 20)) {
+      return Status::Corruption("fvecs: implausible dimension");
+    }
+    if (dim < 0) {
+      dim = d;
+      *out = Dataset(static_cast<size_t>(dim));
+      vec.resize(dim);
+    } else if (d != dim) {
+      return Status::Corruption("fvecs: inconsistent dimensions");
+    }
+    const uint64_t bytes = static_cast<uint64_t>(d) * sizeof(float);
+    if (offset + bytes > size) {
+      return Status::Corruption("fvecs: truncated vector");
+    }
+    EEB_RETURN_IF_ERROR(
+        f->Read(offset, bytes, reinterpret_cast<char*>(vec.data())));
+    offset += bytes;
+    out->Append(vec);
+    ++count;
+  }
+  if (dim < 0) *out = Dataset(0);
+  return Status::OK();
+}
+
+Status WriteFvecs(storage::Env* env, const std::string& path,
+                  const Dataset& data) {
+  std::unique_ptr<storage::WritableFile> f;
+  EEB_RETURN_IF_ERROR(env->NewWritableFile(path, &f));
+  const int32_t dim = static_cast<int32_t>(data.dim());
+  for (size_t i = 0; i < data.size(); ++i) {
+    EEB_RETURN_IF_ERROR(
+        f->Append(reinterpret_cast<const char*>(&dim), sizeof(dim)));
+    auto p = data.point(static_cast<PointId>(i));
+    EEB_RETURN_IF_ERROR(f->Append(reinterpret_cast<const char*>(p.data()),
+                                  p.size() * sizeof(Scalar)));
+  }
+  return f->Close();
+}
+
+}  // namespace eeb::workload

@@ -1,0 +1,29 @@
+// fvecs dataset I/O — the de-facto standard container for ANN benchmark
+// datasets (SIFT1M, GIST1M, etc.): each vector is stored as an int32
+// dimension count followed by that many float32 components. Supporting it
+// lets users run the library on the real feature files the paper's datasets
+// ship in, instead of only the synthetic surrogates.
+
+#ifndef EEB_WORKLOAD_FVECS_H_
+#define EEB_WORKLOAD_FVECS_H_
+
+#include <string>
+
+#include "common/dataset.h"
+#include "common/status.h"
+#include "storage/env.h"
+
+namespace eeb::workload {
+
+/// Reads an .fvecs file. All vectors must share one dimensionality.
+/// `max_vectors` (0 = unlimited) truncates large files for sampling.
+Status ReadFvecs(storage::Env* env, const std::string& path, Dataset* out,
+                 size_t max_vectors = 0);
+
+/// Writes a dataset as .fvecs.
+Status WriteFvecs(storage::Env* env, const std::string& path,
+                  const Dataset& data);
+
+}  // namespace eeb::workload
+
+#endif  // EEB_WORKLOAD_FVECS_H_

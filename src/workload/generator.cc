@@ -1,0 +1,167 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "common/zipf.h"
+
+namespace eeb::workload {
+namespace {
+
+Scalar ClampToDomain(double v, uint32_t ndom) {
+  double r = std::floor(v + 0.5);
+  if (r < 0) r = 0;
+  if (r > ndom - 1) r = ndom - 1;
+  return static_cast<Scalar>(r);
+}
+
+}  // namespace
+
+Dataset GenerateClustered(const DatasetSpec& spec) {
+  Rng rng(spec.seed);
+  const size_t d = spec.dim;
+  const uint32_t ndom = spec.ndom;
+
+  // Mixture centers away from the domain edges so clusters are not clipped
+  // flat against the boundary.
+  Dataset centers(d);
+  centers.Reserve(spec.clusters);
+  std::vector<Scalar> c(d);
+  for (uint32_t i = 0; i < spec.clusters; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      c[j] = static_cast<Scalar>(0.15 * ndom + rng.NextDouble() * 0.7 * ndom);
+    }
+    centers.Append(c);
+  }
+
+  // Cluster-level sparsity masks: similar images share their empty
+  // histogram bins, so the zeroed dimensions are a property of the cluster,
+  // not of the individual point (independent per-point masks would destroy
+  // all locality: two neighbors would disagree on ~2*s*(1-s) of their
+  // dimensions by hundreds of value units each).
+  std::vector<std::vector<bool>> sparse_mask;
+  if (spec.sparsity > 0.0) {
+    sparse_mask.assign(spec.clusters, std::vector<bool>(d, false));
+    for (auto& mask : sparse_mask) {
+      for (size_t j = 0; j < d; ++j) mask[j] = rng.Bernoulli(spec.sparsity);
+    }
+  }
+
+  // Optional low-dimensional manifold per cluster: a random linear map
+  // from intrinsic_dim latent coordinates into the full space. Column
+  // scaling keeps the per-dimension spread at cluster_stddev.
+  const uint32_t m = spec.intrinsic_dim;
+  std::vector<std::vector<double>> manifolds;  // per cluster: m * d
+  if (m > 0) {
+    manifolds.assign(spec.clusters, std::vector<double>(m * d));
+    const double scale = 1.0 / std::sqrt(static_cast<double>(m));
+    for (auto& a : manifolds) {
+      for (auto& v : a) v = rng.NextGaussian() * scale;
+    }
+  }
+
+  // Optional micro-cluster level: sub-centers drawn around each cluster
+  // center at the cluster spread; points then scatter tightly around their
+  // sub-center.
+  const bool two_level = m == 0 && spec.sub_stddev > 0.0;
+  std::vector<Dataset> subcenters;
+  if (two_level) {
+    const size_t per_cluster =
+        std::max<size_t>(1, spec.n / std::max<uint32_t>(1, spec.clusters));
+    const size_t subs = std::max<size_t>(
+        1, per_cluster / std::max<size_t>(1, spec.sub_points));
+    subcenters.assign(spec.clusters, Dataset(d));
+    std::vector<Scalar> sc(d);
+    for (uint32_t ci = 0; ci < spec.clusters; ++ci) {
+      auto center = centers.point(ci);
+      for (size_t s = 0; s < subs; ++s) {
+        for (size_t j = 0; j < d; ++j) {
+          sc[j] = ClampToDomain(
+              center[j] + rng.NextGaussian() * spec.cluster_stddev, ndom);
+        }
+        subcenters[ci].Append(sc);
+      }
+    }
+  }
+
+  Dataset data(d);
+  data.Reserve(spec.n);
+  std::vector<Scalar> p(d);
+  for (size_t i = 0; i < spec.n; ++i) {
+    const uint32_t cluster =
+        static_cast<uint32_t>(rng.Uniform(spec.clusters));
+    std::span<const Scalar> anchor = centers.point(cluster);
+    double spread = spec.cluster_stddev;
+    if (two_level) {
+      const auto& subs = subcenters[cluster];
+      anchor = subs.point(static_cast<PointId>(rng.Uniform(subs.size())));
+      spread = spec.sub_stddev;
+    }
+    const std::vector<bool>* mask =
+        spec.sparsity > 0.0 ? &sparse_mask[cluster] : nullptr;
+    if (m > 0) {
+      // Manifold sample: anchor + z * A + isotropic noise.
+      std::vector<double> z(m);
+      for (auto& v : z) v = rng.NextGaussian() * spec.cluster_stddev;
+      const std::vector<double>& a = manifolds[cluster];
+      for (size_t j = 0; j < d; ++j) {
+        if (mask != nullptr && (*mask)[j]) {
+          p[j] = ClampToDomain(
+              -0.03 * ndom * std::log(1.0 - rng.NextDouble() + 1e-12), ndom);
+          continue;
+        }
+        double off = 0.0;
+        for (uint32_t t = 0; t < m; ++t) off += z[t] * a[t * d + j];
+        off += rng.NextGaussian() * spec.sub_stddev;
+        p[j] = ClampToDomain(anchor[j] + off, ndom);
+      }
+      data.Append(p);
+      continue;
+    }
+    for (size_t j = 0; j < d; ++j) {
+      if (mask != nullptr && (*mask)[j]) {
+        // Sparse histogram bin: small value with an exponential-ish tail.
+        p[j] = ClampToDomain(
+            -0.03 * ndom * std::log(1.0 - rng.NextDouble() + 1e-12), ndom);
+      } else {
+        p[j] = ClampToDomain(anchor[j] + rng.NextGaussian() * spread, ndom);
+      }
+    }
+    data.Append(p);
+  }
+  return data;
+}
+
+QueryLog GenerateQueryLog(const Dataset& data, const QueryLogSpec& spec) {
+  Rng rng(spec.seed);
+  const size_t d = data.dim();
+  const uint32_t ndom_guess =
+      static_cast<uint32_t>(std::max<Scalar>(1, data.MaxValue())) + 1;
+
+  // Query pool: jittered copies of random data points.
+  std::vector<std::vector<Scalar>> pool(spec.pool_size,
+                                        std::vector<Scalar>(d));
+  for (auto& q : pool) {
+    const PointId src = static_cast<PointId>(rng.Uniform(data.size()));
+    auto p = data.point(src);
+    for (size_t j = 0; j < d; ++j) {
+      q[j] = ClampToDomain(p[j] + rng.NextGaussian() * spec.jitter_stddev,
+                           ndom_guess);
+    }
+  }
+
+  ZipfSampler zipf(spec.pool_size, spec.zipf_s);
+  QueryLog log;
+  log.workload.reserve(spec.workload_size);
+  for (size_t i = 0; i < spec.workload_size; ++i) {
+    log.workload.push_back(pool[zipf.Sample(rng)]);
+  }
+  log.test.reserve(spec.test_size);
+  for (size_t i = 0; i < spec.test_size; ++i) {
+    log.test.push_back(pool[zipf.Sample(rng)]);
+  }
+  return log;
+}
+
+}  // namespace eeb::workload

@@ -1,0 +1,77 @@
+// Synthetic dataset + query-log generation. Substitutes for the paper's
+// NUS-WIDE / IMGNET / SOGOU image-feature datasets (not available offline):
+// clustered Gaussian-mixture feature vectors over the integer value domain
+// [0, ndom), with optional per-dimension sparsity mimicking color-histogram
+// features, and a Zipf-distributed query log reproducing the power-law
+// popularity skew of the paper's Fig. 2.
+
+#ifndef EEB_WORKLOAD_GENERATOR_H_
+#define EEB_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+
+namespace eeb::workload {
+
+/// Shape of a synthetic dataset.
+struct DatasetSpec {
+  std::string name;
+  size_t n = 10000;
+  size_t dim = 64;
+  uint32_t ndom = 256;       ///< value domain; Lvalue = log2(ndom)
+  uint32_t clusters = 32;    ///< Gaussian mixture components
+  double cluster_stddev = 14.0;  ///< per-dimension spread, in value units
+  /// Fraction of dimensions per point forced toward zero, emulating sparse
+  /// color-histogram features (0 = dense GIST-like vectors).
+  double sparsity = 0.0;
+  /// Two-level structure: when > 0, each cluster is a mixture of micro
+  /// clusters (about `sub_points` members each) of this per-dimension
+  /// spread. Real image features are multi-scale — nearest neighbors are
+  /// much closer than the typical intra-cluster distance — and metric
+  /// indexes (iDistance, VP-tree) rely on that density contrast.
+  double sub_stddev = 0.0;
+  size_t sub_points = 40;
+  /// Intrinsic dimensionality (0 = full). When > 0, each cluster lies on a
+  /// random `intrinsic_dim`-dimensional linear manifold embedded in `dim`
+  /// dimensions (plus `sub_stddev` isotropic noise). Image descriptors have
+  /// low intrinsic dimensionality; distance-based pruning (iDistance,
+  /// VP-tree, and the paper's Fig. 16) depends on it — with full-rank
+  /// Gaussians, concentration of measure makes every metric bound useless.
+  uint32_t intrinsic_dim = 0;
+  uint64_t seed = 1;
+};
+
+/// Generates a clustered dataset according to `spec`. Coordinates are
+/// integral values in [0, ndom) stored as Scalar.
+Dataset GenerateClustered(const DatasetSpec& spec);
+
+/// Shape of a synthetic query log.
+struct QueryLogSpec {
+  size_t pool_size = 400;      ///< distinct query objects
+  size_t workload_size = 1000; ///< |WL|, the historical log
+  size_t test_size = 50;       ///< |Qtest| (paper Sec. 5.1)
+  double zipf_s = 0.8;         ///< popularity skew (Fig. 2 power law)
+  /// Perturbation of pool queries relative to their source data point, in
+  /// value units. The paper removes query points from P; we keep P intact
+  /// and jitter instead, which equally avoids trivial distance-0 hits.
+  double jitter_stddev = 4.0;
+  uint64_t seed = 2;
+};
+
+/// A query log: the historical workload WL plus the held-out test set.
+struct QueryLog {
+  std::vector<std::vector<Scalar>> workload;
+  std::vector<std::vector<Scalar>> test;
+};
+
+/// Builds a Zipf-popularity query log whose queries are jittered copies of
+/// random data points. Repeated draws of the same pool entry are identical
+/// (temporal locality an HFF cache can exploit).
+QueryLog GenerateQueryLog(const Dataset& data, const QueryLogSpec& spec);
+
+}  // namespace eeb::workload
+
+#endif  // EEB_WORKLOAD_GENERATOR_H_

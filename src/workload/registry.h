@@ -1,0 +1,44 @@
+// Scaled surrogates of the paper's three evaluation datasets (Table 2).
+// Sizes are laptop-scale; the relative progression (small color-histogram
+// set, a ~3-4x larger one, and a much larger high-dimensional GIST set with
+// a skewed real query log) mirrors NUS-WIDE : IMGNET : SOGOU. See DESIGN.md
+// for the substitution rationale.
+
+#ifndef EEB_WORKLOAD_REGISTRY_H_
+#define EEB_WORKLOAD_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "workload/generator.h"
+
+namespace eeb::workload {
+
+/// NUS-WIDE surrogate: small, 64-d, sparse color-histogram-like features.
+DatasetSpec NuswSimSpec();
+
+/// IMGNET surrogate: mid-size, 64-d color-histogram-like features.
+DatasetSpec ImgnetSimSpec();
+
+/// SOGOU surrogate: large, 128-d dense GIST-like features (the dataset with
+/// the real query log in the paper; here the log is the Zipf generator).
+DatasetSpec SogouSimSpec();
+
+/// All three, in paper order.
+std::vector<DatasetSpec> AllSpecs();
+
+/// Query-log spec used with every dataset (|Qtest| = 50, Sec. 5.1).
+QueryLogSpec DefaultLogSpec();
+
+/// Default cache budget for a dataset: ~30% of the point-file bytes,
+/// mirroring the paper's default CS ("less than 30% of the size").
+size_t DefaultCacheBytes(const DatasetSpec& spec);
+
+/// Honors the EEB_QUICK environment variable: when set, shrinks a spec (and
+/// the log) so test/bench smoke runs stay fast.
+DatasetSpec MaybeQuick(DatasetSpec spec);
+QueryLogSpec MaybeQuick(QueryLogSpec spec);
+
+}  // namespace eeb::workload
+
+#endif  // EEB_WORKLOAD_REGISTRY_H_

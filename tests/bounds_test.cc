@@ -1,0 +1,221 @@
+// Property tests for the distance bounds of Sec. 3.2: for any histogram,
+// point and query, dist-(p') <= dist(p) <= dist+(p'), and Lemma 1:
+// dist+ - dist <= ||eps(p')||.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/dataset.h"
+#include "common/distance.h"
+#include "common/random.h"
+#include "cache/code_cache.h"
+#include "hist/bounds.h"
+#include "hist/builders.h"
+
+namespace eeb::hist {
+namespace {
+
+constexpr uint32_t kNdom = 64;
+
+std::vector<Scalar> RandomPoint(Rng& rng, size_t d) {
+  std::vector<Scalar> p(d);
+  for (auto& v : p) v = static_cast<Scalar>(rng.Uniform(kNdom));
+  return p;
+}
+
+Histogram RandomHistogram(Rng& rng) {
+  // Random builder and bucket count over a random frequency array.
+  FrequencyArray f(kNdom);
+  for (uint32_t x = 0; x < kNdom; ++x) {
+    if (rng.Bernoulli(0.7)) f.Add(x, 1.0 + rng.Uniform(20));
+  }
+  Histogram h;
+  const uint32_t buckets = 2u << rng.Uniform(5);  // 2..64
+  switch (rng.Uniform(4)) {
+    case 0:
+      EXPECT_TRUE(BuildEquiWidth(kNdom, buckets, &h).ok());
+      break;
+    case 1:
+      EXPECT_TRUE(BuildEquiDepth(f, buckets, &h).ok());
+      break;
+    case 2:
+      EXPECT_TRUE(BuildVOptimal(f, buckets, &h).ok());
+      break;
+    default:
+      EXPECT_TRUE(BuildKnnOptimal(f, buckets, &h).ok());
+      break;
+  }
+  return h;
+}
+
+TEST(BoundsTest, Property_SandwichAndLemma1_Global) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 300; ++trial) {
+    const size_t d = 1 + rng.Uniform(32);
+    Histogram h = RandomHistogram(rng);
+    const auto p = RandomPoint(rng, d);
+    const auto q = RandomPoint(rng, d);
+
+    std::vector<BucketId> codes(d);
+    cache::EncodeGlobal(h, p, codes);
+    const double dist = L2(q, p);
+    // Both interval semantics must sandwich integral data.
+    for (bool integral : {false, true}) {
+      double lb, ub;
+      CodeBoundsGlobal(h, q, codes, &lb, &ub, integral);
+      EXPECT_LE(lb, dist + 1e-9) << "lower bound violated";
+      EXPECT_GE(ub, dist - 1e-9) << "upper bound violated";
+      // Lemma 1: dist+ - dist <= ||eps||.
+      const double eps = ErrorVectorNorm(h, codes, integral);
+      EXPECT_LE(ub - dist, eps + 1e-9);
+    }
+  }
+}
+
+TEST(BoundsTest, Property_SandwichIndividual) {
+  Rng rng(2025);
+  for (int trial = 0; trial < 150; ++trial) {
+    const size_t d = 1 + rng.Uniform(16);
+    std::vector<Histogram> dims;
+    dims.reserve(d);
+    for (size_t j = 0; j < d; ++j) dims.push_back(RandomHistogram(rng));
+    IndividualHistograms ih(std::move(dims));
+
+    const auto p = RandomPoint(rng, d);
+    const auto q = RandomPoint(rng, d);
+    std::vector<BucketId> codes(d);
+    cache::EncodeIndividual(ih, p, codes);
+    double lb, ub;
+    CodeBoundsIndividual(ih, q, codes, &lb, &ub);
+    const double dist = L2(q, p);
+    EXPECT_LE(lb, dist + 1e-9);
+    EXPECT_GE(ub, dist - 1e-9);
+  }
+}
+
+TEST(BoundsTest, ExactWhenBucketsAreSingletonsIntegralMode) {
+  // tau = log2(ndom) on integral data: every bucket holds one value, so
+  // the tight (integral) edges give lb == dist == ub.
+  Histogram h;
+  ASSERT_TRUE(BuildEquiWidth(kNdom, kNdom, &h).ok());
+  Rng rng(2026);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t d = 4;
+    const auto p = RandomPoint(rng, d);
+    const auto q = RandomPoint(rng, d);
+    std::vector<BucketId> codes(d);
+    cache::EncodeGlobal(h, p, codes);
+    double lb, ub;
+    CodeBoundsGlobal(h, q, codes, &lb, &ub, /*integral=*/true);
+    const double dist = L2(q, p);
+    EXPECT_NEAR(lb, dist, 1e-6);
+    EXPECT_NEAR(ub, dist, 1e-6);
+  }
+}
+
+TEST(BoundsTest, ContinuousModeSandwichesFractionalCoordinates) {
+  // The integral-mode edges are INVALID for fractional data; the default
+  // continuous edges must still sandwich. This is a regression test for a
+  // real bug: value 123.7 encodes to bucket [123,123] and the tight lower
+  // bound can exceed the true distance.
+  Histogram h;
+  ASSERT_TRUE(BuildEquiWidth(kNdom, kNdom, &h).ok());
+  Rng rng(2030);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t d = 6;
+    std::vector<Scalar> p(d), q(d);
+    for (auto& v : p) {
+      v = static_cast<Scalar>(rng.NextDouble() * (kNdom - 1));
+    }
+    for (auto& v : q) {
+      v = static_cast<Scalar>(rng.NextDouble() * (kNdom - 1));
+    }
+    std::vector<BucketId> codes(d);
+    cache::EncodeGlobal(h, p, codes);
+    double lb, ub;
+    CodeBoundsGlobal(h, q, codes, &lb, &ub);
+    const double dist = L2(q, p);
+    EXPECT_LE(lb, dist + 1e-9);
+    EXPECT_GE(ub, dist - 1e-9);
+  }
+}
+
+TEST(BoundsTest, PaperWorkedExample) {
+  // Fig. 5 / Table 1 of the paper: d=2, tau=2 equi-width over [0,32),
+  // q=(9,11), p2=(10,16) encodes to (01,10) with dist+ = 13.42.
+  Histogram h;
+  ASSERT_TRUE(Histogram::Create({{0, 7}, {8, 15}, {16, 23}, {24, 31}}, 32,
+                                &h).ok());
+  std::vector<Scalar> q{9, 11};
+  std::vector<Scalar> p2{10, 16};
+  std::vector<BucketId> codes(2);
+  cache::EncodeGlobal(h, p2, codes);
+  EXPECT_EQ(codes[0], 1u);
+  EXPECT_EQ(codes[1], 2u);
+  double lb, ub;
+  CodeBoundsGlobal(h, q, codes, &lb, &ub, /*integral=*/true);
+  EXPECT_NEAR(ub, std::sqrt(6.0 * 6 + 12 * 12), 1e-9);  // 13.416
+  EXPECT_NEAR(lb, 5.0, 1e-9);  // inside dim1 (0), gap 5 in dim2
+}
+
+TEST(BoundsTest, PaperTable1PruningDecisions) {
+  // Full Table 1: p3 and p4 pruned against ubk = 13.42 at k = 1.
+  Histogram h;
+  ASSERT_TRUE(Histogram::Create({{0, 7}, {8, 15}, {16, 23}, {24, 31}}, 32,
+                                &h).ok());
+  std::vector<Scalar> q{9, 11};
+  struct Case {
+    std::vector<Scalar> p;
+    double lb, ub;
+  };
+  const std::vector<Case> cases = {
+      {{2, 20}, 5.385164807134504, 15.0},   // p1: ([0..7],[16..23])
+      {{10, 16}, 5.0, 13.416407864998739},  // p2
+      {{19, 30}, 14.764823060233400, 24.413111231467404},  // p3
+      {{26, 4}, 15.524174696260025, 24.596747752497688},   // p4
+  };
+  std::vector<BucketId> codes(2);
+  for (const Case& c : cases) {
+    cache::EncodeGlobal(h, c.p, codes);
+    double lb, ub;
+    CodeBoundsGlobal(h, q, codes, &lb, &ub, /*integral=*/true);
+    EXPECT_NEAR(lb, c.lb, 1e-9);
+    EXPECT_NEAR(ub, c.ub, 1e-9);
+  }
+  // ubk (k=1) = min ub = 13.42; p3 and p4 have lb above it.
+  EXPECT_GT(cases[2].lb, cases[1].ub);
+  EXPECT_GT(cases[3].lb, cases[1].ub);
+}
+
+TEST(BoundsTest, LowerTermAndUpperTermEdgeCases) {
+  EXPECT_DOUBLE_EQ(LowerTerm(5.0, 2, 8), 0.0);   // inside
+  EXPECT_DOUBLE_EQ(LowerTerm(1.0, 2, 8), 1.0);   // left of
+  EXPECT_DOUBLE_EQ(LowerTerm(10.0, 2, 8), 4.0);  // right of
+  EXPECT_DOUBLE_EQ(UpperTerm(5.0, 2, 8), 9.0);   // farthest edge
+  EXPECT_DOUBLE_EQ(UpperTerm(2.0, 2, 8), 36.0);
+}
+
+TEST(BoundsTest, TighterHistogramGivesTighterBounds) {
+  // Property: refining every bucket (more buckets) cannot loosen bounds.
+  Rng rng(2027);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t d = 8;
+    Histogram coarse, fine;
+    ASSERT_TRUE(BuildEquiWidth(kNdom, 4, &coarse).ok());
+    ASSERT_TRUE(BuildEquiWidth(kNdom, 16, &fine).ok());
+    const auto p = RandomPoint(rng, d);
+    const auto q = RandomPoint(rng, d);
+    std::vector<BucketId> cc(d), cf(d);
+    cache::EncodeGlobal(coarse, p, cc);
+    cache::EncodeGlobal(fine, p, cf);
+    double clb, cub, flb, fub;
+    CodeBoundsGlobal(coarse, q, cc, &clb, &cub);
+    CodeBoundsGlobal(fine, q, cf, &flb, &fub);
+    EXPECT_LE(clb, flb + 1e-9);
+    EXPECT_GE(cub, fub - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace eeb::hist

@@ -1,0 +1,178 @@
+// Tests for the disk B+-tree substrate: bulk load, lookups, range scans,
+// duplicate keys, I/O accounting, corruption handling, and an
+// iDistance-style key-space workout.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "index/bptree/bptree.h"
+#include "storage/mem_env.h"
+
+namespace eeb::index {
+namespace {
+
+std::vector<BptEntry> SortedRandomEntries(size_t n, uint64_t seed,
+                                          uint64_t key_range) {
+  Rng rng(seed);
+  std::vector<BptEntry> entries(n);
+  for (size_t i = 0; i < n; ++i) {
+    entries[i] = {rng.Uniform(key_range), rng.Next()};
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const BptEntry& a, const BptEntry& b) { return a.key < b.key; });
+  return entries;
+}
+
+TEST(BpTreeTest, RejectsUnsortedInput) {
+  storage::MemEnv env;
+  std::vector<BptEntry> bad{{5, 1}, {3, 2}};
+  EXPECT_TRUE(BpTree::BulkLoad(&env, "/t", bad).IsInvalidArgument());
+}
+
+TEST(BpTreeTest, EmptyTree) {
+  storage::MemEnv env;
+  ASSERT_TRUE(BpTree::BulkLoad(&env, "/t", {}).ok());
+  std::unique_ptr<BpTree> tree;
+  ASSERT_TRUE(BpTree::Open(&env, "/t", &tree).ok());
+  EXPECT_EQ(tree->size(), 0u);
+  std::vector<uint64_t> values;
+  ASSERT_TRUE(tree->Lookup(42, &values, nullptr).ok());
+  EXPECT_TRUE(values.empty());
+}
+
+TEST(BpTreeTest, LookupMatchesMap) {
+  storage::MemEnv env;
+  auto entries = SortedRandomEntries(20000, 7, 5000);
+  ASSERT_TRUE(BpTree::BulkLoad(&env, "/t", entries).ok());
+  std::unique_ptr<BpTree> tree;
+  ASSERT_TRUE(BpTree::Open(&env, "/t", &tree).ok());
+  EXPECT_EQ(tree->size(), 20000u);
+  EXPECT_GE(tree->height(), 2u);
+
+  std::multimap<uint64_t, uint64_t> truth;
+  for (const auto& e : entries) truth.emplace(e.key, e.value);
+
+  Rng rng(11);
+  for (int t = 0; t < 200; ++t) {
+    const uint64_t key = rng.Uniform(5000);
+    std::vector<uint64_t> got;
+    ASSERT_TRUE(tree->Lookup(key, &got, nullptr).ok());
+    auto [lo, hi] = truth.equal_range(key);
+    std::vector<uint64_t> want;
+    for (auto it = lo; it != hi; ++it) want.push_back(it->second);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "key " << key;
+  }
+}
+
+TEST(BpTreeTest, RangeScanMatchesMapAndIsOrdered) {
+  storage::MemEnv env;
+  auto entries = SortedRandomEntries(5000, 13, 100000);
+  ASSERT_TRUE(BpTree::BulkLoad(&env, "/t", entries).ok());
+  std::unique_ptr<BpTree> tree;
+  ASSERT_TRUE(BpTree::Open(&env, "/t", &tree).ok());
+
+  Rng rng(17);
+  for (int t = 0; t < 50; ++t) {
+    uint64_t lo = rng.Uniform(100000);
+    uint64_t hi = lo + rng.Uniform(20000);
+    std::vector<uint64_t> keys;
+    ASSERT_TRUE(tree->RangeScan(lo, hi,
+                                [&](const BptEntry& e) {
+                                  keys.push_back(e.key);
+                                },
+                                nullptr)
+                    .ok());
+    EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+    size_t want = 0;
+    for (const auto& e : entries) want += (e.key >= lo && e.key <= hi);
+    EXPECT_EQ(keys.size(), want) << "[" << lo << "," << hi << "]";
+  }
+}
+
+TEST(BpTreeTest, IoAccounting) {
+  storage::MemEnv env;
+  auto entries = SortedRandomEntries(50000, 19, 1000000);
+  ASSERT_TRUE(BpTree::BulkLoad(&env, "/t", entries).ok());
+  std::unique_ptr<BpTree> tree;
+  ASSERT_TRUE(BpTree::Open(&env, "/t", &tree).ok());
+
+  // A point lookup touches exactly `height` random pages (no leaf chain).
+  storage::IoStats stats;
+  std::vector<uint64_t> values;
+  ASSERT_TRUE(tree->Lookup(entries[1000].key, &values, &stats).ok());
+  EXPECT_EQ(stats.page_reads, tree->height());
+
+  // A wide scan adds sequential leaf pages.
+  stats.Reset();
+  size_t count = 0;
+  ASSERT_TRUE(tree->RangeScan(0, 1000000,
+                              [&](const BptEntry&) { ++count; }, &stats)
+                  .ok());
+  EXPECT_EQ(count, 50000u);
+  EXPECT_EQ(stats.page_reads, tree->height());
+  EXPECT_GT(stats.seq_page_reads, 100u);
+}
+
+TEST(BpTreeTest, RejectsCorruptFile) {
+  storage::MemEnv env;
+  std::unique_ptr<storage::WritableFile> w;
+  ASSERT_TRUE(env.NewWritableFile("/junk", &w).ok());
+  std::vector<char> junk(8192, 'z');
+  ASSERT_TRUE(w->Append(junk.data(), junk.size()).ok());
+  std::unique_ptr<BpTree> tree;
+  EXPECT_TRUE(BpTree::Open(&env, "/junk", &tree).IsCorruption());
+}
+
+TEST(BpTreeTest, IDistanceKeySpaceWorkout) {
+  // The iDistance key layout: partition * C + quantized distance. Verify a
+  // ring query maps to one contiguous range per partition.
+  storage::MemEnv env;
+  constexpr uint64_t kC = 1 << 20;
+  Rng rng(23);
+  std::vector<BptEntry> entries;
+  for (uint64_t part = 0; part < 8; ++part) {
+    for (int i = 0; i < 1000; ++i) {
+      entries.push_back({part * kC + rng.Uniform(10000), rng.Next()});
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const BptEntry& a, const BptEntry& b) { return a.key < b.key; });
+  ASSERT_TRUE(BpTree::BulkLoad(&env, "/t", entries).ok());
+  std::unique_ptr<BpTree> tree;
+  ASSERT_TRUE(BpTree::Open(&env, "/t", &tree).ok());
+
+  // Ring [2000, 4000) in partition 5.
+  size_t count = 0;
+  ASSERT_TRUE(tree->RangeScan(5 * kC + 2000, 5 * kC + 3999,
+                              [&](const BptEntry& e) {
+                                EXPECT_EQ(e.key / kC, 5u);
+                                ++count;
+                              },
+                              nullptr)
+                  .ok());
+  size_t want = 0;
+  for (const auto& e : entries) {
+    want += (e.key >= 5 * kC + 2000 && e.key <= 5 * kC + 3999);
+  }
+  EXPECT_EQ(count, want);
+  EXPECT_GT(count, 0u);
+}
+
+TEST(BpTreeTest, SmallPageSizeGrowsHeight) {
+  storage::MemEnv env;
+  auto entries = SortedRandomEntries(4000, 29, 1 << 30);
+  ASSERT_TRUE(BpTree::BulkLoad(&env, "/t", entries, 512).ok());
+  std::unique_ptr<BpTree> tree;
+  ASSERT_TRUE(BpTree::Open(&env, "/t", &tree).ok());
+  EXPECT_GE(tree->height(), 3u);
+  std::vector<uint64_t> values;
+  ASSERT_TRUE(tree->Lookup(entries[123].key, &values, nullptr).ok());
+  EXPECT_FALSE(values.empty());
+}
+
+}  // namespace
+}  // namespace eeb::index

@@ -1,0 +1,159 @@
+// Tests for the Sec. 4 cost model: HFF hit-ratio arithmetic, the Theorem-1
+// bound, equi-width estimates (Thm. 3), the generic histogram estimate, and
+// the tau tuners.
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "hist/builders.h"
+
+namespace eeb::core {
+namespace {
+
+CostModelInputs MakeInputs() {
+  CostModelInputs in;
+  // Zipf-ish frequency curve over 1000 points.
+  for (int i = 0; i < 1000; ++i) {
+    in.freq_sorted.push_back(1000.0 / (i + 1));
+  }
+  in.avg_candidates = 200;
+  in.dmax = 400.0;
+  in.dim = 64;
+  in.lvalue = 8;
+  in.cache_bytes = 16384;
+  in.k = 10;
+  return in;
+}
+
+TEST(HffHitRatioTest, Basics) {
+  std::vector<double> f{4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(HffHitRatio(f, 0), 0.0);
+  EXPECT_DOUBLE_EQ(HffHitRatio(f, 1), 0.4);
+  EXPECT_DOUBLE_EQ(HffHitRatio(f, 2), 0.7);
+  EXPECT_DOUBLE_EQ(HffHitRatio(f, 4), 1.0);
+  EXPECT_DOUBLE_EQ(HffHitRatio(f, 100), 1.0);
+  EXPECT_DOUBLE_EQ(HffHitRatio({}, 5), 0.0);
+}
+
+TEST(HffHitRatioTest, MonotoneInItems) {
+  auto in = MakeInputs();
+  double prev = 0;
+  for (size_t items = 0; items <= 1000; items += 50) {
+    const double h = HffHitRatio(in.freq_sorted, items);
+    EXPECT_GE(h, prev);
+    prev = h;
+  }
+}
+
+TEST(Thm1BoundTest, BoundsSmallTauAboveExact) {
+  auto in = MakeInputs();
+  // The bound at tau = Lvalue reduces (roughly) to the exact-cache ratio;
+  // smaller tau can only raise the bound.
+  const double at_lvalue = HitRatioBoundThm1(in, in.lvalue);
+  for (uint32_t tau = 1; tau < in.lvalue; ++tau) {
+    EXPECT_GE(HitRatioBoundThm1(in, tau), at_lvalue);
+  }
+}
+
+TEST(EquiWidthEstimateTest, HitRatioDecreasesWithTau) {
+  auto in = MakeInputs();
+  double prev = 2.0;
+  for (uint32_t tau = 1; tau <= 8; ++tau) {
+    const auto est = EstimateEquiWidth(in, tau);
+    EXPECT_LE(est.hit_ratio, prev + 1e-12)
+        << "more bits per item -> fewer items -> lower hit ratio";
+    prev = est.hit_ratio;
+  }
+}
+
+TEST(EquiWidthEstimateTest, PruneRatioIncreasesWithTau) {
+  auto in = MakeInputs();
+  double prev = -1.0;
+  for (uint32_t tau = 1; tau <= 8; ++tau) {
+    const auto est = EstimateEquiWidth(in, tau);
+    EXPECT_GE(est.prune_ratio, prev - 1e-12);
+    prev = est.prune_ratio;
+  }
+}
+
+TEST(EquiWidthEstimateTest, InteriorOptimumExists) {
+  // The trade-off of Sec. 1.1 challenge (2): neither extreme tau minimizes
+  // the expected Crefine.
+  auto in = MakeInputs();
+  const uint32_t best = OptimalTauEquiWidth(in);
+  const double at_best = EstimateEquiWidth(in, best).expected_crefine;
+  EXPECT_LE(at_best, EstimateEquiWidth(in, 1).expected_crefine);
+  EXPECT_LE(at_best, EstimateEquiWidth(in, 8).expected_crefine);
+  EXPECT_GE(best, 1u);
+  EXPECT_LE(best, 8u);
+}
+
+TEST(EquiWidthEstimateTest, CrefineBoundedByCandidates) {
+  auto in = MakeInputs();
+  for (uint32_t tau = 1; tau <= 8; ++tau) {
+    const auto est = EstimateEquiWidth(in, tau);
+    EXPECT_GE(est.expected_crefine, 0.0);
+    EXPECT_LE(est.expected_crefine, in.avg_candidates);
+  }
+}
+
+TEST(ExactEstimateTest, PruneRatioIsOne) {
+  auto in = MakeInputs();
+  const auto est = EstimateExact(in);
+  EXPECT_DOUBLE_EQ(est.prune_ratio, 1.0);
+  EXPECT_LE(est.hit_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(est.expected_crefine,
+                   (1.0 - est.hit_ratio) * in.avg_candidates);
+}
+
+TEST(GenericEstimateTest, SingletonHistogramFullyPrunes) {
+  auto in = MakeInputs();
+  hist::FrequencyArray fprime(256);
+  for (uint32_t x = 0; x < 256; ++x) fprime.Add(x, 1.0);
+  hist::Histogram h;
+  ASSERT_TRUE(hist::BuildEquiWidth(256, 256, &h).ok());
+  const auto est = EstimateForHistogram(in, h, fprime, fprime);
+  EXPECT_NEAR(est.prune_ratio, 1.0, 1e-9)
+      << "zero-width buckets have zero error norm";
+}
+
+TEST(GenericEstimateTest, KnnOptimalPredictedNoWorseThanEquiWidth) {
+  auto in = MakeInputs();
+  // Mass concentrated on a narrow region: HC-O should be predicted to prune
+  // at least as well as HC-W at the same tau.
+  hist::FrequencyArray fprime(256);
+  for (uint32_t x = 100; x < 120; ++x) fprime.Add(x, 50.0);
+  hist::Histogram ho, hw;
+  ASSERT_TRUE(hist::BuildKnnOptimal(fprime, 16, &ho).ok());
+  ASSERT_TRUE(hist::BuildEquiWidth(256, 16, &hw).ok());
+  const auto eo = EstimateForHistogram(in, ho, fprime, fprime);
+  const auto ew = EstimateForHistogram(in, hw, fprime, fprime);
+  EXPECT_GE(eo.prune_ratio, ew.prune_ratio - 1e-9);
+}
+
+TEST(TunerTest, BuilderTunerInRangeAndDeterministic) {
+  auto in = MakeInputs();
+  hist::FrequencyArray fprime(256);
+  for (uint32_t x = 0; x < 256; ++x) fprime.Add(x, 256.0 - x);
+  auto builder = [&](uint32_t tau, hist::Histogram* h) {
+    return hist::BuildKnnOptimal(fprime, 1u << tau, h);
+  };
+  const uint32_t a = OptimalTauForBuilder(in, builder, fprime, fprime);
+  const uint32_t b = OptimalTauForBuilder(in, builder, fprime, fprime);
+  EXPECT_EQ(a, b);
+  EXPECT_GE(a, 1u);
+  EXPECT_LE(a, in.lvalue);
+}
+
+TEST(TunerTest, LargerCacheAllowsLargerTau) {
+  // With an ample budget the tuner should not pick a smaller tau than with
+  // a tight budget (more bits become affordable).
+  auto tight = MakeInputs();
+  tight.cache_bytes = 2048;
+  auto ample = MakeInputs();
+  ample.cache_bytes = 1 << 22;
+  EXPECT_GE(OptimalTauEquiWidth(ample), OptimalTauEquiWidth(tight));
+}
+
+}  // namespace
+}  // namespace eeb::core

@@ -1,0 +1,114 @@
+// Degenerate-input tests: datasets of identical points, single points, and
+// oversized leaves exercise the fallback paths of the tree builders and the
+// generic search.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/dataset.h"
+#include "index/idistance/idistance.h"
+#include "index/linear_scan.h"
+#include "index/mtree/mtree.h"
+#include "index/vptree/vptree.h"
+#include "storage/mem_env.h"
+
+namespace eeb::index {
+namespace {
+
+Dataset IdenticalPoints(size_t n, size_t dim, Scalar value) {
+  Dataset d(dim);
+  std::vector<Scalar> p(dim, value);
+  for (size_t i = 0; i < n; ++i) d.Append(p);
+  return d;
+}
+
+TEST(DegenerateTest, VpTreeAllIdenticalPoints) {
+  storage::MemEnv env;
+  Dataset data = IdenticalPoints(500, 8, 42);
+  std::unique_ptr<VpTree> idx;
+  ASSERT_TRUE(VpTree::Build(&env, "/vp", data, {}, &idx).ok());
+
+  std::vector<Scalar> q(8, 42);
+  TreeSearchResult res;
+  ASSERT_TRUE(idx->Search(q, 10, nullptr, &res).ok());
+  EXPECT_EQ(res.neighbors.size(), 10u);
+  for (const auto& nb : res.neighbors) EXPECT_DOUBLE_EQ(nb.dist, 0.0);
+}
+
+TEST(DegenerateTest, MTreeAllIdenticalPoints) {
+  storage::MemEnv env;
+  Dataset data = IdenticalPoints(500, 8, 7);
+  std::unique_ptr<MTree> idx;
+  ASSERT_TRUE(MTree::Build(&env, "/mt", data, {}, &idx).ok());
+
+  std::vector<Scalar> q(8, 7);
+  TreeSearchResult res;
+  ASSERT_TRUE(idx->Search(q, 5, nullptr, &res).ok());
+  EXPECT_EQ(res.neighbors.size(), 5u);
+}
+
+TEST(DegenerateTest, IDistanceAllIdenticalPoints) {
+  storage::MemEnv env;
+  Dataset data = IdenticalPoints(300, 8, 100);
+  IDistanceOptions opt;
+  opt.num_partitions = 8;
+  std::unique_ptr<IDistance> idx;
+  ASSERT_TRUE(IDistance::Build(&env, "/id", data, opt, &idx).ok());
+
+  std::vector<Scalar> q(8, 100);
+  TreeSearchResult res;
+  ASSERT_TRUE(idx->Search(q, 3, nullptr, &res).ok());
+  EXPECT_EQ(res.neighbors.size(), 3u);
+}
+
+TEST(DegenerateTest, SinglePointDataset) {
+  storage::MemEnv env;
+  Dataset data = IdenticalPoints(1, 4, 1);
+  std::unique_ptr<VpTree> vp;
+  ASSERT_TRUE(VpTree::Build(&env, "/vp1", data, {}, &vp).ok());
+  std::unique_ptr<MTree> mt;
+  ASSERT_TRUE(MTree::Build(&env, "/mt1", data, {}, &mt).ok());
+
+  std::vector<Scalar> q(4, 5);
+  TreeSearchResult res;
+  ASSERT_TRUE(vp->Search(q, 3, nullptr, &res).ok());
+  EXPECT_EQ(res.neighbors.size(), 1u);  // only one point exists
+  ASSERT_TRUE(mt->Search(q, 3, nullptr, &res).ok());
+  EXPECT_EQ(res.neighbors.size(), 1u);
+}
+
+TEST(DegenerateTest, TwoDistinctValuesStillExact) {
+  // Half the points at one location, half at another: splits are maximally
+  // tie-heavy but results must stay exact.
+  storage::MemEnv env;
+  Dataset data(4);
+  std::vector<Scalar> a(4, 10), b(4, 200);
+  for (int i = 0; i < 100; ++i) data.Append(i % 2 == 0 ? a : b);
+
+  std::unique_ptr<VpTree> vp;
+  ASSERT_TRUE(VpTree::Build(&env, "/vp2", data, {}, &vp).ok());
+  std::vector<Scalar> q(4, 12);
+  TreeSearchResult res;
+  ASSERT_TRUE(vp->Search(q, 10, nullptr, &res).ok());
+  auto truth = LinearScanKnn(data, q, 10);
+  std::multiset<double> got, want;
+  for (const auto& nb : res.neighbors) got.insert(nb.dist);
+  for (const auto& nb : truth) want.insert(nb.dist);
+  EXPECT_EQ(got, want);
+}
+
+TEST(DegenerateTest, BuildersRejectEmptyDataset) {
+  storage::MemEnv env;
+  Dataset empty(8);
+  std::unique_ptr<VpTree> vp;
+  EXPECT_TRUE(VpTree::Build(&env, "/e1", empty, {}, &vp).IsInvalidArgument());
+  std::unique_ptr<MTree> mt;
+  EXPECT_TRUE(MTree::Build(&env, "/e2", empty, {}, &mt).IsInvalidArgument());
+  std::unique_ptr<IDistance> id;
+  EXPECT_TRUE(
+      IDistance::Build(&env, "/e3", empty, {}, &id).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace eeb::index

@@ -1,0 +1,111 @@
+// Edge-input tests for the estimators and quality helpers: empty frequency
+// curves, zero Dmax, k larger than the dataset, oversized results.
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "core/quality.h"
+#include "hist/builders.h"
+
+namespace eeb::core {
+namespace {
+
+TEST(CostModelEdgeTest, EmptyFrequenciesGiveZeroHit) {
+  CostModelInputs in;
+  in.avg_candidates = 100;
+  in.dmax = 10;
+  in.dim = 8;
+  in.lvalue = 8;
+  in.cache_bytes = 1 << 20;
+  const auto est = EstimateEquiWidth(in, 4);
+  EXPECT_DOUBLE_EQ(est.hit_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(est.expected_crefine, 100.0);
+}
+
+TEST(CostModelEdgeTest, TinyDmaxClampsPruneToZero) {
+  CostModelInputs in;
+  in.freq_sorted.assign(100, 1.0);
+  in.avg_candidates = 50;
+  in.dmax = 1e-9;  // every error norm exceeds it
+  in.dim = 64;
+  in.lvalue = 8;
+  in.cache_bytes = 1 << 20;
+  const auto est = EstimateEquiWidth(in, 2);
+  EXPECT_DOUBLE_EQ(est.prune_ratio, 0.0);
+}
+
+TEST(CostModelEdgeTest, ZeroCacheGivesFullCrefine) {
+  CostModelInputs in;
+  in.freq_sorted.assign(100, 1.0);
+  in.avg_candidates = 42;
+  in.dmax = 100;
+  in.dim = 8;
+  in.lvalue = 8;
+  in.cache_bytes = 0;
+  const auto est = EstimateExact(in);
+  EXPECT_DOUBLE_EQ(est.hit_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(est.expected_crefine, 42.0);
+}
+
+TEST(CostModelEdgeTest, EmpiricalSampleRespected) {
+  // All candidate distances at 100; a histogram whose error norms reach the
+  // threshold sees rho_refine = 1 (everything below threshold).
+  CostModelInputs in;
+  in.freq_sorted.assign(100, 1.0);
+  in.avg_candidates = 10;
+  in.dmax = 1000;
+  in.avg_knn_dist = 100;
+  in.cand_dist_sample.assign(64, 100.0);
+  in.dim = 4;
+  in.lvalue = 8;
+  in.cache_bytes = 1 << 20;
+  hist::FrequencyArray f(256);
+  for (uint32_t x = 0; x < 256; ++x) f.Add(x, 1.0);
+  hist::Histogram coarse;
+  ASSERT_TRUE(hist::BuildEquiWidth(256, 2, &coarse).ok());  // width 127
+  const auto est = EstimateForHistogram(in, coarse, f, f);
+  EXPECT_DOUBLE_EQ(est.prune_ratio, 0.0)
+      << "threshold far above every sampled distance";
+
+  hist::Histogram fine;
+  ASSERT_TRUE(hist::BuildEquiWidth(256, 256, &fine).ok());  // width 0
+  const auto est2 = EstimateForHistogram(in, fine, f, f);
+  // Threshold = 100 + 0 + 0; sample values are exactly 100, and the
+  // lower_bound rule counts values < threshold only.
+  EXPECT_DOUBLE_EQ(est2.prune_ratio, 1.0);
+}
+
+TEST(QualityEdgeTest, KLargerThanDataset) {
+  Dataset data(2);
+  std::vector<Scalar> p{1, 1};
+  data.Append(p);
+  std::vector<Scalar> q{0, 0};
+  std::vector<PointId> ids{0};
+  const auto quality = MeasureQuality(data, q, ids, 5);
+  EXPECT_DOUBLE_EQ(quality.recall, 0.2);  // 1 of k=5 possible
+  EXPECT_DOUBLE_EQ(quality.overall_ratio, 1.0);
+}
+
+TEST(QualityEdgeTest, EmptyResult) {
+  Dataset data(2);
+  std::vector<Scalar> p{1, 1};
+  data.Append(p);
+  std::vector<Scalar> q{0, 0};
+  const auto quality = MeasureQuality(data, q, {}, 3);
+  EXPECT_DOUBLE_EQ(quality.recall, 0.0);
+  EXPECT_DOUBLE_EQ(quality.overall_ratio, 1.0);  // no ranks to compare
+}
+
+TEST(QualityEdgeTest, KZero) {
+  Dataset data(2);
+  std::vector<Scalar> p{1, 1};
+  data.Append(p);
+  std::vector<Scalar> q{0, 0};
+  std::vector<PointId> ids{0};
+  const auto quality = MeasureQuality(data, q, ids, 0);
+  EXPECT_DOUBLE_EQ(quality.recall, 0.0);
+  EXPECT_DOUBLE_EQ(quality.overall_ratio, 1.0);
+}
+
+}  // namespace
+}  // namespace eeb::core

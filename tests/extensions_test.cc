@@ -1,0 +1,242 @@
+// Tests for the advanced operations of the paper's Sec. 7 (range search,
+// kNN join, DBSCAN) and for the eager-miss-fetch optimization (footnote 6).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "common/dataset.h"
+#include "common/distance.h"
+#include "common/random.h"
+#include "cache/code_cache.h"
+#include "core/dbscan.h"
+#include "core/knn_engine.h"
+#include "core/knn_join.h"
+#include "core/range_search.h"
+#include "hist/builders.h"
+#include "index/full_scan.h"
+#include "index/linear_scan.h"
+#include "index/lsh/c2lsh.h"
+#include "storage/mem_env.h"
+
+namespace eeb::core {
+namespace {
+
+Dataset BlobData(size_t per_blob, size_t dim, uint64_t seed,
+                 double spread = 4.0) {
+  // Three well-separated blobs in [0, 256)^dim for DBSCAN ground truth.
+  Rng rng(seed);
+  Dataset d(dim);
+  std::vector<Scalar> p(dim);
+  const double centers[3] = {40, 128, 216};
+  for (int b = 0; b < 3; ++b) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      for (size_t j = 0; j < dim; ++j) {
+        p[j] = static_cast<Scalar>(std::max(
+            0.0,
+            std::min(255.0, centers[b] + rng.NextGaussian() * spread)));
+      }
+      d.Append(p);
+    }
+  }
+  return d;
+}
+
+class ExtensionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = BlobData(300, 8, 5);
+    ASSERT_TRUE(
+        storage::PointFile::Create(&env_, "/points", data_).ok());
+    ASSERT_TRUE(storage::PointFile::Open(&env_, "/points", &points_).ok());
+    full_ = std::make_unique<index::FullScanIndex>(data_.size());
+
+    // HC-O cache over the whole dataset (uniform F' is fine for tests).
+    hist::FrequencyArray f(256);
+    for (uint32_t x = 0; x < 256; ++x) f.Add(x, 1.0);
+    ASSERT_TRUE(hist::BuildKnnOptimal(f, 64, &hist_).ok());
+    cache_ = std::make_unique<cache::HistCodeCache>(&hist_, 8, 1 << 22,
+                                                    false, true);
+    std::vector<PointId> ids(data_.size());
+    for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<PointId>(i);
+    ASSERT_TRUE(cache_->Fill(data_, ids).ok());
+  }
+
+  storage::MemEnv env_;
+  Dataset data_;
+  std::unique_ptr<storage::PointFile> points_;
+  std::unique_ptr<index::FullScanIndex> full_;
+  hist::Histogram hist_;
+  std::unique_ptr<cache::HistCodeCache> cache_;
+};
+
+// ------------------------------------------------------------ range query --
+
+TEST_F(ExtensionsTest, RangeQueryMatchesBruteForce) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const PointId src = static_cast<PointId>(rng.Uniform(data_.size()));
+    std::vector<Scalar> q(data_.point(src).begin(), data_.point(src).end());
+    const double eps = 5.0 + rng.NextDouble() * 20.0;
+
+    RangeResult r;
+    ASSERT_TRUE(
+        RangeQuery(full_.get(), *points_, cache_.get(), q, eps, 10, &r).ok());
+
+    std::vector<PointId> expect;
+    for (size_t i = 0; i < data_.size(); ++i) {
+      if (L2(std::span<const Scalar>(q),
+             data_.point(static_cast<PointId>(i))) <= eps) {
+        expect.push_back(static_cast<PointId>(i));
+      }
+    }
+    EXPECT_EQ(r.ids, expect) << "eps=" << eps;
+  }
+}
+
+TEST_F(ExtensionsTest, RangeQueryCacheSavesFetches) {
+  std::vector<Scalar> q(data_.point(0).begin(), data_.point(0).end());
+  RangeResult with_cache, without;
+  ASSERT_TRUE(
+      RangeQuery(full_.get(), *points_, cache_.get(), q, 20.0, 10,
+                 &with_cache)
+          .ok());
+  ASSERT_TRUE(
+      RangeQuery(full_.get(), *points_, nullptr, q, 20.0, 10, &without).ok());
+  EXPECT_EQ(with_cache.ids, without.ids);
+  EXPECT_LT(with_cache.fetched, without.fetched / 4)
+      << "bounds should certify most candidates without I/O";
+  EXPECT_GT(with_cache.sure_out, 0u);
+}
+
+TEST_F(ExtensionsTest, RangeQueryCountsConsistent) {
+  std::vector<Scalar> q(8, 128);
+  RangeResult r;
+  ASSERT_TRUE(
+      RangeQuery(full_.get(), *points_, cache_.get(), q, 30.0, 10, &r).ok());
+  EXPECT_EQ(r.sure_in + r.sure_out + r.fetched, r.candidates);
+}
+
+// --------------------------------------------------------------- kNN join --
+
+TEST_F(ExtensionsTest, KnnJoinMatchesPerQueryResults) {
+  // Outer set: 20 points sampled from the data.
+  Dataset outer(8);
+  Rng rng(11);
+  for (int i = 0; i < 20; ++i) {
+    outer.Append(data_.point(static_cast<PointId>(rng.Uniform(data_.size()))));
+  }
+
+  KnnEngine engine(full_.get(), points_.get(), cache_.get());
+  KnnJoinOptions jopt;
+  jopt.k = 5;
+  KnnJoinResult join;
+  ASSERT_TRUE(KnnJoin(engine, outer, jopt, &join).ok());
+  ASSERT_EQ(join.neighbors.size(), 20u);
+
+  for (size_t i = 0; i < outer.size(); ++i) {
+    auto truth = index::LinearScanKnn(data_, outer.point(
+                                                 static_cast<PointId>(i)),
+                                      5);
+    std::set<PointId> expect;
+    for (const auto& nb : truth) expect.insert(nb.id);
+    std::set<PointId> got(join.neighbors[i].begin(),
+                          join.neighbors[i].end());
+    EXPECT_EQ(got, expect) << "outer point " << i;
+  }
+  EXPECT_GT(join.cache_hits, 0u);
+}
+
+TEST_F(ExtensionsTest, KnnJoinAggregatesIo) {
+  Dataset outer(8);
+  outer.Append(data_.point(0));
+  outer.Append(data_.point(500));
+  KnnEngine engine(full_.get(), points_.get(), nullptr);
+  KnnJoinResult join;
+  ASSERT_TRUE(KnnJoin(engine, outer, {.k = 3}, &join).ok());
+  EXPECT_EQ(join.candidates, 2 * data_.size());
+  EXPECT_GT(join.io.point_reads, 0u);
+}
+
+// ----------------------------------------------------------------- DBSCAN --
+
+TEST_F(ExtensionsTest, DbscanFindsTheThreeBlobs) {
+  DbscanOptions opt;
+  opt.eps = 15.0;  // blob spread 4*sqrt(8) ~ 11; blobs are ~250 apart
+  opt.min_pts = 5;
+  DbscanResult res;
+  ASSERT_TRUE(
+      Dbscan(full_.get(), *points_, cache_.get(), data_, opt, &res).ok());
+  EXPECT_EQ(res.num_clusters, 3);
+
+  // Points of the same blob share a label; different blobs differ.
+  for (int b = 0; b < 3; ++b) {
+    std::set<int32_t> labels;
+    for (size_t i = 0; i < 300; ++i) {
+      const int32_t l = res.labels[b * 300 + i];
+      if (l != kDbscanNoise) labels.insert(l);
+    }
+    EXPECT_EQ(labels.size(), 1u) << "blob " << b << " split";
+  }
+  std::set<int32_t> all(res.labels.begin(), res.labels.end());
+  all.erase(kDbscanNoise);
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST_F(ExtensionsTest, DbscanCacheReducesFetches) {
+  DbscanOptions opt;
+  opt.eps = 15.0;
+  opt.min_pts = 5;
+  DbscanResult with_cache, without;
+  ASSERT_TRUE(
+      Dbscan(full_.get(), *points_, cache_.get(), data_, opt, &with_cache)
+          .ok());
+  ASSERT_TRUE(
+      Dbscan(full_.get(), *points_, nullptr, data_, opt, &without).ok());
+  EXPECT_EQ(with_cache.labels, without.labels)
+      << "cache must not change the clustering";
+  EXPECT_LT(with_cache.fetched, without.fetched / 4);
+  EXPECT_GT(with_cache.bound_decided, 0u);
+}
+
+TEST_F(ExtensionsTest, DbscanAllNoiseWhenEpsTiny) {
+  DbscanOptions opt;
+  opt.eps = 0.001;
+  opt.min_pts = 3;
+  DbscanResult res;
+  ASSERT_TRUE(
+      Dbscan(full_.get(), *points_, nullptr, data_, opt, &res).ok());
+  // With a near-zero radius only exact duplicates cluster.
+  for (int32_t l : res.labels) {
+    EXPECT_TRUE(l == kDbscanNoise || l >= 0);
+  }
+  EXPECT_LE(res.num_clusters, 3);
+}
+
+// --------------------------------------------------- eager miss fetch ----
+
+TEST_F(ExtensionsTest, EagerMissFetchPreservesResults) {
+  // Small cache: plenty of misses to eagerly resolve.
+  cache::HistCodeCache small(&hist_, 8, 4096, false, true);
+  std::vector<PointId> ids(data_.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<PointId>(i);
+  ASSERT_TRUE(small.Fill(data_, ids).ok());
+
+  KnnEngine lazy(full_.get(), points_.get(), &small,
+                 EngineOptions{.eager_miss_fetch = false});
+  KnnEngine eager(full_.get(), points_.get(), &small,
+                  EngineOptions{.eager_miss_fetch = true});
+  Rng rng(13);
+  for (int t = 0; t < 10; ++t) {
+    std::vector<Scalar> q(8);
+    for (auto& v : q) v = static_cast<Scalar>(rng.Uniform(256));
+    QueryResult a, b;
+    ASSERT_TRUE(lazy.Query(q, 10, &a).ok());
+    ASSERT_TRUE(eager.Query(q, 10, &b).ok());
+    EXPECT_EQ(a.result_ids, b.result_ids);
+  }
+}
+
+}  // namespace
+}  // namespace eeb::core

@@ -1,0 +1,394 @@
+// Tests for histograms: construction validation, the four builders, metric
+// evaluation, DP optimality against brute force, Lemma-3 pruning
+// equivalence, individual histograms and the multi-dimensional histogram.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/random.h"
+#include "hist/builders.h"
+#include "hist/frequency.h"
+#include "hist/histogram.h"
+#include "hist/individual.h"
+#include "hist/multidim_histogram.h"
+
+namespace eeb::hist {
+namespace {
+
+FrequencyArray RandomFreqs(uint32_t ndom, uint64_t seed, double zero_frac) {
+  Rng rng(seed);
+  FrequencyArray f(ndom);
+  for (uint32_t x = 0; x < ndom; ++x) {
+    if (!rng.Bernoulli(zero_frac)) {
+      f.Add(x, static_cast<double>(1 + rng.Uniform(50)));
+    }
+  }
+  return f;
+}
+
+// Brute-force optimal partition cost by exhaustive DP without shortcuts.
+double BruteForceOptimal(const FrequencyArray& f, uint32_t buckets,
+                         bool upsilon_cost) {
+  PrefixStats ps(f);
+  const uint32_t n = f.ndom();
+  auto cost = [&](uint32_t l, uint32_t u) {
+    return upsilon_cost ? ps.Upsilon(l, u) : ps.Sse(l, u);
+  };
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> opt(buckets,
+                                       std::vector<double>(n, inf));
+  for (uint32_t i = 0; i < n; ++i) opt[0][i] = cost(0, i);
+  for (uint32_t m = 1; m < buckets; ++m) {
+    for (uint32_t i = 0; i < n; ++i) {
+      opt[m][i] = opt[m - 1][i];
+      for (uint32_t t = 0; t < i; ++t) {
+        opt[m][i] = std::min(opt[m][i], opt[m - 1][t] + cost(t + 1, i));
+      }
+    }
+  }
+  return opt[buckets - 1][n - 1];
+}
+
+// ------------------------------------------------------------- Histogram --
+
+TEST(HistogramTest, CreateValidatesTiling) {
+  Histogram h;
+  EXPECT_TRUE(Histogram::Create({{0, 3}, {4, 9}}, 10, &h).ok());
+  EXPECT_EQ(h.num_buckets(), 2u);
+  EXPECT_TRUE(Histogram::Create({{0, 3}, {5, 9}}, 10, &h)
+                  .IsInvalidArgument());  // gap
+  EXPECT_TRUE(Histogram::Create({{0, 3}, {3, 9}}, 10, &h)
+                  .IsInvalidArgument());  // overlap
+  EXPECT_TRUE(Histogram::Create({{0, 8}}, 10, &h)
+                  .IsInvalidArgument());  // short
+  EXPECT_TRUE(Histogram::Create({}, 10, &h).IsInvalidArgument());
+}
+
+TEST(HistogramTest, LookupMapsValuesToBuckets) {
+  Histogram h;
+  ASSERT_TRUE(Histogram::Create({{0, 7}, {8, 15}, {16, 23}, {24, 31}}, 32, &h)
+                  .ok());
+  // The paper's Fig. 5b example: values 2 -> code 00, 20 -> code 10.
+  EXPECT_EQ(h.Lookup(2), 0u);
+  EXPECT_EQ(h.Lookup(20), 2u);
+  EXPECT_EQ(h.code_length(), 2u);
+  EXPECT_EQ(h.bucket(1).lo, 8u);
+  EXPECT_EQ(h.bucket(1).hi, 15u);
+}
+
+TEST(HistogramTest, LookupTotalOverDomain) {
+  Histogram h;
+  ASSERT_TRUE(Histogram::Create({{0, 0}, {1, 99}, {100, 255}}, 256, &h).ok());
+  for (uint32_t v = 0; v < 256; ++v) {
+    const Bucket& b = h.bucket(h.Lookup(v));
+    EXPECT_GE(v, b.lo);
+    EXPECT_LE(v, b.hi);
+  }
+}
+
+// ------------------------------------------------------------ equi-width --
+
+TEST(EquiWidthTest, EvenWidths) {
+  Histogram h;
+  ASSERT_TRUE(BuildEquiWidth(256, 8, &h).ok());
+  EXPECT_EQ(h.num_buckets(), 8u);
+  for (const Bucket& b : h.buckets()) EXPECT_EQ(b.width(), 31u);
+}
+
+TEST(EquiWidthTest, RemainderSpread) {
+  Histogram h;
+  ASSERT_TRUE(BuildEquiWidth(10, 3, &h).ok());
+  ASSERT_EQ(h.num_buckets(), 3u);
+  // Widths 4,3,3.
+  EXPECT_EQ(h.bucket(0).width() + 1, 4u);
+  EXPECT_EQ(h.bucket(1).width() + 1, 3u);
+  EXPECT_EQ(h.bucket(2).width() + 1, 3u);
+}
+
+TEST(EquiWidthTest, BucketsClampedToDomain) {
+  Histogram h;
+  ASSERT_TRUE(BuildEquiWidth(4, 16, &h).ok());
+  EXPECT_EQ(h.num_buckets(), 4u);  // one value per bucket
+}
+
+// ------------------------------------------------------------ equi-depth --
+
+TEST(EquiDepthTest, BalancesMass) {
+  FrequencyArray f(100);
+  for (uint32_t x = 0; x < 100; ++x) f.Add(x, 1.0);
+  Histogram h;
+  ASSERT_TRUE(BuildEquiDepth(f, 4, &h).ok());
+  ASSERT_EQ(h.num_buckets(), 4u);
+  PrefixStats ps(f);
+  for (const Bucket& b : h.buckets()) {
+    EXPECT_NEAR(ps.Count(b.lo, b.hi), 25.0, 1.0);
+  }
+}
+
+TEST(EquiDepthTest, SkewedMassNarrowsHotRegion) {
+  FrequencyArray f(100);
+  for (uint32_t x = 0; x < 10; ++x) f.Add(x, 100.0);  // hot head
+  for (uint32_t x = 10; x < 100; ++x) f.Add(x, 1.0);
+  Histogram h;
+  ASSERT_TRUE(BuildEquiDepth(f, 4, &h).ok());
+  // The first bucket must be narrow (hot region), the last wide.
+  EXPECT_LT(h.bucket(0).width(), h.bucket(3).width());
+}
+
+TEST(EquiDepthTest, HandlesAllZeroFrequencies) {
+  FrequencyArray f(50);
+  Histogram h;
+  ASSERT_TRUE(BuildEquiDepth(f, 4, &h).ok());
+  EXPECT_GE(h.num_buckets(), 1u);
+  EXPECT_EQ(h.buckets().back().hi, 49u);
+}
+
+TEST(EquiDepthTest, Property_CoversDomainForRandomInputs) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    FrequencyArray f = RandomFreqs(64, 200 + seed, 0.5);
+    for (uint32_t buckets : {2u, 5u, 16u, 64u}) {
+      Histogram h;
+      ASSERT_TRUE(BuildEquiDepth(f, buckets, &h).ok());
+      EXPECT_LE(h.num_buckets(), buckets);
+      EXPECT_EQ(h.buckets().front().lo, 0u);
+      EXPECT_EQ(h.buckets().back().hi, 63u);
+    }
+  }
+}
+
+// ------------------------------------------------------------- V-optimal --
+
+TEST(VOptimalTest, MatchesBruteForceSse) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    FrequencyArray f = RandomFreqs(24, 300 + seed, 0.2);
+    for (uint32_t buckets : {2u, 3u, 5u}) {
+      Histogram h;
+      ASSERT_TRUE(BuildVOptimal(f, buckets, &h).ok());
+      const double got = MetricSse(h, f);
+      const double want = BruteForceOptimal(f, buckets, /*upsilon=*/false);
+      EXPECT_NEAR(got, want, 1e-6 * std::max(1.0, want))
+          << "seed=" << seed << " B=" << buckets;
+    }
+  }
+}
+
+TEST(VOptimalTest, PerfectFitWithEnoughBuckets) {
+  FrequencyArray f = RandomFreqs(16, 311, 0.0);
+  Histogram h;
+  ASSERT_TRUE(BuildVOptimal(f, 16, &h).ok());
+  EXPECT_NEAR(MetricSse(h, f), 0.0, 1e-9);
+}
+
+// ---------------------------------------------------------------- MaxDiff --
+
+TEST(MaxDiffTest, CutsAtLargestJumps) {
+  FrequencyArray f(8);
+  // Frequencies: 1 1 9 9 1 1 1 1 -> the two largest jumps are after x=1
+  // (1->9) and after x=3 (9->1).
+  const double vals[8] = {1, 1, 9, 9, 1, 1, 1, 1};
+  for (uint32_t x = 0; x < 8; ++x) f.Add(x, vals[x]);
+  Histogram h;
+  ASSERT_TRUE(BuildMaxDiff(f, 3, &h).ok());
+  ASSERT_EQ(h.num_buckets(), 3u);
+  EXPECT_EQ(h.bucket(0).hi, 1u);
+  EXPECT_EQ(h.bucket(1).lo, 2u);
+  EXPECT_EQ(h.bucket(1).hi, 3u);
+  EXPECT_EQ(h.bucket(2).lo, 4u);
+}
+
+TEST(MaxDiffTest, Property_CoversDomain) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    FrequencyArray f = RandomFreqs(64, 900 + seed, 0.4);
+    for (uint32_t buckets : {2u, 7u, 64u}) {
+      Histogram h;
+      ASSERT_TRUE(BuildMaxDiff(f, buckets, &h).ok());
+      EXPECT_LE(h.num_buckets(), buckets);
+      EXPECT_EQ(h.buckets().front().lo, 0u);
+      EXPECT_EQ(h.buckets().back().hi, 63u);
+    }
+  }
+}
+
+TEST(MaxDiffTest, KnnOptimalStillWinsOnM3) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    FrequencyArray fprime = RandomFreqs(128, 950 + seed, 0.6);
+    Histogram ho, hm;
+    ASSERT_TRUE(BuildKnnOptimal(fprime, 16, &ho).ok());
+    ASSERT_TRUE(BuildMaxDiff(fprime, 16, &hm).ok());
+    EXPECT_LE(MetricM3(ho, fprime), MetricM3(hm, fprime) + 1e-9);
+  }
+}
+
+// ----------------------------------------------------- kNN-optimal (HC-O) --
+
+TEST(KnnOptimalTest, MatchesBruteForceUpsilon) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    FrequencyArray f = RandomFreqs(24, 400 + seed, 0.3);
+    for (uint32_t buckets : {2u, 3u, 5u, 8u}) {
+      Histogram h;
+      ASSERT_TRUE(BuildKnnOptimal(f, buckets, &h).ok());
+      const double got = MetricM3(h, f);
+      const double want = BruteForceOptimal(f, buckets, /*upsilon=*/true);
+      EXPECT_NEAR(got, want, 1e-6 * std::max(1.0, want))
+          << "seed=" << seed << " B=" << buckets;
+    }
+  }
+}
+
+TEST(KnnOptimalTest, Lemma3PruningPreservesOptimum) {
+  for (uint64_t seed = 0; seed < 15; ++seed) {
+    FrequencyArray f = RandomFreqs(48, 500 + seed, 0.4);
+    Histogram pruned, full;
+    DpStats sp, sf;
+    ASSERT_TRUE(BuildKnnOptimal(f, 8, &pruned, &sp, true).ok());
+    ASSERT_TRUE(BuildKnnOptimal(f, 8, &full, &sf, false).ok());
+    EXPECT_NEAR(MetricM3(pruned, f), MetricM3(full, f), 1e-9);
+    EXPECT_LE(sp.inner_iterations, sf.inner_iterations);
+  }
+}
+
+TEST(KnnOptimalTest, Lemma3ActuallyPrunes) {
+  FrequencyArray f = RandomFreqs(256, 601, 0.3);
+  DpStats sp, sf;
+  Histogram h;
+  ASSERT_TRUE(BuildKnnOptimal(f, 16, &h, &sp, true).ok());
+  ASSERT_TRUE(BuildKnnOptimal(f, 16, &h, &sf, false).ok());
+  EXPECT_LT(sp.inner_iterations, sf.inner_iterations / 2)
+      << "pruning should cut the DP inner loop substantially";
+  EXPECT_GT(sp.pruned_breaks, 0u);
+}
+
+TEST(KnnOptimalTest, TightensBucketsAroundMass) {
+  // All F' mass in [10, 19]: with 4 buckets, that region must be covered by
+  // narrow buckets while the empty tails are wide.
+  FrequencyArray f(100);
+  for (uint32_t x = 10; x < 20; ++x) f.Add(x, 10.0);
+  Histogram h;
+  ASSERT_TRUE(BuildKnnOptimal(f, 4, &h).ok());
+  double hot_width = 0.0;
+  for (const Bucket& b : h.buckets()) {
+    PrefixStats ps(f);
+    if (ps.Count(b.lo, b.hi) > 0) hot_width += b.width() + 1;
+  }
+  EXPECT_LE(hot_width, 14.0) << "mass-bearing buckets should be narrow";
+}
+
+TEST(KnnOptimalTest, SingleBucketCoversDomain) {
+  FrequencyArray f = RandomFreqs(32, 701, 0.0);
+  Histogram h;
+  ASSERT_TRUE(BuildKnnOptimal(f, 1, &h).ok());
+  ASSERT_EQ(h.num_buckets(), 1u);
+  EXPECT_EQ(h.bucket(0).lo, 0u);
+  EXPECT_EQ(h.bucket(0).hi, 31u);
+}
+
+TEST(KnnOptimalTest, BeatsOrMatchesOtherBuildersOnM3) {
+  // The paper's core claim at histogram level: HC-O minimizes metric M3.
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    FrequencyArray fprime = RandomFreqs(128, 800 + seed, 0.6);
+    Histogram ho, hw, hd, hv;
+    ASSERT_TRUE(BuildKnnOptimal(fprime, 16, &ho).ok());
+    ASSERT_TRUE(BuildEquiWidth(128, 16, &hw).ok());
+    ASSERT_TRUE(BuildEquiDepth(fprime, 16, &hd).ok());
+    ASSERT_TRUE(BuildVOptimal(fprime, 16, &hv).ok());
+    const double mo = MetricM3(ho, fprime);
+    EXPECT_LE(mo, MetricM3(hw, fprime) + 1e-9);
+    EXPECT_LE(mo, MetricM3(hd, fprime) + 1e-9);
+    EXPECT_LE(mo, MetricM3(hv, fprime) + 1e-9);
+  }
+}
+
+// ------------------------------------------------------------ PrefixStats --
+
+TEST(PrefixStatsTest, CountAndUpsilon) {
+  FrequencyArray f(10);
+  for (uint32_t x = 0; x < 10; ++x) f.Add(x, x);
+  PrefixStats ps(f);
+  EXPECT_DOUBLE_EQ(ps.Count(0, 9), 45.0);
+  EXPECT_DOUBLE_EQ(ps.Count(3, 5), 12.0);
+  EXPECT_DOUBLE_EQ(ps.Upsilon(3, 5), 12.0 * 4.0);  // width (5-3)=2, squared
+  EXPECT_DOUBLE_EQ(ps.Upsilon(4, 4), 0.0);         // singleton: zero width
+}
+
+TEST(PrefixStatsTest, SseZeroForUniformBucket) {
+  FrequencyArray f(8);
+  for (uint32_t x = 0; x < 8; ++x) f.Add(x, 5.0);
+  PrefixStats ps(f);
+  EXPECT_NEAR(ps.Sse(0, 7), 0.0, 1e-9);
+}
+
+// ------------------------------------------------------------- individual --
+
+TEST(IndividualTest, DecomposesPerDimension) {
+  Dataset data(2);
+  Rng rng(71);
+  std::vector<Scalar> p(2);
+  for (int i = 0; i < 500; ++i) {
+    p[0] = static_cast<Scalar>(rng.Uniform(16));        // uniform dim
+    p[1] = static_cast<Scalar>(100 + rng.Uniform(16));  // shifted dim
+    data.Append(p);
+  }
+  std::vector<PointId> all(500);
+  for (size_t i = 0; i < 500; ++i) all[i] = static_cast<PointId>(i);
+  auto freqs = PerDimFrequencies(data, all, 128);
+  EXPECT_GT(freqs[0][5], 0.0);
+  EXPECT_EQ(freqs[0][105], 0.0);
+  EXPECT_GT(freqs[1][105], 0.0);
+
+  IndividualHistograms ih;
+  ASSERT_TRUE(BuildIndividual(freqs, 8, BuilderKind::kKnnOptimal, &ih).ok());
+  EXPECT_EQ(ih.dim(), 2u);
+  // Dim-1 histogram should concentrate narrow buckets around [100, 116).
+  PrefixStats ps(freqs[1]);
+  double hot_width = 0;
+  for (const Bucket& b : ih.at(1).buckets()) {
+    if (ps.Count(b.lo, b.hi) > 0) hot_width += b.width() + 1;
+  }
+  EXPECT_LE(hot_width, 30.0);
+}
+
+TEST(IndividualTest, SpaceAccounting) {
+  std::vector<FrequencyArray> freqs(3, FrequencyArray(16));
+  IndividualHistograms ih;
+  ASSERT_TRUE(BuildIndividual(freqs, 4, BuilderKind::kEquiWidth, &ih).ok());
+  EXPECT_EQ(ih.SpaceBytes(), 3u * 4 * 2 * sizeof(uint32_t));
+}
+
+// ------------------------------------------------------------- multi-dim --
+
+TEST(MbrTest, MinMaxDist) {
+  Mbr box;
+  box.lo = {0, 0};
+  box.hi = {10, 10};
+  std::vector<Scalar> inside{5, 5}, outside{13, 14};
+  EXPECT_DOUBLE_EQ(box.MinDist(inside), 0.0);
+  EXPECT_DOUBLE_EQ(box.MinDist(outside), 5.0);  // (3,4) corner gap
+  EXPECT_DOUBLE_EQ(box.MaxDist(outside), std::sqrt(13.0 * 13 + 14 * 14));
+}
+
+TEST(MbrTest, ExpandGrows) {
+  Mbr box;
+  std::vector<Scalar> a{1, 5}, b{3, 2};
+  box.Expand(a);
+  box.Expand(b);
+  EXPECT_EQ(box.lo[0], 1);
+  EXPECT_EQ(box.lo[1], 2);
+  EXPECT_EQ(box.hi[0], 3);
+  EXPECT_EQ(box.hi[1], 5);
+}
+
+TEST(MultiDimHistogramTest, CodeLength) {
+  std::vector<Mbr> buckets(16);
+  for (auto& b : buckets) {
+    std::vector<Scalar> p{0, 0};
+    b.Expand(p);
+  }
+  MultiDimHistogram h(std::move(buckets));
+  EXPECT_EQ(h.num_buckets(), 16u);
+  EXPECT_EQ(h.code_length(), 4u);
+}
+
+}  // namespace
+}  // namespace eeb::hist

@@ -1,0 +1,196 @@
+// Tests for the additional LSH-family candidate generators (E2LSH, SK-LSH)
+// and their integration with the caching engine: the cache layer is
+// index-agnostic (paper's generality claim).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/dataset.h"
+#include "common/random.h"
+#include "cache/code_cache.h"
+#include "core/knn_engine.h"
+#include "hist/builders.h"
+#include "index/linear_scan.h"
+#include "index/lsh/e2lsh.h"
+#include "index/lsh/multiprobe.h"
+#include "index/lsh/sklsh.h"
+#include "storage/mem_env.h"
+
+namespace eeb::index {
+namespace {
+
+Dataset ClusteredData(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  Dataset d(dim);
+  std::vector<Scalar> p(dim);
+  const int clusters = 8;
+  std::vector<std::vector<double>> centers(clusters,
+                                           std::vector<double>(dim));
+  for (auto& c : centers) {
+    for (auto& v : c) v = 40 + rng.NextDouble() * 176;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const auto& c = centers[rng.Uniform(clusters)];
+    for (size_t j = 0; j < dim; ++j) {
+      p[j] = static_cast<Scalar>(static_cast<int>(std::max(
+          0.0, std::min(255.0, c[j] + rng.NextGaussian() * 10))));
+    }
+    d.Append(p);
+  }
+  return d;
+}
+
+std::vector<Scalar> NearQuery(const Dataset& data, Rng& rng) {
+  const PointId src = static_cast<PointId>(rng.Uniform(data.size()));
+  std::vector<Scalar> q(data.point(src).begin(), data.point(src).end());
+  for (auto& v : q) v += static_cast<Scalar>(rng.NextGaussian());
+  return q;
+}
+
+double CandidateRecall(CandidateIndex* idx, const Dataset& data,
+                       size_t queries, size_t k, uint64_t seed) {
+  Rng rng(seed);
+  double total = 0;
+  for (size_t t = 0; t < queries; ++t) {
+    auto q = NearQuery(data, rng);
+    std::vector<PointId> cand;
+    EXPECT_TRUE(idx->Candidates(q, k, &cand, nullptr).ok());
+    std::set<PointId> cset(cand.begin(), cand.end());
+    int found = 0;
+    for (const auto& nb : LinearScanKnn(data, q, k)) {
+      found += cset.count(nb.id) ? 1 : 0;
+    }
+    total += static_cast<double>(found) / k;
+  }
+  return total / queries;
+}
+
+// ------------------------------------------------------------------ E2LSH --
+
+TEST(E2LshTest, RejectsBadOptions) {
+  Dataset data = ClusteredData(100, 8, 1);
+  std::unique_ptr<E2Lsh> idx;
+  E2LshOptions o;
+  o.num_tables = 0;
+  EXPECT_TRUE(E2Lsh::Build(data, o, &idx).IsInvalidArgument());
+  EXPECT_TRUE(E2Lsh::Build(Dataset(8), {}, &idx).IsInvalidArgument());
+}
+
+TEST(E2LshTest, CandidatesSortedUniqueDeterministic) {
+  Dataset data = ClusteredData(3000, 16, 3);
+  std::unique_ptr<E2Lsh> a, b;
+  ASSERT_TRUE(E2Lsh::Build(data, {}, &a).ok());
+  ASSERT_TRUE(E2Lsh::Build(data, {}, &b).ok());
+  std::vector<Scalar> q(16, 128);
+  std::vector<PointId> ca, cb;
+  ASSERT_TRUE(a->Candidates(q, 10, &ca, nullptr).ok());
+  ASSERT_TRUE(b->Candidates(q, 10, &cb, nullptr).ok());
+  EXPECT_EQ(ca, cb);
+  EXPECT_TRUE(std::is_sorted(ca.begin(), ca.end()));
+  EXPECT_EQ(std::set<PointId>(ca.begin(), ca.end()).size(), ca.size());
+}
+
+TEST(E2LshTest, DecentRecallOnClusteredData) {
+  Dataset data = ClusteredData(5000, 16, 5);
+  std::unique_ptr<E2Lsh> idx;
+  ASSERT_TRUE(E2Lsh::Build(data, {}, &idx).ok());
+  EXPECT_GT(CandidateRecall(idx.get(), data, 20, 10, 7), 0.5);
+}
+
+TEST(E2LshTest, ChargesIndexIo) {
+  Dataset data = ClusteredData(2000, 16, 9);
+  std::unique_ptr<E2Lsh> idx;
+  E2LshOptions o;
+  o.num_tables = 8;
+  ASSERT_TRUE(E2Lsh::Build(data, o, &idx).ok());
+  std::vector<Scalar> q(16, 100);
+  std::vector<PointId> cand;
+  storage::IoStats stats;
+  ASSERT_TRUE(idx->Candidates(q, 10, &cand, &stats).ok());
+  EXPECT_EQ(stats.page_reads, 8u);  // one bucket probe per table
+}
+
+// ----------------------------------------------------------------- SK-LSH --
+
+TEST(SkLshTest, WindowSizeRespected) {
+  Dataset data = ClusteredData(3000, 16, 11);
+  std::unique_ptr<SkLsh> idx;
+  SkLshOptions o;
+  o.window = 100;
+  ASSERT_TRUE(SkLsh::Build(data, o, &idx).ok());
+  std::vector<Scalar> q(16, 128);
+  std::vector<PointId> cand;
+  ASSERT_TRUE(idx->Candidates(q, 10, &cand, nullptr).ok());
+  EXPECT_EQ(cand.size(), 100u);
+  // k grows the window when 2k > window.
+  ASSERT_TRUE(idx->Candidates(q, 80, &cand, nullptr).ok());
+  EXPECT_EQ(cand.size(), 160u);
+}
+
+TEST(SkLshTest, DecentRecallOnClusteredData) {
+  Dataset data = ClusteredData(5000, 16, 13);
+  std::unique_ptr<SkLsh> idx;
+  SkLshOptions o;
+  o.window = 300;
+  ASSERT_TRUE(SkLsh::Build(data, o, &idx).ok());
+  EXPECT_GT(CandidateRecall(idx.get(), data, 20, 10, 15), 0.4);
+}
+
+TEST(SkLshTest, WindowClampedAtArrayEnds) {
+  Dataset data = ClusteredData(50, 8, 17);
+  std::unique_ptr<SkLsh> idx;
+  SkLshOptions o;
+  o.window = 200;  // bigger than the dataset
+  ASSERT_TRUE(SkLsh::Build(data, o, &idx).ok());
+  std::vector<Scalar> q(8, 0);
+  std::vector<PointId> cand;
+  ASSERT_TRUE(idx->Candidates(q, 10, &cand, nullptr).ok());
+  EXPECT_EQ(cand.size(), 50u);  // whole dataset
+}
+
+// --------------------------------------------- engine over both variants --
+
+TEST(LshVariantsTest, CachePreservesResultsOnAnyIndex) {
+  Dataset data = ClusteredData(4000, 16, 19);
+  storage::MemEnv env;
+  ASSERT_TRUE(storage::PointFile::Create(&env, "/p", data).ok());
+  std::unique_ptr<storage::PointFile> pf;
+  ASSERT_TRUE(storage::PointFile::Open(&env, "/p", &pf).ok());
+
+  hist::FrequencyArray f(256);
+  for (uint32_t x = 0; x < 256; ++x) f.Add(x, 1.0);
+  hist::Histogram h;
+  ASSERT_TRUE(hist::BuildKnnOptimal(f, 64, &h).ok());
+  cache::HistCodeCache cache(&h, 16, 1 << 22, false, true);
+  std::vector<PointId> ids(data.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<PointId>(i);
+  ASSERT_TRUE(cache.Fill(data, ids).ok());
+
+  std::unique_ptr<E2Lsh> e2;
+  ASSERT_TRUE(E2Lsh::Build(data, {}, &e2).ok());
+  std::unique_ptr<SkLsh> sk;
+  ASSERT_TRUE(SkLsh::Build(data, {}, &sk).ok());
+  std::unique_ptr<MultiProbeLsh> mp;
+  ASSERT_TRUE(MultiProbeLsh::Build(data, {}, &mp).ok());
+
+  Rng rng(23);
+  for (CandidateIndex* idx :
+       {static_cast<CandidateIndex*>(e2.get()),
+        static_cast<CandidateIndex*>(sk.get()),
+        static_cast<CandidateIndex*>(mp.get())}) {
+    core::KnnEngine plain(idx, pf.get(), nullptr);
+    core::KnnEngine cached(idx, pf.get(), &cache);
+    for (int t = 0; t < 8; ++t) {
+      auto q = NearQuery(data, rng);
+      core::QueryResult a, b;
+      ASSERT_TRUE(plain.Query(q, 10, &a).ok());
+      ASSERT_TRUE(cached.Query(q, 10, &b).ok());
+      EXPECT_EQ(a.result_ids, b.result_ids) << idx->name();
+      EXPECT_LE(b.fetched, a.fetched);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eeb::index

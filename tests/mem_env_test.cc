@@ -1,0 +1,156 @@
+// Tests for the in-memory Env and fault injection: storage code paths work
+// unchanged over MemEnv, and injected read faults propagate as Status
+// through every layer (point file, tree search, engine) without corrupting
+// later queries.
+
+#include <gtest/gtest.h>
+
+#include "common/dataset.h"
+#include "common/random.h"
+#include "core/knn_engine.h"
+#include "index/idistance/idistance.h"
+#include "index/lsh/c2lsh.h"
+#include "storage/mem_env.h"
+#include "storage/point_file.h"
+
+namespace eeb::storage {
+namespace {
+
+Dataset RandomData(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  Dataset d(dim);
+  std::vector<Scalar> p(dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (auto& v : p) v = static_cast<Scalar>(rng.Uniform(256));
+    d.Append(p);
+  }
+  return d;
+}
+
+TEST(MemEnvTest, FileLifecycle) {
+  MemEnv env;
+  EXPECT_FALSE(env.FileExists("/a"));
+  std::unique_ptr<WritableFile> w;
+  ASSERT_TRUE(env.NewWritableFile("/a", &w).ok());
+  ASSERT_TRUE(w->Append("hello", 5).ok());
+  EXPECT_TRUE(env.FileExists("/a"));
+  EXPECT_EQ(env.TotalBytes(), 5u);
+
+  std::unique_ptr<RandomAccessFile> r;
+  ASSERT_TRUE(env.NewRandomAccessFile("/a", &r).ok());
+  char buf[5];
+  ASSERT_TRUE(r->Read(0, 5, buf).ok());
+  EXPECT_EQ(std::string(buf, 5), "hello");
+  EXPECT_TRUE(r->Read(3, 5, buf).IsIOError());  // past EOF
+
+  ASSERT_TRUE(env.DeleteFile("/a").ok());
+  EXPECT_FALSE(env.FileExists("/a"));
+  EXPECT_TRUE(env.DeleteFile("/a").IsIOError());
+  // POSIX unlink semantics: the open reader still works.
+  ASSERT_TRUE(r->Read(0, 5, buf).ok());
+}
+
+TEST(MemEnvTest, PointFileWorksOverMemEnv) {
+  MemEnv env;
+  Dataset data = RandomData(200, 8, 3);
+  ASSERT_TRUE(PointFile::Create(&env, "/points", data).ok());
+  std::unique_ptr<PointFile> pf;
+  ASSERT_TRUE(PointFile::Open(&env, "/points", &pf).ok());
+  std::vector<Scalar> buf(8);
+  for (PointId id = 0; id < 200; ++id) {
+    ASSERT_TRUE(pf->ReadPoint(id, buf, nullptr, nullptr).ok());
+    EXPECT_EQ(buf[3], data.point(id)[3]);
+  }
+}
+
+TEST(FaultInjectionTest, FailsExactlyWhereScheduled) {
+  MemEnv mem;
+  std::unique_ptr<WritableFile> w;
+  ASSERT_TRUE(mem.NewWritableFile("/f", &w).ok());
+  std::string payload(64, 'x');
+  ASSERT_TRUE(w->Append(payload.data(), payload.size()).ok());
+
+  FaultInjectionEnv env(&mem);
+  std::unique_ptr<RandomAccessFile> r;
+  ASSERT_TRUE(env.NewRandomAccessFile("/f", &r).ok());
+
+  FaultPlan plan;
+  plan.fail_after_reads = 2;
+  plan.persistent = false;  // only the 3rd read fails
+  env.set_plan(plan);
+
+  char buf[8];
+  EXPECT_TRUE(r->Read(0, 8, buf).ok());
+  EXPECT_TRUE(r->Read(8, 8, buf).ok());
+  EXPECT_TRUE(r->Read(16, 8, buf).IsIOError());
+  EXPECT_TRUE(r->Read(24, 8, buf).ok());  // one-shot plan recovered
+}
+
+TEST(FaultInjectionTest, PersistentFaultStaysDown) {
+  MemEnv mem;
+  std::unique_ptr<WritableFile> w;
+  ASSERT_TRUE(mem.NewWritableFile("/f", &w).ok());
+  std::string payload(64, 'x');
+  ASSERT_TRUE(w->Append(payload.data(), payload.size()).ok());
+
+  FaultInjectionEnv env(&mem);
+  std::unique_ptr<RandomAccessFile> r;
+  ASSERT_TRUE(env.NewRandomAccessFile("/f", &r).ok());
+  env.set_plan({.fail_after_reads = 0, .persistent = true});
+  char buf[8];
+  EXPECT_TRUE(r->Read(0, 8, buf).IsIOError());
+  EXPECT_TRUE(r->Read(0, 8, buf).IsIOError());
+}
+
+TEST(FaultInjectionTest, EnginePropagatesDiskFaults) {
+  MemEnv mem;
+  Dataset data = RandomData(2000, 16, 7);
+  ASSERT_TRUE(PointFile::Create(&mem, "/points", data).ok());
+
+  FaultInjectionEnv env(&mem);
+  std::unique_ptr<PointFile> pf;
+  ASSERT_TRUE(PointFile::Open(&env, "/points", &pf).ok());
+
+  index::C2LshOptions lo;
+  lo.num_functions = 16;
+  lo.collision_threshold = 8;
+  lo.beta_candidates = 100;
+  std::unique_ptr<index::C2Lsh> lsh;
+  ASSERT_TRUE(index::C2Lsh::Build(data, lo, &lsh).ok());
+  core::KnnEngine engine(lsh.get(), pf.get(), nullptr);
+
+  std::vector<Scalar> q(16, 100);
+  // Healthy query first.
+  env.set_plan({.fail_after_reads = UINT64_MAX, .persistent = true});
+  core::QueryResult r;
+  ASSERT_TRUE(engine.Query(q, 10, &r).ok());
+
+  // Break the disk mid-refinement: the engine must surface IOError.
+  env.set_plan({.fail_after_reads = 5, .persistent = true});
+  EXPECT_TRUE(engine.Query(q, 10, &r).IsIOError());
+
+  // Heal the disk: the engine recovers (no stuck state).
+  env.set_plan({.fail_after_reads = UINT64_MAX, .persistent = true});
+  core::QueryResult r2;
+  ASSERT_TRUE(engine.Query(q, 10, &r2).ok());
+}
+
+TEST(FaultInjectionTest, TreeSearchPropagatesDiskFaults) {
+  MemEnv mem;
+  FaultInjectionEnv env(&mem);
+  Dataset data = RandomData(2000, 16, 11);
+  std::unique_ptr<index::IDistance> idx;
+  index::IDistanceOptions opt;
+  opt.num_partitions = 8;
+  ASSERT_TRUE(index::IDistance::Build(&env, "/idist", data, opt, &idx).ok());
+
+  std::vector<Scalar> q(16, 100);
+  index::TreeSearchResult res;
+  env.set_plan({.fail_after_reads = 3, .persistent = true});
+  EXPECT_TRUE(idx->Search(q, 10, nullptr, &res).IsIOError());
+  env.set_plan({.fail_after_reads = UINT64_MAX, .persistent = true});
+  EXPECT_TRUE(idx->Search(q, 10, nullptr, &res).ok());
+}
+
+}  // namespace
+}  // namespace eeb::storage

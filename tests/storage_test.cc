@@ -1,0 +1,307 @@
+// Tests for the storage substrate: Env, PointFile (orderings, padding,
+// multi-page records), I/O accounting, file orderings.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <numeric>
+#include <set>
+
+#include "common/dataset.h"
+#include "common/random.h"
+#include "storage/env.h"
+#include "storage/file_ordering.h"
+#include "storage/io_stats.h"
+#include "storage/point_file.h"
+
+namespace eeb::storage {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / ("eeb_test_" + name))
+      .string();
+}
+
+Dataset RandomData(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  Dataset d(dim);
+  std::vector<Scalar> p(dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (auto& v : p) v = static_cast<Scalar>(rng.Uniform(256));
+    d.Append(p);
+  }
+  return d;
+}
+
+// -------------------------------------------------------------------- Env --
+
+TEST(EnvTest, WriteThenReadBack) {
+  const std::string path = TempPath("env_rw");
+  Env* env = Env::Default();
+  std::unique_ptr<WritableFile> w;
+  ASSERT_TRUE(env->NewWritableFile(path, &w).ok());
+  const std::string payload = "hello point file";
+  ASSERT_TRUE(w->Append(payload.data(), payload.size()).ok());
+  EXPECT_EQ(w->Offset(), payload.size());
+  ASSERT_TRUE(w->Close().ok());
+
+  std::unique_ptr<RandomAccessFile> r;
+  ASSERT_TRUE(env->NewRandomAccessFile(path, &r).ok());
+  EXPECT_EQ(r->Size(), payload.size());
+  std::string buf(5, '\0');
+  ASSERT_TRUE(r->Read(6, 5, buf.data()).ok());
+  EXPECT_EQ(buf, "point");
+  ASSERT_TRUE(env->DeleteFile(path).ok());
+  EXPECT_FALSE(env->FileExists(path));
+}
+
+TEST(EnvTest, MissingFileIsIOError) {
+  std::unique_ptr<RandomAccessFile> r;
+  EXPECT_TRUE(Env::Default()
+                  ->NewRandomAccessFile("/nonexistent/definitely/gone", &r)
+                  .IsIOError());
+}
+
+TEST(EnvTest, ShortReadIsIOError) {
+  const std::string path = TempPath("env_short");
+  Env* env = Env::Default();
+  std::unique_ptr<WritableFile> w;
+  ASSERT_TRUE(env->NewWritableFile(path, &w).ok());
+  ASSERT_TRUE(w->Append("abc", 3).ok());
+  ASSERT_TRUE(w->Close().ok());
+  std::unique_ptr<RandomAccessFile> r;
+  ASSERT_TRUE(env->NewRandomAccessFile(path, &r).ok());
+  char buf[10];
+  EXPECT_TRUE(r->Read(0, 10, buf).IsIOError());
+  env->DeleteFile(path).ok();
+}
+
+// -------------------------------------------------------------- PointFile --
+
+TEST(PointFileTest, RoundTripRawOrder) {
+  const std::string path = TempPath("pf_raw");
+  Dataset data = RandomData(100, 16, 61);
+  ASSERT_TRUE(PointFile::Create(Env::Default(), path, data).ok());
+
+  std::unique_ptr<PointFile> pf;
+  ASSERT_TRUE(PointFile::Open(Env::Default(), path, &pf).ok());
+  EXPECT_EQ(pf->size(), 100u);
+  EXPECT_EQ(pf->dim(), 16u);
+
+  std::vector<Scalar> buf(16);
+  for (PointId id = 0; id < 100; ++id) {
+    ASSERT_TRUE(pf->ReadPoint(id, buf, nullptr, nullptr).ok());
+    auto expect = data.point(id);
+    for (size_t j = 0; j < 16; ++j) EXPECT_EQ(buf[j], expect[j]);
+  }
+  Env::Default()->DeleteFile(path).ok();
+}
+
+TEST(PointFileTest, RoundTripPermutedOrder) {
+  const std::string path = TempPath("pf_perm");
+  Dataset data = RandomData(50, 8, 67);
+  // Reverse permutation.
+  std::vector<PointId> order(50);
+  for (size_t i = 0; i < 50; ++i) order[i] = static_cast<PointId>(49 - i);
+  ASSERT_TRUE(PointFile::Create(Env::Default(), path, data, order).ok());
+
+  std::unique_ptr<PointFile> pf;
+  ASSERT_TRUE(PointFile::Open(Env::Default(), path, &pf).ok());
+  std::vector<Scalar> buf(8);
+  for (PointId id = 0; id < 50; ++id) {
+    ASSERT_TRUE(pf->ReadPoint(id, buf, nullptr, nullptr).ok());
+    auto expect = data.point(id);
+    for (size_t j = 0; j < 8; ++j) EXPECT_EQ(buf[j], expect[j]);
+  }
+  Env::Default()->DeleteFile(path).ok();
+}
+
+TEST(PointFileTest, PaddingSlotsSkipped) {
+  const std::string path = TempPath("pf_pad");
+  Dataset data = RandomData(10, 4, 71);
+  std::vector<PointId> order;
+  for (PointId id = 0; id < 10; ++id) {
+    order.push_back(id);
+    order.push_back(kInvalidPointId);  // padding after every point
+  }
+  ASSERT_TRUE(PointFile::Create(Env::Default(), path, data, order).ok());
+  std::unique_ptr<PointFile> pf;
+  ASSERT_TRUE(PointFile::Open(Env::Default(), path, &pf).ok());
+  std::vector<Scalar> buf(4);
+  for (PointId id = 0; id < 10; ++id) {
+    ASSERT_TRUE(pf->ReadPoint(id, buf, nullptr, nullptr).ok());
+    EXPECT_EQ(buf[0], data.point(id)[0]);
+  }
+  Env::Default()->DeleteFile(path).ok();
+}
+
+TEST(PointFileTest, MultiPageRecords) {
+  const std::string path = TempPath("pf_big");
+  // 2000-dim floats = 8000 bytes > 4096 page: each record spans 2 pages.
+  Dataset data = RandomData(5, 2000, 73);
+  ASSERT_TRUE(PointFile::Create(Env::Default(), path, data).ok());
+  std::unique_ptr<PointFile> pf;
+  ASSERT_TRUE(PointFile::Open(Env::Default(), path, &pf).ok());
+  EXPECT_EQ(pf->points_per_page(), 0u);
+
+  std::vector<Scalar> buf(2000);
+  IoStats stats;
+  ASSERT_TRUE(pf->ReadPoint(3, buf, &stats, nullptr).ok());
+  EXPECT_EQ(stats.point_reads, 1u);
+  EXPECT_EQ(stats.page_reads, 2u);
+  for (size_t j = 0; j < 2000; ++j) EXPECT_EQ(buf[j], data.point(3)[j]);
+  Env::Default()->DeleteFile(path).ok();
+}
+
+TEST(PointFileTest, PageTrackerDeduplicatesWithinQuery) {
+  const std::string path = TempPath("pf_dedup");
+  // 16-dim floats = 64 bytes: 64 points per 4K page.
+  Dataset data = RandomData(128, 16, 79);
+  ASSERT_TRUE(PointFile::Create(Env::Default(), path, data).ok());
+  std::unique_ptr<PointFile> pf;
+  ASSERT_TRUE(PointFile::Open(Env::Default(), path, &pf).ok());
+
+  std::vector<Scalar> buf(16);
+  IoStats stats;
+  PageTracker tracker;
+  // Points 0..63 share page 0.
+  for (PointId id = 0; id < 64; ++id) {
+    ASSERT_TRUE(pf->ReadPoint(id, buf, &stats, &tracker).ok());
+  }
+  EXPECT_EQ(stats.point_reads, 64u);
+  EXPECT_EQ(stats.page_reads, 1u);
+
+  // Without a tracker every read charges its page.
+  IoStats stats2;
+  for (PointId id = 0; id < 64; ++id) {
+    ASSERT_TRUE(pf->ReadPoint(id, buf, &stats2, nullptr).ok());
+  }
+  EXPECT_EQ(stats2.page_reads, 64u);
+  Env::Default()->DeleteFile(path).ok();
+}
+
+TEST(PointFileTest, PageOfPointConsistentWithOrdering) {
+  const std::string path = TempPath("pf_pages");
+  Dataset data = RandomData(256, 16, 83);  // 64 per page
+  ASSERT_TRUE(PointFile::Create(Env::Default(), path, data).ok());
+  std::unique_ptr<PointFile> pf;
+  ASSERT_TRUE(PointFile::Open(Env::Default(), path, &pf).ok());
+  EXPECT_EQ(pf->PageOfPoint(0), 0u);
+  EXPECT_EQ(pf->PageOfPoint(63), 0u);
+  EXPECT_EQ(pf->PageOfPoint(64), 1u);
+  EXPECT_EQ(pf->PageOfPoint(255), 3u);
+  Env::Default()->DeleteFile(path).ok();
+}
+
+TEST(PointFileTest, RejectsCorruptMagic) {
+  const std::string path = TempPath("pf_corrupt");
+  Env* env = Env::Default();
+  std::unique_ptr<WritableFile> w;
+  ASSERT_TRUE(env->NewWritableFile(path, &w).ok());
+  std::vector<char> junk(8192, 'x');
+  ASSERT_TRUE(w->Append(junk.data(), junk.size()).ok());
+  ASSERT_TRUE(w->Close().ok());
+  std::unique_ptr<PointFile> pf;
+  EXPECT_TRUE(PointFile::Open(env, path, &pf).IsCorruption());
+  env->DeleteFile(path).ok();
+}
+
+TEST(PointFileTest, DuplicateAndMissingIdsRejected) {
+  const std::string path = TempPath("pf_dup");
+  Dataset data = RandomData(4, 4, 91);
+  std::vector<PointId> dup{0, 1, 1, 3};  // id 1 twice, id 2 missing
+  EXPECT_TRUE(PointFile::Create(Env::Default(), path, data, dup)
+                  .IsInvalidArgument());
+  std::vector<PointId> missing{0, 1, 2, kInvalidPointId};  // id 3 missing
+  EXPECT_TRUE(PointFile::Create(Env::Default(), path, data, missing)
+                  .IsInvalidArgument());
+}
+
+TEST(PointFileTest, OutOfRangeIdRejected) {
+  const std::string path = TempPath("pf_range");
+  Dataset data = RandomData(10, 4, 89);
+  ASSERT_TRUE(PointFile::Create(Env::Default(), path, data).ok());
+  std::unique_ptr<PointFile> pf;
+  ASSERT_TRUE(PointFile::Open(Env::Default(), path, &pf).ok());
+  std::vector<Scalar> buf(4);
+  EXPECT_TRUE(pf->ReadPoint(10, buf, nullptr, nullptr).IsInvalidArgument());
+  std::vector<Scalar> small(2);
+  EXPECT_TRUE(pf->ReadPoint(0, small, nullptr, nullptr).IsInvalidArgument());
+  Env::Default()->DeleteFile(path).ok();
+}
+
+// ---------------------------------------------------------- file ordering --
+
+TEST(FileOrderingTest, RawIsIdentity) {
+  auto order = RawOrder(5);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(order[i], i);
+}
+
+bool IsPermutation(const std::vector<PointId>& order, size_t n) {
+  std::set<PointId> seen(order.begin(), order.end());
+  return order.size() == n && seen.size() == n && *seen.rbegin() == n - 1;
+}
+
+TEST(FileOrderingTest, ClusteredIsPermutation) {
+  Dataset data = RandomData(200, 8, 97);
+  auto order = ClusteredOrder(data, 8, 1);
+  EXPECT_TRUE(IsPermutation(order, 200));
+}
+
+TEST(FileOrderingTest, SortedKeyIsPermutation) {
+  Dataset data = RandomData(200, 8, 101);
+  auto order = SortedKeyOrder(data, 4, 16.0, 1);
+  EXPECT_TRUE(IsPermutation(order, 200));
+}
+
+TEST(FileOrderingTest, ClusteredGroupsNearbyPoints) {
+  // Two well-separated blobs: the clustered order must not interleave them.
+  Rng rng(103);
+  Dataset data(4);
+  std::vector<Scalar> p(4);
+  for (int i = 0; i < 50; ++i) {
+    for (auto& v : p) v = static_cast<Scalar>(rng.NextGaussian());
+    data.Append(p);
+  }
+  for (int i = 0; i < 50; ++i) {
+    for (auto& v : p) v = static_cast<Scalar>(200 + rng.NextGaussian());
+    data.Append(p);
+  }
+  auto order = ClusteredOrder(data, 2, 3);
+  // Count blob transitions along the order; a grouped layout has exactly 1.
+  int transitions = 0;
+  for (size_t i = 1; i < order.size(); ++i) {
+    if ((order[i] < 50) != (order[i - 1] < 50)) ++transitions;
+  }
+  EXPECT_EQ(transitions, 1);
+}
+
+// ---------------------------------------------------------------- IoStats --
+
+TEST(IoStatsTest, Accumulates) {
+  IoStats a, b;
+  a.point_reads = 3;
+  a.page_reads = 2;
+  b.point_reads = 1;
+  b.bytes_read = 100;
+  a += b;
+  EXPECT_EQ(a.point_reads, 4u);
+  EXPECT_EQ(a.page_reads, 2u);
+  EXPECT_EQ(a.bytes_read, 100u);
+  a.Reset();
+  EXPECT_EQ(a.point_reads, 0u);
+}
+
+TEST(DiskModelTest, ChargesRandomAndSequentialDifferently) {
+  IoStats s;
+  s.page_reads = 10;
+  s.seq_page_reads = 100;
+  DiskModel model;
+  model.seconds_per_page = 0.002;
+  model.seconds_per_seq_page = 0.0001;
+  EXPECT_DOUBLE_EQ(model.Seconds(s), 0.02 + 0.01);
+}
+
+}  // namespace
+}  // namespace eeb::storage

@@ -1,0 +1,161 @@
+// Tests for the VA-file index: filter correctness (the true kNN always
+// survive), candidate volume vs bits, scan I/O accounting, and the R-tree
+// multi-dimensional histogram builder.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/dataset.h"
+#include "common/random.h"
+#include "index/linear_scan.h"
+#include "index/rtree/rtree_histogram.h"
+#include "index/vafile/vafile.h"
+
+namespace eeb::index {
+namespace {
+
+Dataset RandomData(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  Dataset d(dim);
+  std::vector<Scalar> p(dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (auto& v : p) v = static_cast<Scalar>(rng.Uniform(256));
+    d.Append(p);
+  }
+  return d;
+}
+
+TEST(VaFileTest, TrueNeighborsAlwaysSurvive) {
+  Dataset data = RandomData(2000, 12, 3);
+  std::unique_ptr<VaFile> va;
+  VaFileOptions opt;
+  opt.bits_per_dim = 4;
+  ASSERT_TRUE(VaFile::Build(data, opt, &va).ok());
+
+  Rng rng(5);
+  for (int t = 0; t < 20; ++t) {
+    std::vector<Scalar> q(12);
+    for (auto& v : q) v = static_cast<Scalar>(rng.Uniform(256));
+    std::vector<PointId> cand;
+    ASSERT_TRUE(va->Candidates(q, 10, &cand, nullptr).ok());
+    std::set<PointId> cset(cand.begin(), cand.end());
+    for (const auto& nb : LinearScanKnn(data, q, 10)) {
+      EXPECT_TRUE(cset.count(nb.id))
+          << "true neighbor " << nb.id << " filtered out";
+    }
+  }
+}
+
+TEST(VaFileTest, MoreBitsFewerCandidates) {
+  Dataset data = RandomData(3000, 12, 7);
+  std::unique_ptr<VaFile> coarse, fine;
+  VaFileOptions lo, hi;
+  lo.bits_per_dim = 2;
+  hi.bits_per_dim = 6;
+  ASSERT_TRUE(VaFile::Build(data, lo, &coarse).ok());
+  ASSERT_TRUE(VaFile::Build(data, hi, &fine).ok());
+
+  Rng rng(11);
+  size_t coarse_total = 0, fine_total = 0;
+  for (int t = 0; t < 10; ++t) {
+    std::vector<Scalar> q(12);
+    for (auto& v : q) v = static_cast<Scalar>(rng.Uniform(256));
+    std::vector<PointId> c1, c2;
+    ASSERT_TRUE(coarse->Candidates(q, 10, &c1, nullptr).ok());
+    ASSERT_TRUE(fine->Candidates(q, 10, &c2, nullptr).ok());
+    coarse_total += c1.size();
+    fine_total += c2.size();
+  }
+  EXPECT_LT(fine_total, coarse_total);
+}
+
+TEST(VaFileTest, ScanIoProportionalToApproximationSize) {
+  Dataset data = RandomData(4096, 16, 13);
+  std::unique_ptr<VaFile> va;
+  VaFileOptions opt;
+  opt.bits_per_dim = 4;
+  ASSERT_TRUE(VaFile::Build(data, opt, &va).ok());
+  std::vector<Scalar> q(16, 128);
+  std::vector<PointId> cand;
+  storage::IoStats stats;
+  ASSERT_TRUE(va->Candidates(q, 10, &cand, &stats).ok());
+  const uint64_t expect_pages =
+      (va->approximation_bytes() + 4095) / 4096;
+  EXPECT_EQ(stats.seq_page_reads, expect_pages);
+  EXPECT_EQ(stats.page_reads, 0u);
+}
+
+TEST(VaFileTest, RejectsBadOptions) {
+  Dataset data = RandomData(10, 4, 17);
+  std::unique_ptr<VaFile> va;
+  VaFileOptions opt;
+  opt.bits_per_dim = 0;
+  EXPECT_TRUE(VaFile::Build(data, opt, &va).IsInvalidArgument());
+  opt.bits_per_dim = 20;
+  EXPECT_TRUE(VaFile::Build(data, opt, &va).IsInvalidArgument());
+}
+
+// --------------------------------------------------- R-tree histogram ----
+
+TEST(RTreeHistogramTest, AssignmentInsideMbr) {
+  Dataset data = RandomData(500, 6, 19);
+  hist::MultiDimHistogram h;
+  std::vector<BucketId> assign;
+  ASSERT_TRUE(BuildRTreeHistogram(data, 32, &h, &assign).ok());
+  ASSERT_EQ(assign.size(), 500u);
+  for (PointId id = 0; id < 500; ++id) {
+    const hist::Mbr& box = h.bucket(assign[id]);
+    EXPECT_DOUBLE_EQ(box.MinDist(data.point(id)), 0.0)
+        << "point outside its assigned bucket";
+  }
+}
+
+TEST(RTreeHistogramTest, ProducesRequestedBucketCount) {
+  Dataset data = RandomData(500, 6, 23);
+  hist::MultiDimHistogram h;
+  std::vector<BucketId> assign;
+  ASSERT_TRUE(BuildRTreeHistogram(data, 16, &h, &assign).ok());
+  EXPECT_EQ(h.num_buckets(), 16u);
+}
+
+TEST(RTreeHistogramTest, BalancedLeafSizes) {
+  Dataset data = RandomData(512, 6, 29);
+  hist::MultiDimHistogram h;
+  std::vector<BucketId> assign;
+  ASSERT_TRUE(BuildRTreeHistogram(data, 8, &h, &assign).ok());
+  std::vector<int> sizes(8, 0);
+  for (BucketId b : assign) sizes[b]++;
+  for (int s : sizes) EXPECT_EQ(s, 64);
+}
+
+TEST(RTreeHistogramTest, HighDimMbrsAreHuge) {
+  // The curse-of-dimensionality effect (paper Appendix B): in high d, leaf
+  // MBRs span most of the domain per dimension.
+  Dataset data = RandomData(2048, 64, 31);
+  hist::MultiDimHistogram h;
+  std::vector<BucketId> assign;
+  ASSERT_TRUE(BuildRTreeHistogram(data, 256, &h, &assign).ok());
+  double avg_width = 0;
+  size_t terms = 0;
+  for (BucketId b = 0; b < h.num_buckets(); ++b) {
+    const hist::Mbr& box = h.bucket(b);
+    for (size_t j = 0; j < box.dim(); ++j) {
+      avg_width += box.hi[j] - box.lo[j];
+      ++terms;
+    }
+  }
+  avg_width /= static_cast<double>(terms);
+  EXPECT_GT(avg_width, 0.5 * 255)
+      << "high-dimensional MBRs should cover most of the domain";
+}
+
+TEST(RTreeHistogramTest, RejectsEmptyInput) {
+  hist::MultiDimHistogram h;
+  std::vector<BucketId> assign;
+  EXPECT_TRUE(
+      BuildRTreeHistogram(Dataset(4), 8, &h, &assign).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace eeb::index

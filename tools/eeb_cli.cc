@@ -1,0 +1,216 @@
+// eeb_cli — command-line front end for the library.
+//
+//   eeb_cli gen   --out data.fvecs [--n 50000] [--dim 64] [--ndom 1024]
+//                 [--clusters 32] [--sparsity 0.0] [--seed 1]
+//   eeb_cli info  --data data.fvecs
+//   eeb_cli query --data data.fvecs [--queries q.fvecs] [--k 10]
+//                 [--cache none|exact|hc-w|hc-v|hc-m|hc-d|hc-o|c-va]
+//                 [--cache-mb 8] [--tau 0] [--workload 1000] [--test 50]
+//
+// `query` builds the full pipeline (point file, C2LSH, workload analysis,
+// cache) in a temp directory and reports the paper-style statistics. When
+// --queries is omitted a Zipf query log is synthesized from the data.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "core/system.h"
+#include "workload/fvecs.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace eeb;
+
+// Minimal --key value argument parser.
+class Args {
+ public:
+  Args(int argc, char** argv, int start) {
+    for (int i = start; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        std::fprintf(stderr, "expected --flag, got %s\n", argv[i]);
+        std::exit(2);
+      }
+      kv_[argv[i] + 2] = argv[i + 1];
+    }
+  }
+
+  std::string Str(const std::string& key, const std::string& dflt) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : it->second;
+  }
+  long Int(const std::string& key, long dflt) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : std::atol(it->second.c_str());
+  }
+  double Dbl(const std::string& key, double dflt) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : std::atof(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return kv_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+[[noreturn]] void Die(const Status& st, const char* what) {
+  std::fprintf(stderr, "error: %s: %s\n", what, st.ToString().c_str());
+  std::exit(1);
+}
+
+int CmdGen(const Args& args) {
+  const std::string out = args.Str("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "gen: --out is required\n");
+    return 2;
+  }
+  workload::DatasetSpec spec;
+  spec.name = "cli";
+  spec.n = args.Int("n", 50000);
+  spec.dim = args.Int("dim", 64);
+  spec.ndom = static_cast<uint32_t>(args.Int("ndom", 1024));
+  spec.clusters = static_cast<uint32_t>(args.Int("clusters", 32));
+  spec.cluster_stddev = args.Dbl("stddev", 0.05 * spec.ndom);
+  spec.sparsity = args.Dbl("sparsity", 0.0);
+  spec.seed = args.Int("seed", 1);
+
+  Dataset data = workload::GenerateClustered(spec);
+  Status st = workload::WriteFvecs(storage::Env::Default(), out, data);
+  if (!st.ok()) Die(st, "write fvecs");
+  std::printf("wrote %zu x %zu-d vectors to %s\n", data.size(), data.dim(),
+              out.c_str());
+  return 0;
+}
+
+int CmdInfo(const Args& args) {
+  const std::string path = args.Str("data", "");
+  Dataset data;
+  Status st = workload::ReadFvecs(storage::Env::Default(), path, &data);
+  if (!st.ok()) Die(st, "read fvecs");
+  std::printf("%s: %zu vectors, %zu dimensions, max value %.2f, %.1f MB "
+              "as float32\n",
+              path.c_str(), data.size(), data.dim(), data.MaxValue(),
+              data.size() * data.dim() * 4.0 / (1 << 20));
+  return 0;
+}
+
+core::CacheMethod ParseMethod(const std::string& name) {
+  if (name == "none") return core::CacheMethod::kNone;
+  if (name == "exact") return core::CacheMethod::kExact;
+  if (name == "hc-w") return core::CacheMethod::kHcW;
+  if (name == "hc-v") return core::CacheMethod::kHcV;
+  if (name == "hc-m") return core::CacheMethod::kHcM;
+  if (name == "hc-d") return core::CacheMethod::kHcD;
+  if (name == "hc-o") return core::CacheMethod::kHcO;
+  if (name == "c-va") return core::CacheMethod::kCVa;
+  std::fprintf(stderr, "unknown cache method: %s\n", name.c_str());
+  std::exit(2);
+}
+
+int CmdQuery(const Args& args) {
+  Dataset data;
+  Status st = workload::ReadFvecs(storage::Env::Default(),
+                                  args.Str("data", ""), &data);
+  if (!st.ok()) Die(st, "read data");
+  if (data.empty()) {
+    std::fprintf(stderr, "query: dataset is empty\n");
+    return 2;
+  }
+
+  const uint32_t ndom =
+      static_cast<uint32_t>(args.Int("ndom", 0)) != 0
+          ? static_cast<uint32_t>(args.Int("ndom", 0))
+          : static_cast<uint32_t>(data.MaxValue()) + 1;
+
+  workload::QueryLog log;
+  if (args.Has("queries")) {
+    Dataset qs;
+    st = workload::ReadFvecs(storage::Env::Default(),
+                             args.Str("queries", ""), &qs);
+    if (!st.ok()) Die(st, "read queries");
+    // First part warms the workload analysis, tail is the test set.
+    const size_t test = std::min<size_t>(qs.size(), args.Int("test", 50));
+    for (size_t i = 0; i + test < qs.size(); ++i) {
+      auto p = qs.point(static_cast<PointId>(i));
+      log.workload.emplace_back(p.begin(), p.end());
+    }
+    for (size_t i = qs.size() - test; i < qs.size(); ++i) {
+      auto p = qs.point(static_cast<PointId>(i));
+      log.test.emplace_back(p.begin(), p.end());
+    }
+  } else {
+    workload::QueryLogSpec lspec;
+    lspec.workload_size = args.Int("workload", 1000);
+    lspec.test_size = args.Int("test", 50);
+    lspec.jitter_stddev = 0.015 * ndom;
+    log = workload::GenerateQueryLog(data, lspec);
+  }
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "eeb_cli").string();
+  std::filesystem::create_directories(dir);
+
+  core::SystemOptions opt;
+  opt.ndom = ndom;
+  opt.integral_values = args.Int("integral", 1) != 0;
+  std::unique_ptr<core::System> system;
+  st = core::System::Create(storage::Env::Default(), dir, data,
+                            log.workload, opt, &system);
+  if (!st.ok()) Die(st, "build system");
+
+  const core::CacheMethod method = ParseMethod(args.Str("cache", "hc-o"));
+  const size_t cache_bytes =
+      static_cast<size_t>(args.Dbl("cache-mb", 8.0) * (1 << 20));
+  st = system->ConfigureCache(method, cache_bytes,
+                              static_cast<uint32_t>(args.Int("tau", 0)));
+  if (!st.ok()) Die(st, "configure cache");
+
+  core::AggregateResult agg;
+  st = system->RunQueries(log.test, args.Int("k", 10), &agg);
+  if (!st.ok()) Die(st, "run queries");
+
+  std::printf("dataset: %zu x %zu-d, ndom=%u | cache: %s %.1f MB tau=%u\n",
+              data.size(), data.dim(), ndom, core::CacheMethodName(method),
+              cache_bytes / double(1 << 20), system->last_tau());
+  std::printf("queries: %zu | avg |C(q)|=%.1f remaining=%.1f fetched=%.1f\n",
+              agg.queries, agg.avg_candidates, agg.avg_remaining,
+              agg.avg_fetched);
+  std::printf("hit ratio %.3f | prune ratio %.3f\n", agg.hit_ratio,
+              agg.prune_ratio);
+  std::printf("modeled response: avg %.3f s (gen %.3f + refine %.3f), "
+              "p50 %.3f, p95 %.3f, p99 %.3f\n",
+              agg.avg_response_seconds, agg.avg_gen_seconds,
+              agg.avg_refine_seconds, agg.p50_response_seconds,
+              agg.p95_response_seconds, agg.p99_response_seconds);
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: eeb_cli <gen|info|query> [--flag value ...]\n"
+               "  gen   --out F [--n N --dim D --ndom V --clusters C "
+               "--sparsity S --seed X]\n"
+               "  info  --data F\n"
+               "  query --data F [--queries F --k K --cache M --cache-mb MB "
+               "--tau T]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  Args args(argc, argv, 2);
+  if (cmd == "gen") return CmdGen(args);
+  if (cmd == "info") return CmdInfo(args);
+  if (cmd == "query") return CmdQuery(args);
+  Usage();
+  return 2;
+}
