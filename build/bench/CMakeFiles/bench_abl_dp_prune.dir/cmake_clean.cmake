@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_dp_prune.dir/bench_abl_dp_prune.cc.o"
+  "CMakeFiles/bench_abl_dp_prune.dir/bench_abl_dp_prune.cc.o.d"
+  "bench_abl_dp_prune"
+  "bench_abl_dp_prune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_dp_prune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_histograms.dir/bench_abl_histograms.cc.o"
+  "CMakeFiles/bench_abl_histograms.dir/bench_abl_histograms.cc.o.d"
+  "bench_abl_histograms"
+  "bench_abl_histograms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_histograms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

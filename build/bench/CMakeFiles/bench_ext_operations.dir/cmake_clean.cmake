@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_operations.dir/bench_ext_operations.cc.o"
+  "CMakeFiles/bench_ext_operations.dir/bench_ext_operations.cc.o.d"
+  "bench_ext_operations"
+  "bench_ext_operations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

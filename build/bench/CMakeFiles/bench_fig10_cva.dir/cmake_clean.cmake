@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_cva.dir/bench_fig10_cva.cc.o"
+  "CMakeFiles/bench_fig10_cva.dir/bench_fig10_cva.cc.o.d"
+  "bench_fig10_cva"
+  "bench_fig10_cva.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_cva.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_cachesize.dir/bench_fig13_cachesize.cc.o"
+  "CMakeFiles/bench_fig13_cachesize.dir/bench_fig13_cachesize.cc.o.d"
+  "bench_fig13_cachesize"
+  "bench_fig13_cachesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_cachesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig14_k.cc" "bench/CMakeFiles/bench_fig14_k.dir/bench_fig14_k.cc.o" "gcc" "bench/CMakeFiles/bench_fig14_k.dir/bench_fig14_k.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/eeb_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/eeb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/eeb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/eeb_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/hist/CMakeFiles/eeb_hist.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/eeb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/eeb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eeb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_tau.dir/bench_fig15_tau.cc.o"
+  "CMakeFiles/bench_fig15_tau.dir/bench_fig15_tau.cc.o.d"
+  "bench_fig15_tau"
+  "bench_fig15_tau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_tau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab03_categories.dir/bench_tab03_categories.cc.o"
+  "CMakeFiles/bench_tab03_categories.dir/bench_tab03_categories.cc.o.d"
+  "bench_tab03_categories"
+  "bench_tab03_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab03_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

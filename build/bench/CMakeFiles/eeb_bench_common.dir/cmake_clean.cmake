@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eeb_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/eeb_bench_common.dir/bench_common.cc.o.d"
+  "libeeb_bench_common.a"
+  "libeeb_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eeb_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

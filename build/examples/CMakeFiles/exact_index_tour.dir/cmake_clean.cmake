@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_index_tour.dir/exact_index_tour.cpp.o"
+  "CMakeFiles/exact_index_tour.dir/exact_index_tour.cpp.o.d"
+  "exact_index_tour"
+  "exact_index_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_index_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maintenance_demo.dir/maintenance_demo.cpp.o"
+  "CMakeFiles/maintenance_demo.dir/maintenance_demo.cpp.o.d"
+  "maintenance_demo"
+  "maintenance_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maintenance_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuning_playground.dir/tuning_playground.cpp.o"
+  "CMakeFiles/tuning_playground.dir/tuning_playground.cpp.o.d"
+  "tuning_playground"
+  "tuning_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuning_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

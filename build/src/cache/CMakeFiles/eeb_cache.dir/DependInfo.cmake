@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/code_cache.cc" "src/cache/CMakeFiles/eeb_cache.dir/code_cache.cc.o" "gcc" "src/cache/CMakeFiles/eeb_cache.dir/code_cache.cc.o.d"
+  "/root/repo/src/cache/exact_cache.cc" "src/cache/CMakeFiles/eeb_cache.dir/exact_cache.cc.o" "gcc" "src/cache/CMakeFiles/eeb_cache.dir/exact_cache.cc.o.d"
+  "/root/repo/src/cache/multidim_cache.cc" "src/cache/CMakeFiles/eeb_cache.dir/multidim_cache.cc.o" "gcc" "src/cache/CMakeFiles/eeb_cache.dir/multidim_cache.cc.o.d"
+  "/root/repo/src/cache/node_cache.cc" "src/cache/CMakeFiles/eeb_cache.dir/node_cache.cc.o" "gcc" "src/cache/CMakeFiles/eeb_cache.dir/node_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eeb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hist/CMakeFiles/eeb_hist.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/eeb_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eeb_cache.dir/code_cache.cc.o"
+  "CMakeFiles/eeb_cache.dir/code_cache.cc.o.d"
+  "CMakeFiles/eeb_cache.dir/exact_cache.cc.o"
+  "CMakeFiles/eeb_cache.dir/exact_cache.cc.o.d"
+  "CMakeFiles/eeb_cache.dir/multidim_cache.cc.o"
+  "CMakeFiles/eeb_cache.dir/multidim_cache.cc.o.d"
+  "CMakeFiles/eeb_cache.dir/node_cache.cc.o"
+  "CMakeFiles/eeb_cache.dir/node_cache.cc.o.d"
+  "libeeb_cache.a"
+  "libeeb_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eeb_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eeb_common.dir/kmeans.cc.o"
+  "CMakeFiles/eeb_common.dir/kmeans.cc.o.d"
+  "CMakeFiles/eeb_common.dir/status.cc.o"
+  "CMakeFiles/eeb_common.dir/status.cc.o.d"
+  "CMakeFiles/eeb_common.dir/zipf.cc.o"
+  "CMakeFiles/eeb_common.dir/zipf.cc.o.d"
+  "libeeb_common.a"
+  "libeeb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eeb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

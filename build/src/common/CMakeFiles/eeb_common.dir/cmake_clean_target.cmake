@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeeb_common.a"
+)

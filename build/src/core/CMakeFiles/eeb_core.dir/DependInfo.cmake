@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/eeb_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/eeb_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/dbscan.cc" "src/core/CMakeFiles/eeb_core.dir/dbscan.cc.o" "gcc" "src/core/CMakeFiles/eeb_core.dir/dbscan.cc.o.d"
+  "/root/repo/src/core/knn_engine.cc" "src/core/CMakeFiles/eeb_core.dir/knn_engine.cc.o" "gcc" "src/core/CMakeFiles/eeb_core.dir/knn_engine.cc.o.d"
+  "/root/repo/src/core/knn_join.cc" "src/core/CMakeFiles/eeb_core.dir/knn_join.cc.o" "gcc" "src/core/CMakeFiles/eeb_core.dir/knn_join.cc.o.d"
+  "/root/repo/src/core/maintenance.cc" "src/core/CMakeFiles/eeb_core.dir/maintenance.cc.o" "gcc" "src/core/CMakeFiles/eeb_core.dir/maintenance.cc.o.d"
+  "/root/repo/src/core/quality.cc" "src/core/CMakeFiles/eeb_core.dir/quality.cc.o" "gcc" "src/core/CMakeFiles/eeb_core.dir/quality.cc.o.d"
+  "/root/repo/src/core/range_search.cc" "src/core/CMakeFiles/eeb_core.dir/range_search.cc.o" "gcc" "src/core/CMakeFiles/eeb_core.dir/range_search.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/core/CMakeFiles/eeb_core.dir/system.cc.o" "gcc" "src/core/CMakeFiles/eeb_core.dir/system.cc.o.d"
+  "/root/repo/src/core/workload.cc" "src/core/CMakeFiles/eeb_core.dir/workload.cc.o" "gcc" "src/core/CMakeFiles/eeb_core.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eeb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/eeb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/hist/CMakeFiles/eeb_hist.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/eeb_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/eeb_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

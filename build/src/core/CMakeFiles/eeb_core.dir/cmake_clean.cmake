@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eeb_core.dir/cost_model.cc.o"
+  "CMakeFiles/eeb_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/eeb_core.dir/dbscan.cc.o"
+  "CMakeFiles/eeb_core.dir/dbscan.cc.o.d"
+  "CMakeFiles/eeb_core.dir/knn_engine.cc.o"
+  "CMakeFiles/eeb_core.dir/knn_engine.cc.o.d"
+  "CMakeFiles/eeb_core.dir/knn_join.cc.o"
+  "CMakeFiles/eeb_core.dir/knn_join.cc.o.d"
+  "CMakeFiles/eeb_core.dir/maintenance.cc.o"
+  "CMakeFiles/eeb_core.dir/maintenance.cc.o.d"
+  "CMakeFiles/eeb_core.dir/quality.cc.o"
+  "CMakeFiles/eeb_core.dir/quality.cc.o.d"
+  "CMakeFiles/eeb_core.dir/range_search.cc.o"
+  "CMakeFiles/eeb_core.dir/range_search.cc.o.d"
+  "CMakeFiles/eeb_core.dir/system.cc.o"
+  "CMakeFiles/eeb_core.dir/system.cc.o.d"
+  "CMakeFiles/eeb_core.dir/workload.cc.o"
+  "CMakeFiles/eeb_core.dir/workload.cc.o.d"
+  "libeeb_core.a"
+  "libeeb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eeb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

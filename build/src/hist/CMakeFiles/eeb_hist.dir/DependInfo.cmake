@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hist/equi_depth.cc" "src/hist/CMakeFiles/eeb_hist.dir/equi_depth.cc.o" "gcc" "src/hist/CMakeFiles/eeb_hist.dir/equi_depth.cc.o.d"
+  "/root/repo/src/hist/equi_width.cc" "src/hist/CMakeFiles/eeb_hist.dir/equi_width.cc.o" "gcc" "src/hist/CMakeFiles/eeb_hist.dir/equi_width.cc.o.d"
+  "/root/repo/src/hist/frequency.cc" "src/hist/CMakeFiles/eeb_hist.dir/frequency.cc.o" "gcc" "src/hist/CMakeFiles/eeb_hist.dir/frequency.cc.o.d"
+  "/root/repo/src/hist/histogram.cc" "src/hist/CMakeFiles/eeb_hist.dir/histogram.cc.o" "gcc" "src/hist/CMakeFiles/eeb_hist.dir/histogram.cc.o.d"
+  "/root/repo/src/hist/individual.cc" "src/hist/CMakeFiles/eeb_hist.dir/individual.cc.o" "gcc" "src/hist/CMakeFiles/eeb_hist.dir/individual.cc.o.d"
+  "/root/repo/src/hist/max_diff.cc" "src/hist/CMakeFiles/eeb_hist.dir/max_diff.cc.o" "gcc" "src/hist/CMakeFiles/eeb_hist.dir/max_diff.cc.o.d"
+  "/root/repo/src/hist/serialize.cc" "src/hist/CMakeFiles/eeb_hist.dir/serialize.cc.o" "gcc" "src/hist/CMakeFiles/eeb_hist.dir/serialize.cc.o.d"
+  "/root/repo/src/hist/v_optimal.cc" "src/hist/CMakeFiles/eeb_hist.dir/v_optimal.cc.o" "gcc" "src/hist/CMakeFiles/eeb_hist.dir/v_optimal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eeb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/eeb_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eeb_hist.dir/equi_depth.cc.o"
+  "CMakeFiles/eeb_hist.dir/equi_depth.cc.o.d"
+  "CMakeFiles/eeb_hist.dir/equi_width.cc.o"
+  "CMakeFiles/eeb_hist.dir/equi_width.cc.o.d"
+  "CMakeFiles/eeb_hist.dir/frequency.cc.o"
+  "CMakeFiles/eeb_hist.dir/frequency.cc.o.d"
+  "CMakeFiles/eeb_hist.dir/histogram.cc.o"
+  "CMakeFiles/eeb_hist.dir/histogram.cc.o.d"
+  "CMakeFiles/eeb_hist.dir/individual.cc.o"
+  "CMakeFiles/eeb_hist.dir/individual.cc.o.d"
+  "CMakeFiles/eeb_hist.dir/max_diff.cc.o"
+  "CMakeFiles/eeb_hist.dir/max_diff.cc.o.d"
+  "CMakeFiles/eeb_hist.dir/serialize.cc.o"
+  "CMakeFiles/eeb_hist.dir/serialize.cc.o.d"
+  "CMakeFiles/eeb_hist.dir/v_optimal.cc.o"
+  "CMakeFiles/eeb_hist.dir/v_optimal.cc.o.d"
+  "libeeb_hist.a"
+  "libeeb_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eeb_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

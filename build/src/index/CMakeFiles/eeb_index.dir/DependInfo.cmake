@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/bptree/bptree.cc" "src/index/CMakeFiles/eeb_index.dir/bptree/bptree.cc.o" "gcc" "src/index/CMakeFiles/eeb_index.dir/bptree/bptree.cc.o.d"
+  "/root/repo/src/index/idistance/idistance.cc" "src/index/CMakeFiles/eeb_index.dir/idistance/idistance.cc.o" "gcc" "src/index/CMakeFiles/eeb_index.dir/idistance/idistance.cc.o.d"
+  "/root/repo/src/index/lsh/c2lsh.cc" "src/index/CMakeFiles/eeb_index.dir/lsh/c2lsh.cc.o" "gcc" "src/index/CMakeFiles/eeb_index.dir/lsh/c2lsh.cc.o.d"
+  "/root/repo/src/index/lsh/e2lsh.cc" "src/index/CMakeFiles/eeb_index.dir/lsh/e2lsh.cc.o" "gcc" "src/index/CMakeFiles/eeb_index.dir/lsh/e2lsh.cc.o.d"
+  "/root/repo/src/index/lsh/multiprobe.cc" "src/index/CMakeFiles/eeb_index.dir/lsh/multiprobe.cc.o" "gcc" "src/index/CMakeFiles/eeb_index.dir/lsh/multiprobe.cc.o.d"
+  "/root/repo/src/index/lsh/sklsh.cc" "src/index/CMakeFiles/eeb_index.dir/lsh/sklsh.cc.o" "gcc" "src/index/CMakeFiles/eeb_index.dir/lsh/sklsh.cc.o.d"
+  "/root/repo/src/index/mtree/mtree.cc" "src/index/CMakeFiles/eeb_index.dir/mtree/mtree.cc.o" "gcc" "src/index/CMakeFiles/eeb_index.dir/mtree/mtree.cc.o.d"
+  "/root/repo/src/index/rtree/rtree_histogram.cc" "src/index/CMakeFiles/eeb_index.dir/rtree/rtree_histogram.cc.o" "gcc" "src/index/CMakeFiles/eeb_index.dir/rtree/rtree_histogram.cc.o.d"
+  "/root/repo/src/index/tree_common.cc" "src/index/CMakeFiles/eeb_index.dir/tree_common.cc.o" "gcc" "src/index/CMakeFiles/eeb_index.dir/tree_common.cc.o.d"
+  "/root/repo/src/index/vafile/vafile.cc" "src/index/CMakeFiles/eeb_index.dir/vafile/vafile.cc.o" "gcc" "src/index/CMakeFiles/eeb_index.dir/vafile/vafile.cc.o.d"
+  "/root/repo/src/index/vptree/vptree.cc" "src/index/CMakeFiles/eeb_index.dir/vptree/vptree.cc.o" "gcc" "src/index/CMakeFiles/eeb_index.dir/vptree/vptree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eeb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/eeb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/hist/CMakeFiles/eeb_hist.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/eeb_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

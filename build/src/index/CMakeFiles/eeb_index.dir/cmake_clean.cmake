@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eeb_index.dir/bptree/bptree.cc.o"
+  "CMakeFiles/eeb_index.dir/bptree/bptree.cc.o.d"
+  "CMakeFiles/eeb_index.dir/idistance/idistance.cc.o"
+  "CMakeFiles/eeb_index.dir/idistance/idistance.cc.o.d"
+  "CMakeFiles/eeb_index.dir/lsh/c2lsh.cc.o"
+  "CMakeFiles/eeb_index.dir/lsh/c2lsh.cc.o.d"
+  "CMakeFiles/eeb_index.dir/lsh/e2lsh.cc.o"
+  "CMakeFiles/eeb_index.dir/lsh/e2lsh.cc.o.d"
+  "CMakeFiles/eeb_index.dir/lsh/multiprobe.cc.o"
+  "CMakeFiles/eeb_index.dir/lsh/multiprobe.cc.o.d"
+  "CMakeFiles/eeb_index.dir/lsh/sklsh.cc.o"
+  "CMakeFiles/eeb_index.dir/lsh/sklsh.cc.o.d"
+  "CMakeFiles/eeb_index.dir/mtree/mtree.cc.o"
+  "CMakeFiles/eeb_index.dir/mtree/mtree.cc.o.d"
+  "CMakeFiles/eeb_index.dir/rtree/rtree_histogram.cc.o"
+  "CMakeFiles/eeb_index.dir/rtree/rtree_histogram.cc.o.d"
+  "CMakeFiles/eeb_index.dir/tree_common.cc.o"
+  "CMakeFiles/eeb_index.dir/tree_common.cc.o.d"
+  "CMakeFiles/eeb_index.dir/vafile/vafile.cc.o"
+  "CMakeFiles/eeb_index.dir/vafile/vafile.cc.o.d"
+  "CMakeFiles/eeb_index.dir/vptree/vptree.cc.o"
+  "CMakeFiles/eeb_index.dir/vptree/vptree.cc.o.d"
+  "libeeb_index.a"
+  "libeeb_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eeb_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

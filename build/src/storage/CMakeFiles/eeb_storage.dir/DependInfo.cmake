@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/env.cc" "src/storage/CMakeFiles/eeb_storage.dir/env.cc.o" "gcc" "src/storage/CMakeFiles/eeb_storage.dir/env.cc.o.d"
+  "/root/repo/src/storage/file_ordering.cc" "src/storage/CMakeFiles/eeb_storage.dir/file_ordering.cc.o" "gcc" "src/storage/CMakeFiles/eeb_storage.dir/file_ordering.cc.o.d"
+  "/root/repo/src/storage/mem_env.cc" "src/storage/CMakeFiles/eeb_storage.dir/mem_env.cc.o" "gcc" "src/storage/CMakeFiles/eeb_storage.dir/mem_env.cc.o.d"
+  "/root/repo/src/storage/point_file.cc" "src/storage/CMakeFiles/eeb_storage.dir/point_file.cc.o" "gcc" "src/storage/CMakeFiles/eeb_storage.dir/point_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eeb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

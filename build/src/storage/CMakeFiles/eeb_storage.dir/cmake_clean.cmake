@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eeb_storage.dir/env.cc.o"
+  "CMakeFiles/eeb_storage.dir/env.cc.o.d"
+  "CMakeFiles/eeb_storage.dir/file_ordering.cc.o"
+  "CMakeFiles/eeb_storage.dir/file_ordering.cc.o.d"
+  "CMakeFiles/eeb_storage.dir/mem_env.cc.o"
+  "CMakeFiles/eeb_storage.dir/mem_env.cc.o.d"
+  "CMakeFiles/eeb_storage.dir/point_file.cc.o"
+  "CMakeFiles/eeb_storage.dir/point_file.cc.o.d"
+  "libeeb_storage.a"
+  "libeeb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eeb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eeb_workload.dir/fvecs.cc.o"
+  "CMakeFiles/eeb_workload.dir/fvecs.cc.o.d"
+  "CMakeFiles/eeb_workload.dir/generator.cc.o"
+  "CMakeFiles/eeb_workload.dir/generator.cc.o.d"
+  "CMakeFiles/eeb_workload.dir/registry.cc.o"
+  "CMakeFiles/eeb_workload.dir/registry.cc.o.d"
+  "libeeb_workload.a"
+  "libeeb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eeb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

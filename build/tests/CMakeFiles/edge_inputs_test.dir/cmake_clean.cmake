@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_inputs_test.dir/edge_inputs_test.cc.o"
+  "CMakeFiles/edge_inputs_test.dir/edge_inputs_test.cc.o.d"
+  "edge_inputs_test"
+  "edge_inputs_test.pdb"
+  "edge_inputs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_inputs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hist_test.dir/hist_test.cc.o"
+  "CMakeFiles/hist_test.dir/hist_test.cc.o.d"
+  "hist_test"
+  "hist_test.pdb"
+  "hist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_env_test.dir/mem_env_test.cc.o"
+  "CMakeFiles/mem_env_test.dir/mem_env_test.cc.o.d"
+  "mem_env_test"
+  "mem_env_test.pdb"
+  "mem_env_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_env_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

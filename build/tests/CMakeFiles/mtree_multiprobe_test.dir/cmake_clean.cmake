@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtree_multiprobe_test.dir/mtree_multiprobe_test.cc.o"
+  "CMakeFiles/mtree_multiprobe_test.dir/mtree_multiprobe_test.cc.o.d"
+  "mtree_multiprobe_test"
+  "mtree_multiprobe_test.pdb"
+  "mtree_multiprobe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtree_multiprobe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_seeds_test.dir/property_seeds_test.cc.o"
+  "CMakeFiles/property_seeds_test.dir/property_seeds_test.cc.o.d"
+  "property_seeds_test"
+  "property_seeds_test.pdb"
+  "property_seeds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_seeds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

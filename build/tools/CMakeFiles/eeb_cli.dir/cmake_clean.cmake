@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eeb_cli.dir/eeb_cli.cc.o"
+  "CMakeFiles/eeb_cli.dir/eeb_cli.cc.o.d"
+  "eeb_cli"
+  "eeb_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eeb_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
