@@ -2,12 +2,33 @@
 
 #include <unistd.h>
 
+#include <cctype>
 #include <cstdlib>
 #include <filesystem>
 
 #include "common/timer.h"
+#include "obs/export.h"
 
 namespace eeb::bench {
+namespace {
+
+// Metrics JSONL sink shared by every RunCell of the binary; opened by
+// Banner. Left open for the process lifetime (flushed per line).
+FILE* g_metrics_file = nullptr;
+std::string g_bench_id;
+
+std::string SanitizeId(const std::string& id) {
+  std::string out;
+  for (char c : id) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c))
+                      ? static_cast<char>(
+                            std::tolower(static_cast<unsigned char>(c)))
+                      : '_');
+  }
+  return out;
+}
+
+}  // namespace
 
 void Check(const Status& st, const char* what) {
   if (!st.ok()) {
@@ -46,6 +67,7 @@ std::unique_ptr<Workbench> MakeWorkbench(workload::DatasetSpec spec,
                              wb->log.workload, opt, &wb->system),
         "System::Create");
   wb->default_cache_bytes = workload::DefaultCacheBytes(wb->spec);
+  wb->system->EnableMetrics(&wb->metrics);
   std::fprintf(stderr,
                "[%s] system built in %.1fs (avg |C(q)|=%.0f, Dmax=%.0f)\n",
                wb->spec.name.c_str(), t.ElapsedSeconds(),
@@ -62,6 +84,21 @@ void Banner(const std::string& id, const std::string& what) {
               5.0);
   std::printf("SHAPES (ordering, ratios, crossovers), not absolute times.\n");
   std::printf("==========================================================\n");
+
+  if (g_metrics_file == nullptr) {
+    g_bench_id = id;
+    const char* env_path = std::getenv("EEB_METRICS_OUT");
+    const std::string path = env_path != nullptr && env_path[0] != '\0'
+                                 ? std::string(env_path)
+                                 : "metrics_" + SanitizeId(id) + ".jsonl";
+    g_metrics_file = std::fopen(path.c_str(), "w");
+    if (g_metrics_file == nullptr) {
+      std::fprintf(stderr, "warning: cannot open metrics sink %s\n",
+                   path.c_str());
+    } else {
+      std::fprintf(stderr, "[bench] metrics JSONL -> %s\n", path.c_str());
+    }
+  }
 }
 
 core::AggregateResult RunCell(Workbench& wb, core::CacheMethod method,
@@ -71,6 +108,25 @@ core::AggregateResult RunCell(Workbench& wb, core::CacheMethod method,
         "ConfigureCache");
   core::AggregateResult agg;
   Check(wb.system->RunQueries(wb.log.test, k, &agg), "RunQueries");
+
+  if (g_metrics_file != nullptr) {
+    // One line per cell: config, headline aggregates, and a cumulative
+    // registry snapshot (counters are process totals, not per-cell deltas).
+    std::fprintf(
+        g_metrics_file,
+        "{\"bench\":\"%s\",\"dataset\":\"%s\",\"method\":\"%s\","
+        "\"cache_bytes\":%zu,\"k\":%zu,\"tau\":%u,\"lru\":%s,"
+        "\"hit_ratio\":%.9g,\"prune_ratio\":%.9g,"
+        "\"avg_response_seconds\":%.9g,\"p50\":%.9g,\"p95\":%.9g,"
+        "\"p99\":%.9g,\"metrics\":%s}\n",
+        g_bench_id.c_str(), wb.spec.name.c_str(),
+        core::CacheMethodName(method), cache_bytes, k,
+        wb.system->last_tau(), lru ? "true" : "false", agg.hit_ratio,
+        agg.prune_ratio, agg.avg_response_seconds, agg.p50_response_seconds,
+        agg.p95_response_seconds, agg.p99_response_seconds,
+        obs::ExportJson(wb.metrics).c_str());
+    std::fflush(g_metrics_file);
+  }
   return agg;
 }
 

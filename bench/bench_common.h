@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/system.h"
+#include "obs/metrics.h"
 #include "workload/generator.h"
 #include "workload/registry.h"
 
@@ -22,6 +23,9 @@ struct Workbench {
   workload::DatasetSpec spec;
   Dataset data;
   workload::QueryLog log;
+  // Declared before `system` (which holds bound instrument pointers) so the
+  // registry outlives it.
+  obs::MetricsRegistry metrics;
   std::unique_ptr<core::System> system;
   size_t default_cache_bytes = 0;
   std::string dir;
@@ -34,6 +38,10 @@ std::unique_ptr<Workbench> MakeWorkbench(
     core::SystemOptions opt = core::SystemOptions{});
 
 /// Prints the experiment banner: which paper table/figure it regenerates.
+/// Also opens the bench metrics JSONL sink — every subsequent RunCell
+/// appends one line with the cell's config, headline aggregates, and a
+/// cumulative metrics-registry snapshot. The path is $EEB_METRICS_OUT when
+/// set, else metrics_<sanitized id>.jsonl in the working directory.
 void Banner(const std::string& id, const std::string& what);
 
 /// Dies with a message if `st` is not OK.

@@ -49,6 +49,7 @@ void CodeCacheBase::InsertStatic(PointId id, std::span<const BucketId> codes) {
   store_.Write(slot, codes);
   slot_of_[id] = slot;
   if (lru_) lru_list_.Insert(id);
+  NoteFillInsert();
 }
 
 void CodeCacheBase::AdmitCodes(PointId id, std::span<const BucketId> codes) {
@@ -71,19 +72,21 @@ void CodeCacheBase::AdmitCodes(PointId id, std::span<const BucketId> codes) {
     auto vit = slot_of_.find(victim);
     slot = vit->second;
     slot_of_.erase(vit);
+    NoteEviction();
   }
   store_.Write(slot, codes);
   slot_of_[id] = slot;
   lru_list_.Insert(id);
+  NoteAdmit();
 }
 
 bool CodeCacheBase::LookupCodes(PointId id) {
   auto it = slot_of_.find(id);
   if (it == slot_of_.end()) {
-    stats_.misses++;
+    NoteMiss();
     return false;
   }
-  stats_.hits++;
+  NoteHit();
   if (lru_) lru_list_.Touch(id);
   store_.Read(it->second, scratch_);
   return true;

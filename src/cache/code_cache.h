@@ -39,7 +39,7 @@ class CodeCacheBase : public KnnCache {
  public:
   size_t item_bytes() const override { return store_.item_bytes(); }
   size_t size() const override { return slot_of_.size(); }
-  size_t capacity_items() const { return capacity_items_; }
+  size_t capacity_items() const override { return capacity_items_; }
   uint32_t tau() const { return store_.bits_per_code(); }
 
  protected:

@@ -24,6 +24,7 @@ Status ExactCache::Fill(const Dataset& data,
                 dim_ * sizeof(Scalar));
     slot_of_[id] = slot;
     if (lru_) lru_list_.Insert(id);
+    NoteFillInsert();
   }
   return Status::OK();
 }
@@ -32,10 +33,10 @@ bool ExactCache::Probe(std::span<const Scalar> q, PointId id, double* lb,
                        double* ub) {
   auto it = slot_of_.find(id);
   if (it == slot_of_.end()) {
-    stats_.misses++;
+    NoteMiss();
     return false;
   }
-  stats_.hits++;
+  NoteHit();
   if (lru_) lru_list_.Touch(id);
   std::span<const Scalar> p{values_.data() + static_cast<size_t>(it->second) * dim_,
                             dim_};
@@ -61,6 +62,7 @@ uint32_t ExactCache::SlotFor() {
   auto it = slot_of_.find(victim);
   const uint32_t slot = it->second;
   slot_of_.erase(it);
+  NoteEviction();
   return slot;
 }
 
@@ -76,6 +78,7 @@ void ExactCache::Admit(PointId id, std::span<const Scalar> exact) {
               dim_ * sizeof(Scalar));
   slot_of_[id] = slot;
   lru_list_.Insert(id);
+  NoteAdmit();
 }
 
 }  // namespace eeb::cache

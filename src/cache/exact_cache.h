@@ -36,7 +36,7 @@ class ExactCache : public KnnCache {
 
   size_t item_bytes() const override { return dim_ * sizeof(Scalar); }
   size_t size() const override { return slot_of_.size(); }
-  size_t capacity_items() const { return capacity_items_; }
+  size_t capacity_items() const override { return capacity_items_; }
 
  private:
   uint32_t SlotFor();  // allocates or recycles a slot (LRU)

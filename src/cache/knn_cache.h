@@ -10,8 +10,10 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 
 #include "common/types.h"
+#include "obs/metrics.h"
 
 namespace eeb::cache {
 
@@ -52,11 +54,102 @@ class KnnCache {
   /// Items currently cached.
   virtual size_t size() const = 0;
 
+  /// Item capacity of the configured byte budget (0 if unbounded/unknown).
+  virtual size_t capacity_items() const { return 0; }
+
+  /// Binds this cache's instruments in `registry` under `prefix`:
+  /// hit/miss counters, HFF-fill and LRU-admission insert counters, an
+  /// eviction counter, and occupancy/capacity/item-size gauges. Pass
+  /// nullptr to detach. Safe to call again after a refill. Counters record
+  /// activity from the moment of binding onward; events that happened while
+  /// unbound are not replayed.
+  void BindMetrics(obs::MetricsRegistry* registry,
+                   const std::string& prefix = "cache") {
+    if (registry == nullptr) {
+      obs_ = Instruments{};
+      return;
+    }
+    const bool was_bound = obs_.hits != nullptr;
+    obs_.hits = registry->GetCounter(prefix + ".hits");
+    obs_.misses = registry->GetCounter(prefix + ".misses");
+    obs_.fill_inserts = registry->GetCounter(prefix + ".fill_inserts");
+    obs_.admits = registry->GetCounter(prefix + ".admits");
+    obs_.evictions = registry->GetCounter(prefix + ".evictions");
+    obs_.items = registry->GetGauge(prefix + ".items");
+    obs_.capacity = registry->GetGauge(prefix + ".capacity_items");
+    obs_.item_size = registry->GetGauge(prefix + ".item_bytes");
+    obs_.capacity->Set(static_cast<double>(capacity_items()));
+    obs_.item_size->Set(static_cast<double>(item_bytes()));
+    if (!was_bound) published_ = CurrentTotals();
+    PublishMetrics();
+  }
+
+  /// Flushes events accumulated since the previous publish into the bound
+  /// instruments (one atomic add per counter) and refreshes the occupancy
+  /// gauge. The engine calls this once per query, which keeps the
+  /// per-candidate Note* hooks free of atomic operations. No-op when
+  /// unbound.
+  void PublishMetrics() {
+    if (obs_.hits == nullptr) return;
+    const EventTotals now = CurrentTotals();
+    obs_.hits->Add(now.hits - published_.hits);
+    obs_.misses->Add(now.misses - published_.misses);
+    obs_.fill_inserts->Add(now.fill_inserts - published_.fill_inserts);
+    obs_.admits->Add(now.admits - published_.admits);
+    obs_.evictions->Add(now.evictions - published_.evictions);
+    published_ = now;
+    SyncOccupancy();
+  }
+
   CacheStats& stats() { return stats_; }
   const CacheStats& stats() const { return stats_; }
 
  protected:
+  // Event hooks implementations call instead of touching stats_ directly.
+  // They are on the per-candidate hot path, so they only bump plain
+  // counters; PublishMetrics() moves the deltas into the registry.
+  void NoteHit() { stats_.hits++; }
+  void NoteMiss() { stats_.misses++; }
+  void NoteFillInsert() { totals_.fill_inserts++; }
+  void NoteAdmit() { totals_.admits++; }
+  void NoteEviction() { totals_.evictions++; }
+  void SyncOccupancy() {
+    if (obs_.items != nullptr) obs_.items->Set(static_cast<double>(size()));
+  }
+
+  struct Instruments {
+    obs::Counter* hits = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* fill_inserts = nullptr;
+    obs::Counter* admits = nullptr;
+    obs::Counter* evictions = nullptr;
+    obs::Gauge* items = nullptr;
+    obs::Gauge* capacity = nullptr;
+    obs::Gauge* item_size = nullptr;
+  };
+
+  // Cumulative event totals (plain integers; one writer). `published_`
+  // remembers the totals as of the last PublishMetrics() so only deltas are
+  // pushed into the shared registry.
+  struct EventTotals {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t fill_inserts = 0;
+    uint64_t admits = 0;
+    uint64_t evictions = 0;
+  };
+
+  EventTotals CurrentTotals() const {
+    EventTotals t = totals_;
+    t.hits = stats_.hits;
+    t.misses = stats_.misses;
+    return t;
+  }
+
   CacheStats stats_;
+  EventTotals totals_;
+  EventTotals published_;
+  Instruments obs_;
 };
 
 }  // namespace eeb::cache

@@ -27,6 +27,7 @@ Status MultiDimCodeCache::Fill(std::span<const PointId> ids_by_freq,
     const BucketId code = assignment[id];
     store_.Write(slot, {&code, 1});
     slot_of_[id] = slot;
+    NoteFillInsert();
   }
   return Status::OK();
 }
@@ -35,10 +36,10 @@ bool MultiDimCodeCache::Probe(std::span<const Scalar> q, PointId id,
                               double* lb, double* ub) {
   auto it = slot_of_.find(id);
   if (it == slot_of_.end()) {
-    stats_.misses++;
+    NoteMiss();
     return false;
   }
-  stats_.hits++;
+  NoteHit();
   BucketId code;
   store_.Read(it->second, {&code, 1});
   const hist::Mbr& mbr = hist_->bucket(code);

@@ -35,7 +35,7 @@ class MultiDimCodeCache : public KnnCache {
 
   size_t item_bytes() const override { return store_.item_bytes(); }
   size_t size() const override { return slot_of_.size(); }
-  size_t capacity_items() const { return capacity_items_; }
+  size_t capacity_items() const override { return capacity_items_; }
 
  private:
   const hist::MultiDimHistogram* hist_;

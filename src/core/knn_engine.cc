@@ -26,6 +26,7 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
   *out = QueryResult{};
   if (k == 0) return Status::InvalidArgument("k must be positive");
   Timer timer;
+  obs::QuerySpan* span = tracer_ != nullptr ? tracer_->StartSpan(k) : nullptr;
 
   // ---- Phase 1: candidate generation -----------------------------------
   std::vector<PointId> cand;
@@ -41,6 +42,19 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
   std::vector<bool> resolved(cand.size(), false);
   storage::PageTracker tracker;
   std::vector<Scalar> buf(points_->dim());
+  // First-touch page events: each ReadPoint may pull in pages the tracker
+  // has not seen this query; tag them on the point that caused the fault.
+  size_t seen_pages = 0;
+  auto note_pages = [&](PointId id) {
+    if (span == nullptr) return;
+    const size_t now = tracker.distinct_pages();
+    if (now > seen_pages) {
+      tracer_->AddEvent(span, obs::TraceEventType::kPageRead,
+                        points_->PageOfPoint(id),
+                        static_cast<double>(now - seen_pages));
+      seen_pages = now;
+    }
+  };
   if (cache_ != nullptr) {
     for (size_t i = 0; i < cand.size(); ++i) {
       double lb, ub;
@@ -48,16 +62,30 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
         lbs[i] = lb;
         ubs[i] = ub;
         out->cache_hits++;
-      } else if (options_.eager_miss_fetch) {
-        // Footnote 6: resolve misses now so lbk/ubk are tight.
-        EEB_RETURN_IF_ERROR(
-            points_->ReadPoint(cand[i], buf, &out->refine_io, &tracker));
-        out->fetched++;
-        const double d = L2(q, buf);
-        lbs[i] = d;
-        ubs[i] = d;
-        resolved[i] = true;
-        cache_->Admit(cand[i], buf);
+        if (span != nullptr) {
+          tracer_->AddEvent(span, obs::TraceEventType::kCacheHit, cand[i], lb);
+        }
+      } else {
+        if (span != nullptr) {
+          tracer_->AddEvent(span, obs::TraceEventType::kCacheMiss, cand[i],
+                            0.0);
+        }
+        if (options_.eager_miss_fetch) {
+          // Footnote 6: resolve misses now so lbk/ubk are tight.
+          EEB_RETURN_IF_ERROR(
+              points_->ReadPoint(cand[i], buf, &out->refine_io, &tracker));
+          out->fetched++;
+          const double d = L2(q, buf);
+          lbs[i] = d;
+          ubs[i] = d;
+          resolved[i] = true;
+          cache_->Admit(cand[i], buf);
+          if (span != nullptr) {
+            tracer_->AddEvent(span, obs::TraceEventType::kEagerFetch, cand[i],
+                              d);
+          }
+          note_pages(cand[i]);
+        }
       }
     }
   }
@@ -76,9 +104,17 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
   for (size_t i = 0; i < cand.size(); ++i) {
     if (lbs[i] > ubk) {
       out->pruned++;  // early pruning (Line 10-11)
+      if (span != nullptr) {
+        tracer_->AddEvent(span, obs::TraceEventType::kEarlyPrune, cand[i],
+                          lbs[i]);
+      }
     } else if (options_.true_result_detection && ubs[i] < lbk) {
       sure.push_back(cand[i]);  // true result detection (Line 12-13)
       out->true_hits++;
+      if (span != nullptr) {
+        tracer_->AddEvent(span, obs::TraceEventType::kTrueResult, cand[i],
+                          ubs[i]);
+      }
     } else {
       remaining.push_back({lbs[i], cand[i], resolved[i]});
     }
@@ -110,8 +146,13 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
         EEB_RETURN_IF_ERROR(
             points_->ReadPoint(p.id, buf, &out->refine_io, &tracker));
         out->fetched++;
-        top.Push(p.id, L2(q, buf));
+        const double d = L2(q, buf);
+        top.Push(p.id, d);
         if (cache_ != nullptr) cache_->Admit(p.id, buf);
+        if (span != nullptr) {
+          tracer_->AddEvent(span, obs::TraceEventType::kFetch, p.id, d);
+        }
+        note_pages(p.id);
       }
       for (const Neighbor& nb : top.TakeSorted()) {
         out->result_ids.push_back(nb.id);
@@ -120,7 +161,54 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
   }
   std::sort(out->result_ids.begin(), out->result_ids.end());
   out->refine_seconds = timer.ElapsedSeconds();
+
+  if (span != nullptr) {
+    span->gen_seconds = out->gen_seconds;
+    span->reduce_seconds = out->reduce_seconds;
+    span->refine_seconds = out->refine_seconds;
+    span->candidates = out->candidates;
+    span->cache_hits = out->cache_hits;
+    span->pruned = out->pruned;
+    span->true_hits = out->true_hits;
+    span->remaining = out->remaining;
+    span->fetched = out->fetched;
+    tracer_->EndSpan();
+  }
+  if (obs_.queries != nullptr) {
+    obs_.queries->Add(1);
+    obs_.candidates->Add(out->candidates);
+    if (cache_ != nullptr) {
+      obs_.cache_hits->Add(out->cache_hits);
+      obs_.cache_misses->Add(out->candidates - out->cache_hits);
+    }
+    obs_.pruned->Add(out->pruned);
+    obs_.true_hits->Add(out->true_hits);
+    obs_.fetched->Add(out->fetched);
+    obs_.gen_seconds->Record(out->gen_seconds);
+    obs_.reduce_seconds->Record(out->reduce_seconds);
+    obs_.refine_seconds->Record(out->refine_seconds);
+  }
+  // Cache and storage batch their hot-path events; publish once per query.
+  if (cache_ != nullptr) cache_->PublishMetrics();
+  points_->PublishIo(out->refine_io);
   return Status::OK();
+}
+
+void KnnEngine::BindMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    obs_ = Instruments{};
+    return;
+  }
+  obs_.queries = registry->GetCounter("engine.queries");
+  obs_.candidates = registry->GetCounter("engine.candidates");
+  obs_.cache_hits = registry->GetCounter("engine.cache_hits");
+  obs_.cache_misses = registry->GetCounter("engine.cache_misses");
+  obs_.pruned = registry->GetCounter("engine.pruned");
+  obs_.true_hits = registry->GetCounter("engine.true_results");
+  obs_.fetched = registry->GetCounter("engine.fetched");
+  obs_.gen_seconds = registry->GetHistogram("engine.gen_seconds");
+  obs_.reduce_seconds = registry->GetHistogram("engine.reduce_seconds");
+  obs_.refine_seconds = registry->GetHistogram("engine.refine_seconds");
 }
 
 }  // namespace eeb::core

@@ -19,6 +19,8 @@
 #include "common/types.h"
 #include "cache/knn_cache.h"
 #include "index/candidate_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/io_stats.h"
 #include "storage/point_file.h"
 
@@ -73,11 +75,35 @@ class KnnEngine {
   cache::KnnCache* cache() { return cache_; }
   void set_cache(cache::KnnCache* cache) { cache_ = cache; }
 
+  /// Binds the engine's per-phase counters and latency histograms in
+  /// `registry` (names under "engine."); nullptr detaches. Instruments are
+  /// updated once per query, off the per-candidate hot path.
+  void BindMetrics(obs::MetricsRegistry* registry);
+
+  /// Attaches a tracer; every subsequent Query() opens a QuerySpan and tags
+  /// reduction/refinement events. nullptr (default) disables tracing.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   index::CandidateIndex* index_;
   const storage::PointFile* points_;
   cache::KnnCache* cache_;
   EngineOptions options_;
+  obs::Tracer* tracer_ = nullptr;
+
+  // Bound instruments (nullptr when observability is off).
+  struct Instruments {
+    obs::Counter* queries = nullptr;
+    obs::Counter* candidates = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_misses = nullptr;
+    obs::Counter* pruned = nullptr;
+    obs::Counter* true_hits = nullptr;
+    obs::Counter* fetched = nullptr;
+    obs::LatencyHistogram* gen_seconds = nullptr;
+    obs::LatencyHistogram* reduce_seconds = nullptr;
+    obs::LatencyHistogram* refine_seconds = nullptr;
+  } obs_;
 };
 
 }  // namespace eeb::core

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/timer.h"
+
 namespace eeb::core {
 
 double DistributionDrift(const hist::FrequencyArray& a,
@@ -41,6 +43,8 @@ double DistributionDrift(const std::vector<double>& a,
 Status CacheMaintainer::EndEpoch(
     const std::vector<std::vector<Scalar>>& epoch_queries) {
   ++epochs_;
+  if (obs_.epochs != nullptr) obs_.epochs->Add(1);
+  Timer timer;
 
   // Analyze the epoch on the side; the active cache keeps serving.
   WorkloadStats epoch_stats;
@@ -56,6 +60,10 @@ Status CacheMaintainer::EndEpoch(
   const double hot_drift =
       DistributionDrift(epoch_stats.freq, system_->workload_stats().freq);
   last_drift_ = std::max(value_drift, hot_drift);
+  if (obs_.last_drift != nullptr) {
+    obs_.analyze_seconds->Record(timer.ElapsedSeconds());
+    obs_.last_drift->Set(last_drift_);
+  }
 
   // Blend the epoch into the EWMA history regardless of rebuild decisions,
   // so history reflects everything observed.
@@ -96,6 +104,7 @@ Status CacheMaintainer::EndEpoch(
 
   if (last_drift_ <= options_.rebuild_threshold) return Status::OK();
 
+  timer.Start();
   if (options_.history_decay > 0.0 && has_history_) {
     EEB_RETURN_IF_ERROR(
         system_->SetWorkloadStats(acc_, *acc_fprime_));
@@ -104,7 +113,23 @@ Status CacheMaintainer::EndEpoch(
   }
   EEB_RETURN_IF_ERROR(system_->ReconfigureCache());
   ++rebuilds_;
+  if (obs_.rebuilds != nullptr) {
+    obs_.rebuilds->Add(1);
+    obs_.rebuild_seconds->Record(timer.ElapsedSeconds());
+  }
   return Status::OK();
+}
+
+void CacheMaintainer::BindMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    obs_ = Instruments{};
+    return;
+  }
+  obs_.epochs = registry->GetCounter("maintenance.epochs");
+  obs_.rebuilds = registry->GetCounter("maintenance.rebuilds");
+  obs_.last_drift = registry->GetGauge("maintenance.last_drift");
+  obs_.analyze_seconds = registry->GetHistogram("maintenance.analyze_seconds");
+  obs_.rebuild_seconds = registry->GetHistogram("maintenance.rebuild_seconds");
 }
 
 }  // namespace eeb::core

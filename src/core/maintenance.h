@@ -61,12 +61,25 @@ class CacheMaintainer {
   /// first invalidates the histogram, the second the HFF cache content.
   double last_drift() const { return last_drift_; }
 
+  /// Binds maintenance instruments (epoch/rebuild counters, last drift,
+  /// analyze/rebuild timing histograms) in `registry`; nullptr detaches.
+  void BindMetrics(obs::MetricsRegistry* registry);
+
  private:
   System* system_;
   MaintenanceOptions options_;
   uint64_t epochs_ = 0;
   uint64_t rebuilds_ = 0;
   double last_drift_ = 0.0;
+
+  // Bound instruments (nullptr when observability is off).
+  struct Instruments {
+    obs::Counter* epochs = nullptr;
+    obs::Counter* rebuilds = nullptr;
+    obs::Gauge* last_drift = nullptr;
+    obs::LatencyHistogram* analyze_seconds = nullptr;
+    obs::LatencyHistogram* rebuild_seconds = nullptr;
+  } obs_;
 
   // EWMA accumulators (used when history_decay > 0).
   bool has_history_ = false;

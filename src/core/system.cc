@@ -81,10 +81,32 @@ Status System::Create(storage::Env* env, const std::string& dir,
   sys->fdata_ = std::make_unique<hist::FrequencyArray>(
       hist::FrequencyArray::FromDataset(data, options.ndom));
 
-  sys->engine_ = std::make_unique<KnnEngine>(sys->lsh_.get(),
-                                             sys->points_.get(), nullptr);
+  sys->engine_ = std::make_unique<KnnEngine>(
+      sys->lsh_.get(), sys->points_.get(), nullptr, options.engine);
   *out = std::move(sys);
   return Status::OK();
+}
+
+void System::EnableMetrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  engine_->BindMetrics(registry);
+  lsh_->BindMetrics(registry);
+  points_->BindMetrics(registry);
+  if (cache_ != nullptr) cache_->BindMetrics(registry);
+  if (registry == nullptr) {
+    obs_queries_ = nullptr;
+    obs_response_ = nullptr;
+    obs_modeled_io_ = nullptr;
+    return;
+  }
+  obs_queries_ = registry->GetCounter("system.queries");
+  obs_response_ = registry->GetHistogram("system.response_seconds");
+  obs_modeled_io_ = registry->GetGauge("system.modeled_io_seconds");
+}
+
+void System::SetTracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  engine_->set_tracer(tracer);
 }
 
 Status System::BuildGlobalHistogram(CacheMethod method, uint32_t tau,
@@ -164,6 +186,7 @@ Status System::BuildCacheObject(CacheMethod method, size_t cache_bytes,
     case CacheMethod::kExact: {
       auto c = std::make_unique<cache::ExactCache>(data.dim(), cache_bytes,
                                                    lru);
+      if (metrics_ != nullptr) c->BindMetrics(metrics_);
       if (!lru) EEB_RETURN_IF_ERROR(c->Fill(data, wl_.ids_by_freq));
       cache_ = std::move(c);
       return Status::OK();
@@ -180,6 +203,7 @@ Status System::BuildCacheObject(CacheMethod method, size_t cache_bytes,
       auto c = std::make_unique<cache::HistCodeCache>(
           &global_hist_, data.dim(), cache_bytes, lru,
           options_.integral_values);
+      if (metrics_ != nullptr) c->BindMetrics(metrics_);
       if (!lru) EEB_RETURN_IF_ERROR(c->Fill(data, wl_.ids_by_freq));
       cache_ = std::move(c);
       return Status::OK();
@@ -211,6 +235,7 @@ Status System::BuildCacheObject(CacheMethod method, size_t cache_bytes,
       auto c = std::make_unique<cache::IndividualCodeCache>(
           &indiv_hist_, buckets, cache_bytes, lru,
           options_.integral_values);
+      if (metrics_ != nullptr) c->BindMetrics(metrics_);
       if (!lru) EEB_RETURN_IF_ERROR(c->Fill(data, wl_.ids_by_freq));
       cache_ = std::move(c);
       return Status::OK();
@@ -223,6 +248,7 @@ Status System::BuildCacheObject(CacheMethod method, size_t cache_bytes,
       last_space_bytes_ = md_hist_.SpaceBytes();
       auto c = std::make_unique<cache::MultiDimCodeCache>(&md_hist_,
                                                           cache_bytes);
+      if (metrics_ != nullptr) c->BindMetrics(metrics_);
       EEB_RETURN_IF_ERROR(c->Fill(wl_.ids_by_freq, md_assignment_));
       cache_ = std::move(c);
       return Status::OK();
@@ -254,6 +280,7 @@ Status System::BuildCacheObject(CacheMethod method, size_t cache_bytes,
       auto c = std::make_unique<cache::IndividualCodeCache>(
           &indiv_hist_, 1u << fit_tau, cache_bytes, /*lru=*/false,
           options_.integral_values);
+      if (metrics_ != nullptr) c->BindMetrics(metrics_);
       EEB_RETURN_IF_ERROR(c->Fill(data, wl_.ids_by_freq));
       cache_ = std::move(c);
       return Status::OK();
@@ -306,6 +333,13 @@ Status System::ConfigureCache(CacheMethod method, size_t cache_bytes,
   }
   EEB_RETURN_IF_ERROR(BuildCacheObject(method, cache_bytes, tau, lru));
   engine_->set_cache(cache_.get());
+  if (metrics_ != nullptr) {
+    if (cache_ != nullptr) cache_->BindMetrics(metrics_);
+    metrics_->GetGauge("cache.build_seconds")->Set(last_build_seconds_);
+    metrics_->GetGauge("cache.aux_space_bytes")
+        ->Set(static_cast<double>(last_space_bytes_));
+    metrics_->GetGauge("cache.tau")->Set(static_cast<double>(last_tau_));
+  }
   return Status::OK();
 }
 
@@ -320,16 +354,29 @@ Status System::RunQueries(const std::vector<std::vector<Scalar>>& queries,
   double hits = 0.0;
   double probes = 0.0;
   double reduced = 0.0;
+  double modeled_io_total = 0.0;
   storage::IoStats gen_total, refine_total;
-  std::vector<double> latencies;
-  latencies.reserve(queries.size());
+  // Modeled response-time distribution; log-bucketed so batches of any size
+  // aggregate in O(1) memory (satisfies the same p50<=p95<=p99 contract as
+  // the exact sort it replaces, within one bucket width).
+  obs::LatencyHistogram latencies;
   QueryResult r;
   for (const auto& q : queries) {
     EEB_RETURN_IF_ERROR(Query(q, k, &r));
     storage::IoStats io = r.gen_io;
     io += r.refine_io;
-    latencies.push_back(r.gen_seconds + r.reduce_seconds + r.refine_seconds +
-                        disk_model_.Seconds(io));
+    const double modeled_io = disk_model_.Seconds(io);
+    const double response =
+        r.gen_seconds + r.reduce_seconds + r.refine_seconds + modeled_io;
+    latencies.Record(response);
+    modeled_io_total += modeled_io;
+    if (obs_response_ != nullptr) obs_response_->Record(response);
+    if (tracer_ != nullptr) {
+      if (obs::QuerySpan* span = tracer_->last_span(); span != nullptr) {
+        span->modeled_io_seconds = modeled_io;
+        span->response_seconds = response;
+      }
+    }
     out->avg_candidates += static_cast<double>(r.candidates);
     out->avg_remaining += static_cast<double>(r.remaining);
     out->avg_fetched += static_cast<double>(r.fetched);
@@ -363,14 +410,14 @@ Status System::RunQueries(const std::vector<std::vector<Scalar>>& queries,
                             disk_model_.Seconds(refine_total) / nq;
   out->avg_response_seconds = out->avg_gen_seconds + out->avg_refine_seconds;
 
-  std::sort(latencies.begin(), latencies.end());
-  auto pct = [&](double p) {
-    const size_t idx = static_cast<size_t>(p * (latencies.size() - 1));
-    return latencies[idx];
-  };
-  out->p50_response_seconds = pct(0.50);
-  out->p95_response_seconds = pct(0.95);
-  out->p99_response_seconds = pct(0.99);
+  out->p50_response_seconds = latencies.Percentile(0.50);
+  out->p95_response_seconds = latencies.Percentile(0.95);
+  out->p99_response_seconds = latencies.Percentile(0.99);
+
+  if (obs_queries_ != nullptr) {
+    obs_queries_->Add(queries.size());
+    obs_modeled_io_->Add(modeled_io_total);
+  }
   return Status::OK();
 }
 

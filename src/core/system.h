@@ -23,6 +23,8 @@
 #include "hist/individual.h"
 #include "hist/multidim_histogram.h"
 #include "index/lsh/c2lsh.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/env.h"
 #include "storage/io_stats.h"
 #include "storage/point_file.h"
@@ -61,6 +63,7 @@ struct SystemOptions {
   size_t page_size = storage::kDefaultPageSize;
   FileOrdering ordering = FileOrdering::kRaw;
   uint64_t seed = 5;
+  EngineOptions engine;  ///< forwarded to the KnnEngine
 };
 
 /// Aggregate statistics over a batch of queries.
@@ -156,6 +159,16 @@ class System {
   size_t last_histogram_space_bytes() const { return last_space_bytes_; }
   uint32_t last_tau() const { return last_tau_; }
 
+  /// Binds every pipeline component (engine, index, storage, cache) plus
+  /// batch-level instruments in `registry`. The registry must outlive the
+  /// system; nullptr detaches everything. Caches installed by later
+  /// ConfigureCache calls are bound automatically.
+  void EnableMetrics(obs::MetricsRegistry* registry);
+
+  /// Attaches a per-query tracer to the engine. RunQueries additionally
+  /// back-fills each span's modeled I/O and response time. nullptr detaches.
+  void SetTracer(obs::Tracer* tracer);
+
  private:
   System() = default;
 
@@ -183,6 +196,13 @@ class System {
   double last_build_seconds_ = 0.0;
   size_t last_space_bytes_ = 0;
   uint32_t last_tau_ = 0;
+
+  // Observability attachments (not owned; nullptr when disabled).
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* obs_queries_ = nullptr;
+  obs::LatencyHistogram* obs_response_ = nullptr;
+  obs::Gauge* obs_modeled_io_ = nullptr;
 
   // Most recent ConfigureCache arguments, for ReconfigureCache().
   CacheMethod last_method_ = CacheMethod::kNone;

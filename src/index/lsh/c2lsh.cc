@@ -116,6 +116,9 @@ Status C2Lsh::Candidates(std::span<const Scalar> q, size_t k,
   // Covered key interval per function, inclusive; empty before level 0.
   std::vector<int64_t> lo(m), hi(m);
   bool first_level = true;
+  uint64_t total_probes = 0;
+  uint64_t total_entries = 0;
+  uint64_t total_seq_pages = 0;
 
   int64_t bucket = 1;  // c^level
   uint32_t level = 0;
@@ -164,12 +167,16 @@ Status C2Lsh::Candidates(std::span<const Scalar> q, size_t k,
         entries_scanned += static_cast<size_t>(end - begin);
       }
 
+      // One random bucket-directory probe per function and level, plus the
+      // id-list pages, which are scanned sequentially.
+      const uint64_t seq_pages =
+          (entries_scanned * kEntryBytes) / storage::kDefaultPageSize;
+      total_probes += 1;
+      total_entries += entries_scanned;
+      total_seq_pages += seq_pages;
       if (stats != nullptr) {
-        // One random bucket-directory probe per function and level, plus
-        // the id-list pages, which are scanned sequentially.
         stats->page_reads += 1;
-        stats->seq_page_reads +=
-            (entries_scanned * kEntryBytes) / storage::kDefaultPageSize;
+        stats->seq_page_reads += seq_pages;
         stats->bytes_read += entries_scanned * kEntryBytes;
       }
     }
@@ -181,7 +188,28 @@ Status C2Lsh::Candidates(std::span<const Scalar> q, size_t k,
 
   last_radius_ = width_ * static_cast<double>(bucket);
   std::sort(out->begin(), out->end());
+  if (obs_.queries != nullptr) {
+    obs_.queries->Add(1);
+    obs_.bucket_probes->Add(total_probes);
+    obs_.entries_scanned->Add(total_entries);
+    obs_.seq_page_reads->Add(total_seq_pages);
+    obs_.candidates->Add(out->size());
+    obs_.last_radius->Set(last_radius_);
+  }
   return Status::OK();
+}
+
+void C2Lsh::BindMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    obs_ = Instruments{};
+    return;
+  }
+  obs_.queries = registry->GetCounter("lsh.queries");
+  obs_.bucket_probes = registry->GetCounter("lsh.bucket_probes");
+  obs_.entries_scanned = registry->GetCounter("lsh.entries_scanned");
+  obs_.seq_page_reads = registry->GetCounter("lsh.seq_page_reads");
+  obs_.candidates = registry->GetCounter("lsh.candidates");
+  obs_.last_radius = registry->GetGauge("lsh.last_radius");
 }
 
 }  // namespace eeb::index

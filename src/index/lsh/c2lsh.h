@@ -18,6 +18,7 @@
 
 #include "common/dataset.h"
 #include "index/candidate_index.h"
+#include "obs/metrics.h"
 
 namespace eeb::index {
 
@@ -54,6 +55,11 @@ class C2Lsh : public CandidateIndex {
   /// Dmax = c * R feeds the cost model (Thm. 3).
   double last_radius() const { return last_radius_; }
 
+  /// Binds candidate-generation instruments (queries, bucket probes,
+  /// entries scanned, sequential pages, candidates, terminal radius) in
+  /// `registry`; nullptr detaches.
+  void BindMetrics(obs::MetricsRegistry* registry);
+
   const C2LshOptions& options() const { return options_; }
 
  private:
@@ -82,6 +88,16 @@ class C2Lsh : public CandidateIndex {
   std::vector<std::vector<Entry>> tables_;
 
   double last_radius_ = 0.0;
+
+  // Bound instruments (nullptr when observability is off).
+  struct Instruments {
+    obs::Counter* queries = nullptr;
+    obs::Counter* bucket_probes = nullptr;
+    obs::Counter* entries_scanned = nullptr;
+    obs::Counter* seq_page_reads = nullptr;
+    obs::Counter* candidates = nullptr;
+    obs::Gauge* last_radius = nullptr;
+  } obs_;
 
   // Scratch reused across queries.
   std::vector<uint8_t> counts_;

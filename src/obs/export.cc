@@ -1,0 +1,96 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace eeb::obs {
+namespace {
+
+std::string PromName(const std::string& name) {
+  std::string out = "eeb_";
+  for (char c : name) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  }
+  return out;
+}
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out->append(buf, std::min<size_t>(n, sizeof(buf) - 1));
+}
+
+}  // namespace
+
+std::string ExportPrometheus(const MetricsRegistry& registry) {
+  std::string out;
+  for (const auto& [name, value] : registry.Counters()) {
+    const std::string pn = PromName(name);
+    AppendF(&out, "# TYPE %s counter\n", pn.c_str());
+    AppendF(&out, "%s_total %" PRIu64 "\n", pn.c_str(), value);
+  }
+  for (const auto& [name, value] : registry.Gauges()) {
+    const std::string pn = PromName(name);
+    AppendF(&out, "# TYPE %s gauge\n", pn.c_str());
+    AppendF(&out, "%s %.9g\n", pn.c_str(), value);
+  }
+  for (const auto& [name, s] : registry.Histograms()) {
+    const std::string pn = PromName(name);
+    AppendF(&out, "# TYPE %s summary\n", pn.c_str());
+    AppendF(&out, "%s{quantile=\"0.5\"} %.9g\n", pn.c_str(), s.p50);
+    AppendF(&out, "%s{quantile=\"0.95\"} %.9g\n", pn.c_str(), s.p95);
+    AppendF(&out, "%s{quantile=\"0.99\"} %.9g\n", pn.c_str(), s.p99);
+    AppendF(&out, "%s_sum %.9g\n", pn.c_str(), s.sum);
+    AppendF(&out, "%s_count %" PRIu64 "\n", pn.c_str(), s.count);
+    AppendF(&out, "%s_max %.9g\n", pn.c_str(), s.max);
+  }
+  return out;
+}
+
+std::string ExportJson(const MetricsRegistry& registry) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : registry.Counters()) {
+    AppendF(&out, "%s\"%s\":%" PRIu64, first ? "" : ",", name.c_str(), value);
+    first = false;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : registry.Gauges()) {
+    AppendF(&out, "%s\"%s\":%.9g", first ? "" : ",", name.c_str(), value);
+    first = false;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, s] : registry.Histograms()) {
+    AppendF(&out,
+            "%s\"%s\":{\"count\":%" PRIu64
+            ",\"sum\":%.9g,\"max\":%.9g,\"p50\":%.9g,\"p95\":%.9g,"
+            "\"p99\":%.9g}",
+            first ? "" : ",", name.c_str(), s.count, s.sum, s.max, s.p50,
+            s.p95, s.p99);
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+Status WriteStringToFile(const std::string& path,
+                         const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != content.size() || close_rc != 0) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace eeb::obs

@@ -1,0 +1,30 @@
+// Metrics exporters: Prometheus text exposition (counters, gauges, and
+// histograms as summaries with quantile labels) and a JSON snapshot. Both
+// read a consistent point-in-time view of the registry; neither perturbs
+// the instruments.
+
+#ifndef EEB_OBS_EXPORT_H_
+#define EEB_OBS_EXPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace eeb::obs {
+
+/// Prometheus text exposition format. Names are prefixed with "eeb_" and
+/// dots become underscores; counters get the "_total" suffix.
+std::string ExportPrometheus(const MetricsRegistry& registry);
+
+/// One JSON object: {"counters": {...}, "gauges": {...},
+/// "histograms": {name: {count, sum, max, p50, p95, p99}}}.
+std::string ExportJson(const MetricsRegistry& registry);
+
+/// Writes `content` to `path` (truncating). Shared by the CLI flags and the
+/// bench harness.
+Status WriteStringToFile(const std::string& path, const std::string& content);
+
+}  // namespace eeb::obs
+
+#endif  // EEB_OBS_EXPORT_H_

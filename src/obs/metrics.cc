@@ -1,0 +1,91 @@
+#include "obs/metrics.h"
+
+namespace eeb::obs {
+
+double LatencyHistogram::Percentile(double p) const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Same nearest-rank rule as index p * (n - 1) into the sorted values.
+  const uint64_t rank =
+      static_cast<uint64_t>(p * static_cast<double>(n - 1));
+  uint64_t cum = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cum += buckets_[i].load(std::memory_order_relaxed);
+    if (cum > rank) return BucketValue(i);
+  }
+  return max();  // racing Record() calls; fall back to the tracked max
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+  max_bits_.store(0, std::memory_order_relaxed);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
+  return slot.get();
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::Counters()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::Gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, MetricsRegistry::HistogramStats>>
+MetricsRegistry::Histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, HistogramStats>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramStats s;
+    s.count = h->count();
+    s.sum = h->sum();
+    s.max = h->max();
+    s.p50 = h->Percentile(0.50);
+    s.p95 = h->Percentile(0.95);
+    s.p99 = h->Percentile(0.99);
+    out.emplace_back(name, s);
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace eeb::obs

@@ -1,0 +1,191 @@
+// Observability primitives: a registry of named instruments that the engine,
+// caches, index, and storage layers update on the hot path. Everything is
+// allocation-free after registration — counters and gauges are single
+// relaxed atomics, and the latency histogram is a fixed array of atomic
+// bucket counts with logarithmic bucket edges, so p50/p95/p99 extraction
+// never needs the per-query latency vector the old harness sorted.
+//
+// Instruments are registered once (under a mutex) and the returned pointers
+// stay valid for the registry's lifetime; components cache them at bind time
+// and pay only an atomic add per event afterwards.
+
+#ifndef EEB_OBS_METRICS_H_
+#define EEB_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace eeb::obs {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Last-value (Set) or accumulating (Add) floating-point instrument.
+class Gauge {
+ public:
+  void Set(double v) {
+    bits_.store(std::bit_cast<uint64_t>(v), std::memory_order_relaxed);
+  }
+
+  void Add(double delta) {
+    uint64_t old = bits_.load(std::memory_order_relaxed);
+    while (!bits_.compare_exchange_weak(
+        old, std::bit_cast<uint64_t>(std::bit_cast<double>(old) + delta),
+        std::memory_order_relaxed)) {
+    }
+  }
+
+  double value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<uint64_t> bits_{0};  // IEEE-754 bit pattern of the value
+};
+
+/// Log-bucketed latency histogram over seconds. Buckets grow by a factor of
+/// 2^(1/kBucketsPerOctave) (~9%), covering [1 ns, ~1.7e4 s]; values below
+/// the range land in the underflow bucket, values above in the top bucket.
+/// A percentile extracted from the histogram is therefore within one
+/// relative bucket width (RelativeBucketWidth()) of the exact sorted
+/// quantile of the recorded values.
+class LatencyHistogram {
+ public:
+  static constexpr int kBucketsPerOctave = 8;
+  static constexpr double kMinValue = 1e-9;
+  static constexpr int kNumOctaves = 44;
+  static constexpr int kNumBuckets = kNumOctaves * kBucketsPerOctave + 1;
+
+  /// Multiplicative half-width bound of one bucket: extracted percentiles
+  /// satisfy exact/width <= approx <= exact*width.
+  static double RelativeBucketWidth() {
+    return std::exp2(1.0 / kBucketsPerOctave);
+  }
+
+  void Record(double seconds) {
+    buckets_[BucketIndex(seconds)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    AddToSum(seconds);
+    UpdateMax(seconds);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  double sum() const {
+    return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+  }
+
+  double max() const {
+    return std::bit_cast<double>(max_bits_.load(std::memory_order_relaxed));
+  }
+
+  double mean() const {
+    const uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+
+  /// Approximate p-quantile (p in [0, 1]) using the same nearest-rank rule
+  /// as sorting the values and indexing at p * (n - 1). Returns the
+  /// geometric midpoint of the bucket holding that rank.
+  double Percentile(double p) const;
+
+  void Reset();
+
+ private:
+  static int BucketIndex(double v) {
+    if (!(v > kMinValue)) return 0;  // also catches NaN and negatives
+    const int idx =
+        1 + static_cast<int>(std::log2(v / kMinValue) * kBucketsPerOctave);
+    return idx >= kNumBuckets ? kNumBuckets - 1 : idx;
+  }
+
+  static double BucketValue(int idx) {
+    if (idx <= 0) return kMinValue;
+    return kMinValue *
+           std::exp2((static_cast<double>(idx) - 0.5) / kBucketsPerOctave);
+  }
+
+  void AddToSum(double v) {
+    uint64_t old = sum_bits_.load(std::memory_order_relaxed);
+    while (!sum_bits_.compare_exchange_weak(
+        old, std::bit_cast<uint64_t>(std::bit_cast<double>(old) + v),
+        std::memory_order_relaxed)) {
+    }
+  }
+
+  void UpdateMax(double v) {
+    // Bit patterns of non-negative doubles compare like the doubles.
+    const uint64_t bits = std::bit_cast<uint64_t>(v < 0.0 ? 0.0 : v);
+    uint64_t old = max_bits_.load(std::memory_order_relaxed);
+    while (old < bits && !max_bits_.compare_exchange_weak(
+                             old, bits, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};
+  std::atomic<uint64_t> max_bits_{0};
+};
+
+/// Owner of named instruments. Registration is mutex-protected; returned
+/// pointers are stable for the registry's lifetime, so hot paths bind once
+/// and never look names up again. Names use dotted lowercase
+/// ("cache.hits"); exporters translate them per format.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the instrument with `name`, creating it on first use.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  LatencyHistogram* GetHistogram(const std::string& name);
+
+  struct HistogramStats {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+
+  /// Sorted-by-name snapshots for the exporters.
+  std::vector<std::pair<std::string, uint64_t>> Counters() const;
+  std::vector<std::pair<std::string, double>> Gauges() const;
+  std::vector<std::pair<std::string, HistogramStats>> Histograms() const;
+
+  /// Zeroes every instrument (epoch boundaries in long-running harnesses).
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace eeb::obs
+
+#endif  // EEB_OBS_METRICS_H_

@@ -1,0 +1,107 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "obs/export.h"
+
+namespace eeb::obs {
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[320];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out->append(buf, std::min<size_t>(n, sizeof(buf) - 1));
+}
+
+}  // namespace
+
+const char* TraceEventTypeName(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kCacheHit:
+      return "cache_hit";
+    case TraceEventType::kCacheMiss:
+      return "cache_miss";
+    case TraceEventType::kEagerFetch:
+      return "eager_fetch";
+    case TraceEventType::kEarlyPrune:
+      return "early_prune";
+    case TraceEventType::kTrueResult:
+      return "true_result";
+    case TraceEventType::kFetch:
+      return "fetch";
+    case TraceEventType::kPageRead:
+      return "page_read";
+  }
+  return "?";
+}
+
+QuerySpan* Tracer::StartSpan(size_t k) {
+  if (active_) EndSpan();
+  current_ = QuerySpan{};
+  current_.query_id = next_id_++;
+  current_.k = k;
+  active_ = true;
+  return &current_;
+}
+
+void Tracer::AddEvent(QuerySpan* span, TraceEventType type, uint64_t id,
+                      double value) {
+  if (span == nullptr) return;
+  if (!record_events_ || span->events.size() >= max_events_) {
+    span->dropped_events++;
+    return;
+  }
+  span->events.push_back({type, id, value});
+}
+
+void Tracer::EndSpan() {
+  if (!active_) return;
+  spans_.push_back(std::move(current_));
+  current_ = QuerySpan{};
+  active_ = false;
+}
+
+std::string Tracer::ToJsonl() const {
+  std::string out;
+  for (const QuerySpan& s : spans_) {
+    AppendF(&out,
+            "{\"query\":%" PRIu64 ",\"k\":%" PRIu64
+            ",\"gen_seconds\":%.9g,\"reduce_seconds\":%.9g,"
+            "\"refine_seconds\":%.9g,\"modeled_io_seconds\":%.9g,"
+            "\"response_seconds\":%.9g,\"candidates\":%" PRIu64
+            ",\"cache_hits\":%" PRIu64 ",\"pruned\":%" PRIu64
+            ",\"true_hits\":%" PRIu64 ",\"remaining\":%" PRIu64
+            ",\"fetched\":%" PRIu64 ",\"dropped_events\":%" PRIu64
+            ",\"events\":[",
+            s.query_id, s.k, s.gen_seconds, s.reduce_seconds,
+            s.refine_seconds, s.modeled_io_seconds, s.response_seconds,
+            s.candidates, s.cache_hits, s.pruned, s.true_hits, s.remaining,
+            s.fetched, s.dropped_events);
+    for (size_t i = 0; i < s.events.size(); ++i) {
+      const TraceEvent& e = s.events[i];
+      AppendF(&out, "%s{\"t\":\"%s\",\"id\":%" PRIu64 ",\"v\":%.9g}",
+              i == 0 ? "" : ",", TraceEventTypeName(e.type), e.id, e.value);
+    }
+    out += "]}\n";
+  }
+  return out;
+}
+
+Status Tracer::WriteJsonl(const std::string& path) const {
+  return WriteStringToFile(path, ToJsonl());
+}
+
+void Tracer::Clear() {
+  spans_.clear();
+  current_ = QuerySpan{};
+  active_ = false;
+  next_id_ = 0;
+}
+
+}  // namespace eeb::obs

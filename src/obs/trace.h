@@ -1,0 +1,106 @@
+// Per-query trace spans. One QuerySpan covers Algorithm 1's three phases
+// (generation / reduction / refinement) with phase timings, the reduction
+// counters of Eqn. 1, and an optional stream of cause-tagged events: cache
+// hit, early prune (lb > ubk), true-result detection (ub < lbk), eager miss
+// fetch, refinement fetch, first touch of a disk page. Spans export as one
+// JSONL line per query, so a sweep's traces pipe straight into jq/pandas.
+//
+// Tracing is opt-in: the engine only records when a Tracer is attached, so
+// the untraced hot path pays a single pointer test per query.
+
+#ifndef EEB_OBS_TRACE_H_
+#define EEB_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace eeb::obs {
+
+enum class TraceEventType : uint8_t {
+  kCacheHit,    ///< cache probe returned [lb, ub]; value = lb
+  kCacheMiss,   ///< cache probe missed
+  kEagerFetch,  ///< miss resolved from disk during reduction (footnote 6)
+  kEarlyPrune,  ///< lb > ubk, candidate dropped without I/O
+  kTrueResult,  ///< ub < lbk, candidate accepted without I/O
+  kFetch,       ///< refinement fetch; value = exact distance
+  kPageRead,    ///< first touch of a disk page this query; id = page number
+};
+
+const char* TraceEventTypeName(TraceEventType type);
+
+struct TraceEvent {
+  TraceEventType type;
+  uint64_t id;   ///< point id (page number for kPageRead)
+  double value;  ///< event-specific scalar (bound, distance, ...)
+};
+
+/// One query's worth of telemetry.
+struct QuerySpan {
+  uint64_t query_id = 0;
+  uint64_t k = 0;
+  double gen_seconds = 0.0;
+  double reduce_seconds = 0.0;
+  double refine_seconds = 0.0;
+  double modeled_io_seconds = 0.0;  ///< DiskModel over the query's I/O
+  double response_seconds = 0.0;    ///< CPU + modeled I/O
+  uint64_t candidates = 0;
+  uint64_t cache_hits = 0;
+  uint64_t pruned = 0;
+  uint64_t true_hits = 0;
+  uint64_t remaining = 0;
+  uint64_t fetched = 0;
+  uint64_t dropped_events = 0;  ///< events past max_events_per_span
+  std::vector<TraceEvent> events;
+};
+
+/// Collects spans for a query stream (single-threaded, like the engine).
+class Tracer {
+ public:
+  /// @param max_events_per_span  cap on per-query events; excess is counted
+  ///                             in dropped_events instead of recorded
+  /// @param record_events        false keeps only per-span aggregates
+  explicit Tracer(size_t max_events_per_span = 4096,
+                  bool record_events = true)
+      : max_events_(max_events_per_span), record_events_(record_events) {}
+
+  /// Opens a span (closing any span left open by an error path).
+  QuerySpan* StartSpan(size_t k);
+
+  /// Appends an event to an open span, respecting the cap.
+  void AddEvent(QuerySpan* span, TraceEventType type, uint64_t id,
+                double value);
+
+  /// Closes the open span and moves it to spans().
+  void EndSpan();
+
+  /// Most recently completed span (mutable so callers can attach modeled
+  /// I/O time computed after the engine returns); nullptr if none.
+  QuerySpan* last_span() {
+    return spans_.empty() ? nullptr : &spans_.back();
+  }
+
+  const std::vector<QuerySpan>& spans() const { return spans_; }
+
+  /// All completed spans, one JSON object per line.
+  std::string ToJsonl() const;
+
+  /// Writes ToJsonl() to `path` (truncating).
+  Status WriteJsonl(const std::string& path) const;
+
+  void Clear();
+
+ private:
+  size_t max_events_;
+  bool record_events_;
+  bool active_ = false;
+  uint64_t next_id_ = 0;
+  QuerySpan current_;
+  std::vector<QuerySpan> spans_;
+};
+
+}  // namespace eeb::obs
+
+#endif  // EEB_OBS_TRACE_H_

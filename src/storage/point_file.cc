@@ -171,16 +171,35 @@ Status PointFile::ReadPoint(PointId id, std::span<Scalar> out, IoStats* stats,
       file_->Read(offset, record_bytes_, reinterpret_cast<char*>(out.data())));
 
   if (stats != nullptr) {
-    stats->point_reads += 1;
-    stats->bytes_read += record_bytes_;
+    uint64_t charged_pages = 0;
     for (size_t i = 0; i < pages_touched; ++i) {
       const uint64_t page = first_page + i;
-      if (tracker == nullptr || tracker->Touch(page)) {
-        stats->page_reads += 1;
-      }
+      if (tracker == nullptr || tracker->Touch(page)) charged_pages += 1;
     }
+    stats->point_reads += 1;
+    stats->bytes_read += record_bytes_;
+    stats->page_reads += charged_pages;
   }
   return Status::OK();
+}
+
+void PointFile::PublishIo(const IoStats& delta) const {
+  if (obs_point_reads_ == nullptr) return;
+  obs_point_reads_->Add(delta.point_reads);
+  obs_page_reads_->Add(delta.page_reads);
+  obs_bytes_read_->Add(delta.bytes_read);
+}
+
+void PointFile::BindMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    obs_point_reads_ = nullptr;
+    obs_page_reads_ = nullptr;
+    obs_bytes_read_ = nullptr;
+    return;
+  }
+  obs_point_reads_ = registry->GetCounter("storage.point_reads");
+  obs_page_reads_ = registry->GetCounter("storage.random_page_reads");
+  obs_bytes_read_ = registry->GetCounter("storage.bytes_read");
 }
 
 }  // namespace eeb::storage

@@ -15,6 +15,7 @@
 #include "common/dataset.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "storage/env.h"
 #include "storage/io_stats.h"
 
@@ -63,6 +64,17 @@ class PointFile {
   /// point `id` — exposed for cache-by-page policies and tests.
   uint64_t PageOfPoint(PointId id) const;
 
+  /// Binds process-wide storage counters (point reads, deduplicated random
+  /// page reads, bytes) in `registry`; nullptr detaches. The counters see
+  /// the same dedup-aware charges as the per-query IoStats.
+  void BindMetrics(obs::MetricsRegistry* registry);
+
+  /// Adds an already-accumulated IoStats delta to the bound counters (one
+  /// atomic add per counter). ReadPoint itself never touches the registry;
+  /// the engine publishes its per-query IoStats once at query end. No-op
+  /// when unbound.
+  void PublishIo(const IoStats& delta) const;
+
  private:
   PointFile() = default;
 
@@ -79,6 +91,11 @@ class PointFile {
   uint64_t data_pages_ = 0;
   uint64_t data_start_ = 0;  // byte offset of first data page
   std::vector<uint32_t> id_to_slot_;
+
+  // Bound instruments (nullptr when observability is off).
+  obs::Counter* obs_point_reads_ = nullptr;
+  obs::Counter* obs_page_reads_ = nullptr;
+  obs::Counter* obs_bytes_read_ = nullptr;
 };
 
 }  // namespace eeb::storage

@@ -1,0 +1,392 @@
+// Tests for the observability subsystem: instruments (counter, gauge,
+// log-bucketed latency histogram), registry semantics, exporters, per-query
+// trace spans, and an end-to-end System smoke test that checks the pipeline
+// instruments fire during real queries.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/system.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "workload/generator.h"
+
+namespace eeb::obs {
+namespace {
+
+// ---------------------------------------------------------------- Counter --
+
+TEST(CounterTest, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentAddsAreExact) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c.Add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+// ------------------------------------------------------------------ Gauge --
+
+TEST(GaugeTest, SetAddReset) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.Add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.Add(-4.0);
+  EXPECT_DOUBLE_EQ(g.value(), -1.0);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(GaugeTest, ConcurrentAddsSumExactlyWithIntegralDeltas) {
+  Gauge g;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kPerThread; ++i) g.Add(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Integral doubles up to 2^53 add without rounding, so the CAS loop must
+  // lose no increment.
+  EXPECT_DOUBLE_EQ(g.value(), double(kThreads) * kPerThread);
+}
+
+// ------------------------------------------------------ LatencyHistogram --
+
+TEST(LatencyHistogramTest, CountSumMaxMean) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);
+  h.Record(0.001);
+  h.Record(0.003);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.004);
+  EXPECT_DOUBLE_EQ(h.max(), 0.003);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.002);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(LatencyHistogramTest, OutOfRangeValuesAreClamped) {
+  LatencyHistogram h;
+  h.Record(0.0);      // below range -> underflow bucket
+  h.Record(-5.0);     // negative -> underflow bucket
+  h.Record(1e9);      // above range -> top bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);
+  // p0 lands in the underflow bucket, represented as the range minimum.
+  EXPECT_LE(h.Percentile(0.0), LatencyHistogram::kMinValue);
+}
+
+// Percentiles from the histogram must match the exact sorted quantiles
+// within one relative bucket width (the acceptance bound of the histogram
+// design) on a distribution spanning several orders of magnitude.
+TEST(LatencyHistogramTest, PercentilesMatchExactQuantilesWithinBucketWidth) {
+  LatencyHistogram h;
+  std::mt19937_64 rng(123);
+  // Log-uniform in [10 us, 1 s]: every decade gets mass, like real latency.
+  std::uniform_real_distribution<double> exp_dist(std::log(1e-5),
+                                                  std::log(1.0));
+  std::vector<double> values;
+  values.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = std::exp(exp_dist(rng));
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+
+  const double width = LatencyHistogram::RelativeBucketWidth();
+  for (double p : {0.0, 0.10, 0.50, 0.90, 0.95, 0.99, 1.0}) {
+    const size_t idx =
+        static_cast<size_t>(p * static_cast<double>(values.size() - 1));
+    const double exact = values[idx];
+    const double approx = h.Percentile(p);
+    EXPECT_GE(approx, exact / width) << "p=" << p;
+    EXPECT_LE(approx, exact * width) << "p=" << p;
+  }
+  // Monotone in p.
+  EXPECT_LE(h.Percentile(0.50), h.Percentile(0.95));
+  EXPECT_LE(h.Percentile(0.95), h.Percentile(0.99));
+}
+
+TEST(LatencyHistogramTest, SingleValuePercentileIsTight) {
+  LatencyHistogram h;
+  h.Record(0.0125);
+  const double width = LatencyHistogram::RelativeBucketWidth();
+  for (double p : {0.0, 0.5, 1.0}) {
+    EXPECT_GE(h.Percentile(p), 0.0125 / width);
+    EXPECT_LE(h.Percentile(p), 0.0125 * width);
+  }
+}
+
+// --------------------------------------------------------------- Registry --
+
+TEST(MetricsRegistryTest, SameNameReturnsSamePointer) {
+  MetricsRegistry reg;
+  Counter* c1 = reg.GetCounter("cache.hits");
+  Counter* c2 = reg.GetCounter("cache.hits");
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(c1, reg.GetCounter("cache.misses"));
+  EXPECT_EQ(reg.GetGauge("cache.items"), reg.GetGauge("cache.items"));
+  EXPECT_EQ(reg.GetHistogram("lat"), reg.GetHistogram("lat"));
+}
+
+TEST(MetricsRegistryTest, SnapshotsAreSortedAndComplete) {
+  MetricsRegistry reg;
+  reg.GetCounter("b.second")->Add(2);
+  reg.GetCounter("a.first")->Add(1);
+  reg.GetGauge("g")->Set(1.5);
+  reg.GetHistogram("h")->Record(0.25);
+
+  auto counters = reg.Counters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].first, "a.first");
+  EXPECT_EQ(counters[0].second, 1u);
+  EXPECT_EQ(counters[1].first, "b.second");
+  EXPECT_EQ(counters[1].second, 2u);
+
+  auto gauges = reg.Gauges();
+  ASSERT_EQ(gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(gauges[0].second, 1.5);
+
+  auto hists = reg.Histograms();
+  ASSERT_EQ(hists.size(), 1u);
+  EXPECT_EQ(hists[0].second.count, 1u);
+  EXPECT_DOUBLE_EQ(hists[0].second.max, 0.25);
+  EXPECT_LE(hists[0].second.p50, hists[0].second.p95);
+  EXPECT_LE(hists[0].second.p95, hists[0].second.p99);
+
+  reg.ResetAll();
+  EXPECT_EQ(reg.Counters()[0].second, 0u);
+  EXPECT_DOUBLE_EQ(reg.Gauges()[0].second, 0.0);
+  EXPECT_EQ(reg.Histograms()[0].second.count, 0u);
+}
+
+// -------------------------------------------------------------- Exporters --
+
+TEST(ExportTest, PrometheusFormat) {
+  MetricsRegistry reg;
+  reg.GetCounter("cache.hits")->Add(7);
+  reg.GetGauge("cache.items")->Set(42.0);
+  reg.GetHistogram("engine.gen_seconds")->Record(0.5);
+
+  const std::string text = ExportPrometheus(reg);
+  EXPECT_NE(text.find("# TYPE eeb_cache_hits counter"), std::string::npos);
+  EXPECT_NE(text.find("eeb_cache_hits_total 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE eeb_cache_items gauge"), std::string::npos);
+  EXPECT_NE(text.find("eeb_cache_items 42"), std::string::npos);
+  EXPECT_NE(text.find("eeb_engine_gen_seconds{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("eeb_engine_gen_seconds_count 1"), std::string::npos);
+}
+
+TEST(ExportTest, JsonFormat) {
+  MetricsRegistry reg;
+  reg.GetCounter("n")->Add(3);
+  reg.GetGauge("g")->Set(0.25);
+  reg.GetHistogram("h")->Record(1.0);
+
+  const std::string json = ExportJson(reg);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"n\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"g\":0.25"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+TEST(ExportTest, WriteStringToFileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "eeb_obs_write.txt").string();
+  ASSERT_TRUE(WriteStringToFile(path, "payload\n").ok());
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "payload\n");
+  std::filesystem::remove(path);
+  EXPECT_TRUE(WriteStringToFile("/nonexistent/dir/x.txt", "x").IsIOError());
+}
+
+// ----------------------------------------------------------------- Tracer --
+
+TEST(TracerTest, SpanLifecycleAndJsonl) {
+  Tracer tracer;
+  QuerySpan* s = tracer.StartSpan(10);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->k, 10u);
+  tracer.AddEvent(s, TraceEventType::kCacheHit, 5, 1.25);
+  tracer.AddEvent(s, TraceEventType::kEarlyPrune, 6, 2.0);
+  s->candidates = 2;
+  tracer.EndSpan();
+
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  EXPECT_EQ(tracer.spans()[0].events.size(), 2u);
+  EXPECT_EQ(tracer.spans()[0].events[0].type, TraceEventType::kCacheHit);
+
+  // last_span() is mutable so the harness can attach modeled I/O time.
+  tracer.last_span()->modeled_io_seconds = 0.125;
+
+  const std::string jsonl = tracer.ToJsonl();
+  EXPECT_NE(jsonl.find("\"query\":0"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"k\":10"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"modeled_io_seconds\":0.125"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"t\":\"cache_hit\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"t\":\"early_prune\""), std::string::npos);
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 1);
+
+  tracer.Clear();
+  EXPECT_TRUE(tracer.spans().empty());
+  EXPECT_EQ(tracer.last_span(), nullptr);
+}
+
+TEST(TracerTest, EventCapCountsDrops) {
+  Tracer tracer(/*max_events_per_span=*/2);
+  QuerySpan* s = tracer.StartSpan(1);
+  for (int i = 0; i < 5; ++i) {
+    tracer.AddEvent(s, TraceEventType::kFetch, i, 0.0);
+  }
+  tracer.EndSpan();
+  EXPECT_EQ(tracer.spans()[0].events.size(), 2u);
+  EXPECT_EQ(tracer.spans()[0].dropped_events, 3u);
+}
+
+TEST(TracerTest, AggregatesOnlyMode) {
+  Tracer tracer(/*max_events_per_span=*/4096, /*record_events=*/false);
+  QuerySpan* s = tracer.StartSpan(1);
+  tracer.AddEvent(s, TraceEventType::kFetch, 1, 0.0);
+  tracer.EndSpan();
+  EXPECT_TRUE(tracer.spans()[0].events.empty());
+  EXPECT_EQ(tracer.spans()[0].dropped_events, 1u);
+}
+
+TEST(TracerTest, StartSpanClosesLeakedSpan) {
+  Tracer tracer;
+  tracer.StartSpan(1);  // never ended (error path)
+  tracer.StartSpan(2);
+  tracer.EndSpan();
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  EXPECT_EQ(tracer.spans()[0].k, 1u);
+  EXPECT_EQ(tracer.spans()[1].k, 2u);
+}
+
+// ------------------------------------------------------ System end-to-end --
+
+TEST(ObsSystemTest, PipelineInstrumentsFireDuringQueries) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "eeb_obs_system").string();
+  std::filesystem::create_directories(dir);
+
+  workload::DatasetSpec dspec;
+  dspec.n = 3000;
+  dspec.dim = 16;
+  dspec.ndom = 256;
+  dspec.clusters = 8;
+  dspec.seed = 11;
+  Dataset data = workload::GenerateClustered(dspec);
+
+  workload::QueryLogSpec qspec;
+  qspec.pool_size = 30;
+  qspec.workload_size = 100;
+  qspec.test_size = 10;
+  workload::QueryLog log = workload::GenerateQueryLog(data, qspec);
+
+  core::SystemOptions opt;
+  opt.lsh.beta_candidates = 100;
+  std::unique_ptr<core::System> system;
+  ASSERT_TRUE(core::System::Create(storage::Env::Default(), dir, data,
+                                   log.workload, opt, &system)
+                  .ok());
+
+  MetricsRegistry metrics;
+  Tracer tracer;
+  system->EnableMetrics(&metrics);
+  system->SetTracer(&tracer);
+  // Deliberately tiny: misses and refinement fetches must occur so the
+  // storage counters see traffic.
+  ASSERT_TRUE(
+      system->ConfigureCache(core::CacheMethod::kHcO, 4096).ok());
+
+  core::AggregateResult agg;
+  ASSERT_TRUE(system->RunQueries(log.test, 10, &agg).ok());
+
+  // Batch-level instruments.
+  EXPECT_EQ(metrics.GetCounter("system.queries")->value(), log.test.size());
+  EXPECT_EQ(metrics.GetCounter("engine.queries")->value(), log.test.size());
+  EXPECT_EQ(metrics.GetHistogram("system.response_seconds")->count(),
+            log.test.size());
+
+  // Pipeline stages all saw traffic.
+  EXPECT_EQ(metrics.GetCounter("lsh.queries")->value(), log.test.size());
+  EXPECT_GT(metrics.GetCounter("lsh.bucket_probes")->value(), 0u);
+  EXPECT_GT(metrics.GetCounter("engine.candidates")->value(), 0u);
+  EXPECT_GT(metrics.GetCounter("cache.hits")->value() +
+                metrics.GetCounter("cache.misses")->value(),
+            0u);
+  EXPECT_GT(metrics.GetCounter("storage.point_reads")->value(), 0u);
+  EXPECT_GT(metrics.GetGauge("cache.items")->value(), 0.0);
+
+  // Engine counters agree with the cache's own accounting.
+  EXPECT_EQ(metrics.GetCounter("engine.cache_hits")->value(),
+            metrics.GetCounter("cache.hits")->value());
+
+  // One span per query, with the batch runner's modeled time attached.
+  ASSERT_EQ(tracer.spans().size(), log.test.size());
+  for (const QuerySpan& s : tracer.spans()) {
+    EXPECT_EQ(s.k, 10u);
+    EXPECT_GT(s.candidates, 0u);
+    EXPECT_GT(s.response_seconds, 0.0);
+    EXPECT_GE(s.response_seconds, s.modeled_io_seconds);
+    EXPECT_FALSE(s.events.empty());
+  }
+
+  // The histogram percentiles surfaced in AggregateResult are ordered.
+  EXPECT_LE(agg.p50_response_seconds, agg.p95_response_seconds);
+  EXPECT_LE(agg.p95_response_seconds, agg.p99_response_seconds);
+  EXPECT_GT(agg.p99_response_seconds, 0.0);
+
+  // Exporters see the bound instruments.
+  const std::string prom = ExportPrometheus(metrics);
+  EXPECT_NE(prom.find("eeb_engine_queries_total"), std::string::npos);
+  const std::string json = ExportJson(metrics);
+  EXPECT_NE(json.find("\"system.response_seconds\""), std::string::npos);
+
+  system->SetTracer(nullptr);
+  system->EnableMetrics(nullptr);
+  ASSERT_TRUE(system->RunQueries(log.test, 10, &agg).ok());  // detached ok
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace eeb::obs

@@ -303,5 +303,63 @@ TEST(DiskModelTest, ChargesRandomAndSequentialDifferently) {
   EXPECT_DOUBLE_EQ(model.Seconds(s), 0.02 + 0.01);
 }
 
+TEST(IoStatsTest, AccumulatesEveryField) {
+  IoStats a;
+  a.point_reads = 1;
+  a.page_reads = 2;
+  a.seq_page_reads = 3;
+  a.node_reads = 4;
+  a.bytes_read = 5;
+  IoStats b;
+  b.point_reads = 10;
+  b.page_reads = 20;
+  b.seq_page_reads = 30;
+  b.node_reads = 40;
+  b.bytes_read = 50;
+  a += b;
+  EXPECT_EQ(a.point_reads, 11u);
+  EXPECT_EQ(a.page_reads, 22u);
+  EXPECT_EQ(a.seq_page_reads, 33u);
+  EXPECT_EQ(a.node_reads, 44u);
+  EXPECT_EQ(a.bytes_read, 55u);
+  // += returns *this so charges can be chained.
+  IoStats c;
+  (c += a) += b;
+  EXPECT_EQ(c.point_reads, 21u);
+  EXPECT_EQ(c.bytes_read, 105u);
+}
+
+TEST(DiskModelTest, DefaultsModelCommodityHdd) {
+  // 5 ms per random page, 0.05 ms per sequential page (Sec. 5 setup).
+  DiskModel model;
+  IoStats s;
+  s.page_reads = 2;
+  s.seq_page_reads = 100;
+  EXPECT_DOUBLE_EQ(model.Seconds(s), 2 * 0.005 + 100 * 0.00005);
+  IoStats zero;
+  EXPECT_DOUBLE_EQ(model.Seconds(zero), 0.0);
+  // Point/node/bytes counters do not contribute to modeled time directly.
+  IoStats other;
+  other.point_reads = 7;
+  other.node_reads = 9;
+  other.bytes_read = 1 << 20;
+  EXPECT_DOUBLE_EQ(model.Seconds(other), 0.0);
+}
+
+TEST(PageTrackerTest, TouchDeduplicatesUntilReset) {
+  PageTracker t;
+  EXPECT_EQ(t.distinct_pages(), 0u);
+  EXPECT_TRUE(t.Touch(7));
+  EXPECT_FALSE(t.Touch(7));  // second touch of the same page is free
+  EXPECT_TRUE(t.Touch(8));
+  EXPECT_TRUE(t.Touch(0));
+  EXPECT_FALSE(t.Touch(8));
+  EXPECT_EQ(t.distinct_pages(), 3u);
+  t.Reset();
+  EXPECT_EQ(t.distinct_pages(), 0u);
+  EXPECT_TRUE(t.Touch(7));  // a new query re-charges every page
+  EXPECT_EQ(t.distinct_pages(), 1u);
+}
+
 }  // namespace
 }  // namespace eeb::storage

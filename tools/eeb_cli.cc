@@ -6,19 +6,27 @@
 //   eeb_cli query --data data.fvecs [--queries q.fvecs] [--k 10]
 //                 [--cache none|exact|hc-w|hc-v|hc-m|hc-d|hc-o|c-va]
 //                 [--cache-mb 8] [--tau 0] [--workload 1000] [--test 50]
+//                 [--lru] [--eager] [--metrics-out m.json]
+//                 [--metrics-prom m.prom] [--trace-out t.jsonl]
 //
 // `query` builds the full pipeline (point file, C2LSH, workload analysis,
 // cache) in a temp directory and reports the paper-style statistics. When
 // --queries is omitted a Zipf query log is synthesized from the data.
+// --metrics-out / --metrics-prom dump the full metrics registry (JSON /
+// Prometheus text); --trace-out writes one JSON span per query.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <set>
 #include <string>
 
 #include "core/system.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "workload/fvecs.h"
 #include "workload/generator.h"
 
@@ -26,16 +34,31 @@ namespace {
 
 using namespace eeb;
 
-// Minimal --key value argument parser.
+// Minimal --key value argument parser. Flags listed in `bool_flags` take no
+// value (present means "1"); every other flag requires one — a trailing
+// --flag with no value is an error, not silently ignored.
 class Args {
  public:
-  Args(int argc, char** argv, int start) {
-    for (int i = start; i + 1 < argc; i += 2) {
+  Args(int argc, char** argv, int start,
+       const std::set<std::string>& bool_flags = {}) {
+    int i = start;
+    while (i < argc) {
       if (std::strncmp(argv[i], "--", 2) != 0) {
         std::fprintf(stderr, "expected --flag, got %s\n", argv[i]);
         std::exit(2);
       }
-      kv_[argv[i] + 2] = argv[i + 1];
+      const std::string key = argv[i] + 2;
+      if (bool_flags.count(key) > 0) {
+        kv_[key] = "1";
+        i += 1;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --%s\n", key.c_str());
+        std::exit(2);
+      }
+      kv_[key] = argv[i + 1];
+      i += 2;
     }
   }
 
@@ -157,21 +180,45 @@ int CmdQuery(const Args& args) {
   core::SystemOptions opt;
   opt.ndom = ndom;
   opt.integral_values = args.Int("integral", 1) != 0;
+  opt.engine.eager_miss_fetch = args.Has("eager");
   std::unique_ptr<core::System> system;
   st = core::System::Create(storage::Env::Default(), dir, data,
                             log.workload, opt, &system);
   if (!st.ok()) Die(st, "build system");
 
+  obs::MetricsRegistry metrics;
+  obs::Tracer tracer;
+  const bool want_metrics =
+      args.Has("metrics-out") || args.Has("metrics-prom");
+  if (want_metrics) system->EnableMetrics(&metrics);
+  if (args.Has("trace-out")) system->SetTracer(&tracer);
+
   const core::CacheMethod method = ParseMethod(args.Str("cache", "hc-o"));
   const size_t cache_bytes =
       static_cast<size_t>(args.Dbl("cache-mb", 8.0) * (1 << 20));
   st = system->ConfigureCache(method, cache_bytes,
-                              static_cast<uint32_t>(args.Int("tau", 0)));
+                              static_cast<uint32_t>(args.Int("tau", 0)),
+                              args.Has("lru"));
   if (!st.ok()) Die(st, "configure cache");
 
   core::AggregateResult agg;
   st = system->RunQueries(log.test, args.Int("k", 10), &agg);
   if (!st.ok()) Die(st, "run queries");
+
+  if (args.Has("metrics-out")) {
+    st = obs::WriteStringToFile(args.Str("metrics-out", ""),
+                                obs::ExportJson(metrics));
+    if (!st.ok()) Die(st, "write metrics json");
+  }
+  if (args.Has("metrics-prom")) {
+    st = obs::WriteStringToFile(args.Str("metrics-prom", ""),
+                                obs::ExportPrometheus(metrics));
+    if (!st.ok()) Die(st, "write metrics prom");
+  }
+  if (args.Has("trace-out")) {
+    st = tracer.WriteJsonl(args.Str("trace-out", ""));
+    if (!st.ok()) Die(st, "write trace jsonl");
+  }
 
   std::printf("dataset: %zu x %zu-d, ndom=%u | cache: %s %.1f MB tau=%u\n",
               data.size(), data.dim(), ndom, core::CacheMethodName(method),
@@ -196,7 +243,9 @@ void Usage() {
                "--sparsity S --seed X]\n"
                "  info  --data F\n"
                "  query --data F [--queries F --k K --cache M --cache-mb MB "
-               "--tau T]\n");
+               "--tau T]\n"
+               "        [--lru] [--eager] [--metrics-out F.json] "
+               "[--metrics-prom F.prom] [--trace-out F.jsonl]\n");
 }
 
 }  // namespace
@@ -207,10 +256,9 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string cmd = argv[1];
-  Args args(argc, argv, 2);
-  if (cmd == "gen") return CmdGen(args);
-  if (cmd == "info") return CmdInfo(args);
-  if (cmd == "query") return CmdQuery(args);
+  if (cmd == "gen") return CmdGen(Args(argc, argv, 2));
+  if (cmd == "info") return CmdInfo(Args(argc, argv, 2));
+  if (cmd == "query") return CmdQuery(Args(argc, argv, 2, {"lru", "eager"}));
   Usage();
   return 2;
 }
