@@ -12,7 +12,10 @@
 namespace eeb {
 
 /// Result of a fallible operation. Cheap to copy when OK (no allocation).
-class Status {
+/// [[nodiscard]] on the type makes the compiler reject silently dropped
+/// results at every call site; callers must propagate (EEB_RETURN_IF_ERROR),
+/// test .ok(), or explicitly acknowledge via EEB_RECORD_IF_ERROR.
+class [[nodiscard]] Status {
  public:
   enum class Code : unsigned char {
     kOk = 0,
@@ -47,7 +50,7 @@ class Status {
     return Status(Code::kInternal, msg);
   }
 
-  bool ok() const { return code_ == Code::kOk; }
+  [[nodiscard]] bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
   bool IsIOError() const { return code_ == Code::kIOError; }
@@ -62,6 +65,12 @@ class Status {
 
   /// The message supplied at construction (empty for OK).
   const std::string& message() const { return msg_; }
+
+  /// Explicitly acknowledges an intentionally unpropagated status (e.g. a
+  /// best-effort cleanup whose failure must not mask the original error).
+  /// Grep-able marker for every deliberate drop; the only sanctioned way to
+  /// discard a Status now that the type is [[nodiscard]].
+  void IgnoreError() const {}
 
  private:
   Status(Code code, std::string_view msg) : code_(code), msg_(msg) {}

@@ -78,8 +78,11 @@ Status SaveHistogram(storage::Env* env, const std::string& path,
   AppendHistogram(h, &blob);
   std::unique_ptr<storage::WritableFile> f;
   EEB_RETURN_IF_ERROR(env->NewWritableFile(path, &f));
-  EEB_RETURN_IF_ERROR(f->Append(blob.data(), blob.size()));
-  return f->Close();
+  auto write_body = [&]() -> Status {
+    EEB_RETURN_IF_ERROR(f->Append(blob.data(), blob.size()));
+    return f->Close();
+  };
+  return storage::CleanupIfError(env, path, write_body());
 }
 
 Status LoadHistogram(storage::Env* env, const std::string& path,

@@ -108,11 +108,14 @@ Status BpTree::BulkLoad(storage::Env* env, const std::string& path,
 
   std::unique_ptr<storage::WritableFile> f;
   EEB_RETURN_IF_ERROR(env->NewWritableFile(path, &f));
-  EEB_RETURN_IF_ERROR(f->Append(header_page.data(), header_page.size()));
-  for (const auto& page : pages) {
-    EEB_RETURN_IF_ERROR(f->Append(page.data(), page.size()));
-  }
-  return f->Close();
+  auto write_body = [&]() -> Status {
+    EEB_RETURN_IF_ERROR(f->Append(header_page.data(), header_page.size()));
+    for (const auto& page : pages) {
+      EEB_RETURN_IF_ERROR(f->Append(page.data(), page.size()));
+    }
+    return f->Close();
+  };
+  return storage::CleanupIfError(env, path, write_body());
 }
 
 Status BpTree::Open(storage::Env* env, const std::string& path,

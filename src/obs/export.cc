@@ -5,6 +5,8 @@
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
+#include <ostream>
+#include <sstream>
 
 namespace eeb::obs {
 namespace {
@@ -17,59 +19,66 @@ std::string PromName(const std::string& name) {
   return out;
 }
 
-void AppendF(std::string* out, const char* fmt, ...) {
-  char buf[256];
+// printf-style formatting into the sink: snapshot values keep the exact
+// rendering (%.9g, PRIu64) the exporters have always produced, independent
+// of any stream formatting state the caller left behind.
+void StreamF(std::ostream& os, const char* fmt, ...) {
+  char buf[320];
   va_list ap;
   va_start(ap, fmt);
   const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
   va_end(ap);
-  if (n > 0) out->append(buf, std::min<size_t>(n, sizeof(buf) - 1));
+  if (n > 0) os.write(buf, std::min<std::streamsize>(n, sizeof(buf) - 1));
 }
 
 }  // namespace
 
-std::string ExportPrometheus(const MetricsRegistry& registry) {
-  std::string out;
+void ExportPrometheus(const MetricsRegistry& registry, std::ostream& os) {
   for (const auto& [name, value] : registry.Counters()) {
     const std::string pn = PromName(name);
-    AppendF(&out, "# TYPE %s counter\n", pn.c_str());
-    AppendF(&out, "%s_total %" PRIu64 "\n", pn.c_str(), value);
+    StreamF(os, "# TYPE %s counter\n", pn.c_str());
+    StreamF(os, "%s_total %" PRIu64 "\n", pn.c_str(), value);
   }
   for (const auto& [name, value] : registry.Gauges()) {
     const std::string pn = PromName(name);
-    AppendF(&out, "# TYPE %s gauge\n", pn.c_str());
-    AppendF(&out, "%s %.9g\n", pn.c_str(), value);
+    StreamF(os, "# TYPE %s gauge\n", pn.c_str());
+    StreamF(os, "%s %.9g\n", pn.c_str(), value);
   }
   for (const auto& [name, s] : registry.Histograms()) {
     const std::string pn = PromName(name);
-    AppendF(&out, "# TYPE %s summary\n", pn.c_str());
-    AppendF(&out, "%s{quantile=\"0.5\"} %.9g\n", pn.c_str(), s.p50);
-    AppendF(&out, "%s{quantile=\"0.95\"} %.9g\n", pn.c_str(), s.p95);
-    AppendF(&out, "%s{quantile=\"0.99\"} %.9g\n", pn.c_str(), s.p99);
-    AppendF(&out, "%s_sum %.9g\n", pn.c_str(), s.sum);
-    AppendF(&out, "%s_count %" PRIu64 "\n", pn.c_str(), s.count);
-    AppendF(&out, "%s_max %.9g\n", pn.c_str(), s.max);
+    StreamF(os, "# TYPE %s summary\n", pn.c_str());
+    StreamF(os, "%s{quantile=\"0.5\"} %.9g\n", pn.c_str(), s.p50);
+    StreamF(os, "%s{quantile=\"0.95\"} %.9g\n", pn.c_str(), s.p95);
+    StreamF(os, "%s{quantile=\"0.99\"} %.9g\n", pn.c_str(), s.p99);
+    StreamF(os, "%s_sum %.9g\n", pn.c_str(), s.sum);
+    StreamF(os, "%s_count %" PRIu64 "\n", pn.c_str(), s.count);
+    StreamF(os, "%s_max %.9g\n", pn.c_str(), s.max);
   }
-  return out;
 }
 
-std::string ExportJson(const MetricsRegistry& registry) {
-  std::string out = "{\"counters\":{";
+std::string ExportPrometheus(const MetricsRegistry& registry) {
+  std::ostringstream os;
+  ExportPrometheus(registry, os);
+  return std::move(os).str();
+}
+
+void ExportJson(const MetricsRegistry& registry, std::ostream& os) {
+  os << "{\"counters\":{";
   bool first = true;
   for (const auto& [name, value] : registry.Counters()) {
-    AppendF(&out, "%s\"%s\":%" PRIu64, first ? "" : ",", name.c_str(), value);
+    StreamF(os, "%s\"%s\":%" PRIu64, first ? "" : ",", name.c_str(), value);
     first = false;
   }
-  out += "},\"gauges\":{";
+  os << "},\"gauges\":{";
   first = true;
   for (const auto& [name, value] : registry.Gauges()) {
-    AppendF(&out, "%s\"%s\":%.9g", first ? "" : ",", name.c_str(), value);
+    StreamF(os, "%s\"%s\":%.9g", first ? "" : ",", name.c_str(), value);
     first = false;
   }
-  out += "},\"histograms\":{";
+  os << "},\"histograms\":{";
   first = true;
   for (const auto& [name, s] : registry.Histograms()) {
-    AppendF(&out,
+    StreamF(os,
             "%s\"%s\":{\"count\":%" PRIu64
             ",\"sum\":%.9g,\"max\":%.9g,\"p50\":%.9g,\"p95\":%.9g,"
             "\"p99\":%.9g}",
@@ -77,12 +86,20 @@ std::string ExportJson(const MetricsRegistry& registry) {
             s.p95, s.p99);
     first = false;
   }
-  out += "}}";
-  return out;
+  os << "}}";
+}
+
+std::string ExportJson(const MetricsRegistry& registry) {
+  std::ostringstream os;
+  ExportJson(registry, os);
+  return std::move(os).str();
 }
 
 Status WriteStringToFile(const std::string& path,
                          const std::string& content) {
+  // The one place in obs that touches the filesystem directly: obs sits
+  // below storage in the link order, so routing through storage::Env would
+  // invert the dependency. eeb-lint: allow(env-io)
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return Status::IOError("cannot open " + path);
   const size_t written = std::fwrite(content.data(), 1, content.size(), f);

@@ -2,10 +2,16 @@
 // histograms as summaries with quantile labels) and a JSON snapshot. Both
 // read a consistent point-in-time view of the registry; neither perturbs
 // the instruments.
+//
+// Every exporter writes to an injectable std::ostream sink — tests pass an
+// std::ostringstream, servers a socket stream — so nothing in this layer
+// ever touches stdout/stderr directly. The std::string overloads are thin
+// wrappers kept for callers that want a buffer.
 
 #ifndef EEB_OBS_EXPORT_H_
 #define EEB_OBS_EXPORT_H_
 
+#include <iosfwd>
 #include <string>
 
 #include "common/status.h"
@@ -15,10 +21,12 @@ namespace eeb::obs {
 
 /// Prometheus text exposition format. Names are prefixed with "eeb_" and
 /// dots become underscores; counters get the "_total" suffix.
+void ExportPrometheus(const MetricsRegistry& registry, std::ostream& os);
 std::string ExportPrometheus(const MetricsRegistry& registry);
 
 /// One JSON object: {"counters": {...}, "gauges": {...},
 /// "histograms": {name: {count, sum, max, p50, p95, p99}}}.
+void ExportJson(const MetricsRegistry& registry, std::ostream& os);
 std::string ExportJson(const MetricsRegistry& registry);
 
 /// Writes `content` to `path` (truncating). Shared by the CLI flags and the

@@ -88,4 +88,10 @@ void MetricsRegistry::ResetAll() {
   for (auto& [name, h] : histograms_) h->Reset();
 }
 
+void RecordIfError(MetricsRegistry* registry, const Status& s,
+                   const std::string& site) {
+  if (s.ok() || registry == nullptr) return;
+  registry->GetCounter("status.dropped." + site)->Add();
+}
+
 }  // namespace eeb::obs

@@ -24,6 +24,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
+
 namespace eeb::obs {
 
 /// Monotonic event counter.
@@ -185,6 +187,14 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
 };
+
+/// Cause-tagged acknowledgment of a Status a caller deliberately does not
+/// propagate (best-effort flushes, optional side outputs): bumps
+/// "status.dropped.<site>" on error, does nothing for OK or a null registry.
+/// One of the three sanctioned fates of a [[nodiscard]] Status — propagate,
+/// IgnoreError(), or record here (see docs/STATIC_ANALYSIS.md).
+void RecordIfError(MetricsRegistry* registry, const Status& s,
+                   const std::string& site);
 
 }  // namespace eeb::obs
 

@@ -4,19 +4,23 @@
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
+#include <ostream>
+#include <sstream>
 
 #include "obs/export.h"
 
 namespace eeb::obs {
 namespace {
 
-void AppendF(std::string* out, const char* fmt, ...) {
+// printf-style formatting into the sink (same rationale as the exporters:
+// stable rendering regardless of caller stream state).
+void StreamF(std::ostream& os, const char* fmt, ...) {
   char buf[320];
   va_list ap;
   va_start(ap, fmt);
   const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
   va_end(ap);
-  if (n > 0) out->append(buf, std::min<size_t>(n, sizeof(buf) - 1));
+  if (n > 0) os.write(buf, std::min<std::streamsize>(n, sizeof(buf) - 1));
 }
 
 }  // namespace
@@ -67,10 +71,9 @@ void Tracer::EndSpan() {
   active_ = false;
 }
 
-std::string Tracer::ToJsonl() const {
-  std::string out;
+void Tracer::WriteJsonl(std::ostream& os) const {
   for (const QuerySpan& s : spans_) {
-    AppendF(&out,
+    StreamF(os,
             "{\"query\":%" PRIu64 ",\"k\":%" PRIu64
             ",\"gen_seconds\":%.9g,\"reduce_seconds\":%.9g,"
             "\"refine_seconds\":%.9g,\"modeled_io_seconds\":%.9g,"
@@ -85,12 +88,17 @@ std::string Tracer::ToJsonl() const {
             s.fetched, s.dropped_events);
     for (size_t i = 0; i < s.events.size(); ++i) {
       const TraceEvent& e = s.events[i];
-      AppendF(&out, "%s{\"t\":\"%s\",\"id\":%" PRIu64 ",\"v\":%.9g}",
+      StreamF(os, "%s{\"t\":\"%s\",\"id\":%" PRIu64 ",\"v\":%.9g}",
               i == 0 ? "" : ",", TraceEventTypeName(e.type), e.id, e.value);
     }
-    out += "]}\n";
+    os << "]}\n";
   }
-  return out;
+}
+
+std::string Tracer::ToJsonl() const {
+  std::ostringstream os;
+  WriteJsonl(os);
+  return std::move(os).str();
 }
 
 Status Tracer::WriteJsonl(const std::string& path) const {

@@ -12,6 +12,7 @@
 #define EEB_OBS_TRACE_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -84,7 +85,12 @@ class Tracer {
 
   const std::vector<QuerySpan>& spans() const { return spans_; }
 
-  /// All completed spans, one JSON object per line.
+  /// All completed spans, one JSON object per line, written to the sink.
+  /// Tests pass an std::ostringstream; long-running harnesses can stream
+  /// spans to a pipe without materializing the whole trace in memory.
+  void WriteJsonl(std::ostream& os) const;
+
+  /// All completed spans as one string (wraps the stream overload).
   std::string ToJsonl() const;
 
   /// Writes ToJsonl() to `path` (truncating).

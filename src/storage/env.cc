@@ -122,4 +122,12 @@ Env* Env::Default() {
   return &env;
 }
 
+Status CleanupIfError(Env* env, const std::string& path, Status s) {
+  if (!s.ok() && env->FileExists(path)) {
+    // Best-effort: a failed unlink must not shadow the write error.
+    env->DeleteFile(path).IgnoreError();
+  }
+  return s;
+}
+
 }  // namespace eeb::storage

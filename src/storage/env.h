@@ -57,6 +57,13 @@ class Env {
   static Env* Default();
 };
 
+/// Returns `s` unchanged; when `s` is an error, best-effort-deletes `path`
+/// so a writer that failed mid-stream does not leave a partial file behind.
+/// The deletion's own status is deliberately dropped — the original error is
+/// the one the caller must see. Use as the tail of every file writer:
+///   return CleanupIfError(env, path, write_body());
+Status CleanupIfError(Env* env, const std::string& path, Status s);
+
 }  // namespace eeb::storage
 
 #endif  // EEB_STORAGE_ENV_H_

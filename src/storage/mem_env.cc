@@ -96,6 +96,26 @@ class FaultyFile : public RandomAccessFile {
   FaultInjectionEnv* env_;
 };
 
+class FaultyWritableFile : public WritableFile {
+ public:
+  FaultyWritableFile(std::unique_ptr<WritableFile> base,
+                     FaultInjectionEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Append(const char* data, size_t n) override {
+    EEB_RETURN_IF_ERROR(env_->OnWrite());
+    return base_->Append(data, n);
+  }
+
+  Status Close() override { return base_->Close(); }
+
+  uint64_t Offset() const override { return base_->Offset(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  FaultInjectionEnv* env_;
+};
+
 }  // namespace
 
 Status FaultInjectionEnv::NewRandomAccessFile(
@@ -103,6 +123,14 @@ Status FaultInjectionEnv::NewRandomAccessFile(
   std::unique_ptr<RandomAccessFile> base;
   EEB_RETURN_IF_ERROR(base_->NewRandomAccessFile(path, &base));
   out->reset(new FaultyFile(std::move(base), this));
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewWritableFile(const std::string& path,
+                                          std::unique_ptr<WritableFile>* out) {
+  std::unique_ptr<WritableFile> base;
+  EEB_RETURN_IF_ERROR(base_->NewWritableFile(path, &base));
+  out->reset(new FaultyWritableFile(std::move(base), this));
   return Status::OK();
 }
 
@@ -119,6 +147,14 @@ Status FaultInjectionEnv::OnRead() {
     }
     tripped_ = true;
     return Status::IOError("injected read fault");
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::OnWrite() {
+  const uint64_t index = writes_++;
+  if (index >= plan_.fail_after_writes) {
+    return Status::IOError("injected write fault");
   }
   return Status::OK();
 }

@@ -44,13 +44,15 @@ class MemEnv : public Env {
 struct FaultPlan {
   /// Reads before the first injected failure (0 = fail immediately).
   uint64_t fail_after_reads = UINT64_MAX;
+  /// Appends before the first injected write failure (0 = fail immediately).
+  uint64_t fail_after_writes = UINT64_MAX;
   /// When true, every read past the trigger fails; otherwise only one.
   bool persistent = true;
 };
 
-/// Env wrapper that injects IOError into reads according to a FaultPlan.
-/// Writes pass through untouched (write-path fault tests would need their
-/// own plan; the read path is what queries exercise).
+/// Env wrapper that injects IOError into reads and appends according to a
+/// FaultPlan. The write leg lets tests verify that failed writers remove
+/// their partial output (CleanupIfError) instead of leaving it behind.
 class FaultInjectionEnv : public Env {
  public:
   explicit FaultInjectionEnv(Env* base) : base_(base) {}
@@ -58,16 +60,16 @@ class FaultInjectionEnv : public Env {
   void set_plan(const FaultPlan& plan) {
     plan_ = plan;
     reads_ = 0;
+    writes_ = 0;
     tripped_ = false;
   }
   uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
 
   Status NewRandomAccessFile(const std::string& path,
                              std::unique_ptr<RandomAccessFile>* out) override;
   Status NewWritableFile(const std::string& path,
-                         std::unique_ptr<WritableFile>* out) override {
-    return base_->NewWritableFile(path, out);
-  }
+                         std::unique_ptr<WritableFile>* out) override;
   bool FileExists(const std::string& path) override {
     return base_->FileExists(path);
   }
@@ -79,10 +81,14 @@ class FaultInjectionEnv : public Env {
   /// read must fail. Public so the file wrapper (internal) can reach it.
   Status OnRead();
 
+  /// Write-side counterpart of OnRead(), consulted before each Append.
+  Status OnWrite();
+
  private:
   Env* base_;
   FaultPlan plan_;
   uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
   bool tripped_ = false;
 };
 

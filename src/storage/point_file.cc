@@ -34,67 +34,71 @@ Status PointFile::Create(Env* env, const std::string& path,
 
   std::unique_ptr<WritableFile> f;
   EEB_RETURN_IF_ERROR(env->NewWritableFile(path, &f));
+  // From here on any failure must also remove the partial file; the write
+  // body runs in a lambda so every early return funnels through the cleanup.
+  auto write_body = [&]() -> Status {
+    // Header page.
+    std::vector<char> page(page_size, 0);
+    Header h{kMagic, n, dim, page_size, n_slots};
+    std::memcpy(page.data(), &h, sizeof(h));
+    EEB_RETURN_IF_ERROR(f->Append(page.data(), page.size()));
 
-  // Header page.
-  std::vector<char> page(page_size, 0);
-  Header h{kMagic, n, dim, page_size, n_slots};
-  std::memcpy(page.data(), &h, sizeof(h));
-  EEB_RETURN_IF_ERROR(f->Append(page.data(), page.size()));
+    // Data pages in slot order.
+    const size_t ppp = record_bytes <= page_size ? page_size / record_bytes : 0;
+    const size_t pages_per_point =
+        ppp > 0 ? 1 : (record_bytes + page_size - 1) / page_size;
 
-  // Data pages in slot order.
-  const size_t ppp = record_bytes <= page_size ? page_size / record_bytes : 0;
-  const size_t pages_per_point =
-      ppp > 0 ? 1 : (record_bytes + page_size - 1) / page_size;
-
-  // Build the inverse permutation (id -> slot) while writing, validating
-  // that every real id appears exactly once (a duplicate would silently
-  // orphan another point's slot-table entry).
-  std::vector<bool> seen(n, false);
-  std::vector<uint32_t> id_to_slot(n);
-  if (ppp > 0) {
-    size_t slot = 0;
-    while (slot < n_slots) {
-      std::fill(page.begin(), page.end(), 0);
-      size_t in_page = std::min(ppp, n_slots - slot);
-      for (size_t i = 0; i < in_page; ++i) {
-        PointId id = order[slot + i];
-        if (id == kInvalidPointId) continue;  // padding slot
-        if (id >= n) return Status::InvalidArgument("order id out of range");
-        if (seen[id]) return Status::InvalidArgument("duplicate id in order");
-        seen[id] = true;
-        id_to_slot[id] = static_cast<uint32_t>(slot + i);
-        auto p = data.point(id);
-        std::memcpy(page.data() + i * record_bytes, p.data(), record_bytes);
+    // Build the inverse permutation (id -> slot) while writing, validating
+    // that every real id appears exactly once (a duplicate would silently
+    // orphan another point's slot-table entry).
+    std::vector<bool> seen(n, false);
+    std::vector<uint32_t> id_to_slot(n);
+    if (ppp > 0) {
+      size_t slot = 0;
+      while (slot < n_slots) {
+        std::fill(page.begin(), page.end(), 0);
+        size_t in_page = std::min(ppp, n_slots - slot);
+        for (size_t i = 0; i < in_page; ++i) {
+          PointId id = order[slot + i];
+          if (id == kInvalidPointId) continue;  // padding slot
+          if (id >= n) return Status::InvalidArgument("order id out of range");
+          if (seen[id]) return Status::InvalidArgument("duplicate id in order");
+          seen[id] = true;
+          id_to_slot[id] = static_cast<uint32_t>(slot + i);
+          auto p = data.point(id);
+          std::memcpy(page.data() + i * record_bytes, p.data(), record_bytes);
+        }
+        EEB_RETURN_IF_ERROR(f->Append(page.data(), page.size()));
+        slot += in_page;
       }
-      EEB_RETURN_IF_ERROR(f->Append(page.data(), page.size()));
-      slot += in_page;
-    }
-  } else {
-    std::vector<char> rec(pages_per_point * page_size, 0);
-    for (size_t slot = 0; slot < n_slots; ++slot) {
-      PointId id = order[slot];
-      std::memset(rec.data(), 0, rec.size());
-      if (id != kInvalidPointId) {
-        if (id >= n) return Status::InvalidArgument("order id out of range");
-        if (seen[id]) return Status::InvalidArgument("duplicate id in order");
-        seen[id] = true;
-        id_to_slot[id] = static_cast<uint32_t>(slot);
-        auto p = data.point(id);
-        std::memcpy(rec.data(), p.data(), record_bytes);
+    } else {
+      std::vector<char> rec(pages_per_point * page_size, 0);
+      for (size_t slot = 0; slot < n_slots; ++slot) {
+        PointId id = order[slot];
+        std::memset(rec.data(), 0, rec.size());
+        if (id != kInvalidPointId) {
+          if (id >= n) return Status::InvalidArgument("order id out of range");
+          if (seen[id]) return Status::InvalidArgument("duplicate id in order");
+          seen[id] = true;
+          id_to_slot[id] = static_cast<uint32_t>(slot);
+          auto p = data.point(id);
+          std::memcpy(rec.data(), p.data(), record_bytes);
+        }
+        EEB_RETURN_IF_ERROR(f->Append(rec.data(), rec.size()));
       }
-      EEB_RETURN_IF_ERROR(f->Append(rec.data(), rec.size()));
     }
-  }
 
-  for (size_t id = 0; id < n; ++id) {
-    if (!seen[id]) return Status::InvalidArgument("order is missing an id");
-  }
+    for (size_t id = 0; id < n; ++id) {
+      if (!seen[id]) return Status::InvalidArgument("order is missing an id");
+    }
 
-  // Slot table tail: id -> slot, 4 bytes per point.
-  EEB_RETURN_IF_ERROR(
-      f->Append(reinterpret_cast<const char*>(id_to_slot.data()),
-                id_to_slot.size() * sizeof(uint32_t)));
-  return f->Close();
+    // Slot table tail: id -> slot, 4 bytes per point.
+    EEB_RETURN_IF_ERROR(
+        f->Append(reinterpret_cast<const char*>(id_to_slot.data()),
+                  id_to_slot.size() * sizeof(uint32_t)));
+    return f->Close();
+  };
+  return CleanupIfError(env, path, write_body());
 }
 
 Status PointFile::Create(Env* env, const std::string& path,

@@ -48,15 +48,18 @@ Status WriteFvecs(storage::Env* env, const std::string& path,
                   const Dataset& data) {
   std::unique_ptr<storage::WritableFile> f;
   EEB_RETURN_IF_ERROR(env->NewWritableFile(path, &f));
-  const int32_t dim = static_cast<int32_t>(data.dim());
-  for (size_t i = 0; i < data.size(); ++i) {
-    EEB_RETURN_IF_ERROR(
-        f->Append(reinterpret_cast<const char*>(&dim), sizeof(dim)));
-    auto p = data.point(static_cast<PointId>(i));
-    EEB_RETURN_IF_ERROR(f->Append(reinterpret_cast<const char*>(p.data()),
-                                  p.size() * sizeof(Scalar)));
-  }
-  return f->Close();
+  auto write_body = [&]() -> Status {
+    const int32_t dim = static_cast<int32_t>(data.dim());
+    for (size_t i = 0; i < data.size(); ++i) {
+      EEB_RETURN_IF_ERROR(
+          f->Append(reinterpret_cast<const char*>(&dim), sizeof(dim)));
+      auto p = data.point(static_cast<PointId>(i));
+      EEB_RETURN_IF_ERROR(f->Append(reinterpret_cast<const char*>(p.data()),
+                                    p.size() * sizeof(Scalar)));
+    }
+    return f->Close();
+  };
+  return storage::CleanupIfError(env, path, write_body());
 }
 
 }  // namespace eeb::workload

@@ -72,7 +72,7 @@ class EngineTest : public ::testing::Test {
   }
 
   void TearDown() override {
-    storage::Env::Default()->DeleteFile(path_).ok();
+    storage::Env::Default()->DeleteFile(path_).IgnoreError();
   }
 
   std::vector<PointId> AllIds() const {

@@ -1,0 +1,287 @@
+// Tests for the eeb_lint rule engine: every rule fires exactly once on a
+// known-bad snippet, a representative clean file produces nothing, the
+// allow / allow-file escape hatches silence findings, and rule scoping
+// (library vs. tool code, allowlisted files) behaves as documented.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lint_core.h"
+
+namespace eeb::lint {
+namespace {
+
+std::vector<Finding> Lint(const std::string& path, const std::string& src) {
+  std::vector<Finding> findings;
+  CheckSource(path, src, &findings);
+  return findings;
+}
+
+/// Exactly one finding, of the expected rule, on the expected line.
+void ExpectSingle(const std::vector<Finding>& findings,
+                  const std::string& rule, int line) {
+  ASSERT_EQ(findings.size(), 1u) << FormatText(findings);
+  EXPECT_EQ(findings[0].rule, rule);
+  EXPECT_EQ(findings[0].line, line);
+}
+
+// ---------------------------------------------------------- dropped-status
+
+TEST(LintTest, DroppedStatusFires) {
+  const std::string src =
+      "void F(eeb::storage::WritableFile* f) {\n"
+      "  f->Close();\n"
+      "}\n";
+  ExpectSingle(Lint("src/foo/bar.cc", src), "dropped-status", 2);
+}
+
+TEST(LintTest, DroppedStatusSpansContinuationLines) {
+  const std::string src =
+      "void F(eeb::storage::Env* env) {\n"
+      "  env->DeleteFile(\n"
+      "      very_long_path_expression);\n"
+      "}\n";
+  ExpectSingle(Lint("src/foo/bar.cc", src), "dropped-status", 2);
+}
+
+TEST(LintTest, ConsumedStatusIsClean) {
+  const std::string src =
+      "Status F(eeb::storage::WritableFile* f) {\n"
+      "  EEB_RETURN_IF_ERROR(f->Flush());\n"
+      "  Status s = f->Close();\n"
+      "  if (!f->Sync().ok()) return s;\n"
+      "  f->Close().IgnoreError();\n"
+      "  return s;\n"
+      "}\n";
+  EXPECT_TRUE(Lint("src/foo/bar.cc", src).empty());
+}
+
+// ------------------------------------------------------------------ env-io
+
+TEST(LintTest, EnvIoFires) {
+  const std::string src =
+      "void F() {\n"
+      "  std::FILE* f = fopen(\"/tmp/x\", \"r\");\n"
+      "}\n";
+  ExpectSingle(Lint("src/foo/bar.cc", src), "env-io", 2);
+}
+
+TEST(LintTest, EnvIoAllowsTheEnvImplementationAndToolCode) {
+  const std::string src = "int fd = ::open(path, O_RDONLY);\n";
+  EXPECT_TRUE(Lint("src/storage/env.cc", src).empty());
+  EXPECT_TRUE(Lint("tools/some_tool.cc", src).empty());
+  EXPECT_TRUE(Lint("tests/some_test.cc", src).empty());
+  ExpectSingle(Lint("src/cache/code_cache.cc", src), "env-io", 1);
+}
+
+// ------------------------------------------------------------- determinism
+
+TEST(LintTest, DeterminismFires) {
+  const std::string src =
+      "int F() {\n"
+      "  return rand() % 7;\n"
+      "}\n";
+  ExpectSingle(Lint("src/foo/bar.cc", src), "determinism", 2);
+}
+
+TEST(LintTest, DeterminismAllowsRandomHeaderAndSeededRng) {
+  EXPECT_TRUE(Lint("src/common/random.h",
+                   "#pragma once\nstd::random_device rd;\n")
+                  .empty());
+  EXPECT_TRUE(
+      Lint("src/foo/bar.cc", "Rng rng(options.seed);\n").empty());
+  ExpectSingle(Lint("src/foo/bar.cc", "std::mt19937 gen(42);\n"),
+               "determinism", 1);
+}
+
+// ---------------------------------------------------------------- iostream
+
+TEST(LintTest, IostreamFires) {
+  const std::string src =
+      "void Report() {\n"
+      "  std::cout << \"done\\n\";\n"
+      "}\n";
+  ExpectSingle(Lint("src/core/system.cc", src), "iostream", 2);
+}
+
+TEST(LintTest, IostreamAllowsToolsBenchTests) {
+  const std::string src = "std::cout << \"usage\\n\"; printf(\"x\");\n";
+  EXPECT_TRUE(Lint("tools/eeb_cli.cc", src).empty());
+  EXPECT_TRUE(Lint("bench/bench_micro.cc", src).empty());
+  EXPECT_TRUE(Lint("tests/foo_test.cc", src).empty());
+}
+
+TEST(LintTest, IostreamIgnoresBufferFormattingAndStrings) {
+  // vsnprintf formats into a buffer (no terminal output), and a string
+  // literal mentioning printf is not a call.
+  const std::string src =
+      "void F(std::string* out) {\n"
+      "  char buf[64];\n"
+      "  std::vsnprintf(buf, sizeof(buf), \"%d\", 1);\n"
+      "  *out = \"printf(\";\n"
+      "}\n";
+  EXPECT_TRUE(Lint("src/obs/export.cc", src).empty());
+}
+
+// --------------------------------------------------------------- naked-new
+
+TEST(LintTest, NakedNewFires) {
+  const std::string src =
+      "void F() {\n"
+      "  int* p = new int[8];\n"
+      "}\n";
+  ExpectSingle(Lint("src/foo/bar.cc", src), "naked-new", 2);
+}
+
+TEST(LintTest, NakedDeleteFires) {
+  const std::string src =
+      "void F(int* p) {\n"
+      "  delete p;\n"
+      "}\n";
+  ExpectSingle(Lint("src/foo/bar.cc", src), "naked-new", 2);
+}
+
+TEST(LintTest, FactoryIdiomAndDeletedFunctionsAreClean) {
+  const std::string src =
+      "struct T {\n"
+      "  T(const T&) = delete;\n"
+      "};\n"
+      "void F() {\n"
+      "  std::unique_ptr<T> a(new T());\n"
+      "  std::unique_ptr<T> b;\n"
+      "  b.reset(new T());\n"
+      "  auto c = std::make_unique<T>();\n"
+      "  b.reset(\n"
+      "      new T());\n"
+      "}\n";
+  EXPECT_TRUE(Lint("src/foo/bar.cc", src).empty());
+}
+
+// ---------------------------------------------------------- header-hygiene
+
+TEST(LintTest, MissingGuardFires) {
+  ExpectSingle(Lint("src/foo/bar.h", "struct T {};\n"), "header-hygiene", 1);
+}
+
+TEST(LintTest, UsingNamespaceInHeaderFires) {
+  const std::string src =
+      "#pragma once\n"
+      "using namespace std;\n";
+  ExpectSingle(Lint("src/foo/bar.h", src), "header-hygiene", 2);
+}
+
+TEST(LintTest, GuardedHeaderIsClean) {
+  const std::string src =
+      "#ifndef EEB_FOO_BAR_H_\n"
+      "#define EEB_FOO_BAR_H_\n"
+      "struct T {};\n"
+      "#endif\n";
+  EXPECT_TRUE(Lint("src/foo/bar.h", src).empty());
+}
+
+// ------------------------------------------------------------ suppressions
+
+TEST(LintTest, AllowOnSameLineSuppresses) {
+  const std::string src =
+      "void F() {\n"
+      "  std::FILE* f = fopen(\"/x\", \"r\");  // eeb-lint: allow(env-io)\n"
+      "}\n";
+  EXPECT_TRUE(Lint("src/foo/bar.cc", src).empty());
+}
+
+TEST(LintTest, AllowOnPrecedingLineSuppresses) {
+  const std::string src =
+      "void F() {\n"
+      "  // justified because ... eeb-lint: allow(env-io)\n"
+      "  std::FILE* f = fopen(\"/x\", \"r\");\n"
+      "}\n";
+  EXPECT_TRUE(Lint("src/foo/bar.cc", src).empty());
+}
+
+TEST(LintTest, AllowIsRuleSpecific) {
+  // The allow names a different rule, so the finding survives.
+  const std::string src =
+      "void F() {\n"
+      "  std::FILE* f = fopen(\"/x\", \"r\");  // eeb-lint: allow(iostream)\n"
+      "}\n";
+  ExpectSingle(Lint("src/foo/bar.cc", src), "env-io", 2);
+}
+
+TEST(LintTest, AllowFileSuppressesWholeFile) {
+  const std::string src =
+      "// eeb-lint: allow-file(determinism)\n"
+      "int a = rand();\n"
+      "int b = rand();\n"
+      "std::random_device rd;\n";
+  EXPECT_TRUE(Lint("src/foo/bar.cc", src).empty());
+}
+
+// ------------------------------------------------- comments, strings, clean
+
+TEST(LintTest, CommentsAndStringsDoNotFire) {
+  const std::string src =
+      "// fopen(\"x\") would bypass Env; delete it; std::cout << bad\n"
+      "/* rand() in a block comment\n"
+      "   spanning lines with new int[3] */\n"
+      "const char* doc = \"use fopen, rand(), new, delete, std::cout\";\n";
+  EXPECT_TRUE(Lint("src/foo/bar.cc", src).empty());
+}
+
+TEST(LintTest, RepresentativeCleanLibraryFile) {
+  const std::string src =
+      "#ifndef EEB_FOO_BAR_H_\n"
+      "#define EEB_FOO_BAR_H_\n"
+      "\n"
+      "#include \"common/status.h\"\n"
+      "\n"
+      "namespace eeb {\n"
+      "\n"
+      "class Widget {\n"
+      " public:\n"
+      "  Status Save(storage::Env* env) {\n"
+      "    std::unique_ptr<storage::WritableFile> f;\n"
+      "    EEB_RETURN_IF_ERROR(env->NewWritableFile(path_, &f));\n"
+      "    EEB_RETURN_IF_ERROR(f->Append(data_.data(), data_.size()));\n"
+      "    return f->Close();\n"
+      "  }\n"
+      "\n"
+      " private:\n"
+      "  std::string path_;\n"
+      "  std::vector<char> data_;\n"
+      "};\n"
+      "\n"
+      "}  // namespace eeb\n"
+      "\n"
+      "#endif  // EEB_FOO_BAR_H_\n";
+  EXPECT_TRUE(Lint("src/foo/bar.h", src).empty());
+}
+
+// ---------------------------------------------------------------- formats
+
+TEST(LintTest, OutputFormats) {
+  std::vector<Finding> findings;
+  CheckSource("src/a.cc", "int* p = new int;\n", &findings);
+  ASSERT_EQ(findings.size(), 1u);
+
+  const std::string text = FormatText(findings);
+  EXPECT_NE(text.find("src/a.cc:1: [naked-new]"), std::string::npos);
+
+  const std::string json = FormatJson(findings);
+  EXPECT_NE(json.find("\"file\":\"src/a.cc\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"naked-new\""), std::string::npos);
+
+  EXPECT_EQ(FormatJson({}), "[]\n");
+}
+
+TEST(LintTest, EveryRuleHasAName) {
+  const std::vector<std::string> expected = {
+      "dropped-status", "env-io",    "determinism",
+      "iostream",       "naked-new", "header-hygiene"};
+  EXPECT_EQ(RuleNames(), expected);
+}
+
+}  // namespace
+}  // namespace eeb::lint

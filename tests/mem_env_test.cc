@@ -135,6 +135,27 @@ TEST(FaultInjectionTest, EnginePropagatesDiskFaults) {
   ASSERT_TRUE(engine.Query(q, 10, &r2).ok());
 }
 
+TEST(FaultInjectionTest, FailedWriterLeavesNoPartialFile) {
+  MemEnv mem;
+  FaultInjectionEnv env(&mem);
+  Dataset data = RandomData(500, 16, 7);
+
+  // Let the header page out, then break the disk: Create must fail AND the
+  // partial file must be gone (CleanupIfError), so a later Open cannot read
+  // a truncated point file.
+  env.set_plan({.fail_after_writes = 1});
+  EXPECT_TRUE(PointFile::Create(&env, "/pf", data, 4096).IsIOError());
+  EXPECT_FALSE(env.FileExists("/pf"));
+
+  // Heal the disk: the same path writes cleanly afterwards.
+  env.set_plan({});
+  ASSERT_TRUE(PointFile::Create(&env, "/pf", data, 4096).ok());
+  EXPECT_TRUE(env.FileExists("/pf"));
+  std::unique_ptr<PointFile> pf;
+  ASSERT_TRUE(PointFile::Open(&env, "/pf", &pf).ok());
+  EXPECT_EQ(pf->size(), 500u);
+}
+
 TEST(FaultInjectionTest, TreeSearchPropagatesDiskFaults) {
   MemEnv mem;
   FaultInjectionEnv env(&mem);

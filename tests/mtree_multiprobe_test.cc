@@ -57,7 +57,7 @@ class MTreeTest : public ::testing::Test {
         MTree::Build(storage::Env::Default(), path_, data_, {}, &idx_).ok());
   }
   void TearDown() override {
-    storage::Env::Default()->DeleteFile(path_).ok();
+    storage::Env::Default()->DeleteFile(path_).IgnoreError();
   }
 
   Dataset data_;

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
@@ -14,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "cache/exact_cache.h"
 #include "core/system.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -193,7 +195,43 @@ TEST(MetricsRegistryTest, SnapshotsAreSortedAndComplete) {
   EXPECT_EQ(reg.Histograms()[0].second.count, 0u);
 }
 
+TEST(MetricsRegistryTest, RecordIfErrorTagsByCause) {
+  MetricsRegistry reg;
+  RecordIfError(&reg, Status::OK(), "flush");  // OK is free
+  EXPECT_TRUE(reg.Counters().empty());
+
+  RecordIfError(&reg, Status::IOError("disk gone"), "flush");
+  RecordIfError(&reg, Status::IOError("disk gone"), "flush");
+  RecordIfError(&reg, Status::Corruption("bad page"), "reload");
+  RecordIfError(nullptr, Status::IOError("x"), "flush");  // null registry: no-op
+
+  EXPECT_EQ(reg.GetCounter("status.dropped.flush")->value(), 2u);
+  EXPECT_EQ(reg.GetCounter("status.dropped.reload")->value(), 1u);
+}
+
 // -------------------------------------------------------------- Exporters --
+
+TEST(ExportTest, StreamSinkMatchesStringOverloads) {
+  MetricsRegistry reg;
+  reg.GetCounter("cache.hits")->Add(7);
+  reg.GetGauge("cache.bytes")->Set(1024.0);
+  reg.GetHistogram("query.seconds")->Record(0.25);
+
+  std::ostringstream prom;
+  ExportPrometheus(reg, prom);
+  EXPECT_EQ(prom.str(), ExportPrometheus(reg));
+
+  std::ostringstream json;
+  ExportJson(reg, json);
+  EXPECT_EQ(json.str(), ExportJson(reg));
+
+  // Caller stream formatting state must not leak into the output.
+  std::ostringstream weird;
+  weird.precision(1);
+  weird.setf(std::ios::fixed);
+  ExportJson(reg, weird);
+  EXPECT_EQ(weird.str(), ExportJson(reg));
+}
 
 TEST(ExportTest, PrometheusFormat) {
   MetricsRegistry reg;
@@ -268,6 +306,18 @@ TEST(TracerTest, SpanLifecycleAndJsonl) {
   tracer.Clear();
   EXPECT_TRUE(tracer.spans().empty());
   EXPECT_EQ(tracer.last_span(), nullptr);
+}
+
+TEST(TracerTest, StreamSinkMatchesStringOverload) {
+  Tracer tracer;
+  QuerySpan* s = tracer.StartSpan(3);
+  tracer.AddEvent(s, TraceEventType::kFetch, 42, 0.5);
+  tracer.EndSpan();
+
+  std::ostringstream os;
+  tracer.WriteJsonl(os);
+  EXPECT_EQ(os.str(), tracer.ToJsonl());
+  EXPECT_NE(os.str().find("\"t\":\"fetch\""), std::string::npos);
 }
 
 TEST(TracerTest, EventCapCountsDrops) {
@@ -386,6 +436,47 @@ TEST(ObsSystemTest, PipelineInstrumentsFireDuringQueries) {
   ASSERT_TRUE(system->RunQueries(log.test, 10, &agg).ok());  // detached ok
 
   std::filesystem::remove_all(dir);
+}
+
+// One thread drives a cache (probe / admit / publish) while another exports
+// the registry in a loop. The caches themselves are single-threaded by
+// contract, but their bound instruments are shared with exporter threads;
+// under -DEEB_SANITIZE=thread this test proves the counter and gauge paths
+// between cache publication and the exporters are race-free.
+TEST(ObsSystemTest, ExportWhileCacheDriverPublishesIsRaceFree) {
+  constexpr size_t kDim = 4;
+  MetricsRegistry metrics;
+  cache::ExactCache cache(kDim, /*capacity_bytes=*/16 * kDim * sizeof(Scalar),
+                          /*lru=*/true);
+  cache.BindMetrics(&metrics, "cache");
+
+  std::atomic<bool> stop{false};
+  std::thread exporter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::ostringstream prom;
+      std::ostringstream json;
+      ExportPrometheus(metrics, prom);
+      ExportJson(metrics, json);
+    }
+  });
+
+  const std::vector<Scalar> q(kDim, 0.5F);
+  for (int round = 0; round < 200; ++round) {
+    for (PointId id = 0; id < 32; ++id) {
+      double lb = 0.0;
+      double ub = 0.0;
+      if (!cache.Probe(q, id, &lb, &ub)) {
+        const std::vector<Scalar> exact(kDim, static_cast<Scalar>(id));
+        cache.Admit(id, exact);
+      }
+    }
+    cache.PublishMetrics();
+  }
+  stop.store(true);
+  exporter.join();
+
+  EXPECT_GT(metrics.GetCounter("cache.misses")->value(), 0U);
+  EXPECT_GT(metrics.GetCounter("cache.evictions")->value(), 0U);
 }
 
 }  // namespace

@@ -74,7 +74,7 @@ TEST(EnvTest, ShortReadIsIOError) {
   ASSERT_TRUE(env->NewRandomAccessFile(path, &r).ok());
   char buf[10];
   EXPECT_TRUE(r->Read(0, 10, buf).IsIOError());
-  env->DeleteFile(path).ok();
+  env->DeleteFile(path).IgnoreError();
 }
 
 // -------------------------------------------------------------- PointFile --
@@ -95,7 +95,7 @@ TEST(PointFileTest, RoundTripRawOrder) {
     auto expect = data.point(id);
     for (size_t j = 0; j < 16; ++j) EXPECT_EQ(buf[j], expect[j]);
   }
-  Env::Default()->DeleteFile(path).ok();
+  Env::Default()->DeleteFile(path).IgnoreError();
 }
 
 TEST(PointFileTest, RoundTripPermutedOrder) {
@@ -114,7 +114,7 @@ TEST(PointFileTest, RoundTripPermutedOrder) {
     auto expect = data.point(id);
     for (size_t j = 0; j < 8; ++j) EXPECT_EQ(buf[j], expect[j]);
   }
-  Env::Default()->DeleteFile(path).ok();
+  Env::Default()->DeleteFile(path).IgnoreError();
 }
 
 TEST(PointFileTest, PaddingSlotsSkipped) {
@@ -133,7 +133,7 @@ TEST(PointFileTest, PaddingSlotsSkipped) {
     ASSERT_TRUE(pf->ReadPoint(id, buf, nullptr, nullptr).ok());
     EXPECT_EQ(buf[0], data.point(id)[0]);
   }
-  Env::Default()->DeleteFile(path).ok();
+  Env::Default()->DeleteFile(path).IgnoreError();
 }
 
 TEST(PointFileTest, MultiPageRecords) {
@@ -151,7 +151,7 @@ TEST(PointFileTest, MultiPageRecords) {
   EXPECT_EQ(stats.point_reads, 1u);
   EXPECT_EQ(stats.page_reads, 2u);
   for (size_t j = 0; j < 2000; ++j) EXPECT_EQ(buf[j], data.point(3)[j]);
-  Env::Default()->DeleteFile(path).ok();
+  Env::Default()->DeleteFile(path).IgnoreError();
 }
 
 TEST(PointFileTest, PageTrackerDeduplicatesWithinQuery) {
@@ -178,7 +178,7 @@ TEST(PointFileTest, PageTrackerDeduplicatesWithinQuery) {
     ASSERT_TRUE(pf->ReadPoint(id, buf, &stats2, nullptr).ok());
   }
   EXPECT_EQ(stats2.page_reads, 64u);
-  Env::Default()->DeleteFile(path).ok();
+  Env::Default()->DeleteFile(path).IgnoreError();
 }
 
 TEST(PointFileTest, PageOfPointConsistentWithOrdering) {
@@ -191,7 +191,7 @@ TEST(PointFileTest, PageOfPointConsistentWithOrdering) {
   EXPECT_EQ(pf->PageOfPoint(63), 0u);
   EXPECT_EQ(pf->PageOfPoint(64), 1u);
   EXPECT_EQ(pf->PageOfPoint(255), 3u);
-  Env::Default()->DeleteFile(path).ok();
+  Env::Default()->DeleteFile(path).IgnoreError();
 }
 
 TEST(PointFileTest, RejectsCorruptMagic) {
@@ -204,7 +204,7 @@ TEST(PointFileTest, RejectsCorruptMagic) {
   ASSERT_TRUE(w->Close().ok());
   std::unique_ptr<PointFile> pf;
   EXPECT_TRUE(PointFile::Open(env, path, &pf).IsCorruption());
-  env->DeleteFile(path).ok();
+  env->DeleteFile(path).IgnoreError();
 }
 
 TEST(PointFileTest, DuplicateAndMissingIdsRejected) {
@@ -228,7 +228,7 @@ TEST(PointFileTest, OutOfRangeIdRejected) {
   EXPECT_TRUE(pf->ReadPoint(10, buf, nullptr, nullptr).IsInvalidArgument());
   std::vector<Scalar> small(2);
   EXPECT_TRUE(pf->ReadPoint(0, small, nullptr, nullptr).IsInvalidArgument());
-  Env::Default()->DeleteFile(path).ok();
+  Env::Default()->DeleteFile(path).IgnoreError();
 }
 
 // ---------------------------------------------------------- file ordering --

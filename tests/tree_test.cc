@@ -95,7 +95,7 @@ TEST(LeafStoreTest, FetchReturnsMembers) {
   EXPECT_EQ(*seen.begin(), 30u);
   // 10 points * 32 bytes fit one page; leaf is page-aligned.
   EXPECT_EQ(stats.page_reads, 1u);
-  storage::Env::Default()->DeleteFile(path).ok();
+  storage::Env::Default()->DeleteFile(path).IgnoreError();
 }
 
 TEST(LeafStoreTest, LeavesArePageDisjoint) {
@@ -117,7 +117,7 @@ TEST(LeafStoreTest, LeavesArePageDisjoint) {
   ASSERT_TRUE(store->FetchLeaf(0, noop, &stats, &tracker).ok());
   ASSERT_TRUE(store->FetchLeaf(1, noop, &stats, &tracker).ok());
   EXPECT_EQ(stats.page_reads, 2u) << "leaves must not share pages";
-  storage::Env::Default()->DeleteFile(path).ok();
+  storage::Env::Default()->DeleteFile(path).IgnoreError();
 }
 
 // -------------------------------------------------------------- iDistance --
@@ -134,7 +134,7 @@ class IDistanceTest : public ::testing::Test {
             .ok());
   }
   void TearDown() override {
-    storage::Env::Default()->DeleteFile(path_).ok();
+    storage::Env::Default()->DeleteFile(path_).IgnoreError();
   }
 
   Dataset data_;
@@ -227,7 +227,7 @@ class VpTreeTest : public ::testing::Test {
                     .ok());
   }
   void TearDown() override {
-    storage::Env::Default()->DeleteFile(path_).ok();
+    storage::Env::Default()->DeleteFile(path_).IgnoreError();
   }
 
   Dataset data_;
@@ -322,7 +322,7 @@ TEST(TreeSearchTest, RejectsWrongBoundsSize) {
   TreeSearchResult res;
   EXPECT_TRUE(
       TreeKnnSearch(*store, lb, q, 5, nullptr, &res).IsInvalidArgument());
-  storage::Env::Default()->DeleteFile(path).ok();
+  storage::Env::Default()->DeleteFile(path).IgnoreError();
 }
 
 }  // namespace

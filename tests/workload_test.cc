@@ -222,7 +222,7 @@ TEST(WorkloadAnalysisTest, TreeWorkloadCountsLeaves) {
   // Hottest leaf first.
   EXPECT_GE(stats.leaf_freq[stats.leaves_by_freq[0]],
             stats.leaf_freq[stats.leaves_by_freq.back()]);
-  storage::Env::Default()->DeleteFile(path).ok();
+  storage::Env::Default()->DeleteFile(path).IgnoreError();
 }
 
 }  // namespace

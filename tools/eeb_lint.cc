@@ -1,0 +1,99 @@
+// eeb_lint: walks the source tree and enforces the project invariants
+// documented in docs/STATIC_ANALYSIS.md. Exit 0 = clean, 1 = findings,
+// 2 = usage or I/O error. CI and the `lint` CMake target run exactly this
+// binary, so local runs and the gate can never disagree.
+//
+//   eeb_lint [-root=DIR] [-format=text|json] [paths...]
+//
+// Default paths: src tools bench tests examples (relative to -root, which
+// defaults to the current directory).
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint_core.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool HasSourceExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h" || ext == ".cpp" || ext == ".hpp";
+}
+
+int Usage() {
+  std::cerr << "usage: eeb_lint [-root=DIR] [-format=text|json] [paths...]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string format = "text";
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("-root=", 0) == 0) {
+      root = arg.substr(6);
+    } else if (arg.rfind("-format=", 0) == 0) {
+      format = arg.substr(8);
+      if (format != "text" && format != "json") return Usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) paths = {"src", "tools", "bench", "tests", "examples"};
+
+  std::vector<eeb::lint::Finding> findings;
+  size_t files_checked = 0;
+  for (const std::string& p : paths) {
+    const fs::path base = fs::path(root) / p;
+    if (!fs::exists(base)) {
+      std::cerr << "eeb_lint: no such path: " << base.string() << "\n";
+      return 2;
+    }
+    std::vector<fs::path> files;
+    if (fs::is_directory(base)) {
+      for (const auto& entry : fs::recursive_directory_iterator(base)) {
+        if (entry.is_regular_file() && HasSourceExtension(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else {
+      files.push_back(base);
+    }
+    std::sort(files.begin(), files.end());
+    for (const fs::path& file : files) {
+      std::ifstream in(file, std::ios::binary);
+      if (!in) {
+        std::cerr << "eeb_lint: cannot read " << file.string() << "\n";
+        return 2;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      // Rule scoping keys off the repo-relative path with forward slashes.
+      const std::string rel =
+          fs::relative(file, root).generic_string();
+      eeb::lint::CheckSource(rel, buf.str(), &findings);
+      ++files_checked;
+    }
+  }
+
+  if (format == "json") {
+    std::cout << eeb::lint::FormatJson(findings);
+  } else {
+    std::cout << eeb::lint::FormatText(findings);
+    std::cerr << "eeb_lint: " << files_checked << " files, "
+              << findings.size() << " finding(s)\n";
+  }
+  return findings.empty() ? 0 : 1;
+}

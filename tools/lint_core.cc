@@ -1,0 +1,393 @@
+#include "lint_core.h"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace eeb::lint {
+namespace {
+
+// ------------------------------------------------------------ preprocessing
+
+/// One source line split into executable code and its comment text.
+struct Line {
+  std::string code;     ///< comments and string/char literals blanked out
+  std::string comment;  ///< text of // and /* */ comments on this line
+};
+
+/// Strips comments and literals while preserving the line structure, so rule
+/// patterns never fire inside strings ("delete from table") or comments, and
+/// suppression directives are read from comment text only.
+std::vector<Line> Preprocess(const std::string& content) {
+  std::vector<Line> lines(1);
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      // Unterminated string literals do not cross lines in valid code.
+      if (state == State::kString || state == State::kChar) {
+        state = State::kCode;
+      }
+      lines.emplace_back();
+      continue;
+    }
+    Line& line = lines.back();
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+          line.code += '"';
+        } else if (c == '\'') {
+          state = State::kChar;
+          line.code += '\'';
+        } else {
+          line.code += c;
+        }
+        break;
+      case State::kLineComment:
+        line.comment += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        } else {
+          line.comment += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          line.code += '"';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          line.code += '\'';
+        }
+        break;
+    }
+  }
+  return lines;
+}
+
+// ------------------------------------------------------------- suppressions
+
+struct Suppressions {
+  std::vector<std::set<std::string>> per_line;  ///< allow(...) by line index
+  std::set<std::string> file_wide;              ///< allow-file(...)
+};
+
+void ParseRuleList(const std::string& list, std::set<std::string>* out) {
+  std::string item;
+  std::istringstream in(list);
+  while (std::getline(in, item, ',')) {
+    item.erase(std::remove_if(item.begin(), item.end(),
+                              [](unsigned char c) { return std::isspace(c); }),
+               item.end());
+    if (!item.empty()) out->insert(item);
+  }
+}
+
+Suppressions CollectSuppressions(const std::vector<Line>& lines) {
+  static const std::regex kAllow(R"(eeb-lint:\s*allow\(([^)]*)\))");
+  static const std::regex kAllowFile(R"(eeb-lint:\s*allow-file\(([^)]*)\))");
+  Suppressions sup;
+  sup.per_line.resize(lines.size());
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(lines[i].comment, m, kAllow)) {
+      ParseRuleList(m[1].str(), &sup.per_line[i]);
+    }
+    if (std::regex_search(lines[i].comment, m, kAllowFile)) {
+      ParseRuleList(m[1].str(), &sup.file_wide);
+    }
+  }
+  return sup;
+}
+
+bool Suppressed(const Suppressions& sup, size_t line_index,
+                const std::string& rule) {
+  auto allows = [&](const std::set<std::string>& s) {
+    return s.count(rule) > 0 || s.count("all") > 0;
+  };
+  if (allows(sup.file_wide)) return true;
+  if (allows(sup.per_line[line_index])) return true;
+  // A directive on the line directly above covers this line.
+  if (line_index > 0 && allows(sup.per_line[line_index - 1])) return true;
+  return false;
+}
+
+// ------------------------------------------------------------------ scoping
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// Library code: the invariants about I/O, determinism, output channels, and
+/// ownership bind here. Tools, benches, tests, and examples are entry points
+/// that may print, parse ad-hoc files, and use their own randomness.
+bool IsLibraryCode(const std::string& path) { return StartsWith(path, "src/"); }
+
+bool IsHeader(const std::string& path) {
+  return path.size() > 2 && (path.substr(path.size() - 2) == ".h" ||
+                             (path.size() > 4 &&
+                              path.substr(path.size() - 4) == ".hpp"));
+}
+
+// -------------------------------------------------------------------- rules
+
+void AddFinding(std::vector<Finding>* findings, const Suppressions& sup,
+                const std::string& path, size_t line_index,
+                const std::string& rule, const std::string& message) {
+  if (Suppressed(sup, line_index, rule)) return;
+  findings->push_back(
+      {path, static_cast<int>(line_index) + 1, rule, message});
+}
+
+/// dropped-status: a call to a method known to return eeb::Status used as a
+/// bare statement. The statement is the flagged line joined with up to four
+/// continuation lines (until ';'), and is exonerated by anything that
+/// consumes the result: assignment, return, a macro wrapper, .ok(),
+/// IgnoreError(), or a test assertion.
+void CheckDroppedStatus(const std::string& path,
+                        const std::vector<Line>& lines,
+                        const Suppressions& sup,
+                        std::vector<Finding>* findings) {
+  // Methods whose name unambiguously means "returns Status" in this tree.
+  // (Append and WriteJsonl are deliberately absent: Dataset::Append returns
+  // a PointId and Tracer::WriteJsonl has a void ostream overload, either of
+  // which would drown the rule in false positives — the [[nodiscard]]
+  // attribute is the authoritative enforcement; this rule is the redundant
+  // net for code not compiled in the current configuration.)
+  static const std::regex kCall(
+      R"(^\s*[A-Za-z_][\w:\.\[\]\(\)\->]*(->|\.))"
+      R"((Close|Flush|Sync|DeleteFile)\s*\()");
+  static const std::regex kFreeCall(
+      R"(^\s*(::)?(\w+::)*(WriteStringToFile|CleanupIfError)\s*\()");
+  static const std::regex kConsumed(
+      R"(=|\breturn\b|\.ok\s*\(|IgnoreError|RETURN_IF_ERROR|RecordIfError)"
+      R"(|EXPECT_|ASSERT_|\bif\b|\bwhile\b)");
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+    if (!std::regex_search(code, kCall) &&
+        !std::regex_search(code, kFreeCall)) {
+      continue;
+    }
+    std::string stmt = code;
+    for (size_t j = i + 1;
+         j < lines.size() && j < i + 5 && stmt.find(';') == std::string::npos;
+         ++j) {
+      stmt += ' ';
+      stmt += lines[j].code;
+    }
+    if (std::regex_search(stmt, kConsumed)) continue;
+    AddFinding(findings, sup, path, i, "dropped-status",
+               "result of a Status-returning call is silently dropped; "
+               "propagate it, test .ok(), or acknowledge with IgnoreError()");
+  }
+}
+
+/// env-io: raw file opens in library code. All disk access goes through
+/// storage::Env so that I/O accounting has a single choke point; the POSIX
+/// Env implementation itself is the allowlisted bottom of that stack.
+void CheckEnvIo(const std::string& path, const std::vector<Line>& lines,
+                const Suppressions& sup, std::vector<Finding>* findings) {
+  if (!IsLibraryCode(path)) return;
+  if (path == "src/storage/env.cc") return;  // the Env implementation
+  static const std::regex kOpen(
+      R"(\b(fopen|freopen|fdopen|creat|mkstemp)\s*\()"
+      R"(|::open\s*\(|\.open\s*\()"
+      R"(|\bstd::(i|o)?fstream\b)");
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (std::regex_search(lines[i].code, kOpen)) {
+      AddFinding(findings, sup, path, i, "env-io",
+                 "raw file open bypasses storage::Env; route disk access "
+                 "through Env so I/O stays accountable");
+    }
+  }
+}
+
+/// determinism: ad-hoc randomness in library code. Benchmark tables must
+/// reproduce bit-for-bit, so every randomized component takes a seed and
+/// draws from common/random.h's Rng.
+void CheckDeterminism(const std::string& path, const std::vector<Line>& lines,
+                      const Suppressions& sup,
+                      std::vector<Finding>* findings) {
+  if (!IsLibraryCode(path)) return;
+  if (path == "src/common/random.h") return;  // the sanctioned generator
+  static const std::regex kRandom(
+      R"(\brand\s*\(\s*\)|\bsrand\s*\(|\brandom_device\b|\bmt19937\b)"
+      R"(|\bdrand48\b|\btime\s*\(\s*(NULL|nullptr|0)\s*\))");
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (std::regex_search(lines[i].code, kRandom)) {
+      AddFinding(findings, sup, path, i, "determinism",
+                 "non-seeded/platform-dependent randomness in library code; "
+                 "use eeb::Rng from common/random.h with an explicit seed");
+    }
+  }
+}
+
+/// iostream: direct terminal output in library code. Reporting belongs to
+/// src/obs/ instruments and injectable std::ostream sinks; a library that
+/// prints cannot be embedded.
+void CheckIostream(const std::string& path, const std::vector<Line>& lines,
+                   const Suppressions& sup, std::vector<Finding>* findings) {
+  if (!IsLibraryCode(path)) return;
+  static const std::regex kOutput(
+      R"(\bstd::(cout|cerr|clog)\b|#\s*include\s*<iostream>)"
+      R"(|\b(printf|fprintf|puts|fputs)\s*\()");
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+    // #include lives in code text; re-add it for the include pattern.
+    if (std::regex_search(code, kOutput)) {
+      AddFinding(findings, sup, path, i, "iostream",
+                 "terminal output in library code; record through src/obs/ "
+                 "instruments or write to an injectable std::ostream sink");
+    }
+  }
+}
+
+/// naked-new: manual memory management outside the factory idiom. A `new`
+/// immediately owned by a smart pointer on the same statement line
+/// (unique_ptr<T> p(new T), out->reset(new T)) is the project's sanctioned
+/// form for private-constructor factories; anything else leaks on the error
+/// path. `delete` has no sanctioned form ( `= delete` declarations aside).
+void CheckNakedNew(const std::string& path, const std::vector<Line>& lines,
+                   const Suppressions& sup, std::vector<Finding>* findings) {
+  if (!IsLibraryCode(path)) return;
+  static const std::regex kNew(R"(\bnew\b)");
+  static const std::regex kOwned(
+      R"(unique_ptr|shared_ptr|make_unique|make_shared|\breset\s*\()");
+  static const std::regex kDelete(R"(\bdelete\b(\s*\[\s*\])?)");
+  static const std::regex kDeletedFn(R"(=\s*delete\b)");
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+    // A wrapped statement puts the owning unique_ptr/reset( on the line
+    // above the `new`; accept ownership on either line.
+    const bool owned =
+        std::regex_search(code, kOwned) ||
+        (i > 0 && std::regex_search(lines[i - 1].code, kOwned));
+    if (std::regex_search(code, kNew) && !owned) {
+      AddFinding(findings, sup, path, i, "naked-new",
+                 "`new` outside the smart-pointer factory idiom; wrap the "
+                 "allocation in unique_ptr on the same statement");
+    }
+    if (std::regex_search(code, kDelete) &&
+        !std::regex_search(code, kDeletedFn)) {
+      AddFinding(findings, sup, path, i, "naked-new",
+                 "manual `delete`; ownership belongs to smart pointers");
+    }
+  }
+}
+
+/// header-hygiene: every header needs an include guard (or #pragma once),
+/// and `using namespace` in a header leaks into every includer.
+void CheckHeaderHygiene(const std::string& path,
+                        const std::vector<Line>& lines,
+                        const Suppressions& sup,
+                        std::vector<Finding>* findings) {
+  if (!IsHeader(path)) return;
+  static const std::regex kGuard(R"(#\s*(pragma\s+once|ifndef)\b)");
+  static const std::regex kUsingNamespace(R"(\busing\s+namespace\b)");
+  bool has_guard = false;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (std::regex_search(lines[i].code, kGuard)) has_guard = true;
+    if (std::regex_search(lines[i].code, kUsingNamespace)) {
+      AddFinding(findings, sup, path, i, "header-hygiene",
+                 "`using namespace` in a header leaks into every includer");
+    }
+  }
+  if (!has_guard && !lines.empty()) {
+    AddFinding(findings, sup, path, 0, "header-hygiene",
+               "header has neither an include guard nor #pragma once");
+  }
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& RuleNames() {
+  static const std::vector<std::string> kRules = {
+      "dropped-status", "env-io",    "determinism",
+      "iostream",       "naked-new", "header-hygiene"};
+  return kRules;
+}
+
+void CheckSource(const std::string& path, const std::string& content,
+                 std::vector<Finding>* findings) {
+  const std::vector<Line> lines = Preprocess(content);
+  const Suppressions sup = CollectSuppressions(lines);
+  const size_t first = findings->size();
+  CheckDroppedStatus(path, lines, sup, findings);
+  CheckEnvIo(path, lines, sup, findings);
+  CheckDeterminism(path, lines, sup, findings);
+  CheckIostream(path, lines, sup, findings);
+  CheckNakedNew(path, lines, sup, findings);
+  CheckHeaderHygiene(path, lines, sup, findings);
+  std::sort(findings->begin() + first, findings->end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+}
+
+std::string FormatText(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& f : findings) {
+    out += f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
+           f.message + "\n";
+  }
+  return out;
+}
+
+std::string FormatJson(const std::vector<Finding>& findings) {
+  std::string out = "[";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i > 0) out += ",";
+    out += "\n  {\"file\":\"" + JsonEscape(f.file) +
+           "\",\"line\":" + std::to_string(f.line) + ",\"rule\":\"" +
+           JsonEscape(f.rule) + "\",\"message\":\"" + JsonEscape(f.message) +
+           "\"}";
+  }
+  out += findings.empty() ? "]\n" : "\n]\n";
+  return out;
+}
+
+}  // namespace eeb::lint

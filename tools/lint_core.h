@@ -1,0 +1,56 @@
+// eeb_lint core: a token/regex-based invariant checker for the EEB tree.
+// No libclang dependency — rules are curated patterns over comment- and
+// string-stripped source, which is exactly the right power level for the
+// project invariants they enforce:
+//
+//   dropped-status   a known Status-returning call used as a bare statement
+//                    (redundant with [[nodiscard]] Status, but catches code
+//                    that is not compiled on this configuration)
+//   env-io           raw file opens (fopen / ::open / fstream) in library
+//                    code bypassing the storage::Env choke point
+//   determinism      std::rand / random_device / mt19937 / time-seeds in
+//                    library code instead of common/random.h's seeded Rng
+//   iostream         std::cout / std::cerr / printf-family output in
+//                    library code (reporting belongs to src/obs/)
+//   naked-new        new/delete outside the unique_ptr factory idiom
+//   header-hygiene   headers without an include guard or with
+//                    `using namespace` at header scope
+//
+// Suppressions: `// eeb-lint: allow(<rule>)` on the offending line or the
+// line directly above silences one finding; `// eeb-lint: allow-file(<rule>)`
+// anywhere silences the rule for the whole file. Both take a comma-separated
+// rule list or `all`.
+
+#ifndef EEB_TOOLS_LINT_CORE_H_
+#define EEB_TOOLS_LINT_CORE_H_
+
+#include <string>
+#include <vector>
+
+namespace eeb::lint {
+
+struct Finding {
+  std::string file;     ///< repo-relative path, forward slashes
+  int line = 0;         ///< 1-based
+  std::string rule;     ///< rule identifier, e.g. "env-io"
+  std::string message;  ///< human-readable explanation
+};
+
+/// All rule identifiers, in report order.
+const std::vector<std::string>& RuleNames();
+
+/// Checks one file's `content`. `path` must be repo-relative with forward
+/// slashes — rule scoping (library vs. tool code, allowlisted files) keys
+/// off it. Appends findings in line order.
+void CheckSource(const std::string& path, const std::string& content,
+                 std::vector<Finding>* findings);
+
+/// Renders findings as "<file>:<line>: [<rule>] <message>" lines.
+std::string FormatText(const std::vector<Finding>& findings);
+
+/// Renders findings as a JSON array of {file, line, rule, message}.
+std::string FormatJson(const std::vector<Finding>& findings);
+
+}  // namespace eeb::lint
+
+#endif  // EEB_TOOLS_LINT_CORE_H_
