@@ -13,9 +13,17 @@ namespace eeb::bench {
 namespace {
 
 // Metrics JSONL sink shared by every RunCell of the binary; opened by
-// Banner. Left open for the process lifetime (flushed per line).
+// Banner, re-opened (closing the previous sink) when a binary runs several
+// banners, and flushed+closed at process exit.
 FILE* g_metrics_file = nullptr;
 std::string g_bench_id;
+
+void CloseMetricsSink() {
+  if (g_metrics_file == nullptr) return;
+  std::fflush(g_metrics_file);
+  std::fclose(g_metrics_file);
+  g_metrics_file = nullptr;
+}
 
 std::string SanitizeId(const std::string& id) {
   std::string out;
@@ -85,6 +93,10 @@ void Banner(const std::string& id, const std::string& what) {
   std::printf("SHAPES (ordering, ratios, crossovers), not absolute times.\n");
   std::printf("==========================================================\n");
 
+  // A second Banner (multi-experiment binary) retargets the sink: close the
+  // previous file first so its lines are durable and the handle is not
+  // leaked.
+  if (g_metrics_file != nullptr && id != g_bench_id) CloseMetricsSink();
   if (g_metrics_file == nullptr) {
     g_bench_id = id;
     const char* env_path = std::getenv("EEB_METRICS_OUT");
@@ -97,6 +109,8 @@ void Banner(const std::string& id, const std::string& what) {
                    path.c_str());
     } else {
       std::fprintf(stderr, "[bench] metrics JSONL -> %s\n", path.c_str());
+      static const bool registered = std::atexit(CloseMetricsSink) == 0;
+      (void)registered;
     }
   }
 }

@@ -21,6 +21,7 @@
 #include "hist/builders.h"
 #include "index/lsh/c2lsh.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "storage/file_ordering.h"
 #include "storage/point_file.h"
 
@@ -215,11 +216,13 @@ BENCHMARK(BM_CacheProbe)->Arg(0)->Arg(1);
 
 // Arg(0): uninstrumented seed path; Arg(1): full metrics binding (engine +
 // cache + LSH + point file; tracer stays off, matching production metrics
-// collection). The acceptance criterion compares whole-query CPU, where the
-// once-per-query instrument updates are amortized over hundreds of
-// per-candidate operations.
+// collection); Arg(2): metrics plus the hierarchical phase profiler, the
+// configuration eeb_bench runs with. The acceptance criterion compares
+// whole-query CPU, where the once-per-query instrument updates are
+// amortized over hundreds of per-candidate operations.
 void BM_EngineQuery(benchmark::State& state) {
   const bool instrumented = state.range(0) != 0;
+  const bool profiled = state.range(0) >= 2;
   const size_t d = 32;
   const size_t n = 2000;
   Rng rng(10);
@@ -258,11 +261,16 @@ void BM_EngineQuery(benchmark::State& state) {
   }
   core::KnnEngine engine(lsh.get(), points.get(), &cache);
   obs::MetricsRegistry reg;
+  obs::Profiler prof;
   if (instrumented) {
     engine.BindMetrics(&reg);
     cache.BindMetrics(&reg);
     lsh->BindMetrics(&reg);
     points->BindMetrics(&reg);
+  }
+  if (profiled) {
+    engine.set_profiler(&prof);
+    points->BindProfiler(&prof);
   }
 
   std::vector<std::vector<Scalar>> queries;
@@ -280,7 +288,7 @@ void BM_EngineQuery(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
   std::filesystem::remove_all(dir);
 }
-BENCHMARK(BM_EngineQuery)->Arg(0)->Arg(1)
+BENCHMARK(BM_EngineQuery)->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMicrosecond);
 
 void BM_BuildVOptimal(benchmark::State& state) {

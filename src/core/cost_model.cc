@@ -117,6 +117,23 @@ CostEstimate EstimateExact(const CostModelInputs& in) {
   return est;
 }
 
+ModelValidation ValidateEstimate(const CostEstimate& predicted,
+                                 double observed_hit, double observed_prune,
+                                 double observed_crefine) {
+  ModelValidation v;
+  v.predicted_hit = predicted.hit_ratio;
+  v.observed_hit = observed_hit;
+  v.predicted_prune = predicted.prune_ratio;
+  v.observed_prune = observed_prune;
+  v.predicted_crefine = predicted.expected_crefine;
+  v.observed_crefine = observed_crefine;
+  v.hit_error = std::abs(predicted.hit_ratio - observed_hit);
+  v.prune_error = std::abs(predicted.prune_ratio - observed_prune);
+  v.crefine_rel_error = std::abs(predicted.expected_crefine - observed_crefine) /
+                        std::max(observed_crefine, 1.0);
+  return v;
+}
+
 uint32_t OptimalTauEquiWidth(const CostModelInputs& in) {
   uint32_t best_tau = 1;
   double best = std::numeric_limits<double>::infinity();

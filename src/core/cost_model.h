@@ -76,6 +76,29 @@ CostEstimate EstimateForHistogram(const CostModelInputs& in,
 /// Estimate for the EXACT cache (tau = Lvalue, every hit resolved exactly).
 CostEstimate EstimateExact(const CostModelInputs& in);
 
+/// Predicted-vs-observed comparison for one configured cache over one
+/// measured batch (Sec. 5's implicit model-accuracy check, made explicit so
+/// bench artifacts can gate on it).
+struct ModelValidation {
+  double predicted_hit = 0.0;
+  double observed_hit = 0.0;
+  double predicted_prune = 0.0;
+  double observed_prune = 0.0;
+  double predicted_crefine = 0.0;
+  double observed_crefine = 0.0;
+  double hit_error = 0.0;    ///< |predicted - observed| (ratios, absolute)
+  double prune_error = 0.0;  ///< |predicted - observed| (ratios, absolute)
+  /// |predicted - observed| / max(observed, 1): relative, guarded so tiny
+  /// observed Crefine does not explode the ratio.
+  double crefine_rel_error = 0.0;
+};
+
+/// Compares a cost-model estimate against ratios measured by the engine
+/// (AggregateResult::hit_ratio / prune_ratio / avg_remaining).
+ModelValidation ValidateEstimate(const CostEstimate& predicted,
+                                 double observed_hit, double observed_prune,
+                                 double observed_crefine);
+
 /// Optimal code length for the equi-width histogram: iterates tau in
 /// [1, Lvalue] and returns the minimizer of expected_crefine (Sec. 4.2.2).
 uint32_t OptimalTauEquiWidth(const CostModelInputs& in);

@@ -25,21 +25,20 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
                         QueryResult* out) {
   *out = QueryResult{};
   if (k == 0) return Status::InvalidArgument("k must be positive");
+  obs::ProfScope query_scope(prof_, "query");
   Timer timer;
   obs::QuerySpan* span = tracer_ != nullptr ? tracer_->StartSpan(k) : nullptr;
 
   // ---- Phase 1: candidate generation -----------------------------------
   std::vector<PointId> cand;
-  EEB_RETURN_IF_ERROR(index_->Candidates(q, k, &cand, &out->gen_io));
+  {
+    obs::ProfScope gen_scope(prof_, "gen");
+    EEB_RETURN_IF_ERROR(index_->Candidates(q, k, &cand, &out->gen_io));
+  }
   out->candidates = cand.size();
   out->gen_seconds = timer.ElapsedSeconds();
 
-  // ---- Phase 2: candidate reduction (no I/O) ----------------------------
-  timer.Start();
-  const double inf = std::numeric_limits<double>::infinity();
-  std::vector<double> lbs(cand.size(), 0.0);
-  std::vector<double> ubs(cand.size(), inf);
-  std::vector<bool> resolved(cand.size(), false);
+  // State shared by reduction and refinement.
   storage::PageTracker tracker;
   std::vector<Scalar> buf(points_->dim());
   // First-touch page events: each ReadPoint may pull in pages the tracker
@@ -55,44 +54,6 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
       seen_pages = now;
     }
   };
-  if (cache_ != nullptr) {
-    for (size_t i = 0; i < cand.size(); ++i) {
-      double lb, ub;
-      if (cache_->Probe(q, cand[i], &lb, &ub)) {
-        lbs[i] = lb;
-        ubs[i] = ub;
-        out->cache_hits++;
-        if (span != nullptr) {
-          tracer_->AddEvent(span, obs::TraceEventType::kCacheHit, cand[i], lb);
-        }
-      } else {
-        if (span != nullptr) {
-          tracer_->AddEvent(span, obs::TraceEventType::kCacheMiss, cand[i],
-                            0.0);
-        }
-        if (options_.eager_miss_fetch) {
-          // Footnote 6: resolve misses now so lbk/ubk are tight.
-          EEB_RETURN_IF_ERROR(
-              points_->ReadPoint(cand[i], buf, &out->refine_io, &tracker));
-          out->fetched++;
-          const double d = L2(q, buf);
-          lbs[i] = d;
-          ubs[i] = d;
-          resolved[i] = true;
-          cache_->Admit(cand[i], buf);
-          if (span != nullptr) {
-            tracer_->AddEvent(span, obs::TraceEventType::kEagerFetch, cand[i],
-                              d);
-          }
-          note_pages(cand[i]);
-        }
-      }
-    }
-  }
-
-  const double lbk = KthMin(lbs, k);
-  const double ubk = KthMin(ubs, k);
-
   std::vector<PointId> sure;  // R: true results detected without fetching
   struct Pending {
     double lb;
@@ -100,23 +61,73 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
     bool resolved;  // exact distance already known (eager miss fetch)
   };
   std::vector<Pending> remaining;
-  remaining.reserve(cand.size());
-  for (size_t i = 0; i < cand.size(); ++i) {
-    if (lbs[i] > ubk) {
-      out->pruned++;  // early pruning (Line 10-11)
-      if (span != nullptr) {
-        tracer_->AddEvent(span, obs::TraceEventType::kEarlyPrune, cand[i],
-                          lbs[i]);
+
+  // ---- Phase 2: candidate reduction (no I/O) ----------------------------
+  timer.Start();
+  {
+    obs::ProfScope reduce_scope(prof_, "reduce");
+    const double inf = std::numeric_limits<double>::infinity();
+    std::vector<double> lbs(cand.size(), 0.0);
+    std::vector<double> ubs(cand.size(), inf);
+    std::vector<bool> resolved(cand.size(), false);
+    if (cache_ != nullptr) {
+      obs::ProfScope probes_scope(prof_, "cache_probes");
+      for (size_t i = 0; i < cand.size(); ++i) {
+        double lb, ub;
+        if (cache_->Probe(q, cand[i], &lb, &ub)) {
+          lbs[i] = lb;
+          ubs[i] = ub;
+          out->cache_hits++;
+          if (span != nullptr) {
+            tracer_->AddEvent(span, obs::TraceEventType::kCacheHit, cand[i],
+                              lb);
+          }
+        } else {
+          if (span != nullptr) {
+            tracer_->AddEvent(span, obs::TraceEventType::kCacheMiss, cand[i],
+                              0.0);
+          }
+          if (options_.eager_miss_fetch) {
+            // Footnote 6: resolve misses now so lbk/ubk are tight.
+            EEB_RETURN_IF_ERROR(
+                points_->ReadPoint(cand[i], buf, &out->refine_io, &tracker));
+            out->fetched++;
+            const double d = L2(q, buf);
+            lbs[i] = d;
+            ubs[i] = d;
+            resolved[i] = true;
+            cache_->Admit(cand[i], buf);
+            if (span != nullptr) {
+              tracer_->AddEvent(span, obs::TraceEventType::kEagerFetch,
+                                cand[i], d);
+            }
+            note_pages(cand[i]);
+          }
+        }
       }
-    } else if (options_.true_result_detection && ubs[i] < lbk) {
-      sure.push_back(cand[i]);  // true result detection (Line 12-13)
-      out->true_hits++;
-      if (span != nullptr) {
-        tracer_->AddEvent(span, obs::TraceEventType::kTrueResult, cand[i],
-                          ubs[i]);
+    }
+
+    const double lbk = KthMin(lbs, k);
+    const double ubk = KthMin(ubs, k);
+
+    remaining.reserve(cand.size());
+    for (size_t i = 0; i < cand.size(); ++i) {
+      if (lbs[i] > ubk) {
+        out->pruned++;  // early pruning (Line 10-11)
+        if (span != nullptr) {
+          tracer_->AddEvent(span, obs::TraceEventType::kEarlyPrune, cand[i],
+                            lbs[i]);
+        }
+      } else if (options_.true_result_detection && ubs[i] < lbk) {
+        sure.push_back(cand[i]);  // true result detection (Line 12-13)
+        out->true_hits++;
+        if (span != nullptr) {
+          tracer_->AddEvent(span, obs::TraceEventType::kTrueResult, cand[i],
+                            ubs[i]);
+        }
+      } else {
+        remaining.push_back({lbs[i], cand[i], resolved[i]});
       }
-    } else {
-      remaining.push_back({lbs[i], cand[i], resolved[i]});
     }
   }
   out->remaining = remaining.size();
@@ -124,42 +135,45 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
 
   // ---- Phase 3: multi-step refinement ------------------------------------
   timer.Start();
-  out->result_ids = std::move(sure);
-  if (out->result_ids.size() < k) {
-    const size_t kprime = k - out->result_ids.size();
-    if (remaining.size() <= kprime) {
-      // Everything left is a result; no fetch can change the id set.
-      for (const Pending& p : remaining) out->result_ids.push_back(p.id);
-    } else {
-      std::sort(remaining.begin(), remaining.end(),
-                [](const Pending& a, const Pending& b) {
-                  if (a.lb != b.lb) return a.lb < b.lb;
-                  return a.id < b.id;
-                });
-      TopK top(kprime);
-      for (const Pending& p : remaining) {
-        if (top.Full() && p.lb > top.Threshold()) break;  // optimal stop
-        if (p.resolved) {
-          top.Push(p.id, p.lb);  // lb == exact distance; no I/O needed
-          continue;
+  {
+    obs::ProfScope refine_scope(prof_, "refine");
+    out->result_ids = std::move(sure);
+    if (out->result_ids.size() < k) {
+      const size_t kprime = k - out->result_ids.size();
+      if (remaining.size() <= kprime) {
+        // Everything left is a result; no fetch can change the id set.
+        for (const Pending& p : remaining) out->result_ids.push_back(p.id);
+      } else {
+        std::sort(remaining.begin(), remaining.end(),
+                  [](const Pending& a, const Pending& b) {
+                    if (a.lb != b.lb) return a.lb < b.lb;
+                    return a.id < b.id;
+                  });
+        TopK top(kprime);
+        for (const Pending& p : remaining) {
+          if (top.Full() && p.lb > top.Threshold()) break;  // optimal stop
+          if (p.resolved) {
+            top.Push(p.id, p.lb);  // lb == exact distance; no I/O needed
+            continue;
+          }
+          EEB_RETURN_IF_ERROR(
+              points_->ReadPoint(p.id, buf, &out->refine_io, &tracker));
+          out->fetched++;
+          const double d = L2(q, buf);
+          top.Push(p.id, d);
+          if (cache_ != nullptr) cache_->Admit(p.id, buf);
+          if (span != nullptr) {
+            tracer_->AddEvent(span, obs::TraceEventType::kFetch, p.id, d);
+          }
+          note_pages(p.id);
         }
-        EEB_RETURN_IF_ERROR(
-            points_->ReadPoint(p.id, buf, &out->refine_io, &tracker));
-        out->fetched++;
-        const double d = L2(q, buf);
-        top.Push(p.id, d);
-        if (cache_ != nullptr) cache_->Admit(p.id, buf);
-        if (span != nullptr) {
-          tracer_->AddEvent(span, obs::TraceEventType::kFetch, p.id, d);
+        for (const Neighbor& nb : top.TakeSorted()) {
+          out->result_ids.push_back(nb.id);
         }
-        note_pages(p.id);
-      }
-      for (const Neighbor& nb : top.TakeSorted()) {
-        out->result_ids.push_back(nb.id);
       }
     }
+    std::sort(out->result_ids.begin(), out->result_ids.end());
   }
-  std::sort(out->result_ids.begin(), out->result_ids.end());
   out->refine_seconds = timer.ElapsedSeconds();
 
   if (span != nullptr) {

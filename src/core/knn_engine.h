@@ -20,6 +20,7 @@
 #include "cache/knn_cache.h"
 #include "index/candidate_index.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "storage/io_stats.h"
 #include "storage/point_file.h"
@@ -84,12 +85,18 @@ class KnnEngine {
   /// reduction/refinement events. nullptr (default) disables tracing.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Attaches a phase profiler; every subsequent Query() records a "query"
+  /// scope with "gen" / "reduce" (and its "cache_probes") / "refine"
+  /// children. nullptr (default) disables profiling.
+  void set_profiler(obs::Profiler* profiler) { prof_ = profiler; }
+
  private:
   index::CandidateIndex* index_;
   const storage::PointFile* points_;
   cache::KnnCache* cache_;
   EngineOptions options_;
   obs::Tracer* tracer_ = nullptr;
+  obs::Profiler* prof_ = nullptr;
 
   // Bound instruments (nullptr when observability is off).
   struct Instruments {

@@ -109,6 +109,35 @@ void System::SetTracer(obs::Tracer* tracer) {
   engine_->set_tracer(tracer);
 }
 
+void System::SetProfiler(obs::Profiler* profiler) {
+  profiler_ = profiler;
+  engine_->set_profiler(profiler);
+  points_->BindProfiler(profiler);
+}
+
+Status System::EstimateCurrentCache(size_t k, CostEstimate* out) const {
+  const CostModelInputs in = MakeCostInputs(last_cache_bytes_, k);
+  switch (last_method_) {
+    case CacheMethod::kExact:
+      *out = EstimateExact(in);
+      return Status::OK();
+    case CacheMethod::kHcW:
+    case CacheMethod::kHcV:
+    case CacheMethod::kHcM:
+    case CacheMethod::kHcD:
+    case CacheMethod::kHcO:
+      // ConfigureCache retained the method's global histogram; re-estimate
+      // against exactly the structure the installed cache codes with.
+      *out = EstimateForHistogram(in, global_hist_, *fprime_, *fdata_);
+      return Status::OK();
+    case CacheMethod::kNone:
+      return Status::InvalidArgument("no cache configured");
+    default:
+      return Status::NotSupported(
+          "cost model covers EXACT and global-histogram caches only");
+  }
+}
+
 Status System::BuildGlobalHistogram(CacheMethod method, uint32_t tau,
                                     hist::Histogram* out) const {
   const uint32_t buckets = 1u << tau;
@@ -351,6 +380,7 @@ Status System::RunQueries(const std::vector<std::vector<Scalar>>& queries,
                           size_t k, AggregateResult* out) {
   *out = AggregateResult{};
   if (queries.empty()) return Status::OK();
+  obs::ProfScope batch_scope(profiler_, "run_queries");
   double hits = 0.0;
   double probes = 0.0;
   double reduced = 0.0;

@@ -24,6 +24,7 @@
 #include "hist/multidim_histogram.h"
 #include "index/lsh/c2lsh.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "storage/env.h"
 #include "storage/io_stats.h"
@@ -169,6 +170,19 @@ class System {
   /// back-fills each span's modeled I/O and response time. nullptr detaches.
   void SetTracer(obs::Tracer* tracer);
 
+  /// Attaches a phase profiler to the whole pipeline: RunQueries opens a
+  /// "run_queries" scope, the engine nests "query"/"gen"/"reduce"/"refine"
+  /// under it, and the point file nests "read_point" under whichever phase
+  /// fetches. nullptr detaches.
+  void SetProfiler(obs::Profiler* profiler);
+
+  /// Cost-model prediction for the currently configured cache at the
+  /// budget/tau of the last ConfigureCache call. Supported for EXACT and the
+  /// global-histogram methods (HC-*); per-dimension, multi-dimensional and
+  /// C-VA caches have no single-histogram estimator (NotSupported), and an
+  /// unconfigured system returns InvalidArgument.
+  Status EstimateCurrentCache(size_t k, CostEstimate* out) const;
+
  private:
   System() = default;
 
@@ -200,6 +214,7 @@ class System {
   // Observability attachments (not owned; nullptr when disabled).
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
   obs::Counter* obs_queries_ = nullptr;
   obs::LatencyHistogram* obs_response_ = nullptr;
   obs::Gauge* obs_modeled_io_ = nullptr;

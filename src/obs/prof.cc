@@ -1,0 +1,164 @@
+#include "obs/prof.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <ostream>
+#include <sstream>
+
+namespace eeb::obs {
+namespace {
+
+// Unique per-Profiler generation numbers. The thread-local scope cursor
+// stores the generation it belongs to, so a cursor left behind by a
+// destroyed Profiler can never be dereferenced on behalf of a new one that
+// happens to reuse the same address.
+std::atomic<uint64_t> g_next_gen{1};
+
+// Innermost open scope of this thread, plus the generation of the Profiler
+// that opened it. Scopes restore the previous values on exit, so the pair
+// behaves as a stack without storing one. void* keeps the private
+// Profiler::Node type out of namespace scope; only ProfScope (a friend)
+// casts it.
+thread_local uint64_t tls_gen = 0;
+thread_local void* tls_current_node = nullptr;
+
+}  // namespace
+
+Profiler::Profiler() : gen_(g_next_gen.fetch_add(1, std::memory_order_relaxed)) {}
+
+Profiler::~Profiler() = default;
+
+Profiler::Node* Profiler::FindOrAddChild(Node* parent, const char* name) {
+  // Fast path: the phase exists (every call after a thread's first).
+  // Pointer equality catches same-literal callers; strcmp unifies the same
+  // phase named from different translation units.
+  for (Node* c = parent->first_child.load(std::memory_order_acquire);
+       c != nullptr; c = c->next_sibling) {
+    if (c->name == name || std::strcmp(c->name, name) == 0) return c;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Node* c = parent->first_child.load(std::memory_order_acquire);
+       c != nullptr; c = c->next_sibling) {
+    if (c->name == name || std::strcmp(c->name, name) == 0) return c;
+  }
+  nodes_.push_back(std::make_unique<Node>(name, parent));
+  Node* node = nodes_.back().get();
+  node->next_sibling = parent->first_child.load(std::memory_order_relaxed);
+  parent->first_child.store(node, std::memory_order_release);
+  return node;
+}
+
+std::vector<Profiler::PhaseStats> Profiler::Snapshot() const {
+  std::vector<PhaseStats> out;
+  // Iterative DFS so arbitrarily deep nesting cannot overflow the stack.
+  struct Frame {
+    const Node* node;
+    std::string path;
+  };
+  std::vector<Frame> stack;
+  for (const Node* c = root_.first_child.load(std::memory_order_acquire);
+       c != nullptr; c = c->next_sibling) {
+    stack.push_back({c, c->name});
+  }
+  while (!stack.empty()) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    PhaseStats s;
+    s.path = f.path;
+    s.calls = f.node->calls.load(std::memory_order_relaxed);
+    const uint64_t total = f.node->nanos.load(std::memory_order_relaxed);
+    uint64_t child_total = 0;
+    for (const Node* c = f.node->first_child.load(std::memory_order_acquire);
+         c != nullptr; c = c->next_sibling) {
+      child_total += c->nanos.load(std::memory_order_relaxed);
+      stack.push_back({c, f.path + "/" + c->name});
+    }
+    s.total_seconds = static_cast<double>(total) * 1e-9;
+    // Concurrent recording can momentarily put child sums ahead of the
+    // parent (the child closed, the parent has not); clamp instead of
+    // reporting negative self time.
+    s.self_seconds =
+        static_cast<double>(total > child_total ? total - child_total : 0) *
+        1e-9;
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PhaseStats& a, const PhaseStats& b) {
+              return a.path < b.path;
+            });
+  return out;
+}
+
+void Profiler::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& node : nodes_) {
+    node->nanos.store(0, std::memory_order_relaxed);
+    node->calls.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Profiler::PublishTo(MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  for (const PhaseStats& s : Snapshot()) {
+    std::string name = "prof." + s.path;
+    std::replace(name.begin(), name.end(), '/', '.');
+    registry->GetGauge(name + ".total_seconds")->Set(s.total_seconds);
+    registry->GetGauge(name + ".self_seconds")->Set(s.self_seconds);
+    registry->GetGauge(name + ".calls")->Set(static_cast<double>(s.calls));
+  }
+}
+
+ProfScope::ProfScope(Profiler* profiler, const char* name)
+    : profiler_(profiler) {
+  if (profiler_ == nullptr) return;
+  prev_gen_ = tls_gen;
+  prev_current_ = static_cast<Profiler::Node*>(tls_current_node);
+  Profiler::Node* parent =
+      (prev_gen_ == profiler_->gen_ && prev_current_ != nullptr)
+          ? prev_current_
+          : &profiler_->root_;
+  node_ = profiler_->FindOrAddChild(parent, name);
+  tls_gen = profiler_->gen_;
+  tls_current_node = node_;
+  start_ = std::chrono::steady_clock::now();
+}
+
+ProfScope::~ProfScope() {
+  if (profiler_ == nullptr) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  node_->nanos.fetch_add(
+      static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()),
+      std::memory_order_relaxed);
+  node_->calls.fetch_add(1, std::memory_order_relaxed);
+  tls_gen = prev_gen_;
+  tls_current_node = prev_current_;
+}
+
+void ExportProfileJson(const Profiler& profiler, std::ostream& os) {
+  os << "{\"schema_version\":1,\"phases\":[";
+  bool first = true;
+  char buf[192];
+  for (const Profiler::PhaseStats& s : profiler.Snapshot()) {
+    const int n = std::snprintf(
+        buf, sizeof(buf),
+        "%s{\"path\":\"%s\",\"calls\":%" PRIu64
+        ",\"total_seconds\":%.9g,\"self_seconds\":%.9g}",
+        first ? "" : ",", s.path.c_str(), s.calls, s.total_seconds,
+        s.self_seconds);
+    if (n > 0) os.write(buf, std::min<std::streamsize>(n, sizeof(buf) - 1));
+    first = false;
+  }
+  os << "]}";
+}
+
+std::string ExportProfileJson(const Profiler& profiler) {
+  std::ostringstream os;
+  ExportProfileJson(profiler, os);
+  return std::move(os).str();
+}
+
+}  // namespace eeb::obs

@@ -1,0 +1,120 @@
+// Hierarchical phase profiler: RAII scopes accumulate per-phase call counts
+// and nanoseconds into a shared tree, so a query's time decomposes into
+// "where inside Algorithm 1 did it go" (run_queries/query/refine/read_point)
+// without the per-phase Timer plumbing every call site used to hand-roll.
+//
+// Cost model: a scope costs two steady_clock reads plus two relaxed atomic
+// adds on exit; phase-node resolution walks a short sibling list of the
+// current node (phases per level are single digits). A null Profiler makes
+// every scope a single branch, so instrumented code paths pay nothing when
+// profiling is off. Accumulators are relaxed atomics, so threads sharing a
+// Profiler race-free interleave (verified under TSan); nesting state is
+// thread-local, so each thread sees its own scope stack.
+//
+// Reading the data: Snapshot() flattens the tree into path-sorted
+// PhaseStats with total and self (total minus children) seconds;
+// PublishTo() mirrors those into gauges of a MetricsRegistry under
+// "prof.<path>.*"; ExportProfileJson() renders the schema-versioned JSON
+// the bench artifacts and eeb_cli --profile-out embed.
+
+#ifndef EEB_OBS_PROF_H_
+#define EEB_OBS_PROF_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace eeb::obs {
+
+/// Owner of one phase tree. Scopes opened against different Profiler
+/// instances do not interact; a System/bench cell typically owns one.
+class Profiler {
+ public:
+  /// One phase, identified by its slash-joined path from the root
+  /// ("query/refine/read_point").
+  struct PhaseStats {
+    std::string path;
+    uint64_t calls = 0;
+    double total_seconds = 0.0;  ///< wall time inside the phase
+    double self_seconds = 0.0;   ///< total minus time inside child phases
+  };
+
+  Profiler();
+  ~Profiler();
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Path-sorted snapshot of every phase seen so far. Concurrent scopes may
+  /// keep recording; the snapshot is a consistent-enough point-in-time read
+  /// (each counter is read once, relaxed).
+  std::vector<PhaseStats> Snapshot() const;
+
+  /// Zeroes every accumulator but keeps the tree structure (epoch
+  /// boundaries: one bench cell ends, the next reuses the phases).
+  void Reset();
+
+  /// Mirrors Snapshot() into `registry` as gauges: "prof.<dotted path>"
+  /// + ".total_seconds" / ".self_seconds" / ".calls". Gauges are Set, not
+  /// Add, so republishing after more work is idempotent per snapshot.
+  void PublishTo(MetricsRegistry* registry) const;
+
+ private:
+  friend class ProfScope;
+
+  // Tree node. Children form a lock-free singly linked list: insertion
+  // CASes the head, readers traverse with acquire loads, nodes are never
+  // removed before the Profiler dies. Accumulators are relaxed atomics.
+  struct Node {
+    explicit Node(const char* n, Node* p) : name(n), parent(p) {}
+    const char* name;  // phase name; lives as long as the scope's caller
+    Node* parent;
+    std::atomic<Node*> first_child{nullptr};
+    Node* next_sibling = nullptr;  // written once before CAS-publish
+    std::atomic<uint64_t> nanos{0};
+    std::atomic<uint64_t> calls{0};
+  };
+
+  Node* FindOrAddChild(Node* parent, const char* name);
+
+  Node root_{"", nullptr};
+  const uint64_t gen_;  // unique per Profiler; guards stale thread caches
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Node>> nodes_;  // ownership only
+};
+
+/// RAII phase scope. Opening nests under the innermost scope this thread
+/// currently has open against the same Profiler; top-level otherwise.
+/// `name` must outlive the Profiler (string literals in practice) and is
+/// matched by content, so the same phase named from different translation
+/// units lands in one node.
+class ProfScope {
+ public:
+  ProfScope(Profiler* profiler, const char* name);
+  ~ProfScope();
+  ProfScope(const ProfScope&) = delete;
+  ProfScope& operator=(const ProfScope&) = delete;
+
+ private:
+  Profiler* profiler_;  // nullptr: disabled scope, destructor is a no-op
+  Profiler::Node* node_ = nullptr;
+  Profiler::Node* prev_current_ = nullptr;
+  uint64_t prev_gen_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Schema-versioned JSON rendering of a profile:
+/// {"schema_version":1,"phases":[{"path","calls","total_seconds",
+/// "self_seconds"},...]} with phases sorted by path.
+void ExportProfileJson(const Profiler& profiler, std::ostream& os);
+std::string ExportProfileJson(const Profiler& profiler);
+
+}  // namespace eeb::obs
+
+#endif  // EEB_OBS_PROF_H_

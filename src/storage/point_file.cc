@@ -153,6 +153,7 @@ uint64_t PointFile::PageOfPoint(PointId id) const {
 
 Status PointFile::ReadPoint(PointId id, std::span<Scalar> out, IoStats* stats,
                             PageTracker* tracker) const {
+  obs::ProfScope prof_scope(prof_, "read_point");
   if (id >= n_) return Status::InvalidArgument("point id out of range");
   if (out.size() != dim_) return Status::InvalidArgument("bad output span");
   const uint32_t slot = id_to_slot_[id];

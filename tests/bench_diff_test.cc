@@ -1,0 +1,203 @@
+// Fixture tests for the BENCH artifact comparison engine: the JSON reader
+// (shapes, escapes, malformed input) and DiffBench's gate semantics —
+// identical artifacts pass, an injected >=20% latency regression fails, a
+// hit-ratio drop fails, a missing cell fails, improvements and new cells
+// are notes, thresholds are overridable, and quick/full artifacts refuse
+// to compare.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bench_diff_core.h"
+
+namespace eeb::benchdiff {
+namespace {
+
+// Minimal but schema-complete artifact with one tweakable cell.
+std::string Artifact(double avg, double p95, double refine_pages,
+                     double hit_ratio, const std::string& extra_cells = "",
+                     bool quick = false, const std::string& suite = "smoke") {
+  char cell[512];
+  std::snprintf(
+      cell, sizeof(cell),
+      "{\"name\":\"hc_o_30\",\"method\":\"HC-O\",\"cache_bytes\":786432,"
+      "\"k\":10,\"tau\":6,\"lru\":false,"
+      "\"latency\":{\"avg_seconds\":%g,\"p50_seconds\":%g,"
+      "\"p95_seconds\":%g,\"p99_seconds\":%g},"
+      "\"candidates\":{\"avg\":110,\"avg_remaining\":30,"
+      "\"refine_ratio\":0.27},"
+      "\"io\":{\"avg_refine_pages\":%g,\"avg_gen_pages\":92,"
+      "\"avg_gen_seq_pages\":30},"
+      "\"cache\":{\"hit_ratio\":%g,\"prune_ratio\":0.9},"
+      "\"phase_profile\":{\"schema_version\":1,\"phases\":[]},"
+      "\"model_error\":null}",
+      avg, avg, p95, p95, refine_pages, hit_ratio);
+  return std::string("{\"schema_version\":1,\"suite\":\"") + suite +
+         "\",\"dataset\":{\"name\":\"smoke\",\"n\":20000,\"dim\":32,"
+         "\"ndom\":256,\"seed\":5},\"log\":{\"test_size\":50,\"seed\":2},"
+         "\"quick\":" +
+         (quick ? "true" : "false") +
+         ",\"build\":{\"compiler\":\"x\",\"type\":\"release\"},"
+         "\"cells\":[" +
+         cell + extra_cells + "]}";
+}
+
+// ---------------------------------------------------------------- parser --
+
+TEST(JsonParserTest, ParsesScalarsArraysObjects) {
+  JsonValue v;
+  ASSERT_TRUE(ParseJson(R"({"a":1.5,"b":"x\"y","c":[true,false,null],)"
+                        R"("d":{"e":-2e3}})",
+                        &v)
+                  .ok());
+  ASSERT_EQ(v.type, JsonValue::Type::kObject);
+  EXPECT_DOUBLE_EQ(v.Find("a")->number, 1.5);
+  EXPECT_EQ(v.Find("b")->str, "x\"y");
+  ASSERT_EQ(v.Find("c")->items.size(), 3u);
+  EXPECT_TRUE(v.Find("c")->items[0].boolean);
+  EXPECT_EQ(v.Find("c")->items[2].type, JsonValue::Type::kNull);
+  EXPECT_DOUBLE_EQ(v.Find("d")->Find("e")->number, -2000.0);
+  EXPECT_EQ(v.Find("missing"), nullptr);
+}
+
+TEST(JsonParserTest, RejectsMalformedInput) {
+  JsonValue v;
+  EXPECT_FALSE(ParseJson("{", &v).ok());
+  EXPECT_FALSE(ParseJson("{\"a\":}", &v).ok());
+  EXPECT_FALSE(ParseJson("[1,2", &v).ok());
+  EXPECT_FALSE(ParseJson("\"unterminated", &v).ok());
+  EXPECT_FALSE(ParseJson("{} trailing", &v).ok());
+  EXPECT_FALSE(ParseJson("nulll", &v).ok());
+  EXPECT_FALSE(ParseJson("1.2.3", &v).ok());
+}
+
+TEST(JsonParserTest, ParsesARealArtifact) {
+  JsonValue v;
+  const std::string a = Artifact(0.46, 0.47, 25, 0.95);
+  ASSERT_TRUE(ParseJson(a, &v).ok());
+  EXPECT_EQ(v.Find("suite")->str, "smoke");
+  EXPECT_EQ(v.Find("cells")->items.size(), 1u);
+}
+
+// ------------------------------------------------------------------ diff --
+
+TEST(BenchDiffTest, IdenticalArtifactsPass) {
+  const std::string a = Artifact(0.46, 0.47, 25, 0.95);
+  DiffResult r;
+  ASSERT_TRUE(DiffBench(a, a, DiffOptions{}, &r).ok());
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.regressions.empty());
+}
+
+TEST(BenchDiffTest, TwentyPercentLatencyRegressionFails) {
+  // Acceptance criterion: an injected >=20% average-latency regression must
+  // trip the default 15% threshold.
+  const std::string base = Artifact(0.50, 0.52, 25, 0.95);
+  const std::string cur = Artifact(0.60, 0.52, 25, 0.95);
+  DiffResult r;
+  ASSERT_TRUE(DiffBench(base, cur, DiffOptions{}, &r).ok());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.regressions[0].find("avg latency"), std::string::npos);
+}
+
+TEST(BenchDiffTest, TailLatencyHasItsOwnLooserThreshold) {
+  // +20% tail only: below the 25% tail threshold, passes.
+  const std::string base = Artifact(0.50, 0.50, 25, 0.95);
+  DiffResult r;
+  ASSERT_TRUE(
+      DiffBench(base, Artifact(0.50, 0.60, 25, 0.95), DiffOptions{}, &r)
+          .ok());
+  EXPECT_TRUE(r.ok());
+  // +30% tail: fails.
+  ASSERT_TRUE(
+      DiffBench(base, Artifact(0.50, 0.65, 25, 0.95), DiffOptions{}, &r)
+          .ok());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.regressions[0].find("p95 latency"), std::string::npos);
+}
+
+TEST(BenchDiffTest, HitRatioDropFails) {
+  const std::string base = Artifact(0.46, 0.47, 25, 0.95);
+  const std::string cur = Artifact(0.46, 0.47, 25, 0.80);
+  DiffResult r;
+  ASSERT_TRUE(DiffBench(base, cur, DiffOptions{}, &r).ok());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.regressions[0].find("hit ratio"), std::string::npos);
+}
+
+TEST(BenchDiffTest, PageIoIncreaseFails) {
+  const std::string base = Artifact(0.46, 0.47, 100, 0.95);
+  const std::string cur = Artifact(0.46, 0.47, 140, 0.95);
+  DiffResult r;
+  ASSERT_TRUE(DiffBench(base, cur, DiffOptions{}, &r).ok());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.regressions[0].find("pages/query"), std::string::npos);
+}
+
+TEST(BenchDiffTest, MissingCellFails) {
+  const std::string extra =
+      ",{\"name\":\"exact_30\",\"latency\":{\"avg_seconds\":0.6,"
+      "\"p95_seconds\":0.7},\"io\":{\"avg_refine_pages\":10,"
+      "\"avg_gen_pages\":10},\"cache\":{\"hit_ratio\":0.5}}";
+  const std::string base = Artifact(0.46, 0.47, 25, 0.95, extra);
+  const std::string cur = Artifact(0.46, 0.47, 25, 0.95);
+  DiffResult r;
+  ASSERT_TRUE(DiffBench(base, cur, DiffOptions{}, &r).ok());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.regressions[0].find("missing"), std::string::npos);
+}
+
+TEST(BenchDiffTest, ImprovementsAndNewCellsAreNotesNotFailures) {
+  const std::string extra =
+      ",{\"name\":\"brand_new\",\"latency\":{\"avg_seconds\":0.6,"
+      "\"p95_seconds\":0.7},\"io\":{\"avg_refine_pages\":10,"
+      "\"avg_gen_pages\":10},\"cache\":{\"hit_ratio\":0.5}}";
+  const std::string base = Artifact(0.50, 0.52, 25, 0.90);
+  const std::string cur = Artifact(0.30, 0.32, 25, 0.99, extra);
+  DiffResult r;
+  ASSERT_TRUE(DiffBench(base, cur, DiffOptions{}, &r).ok());
+  EXPECT_TRUE(r.ok());
+  EXPECT_FALSE(r.notes.empty());
+}
+
+TEST(BenchDiffTest, ThresholdOverrideWidensTheGate) {
+  const std::string base = Artifact(0.50, 0.52, 25, 0.95);
+  const std::string cur = Artifact(0.60, 0.52, 25, 0.95);  // +20% avg
+  DiffOptions loose;
+  loose.max_avg_latency_increase = 0.30;
+  DiffResult r;
+  ASSERT_TRUE(DiffBench(base, cur, loose, &r).ok());
+  EXPECT_TRUE(r.ok());
+  DiffOptions tight;
+  tight.max_avg_latency_increase = 0.10;
+  ASSERT_TRUE(DiffBench(base, cur, tight, &r).ok());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BenchDiffTest, QuickModeMismatchIsAnInputError) {
+  const std::string full = Artifact(0.46, 0.47, 25, 0.95);
+  const std::string quick =
+      Artifact(0.46, 0.47, 25, 0.95, "", /*quick=*/true);
+  DiffResult r;
+  EXPECT_FALSE(DiffBench(full, quick, DiffOptions{}, &r).ok());
+}
+
+TEST(BenchDiffTest, SuiteMismatchIsAnInputError) {
+  const std::string a = Artifact(0.46, 0.47, 25, 0.95);
+  const std::string b =
+      Artifact(0.46, 0.47, 25, 0.95, "", false, "fig13");
+  DiffResult r;
+  EXPECT_FALSE(DiffBench(a, b, DiffOptions{}, &r).ok());
+}
+
+TEST(BenchDiffTest, MalformedInputIsAnInputErrorNotACrash) {
+  const std::string a = Artifact(0.46, 0.47, 25, 0.95);
+  DiffResult r;
+  EXPECT_FALSE(DiffBench("{not json", a, DiffOptions{}, &r).ok());
+  EXPECT_FALSE(DiffBench(a, "[]", DiffOptions{}, &r).ok());
+  EXPECT_FALSE(DiffBench("{}", "{}", DiffOptions{}, &r).ok());
+}
+
+}  // namespace
+}  // namespace eeb::benchdiff

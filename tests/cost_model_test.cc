@@ -35,6 +35,22 @@ TEST(HffHitRatioTest, Basics) {
   EXPECT_DOUBLE_EQ(HffHitRatio({}, 5), 0.0);
 }
 
+TEST(HffHitRatioTest, BoundaryCases) {
+  // 0 items cached -> nothing hits; every item cached -> everything hits,
+  // regardless of curve shape.
+  auto in = MakeInputs();
+  EXPECT_DOUBLE_EQ(HffHitRatio(in.freq_sorted, 0), 0.0);
+  EXPECT_DOUBLE_EQ(HffHitRatio(in.freq_sorted, in.freq_sorted.size()), 1.0);
+  EXPECT_DOUBLE_EQ(HffHitRatio(in.freq_sorted, in.freq_sorted.size() + 999),
+                   1.0);
+  // Degenerate frequency mass: all-zero curve must not divide by zero.
+  std::vector<double> zeros(10, 0.0);
+  EXPECT_DOUBLE_EQ(HffHitRatio(zeros, 5), 0.0);
+  // Uniform curve: ratio equals the cached fraction exactly.
+  std::vector<double> uniform(100, 3.0);
+  EXPECT_DOUBLE_EQ(HffHitRatio(uniform, 25), 0.25);
+}
+
 TEST(HffHitRatioTest, MonotoneInItems) {
   auto in = MakeInputs();
   double prev = 0;
@@ -52,6 +68,20 @@ TEST(Thm1BoundTest, BoundsSmallTauAboveExact) {
   const double at_lvalue = HitRatioBoundThm1(in, in.lvalue);
   for (uint32_t tau = 1; tau < in.lvalue; ++tau) {
     EXPECT_GE(HitRatioBoundThm1(in, tau), at_lvalue);
+  }
+}
+
+TEST(Thm1BoundTest, MonotoneNonIncreasingInTau) {
+  // The Lvalue/tau factor shrinks as tau grows, so the bound is
+  // non-increasing in tau (until the clamp at 1 flattens it).
+  auto in = MakeInputs();
+  double prev = 2.0;
+  for (uint32_t tau = 1; tau <= in.lvalue; ++tau) {
+    const double b = HitRatioBoundThm1(in, tau);
+    EXPECT_LE(b, prev + 1e-12) << "tau=" << tau;
+    EXPECT_GE(b, 0.0);
+    EXPECT_LE(b, 1.0);
+    prev = b;
   }
 }
 
@@ -143,6 +173,59 @@ TEST(TunerTest, BuilderTunerInRangeAndDeterministic) {
   EXPECT_EQ(a, b);
   EXPECT_GE(a, 1u);
   EXPECT_LE(a, in.lvalue);
+}
+
+TEST(ValidateEstimateTest, PerfectPredictionHasZeroError) {
+  CostEstimate est;
+  est.hit_ratio = 0.8;
+  est.prune_ratio = 0.9;
+  est.expected_crefine = 56.0;
+  const ModelValidation v = ValidateEstimate(est, 0.8, 0.9, 56.0);
+  EXPECT_DOUBLE_EQ(v.hit_error, 0.0);
+  EXPECT_DOUBLE_EQ(v.prune_error, 0.0);
+  EXPECT_DOUBLE_EQ(v.crefine_rel_error, 0.0);
+  EXPECT_DOUBLE_EQ(v.predicted_hit, 0.8);
+  EXPECT_DOUBLE_EQ(v.observed_crefine, 56.0);
+}
+
+TEST(ValidateEstimateTest, ErrorsAreAbsoluteAndSymmetric) {
+  CostEstimate est;
+  est.hit_ratio = 0.6;
+  est.prune_ratio = 0.5;
+  est.expected_crefine = 100.0;
+  const ModelValidation over = ValidateEstimate(est, 0.7, 0.8, 80.0);
+  EXPECT_DOUBLE_EQ(over.hit_error, 0.1);
+  EXPECT_DOUBLE_EQ(over.prune_error, 0.3);
+  EXPECT_DOUBLE_EQ(over.crefine_rel_error, 20.0 / 80.0);
+  const ModelValidation under = ValidateEstimate(est, 0.5, 0.2, 120.0);
+  EXPECT_DOUBLE_EQ(under.hit_error, 0.1);
+  EXPECT_DOUBLE_EQ(under.prune_error, 0.3);
+  EXPECT_DOUBLE_EQ(under.crefine_rel_error, 20.0 / 120.0);
+}
+
+TEST(ValidateEstimateTest, TinyObservedCrefineDoesNotExplode) {
+  // Guard: |pred - obs| / max(obs, 1) keeps the relative error finite when
+  // the observed Crefine approaches zero (perfect caching).
+  CostEstimate est;
+  est.expected_crefine = 2.0;
+  const ModelValidation v = ValidateEstimate(est, 0.0, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(v.crefine_rel_error, 2.0);
+}
+
+TEST(ValidateEstimateTest, DeterministicWorkloadEndToEnd) {
+  // The estimator applied to a fully deterministic synthetic workload:
+  // predicted Crefine obeys Eqn. 1 exactly, so validation against the very
+  // quantities the estimate was built from reports zero error.
+  auto in = MakeInputs();
+  const auto est = EstimateExact(in);
+  const double observed_crefine =
+      (1.0 - est.hit_ratio * est.prune_ratio) * in.avg_candidates;
+  const ModelValidation v = ValidateEstimate(est, est.hit_ratio,
+                                             est.prune_ratio,
+                                             observed_crefine);
+  EXPECT_DOUBLE_EQ(v.hit_error, 0.0);
+  EXPECT_DOUBLE_EQ(v.prune_error, 0.0);
+  EXPECT_NEAR(v.crefine_rel_error, 0.0, 1e-12);
 }
 
 TEST(TunerTest, LargerCacheAllowsLargerTau) {

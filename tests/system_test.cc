@@ -111,6 +111,39 @@ TEST_F(SystemTest, HistogramCachesReduceIoVersusExact) {
       << "compact codes fit more items -> higher hit ratio";
 }
 
+TEST_F(SystemTest, EstimateCurrentCacheMatchesConfiguredMethod) {
+  // Unconfigured (NO-CACHE): invalid argument.
+  ASSERT_TRUE(system_->ConfigureCache(CacheMethod::kNone, 0).ok());
+  CostEstimate est;
+  EXPECT_TRUE(system_->EstimateCurrentCache(10, &est).IsInvalidArgument());
+
+  // EXACT: every hit fully resolved.
+  const auto exact = Run(CacheMethod::kExact, kCacheBytes);
+  ASSERT_TRUE(system_->EstimateCurrentCache(10, &est).ok());
+  EXPECT_DOUBLE_EQ(est.prune_ratio, 1.0);
+  EXPECT_GT(est.hit_ratio, 0.0);
+  EXPECT_LE(est.expected_crefine,
+            system_->workload_stats().avg_candidates + 1e-9);
+
+  // Global histogram: the estimate reuses the retained build histogram and
+  // should land in the same ballpark as the measurement (the model is an
+  // estimate, not a bound; generous tolerances).
+  const auto hco = Run(CacheMethod::kHcO, kCacheBytes);
+  ASSERT_TRUE(system_->EstimateCurrentCache(10, &est).ok());
+  EXPECT_GT(est.hit_ratio, 0.0);
+  EXPECT_LE(est.hit_ratio, 1.0);
+  const ModelValidation v = ValidateEstimate(est, hco.hit_ratio,
+                                             hco.prune_ratio,
+                                             hco.avg_remaining);
+  EXPECT_LT(v.hit_error, 0.5);
+  EXPECT_LT(v.crefine_rel_error, 2.0);
+
+  // Per-dimension / multi-dim caches: no single-histogram estimator.
+  (void)Run(CacheMethod::kIHcO, kCacheBytes);
+  EXPECT_TRUE(system_->EstimateCurrentCache(10, &est).IsNotSupported());
+  (void)exact;
+}
+
 TEST_F(SystemTest, HcoIsBestGlobalHistogramAtEqualTau) {
   // Compare histogram quality at the same code length (auto-tuned taus may
   // differ per method; the paper's Table 4 also notes the cost-model

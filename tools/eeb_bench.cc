@@ -1,0 +1,353 @@
+// Unified benchmark suite runner. Executes a named suite of (dataset,
+// method, cache size, k) cells through the same System/RunCell path the
+// figure benches use, and emits one canonical, schema-versioned
+// BENCH_<suite>.json artifact per run: per-cell latency percentiles (from
+// the observability histograms), candidate-reduction ratios, modeled page
+// I/O, cache hit rate, the hierarchical phase profile, and a cost-model
+// validation section (predicted vs observed rho_hit / rho_prune / Crefine).
+// bench_diff compares two such artifacts and gates CI on regressions.
+//
+// Usage:
+//   eeb_bench --suite smoke [--out BENCH_smoke.json]
+//   eeb_bench --list
+//
+// Determinism: every suite pins its dataset/log RNG seeds (recorded in the
+// artifact) and all latencies are dominated by the modeled disk (fixed
+// ms/page), so artifacts are comparable across machines. EEB_QUICK shrinks
+// the datasets; the artifact records the flag and bench_diff refuses to
+// compare quick against non-quick runs.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/cost_model.h"
+#include "core/system.h"
+#include "obs/prof.h"
+#include "workload/registry.h"
+
+namespace eeb {
+namespace {
+
+struct CellSpec {
+  std::string name;
+  core::CacheMethod method = core::CacheMethod::kNone;
+  double cs_frac = 0.0;  // cache size as a fraction of the point-file bytes
+  size_t k = 10;
+  uint32_t tau = 0;  // 0: cost-model choice
+  bool lru = false;
+};
+
+struct SuiteSpec {
+  std::string name;
+  std::string what;
+  workload::DatasetSpec dataset;
+  std::vector<CellSpec> cells;
+};
+
+workload::DatasetSpec SmokeSpec() {
+  workload::DatasetSpec s;
+  s.name = "smoke";
+  s.n = 20000;
+  s.dim = 32;
+  s.ndom = 256;
+  s.clusters = 16;
+  s.seed = 5;
+  return s;
+}
+
+std::vector<SuiteSpec> AllSuites() {
+  std::vector<SuiteSpec> suites;
+
+  // CI gate: small custom dataset, the headline methods. Must stay fast in
+  // Release (~1-2 min) — this is the committed-baseline suite.
+  suites.push_back(
+      {"smoke",
+       "CI smoke cells: NO-CACHE baseline + headline methods at 10%/30% CS",
+       SmokeSpec(),
+       {
+           {"no_cache", core::CacheMethod::kNone, 0.0, 10},
+           {"exact_30", core::CacheMethod::kExact, 0.30, 10},
+           {"hc_w_30", core::CacheMethod::kHcW, 0.30, 10},
+           {"hc_o_30", core::CacheMethod::kHcO, 0.30, 10},
+           {"hc_o_10", core::CacheMethod::kHcO, 0.10, 10},
+           {"hc_o_lru_30", core::CacheMethod::kHcO, 0.30, 10, 0, true},
+       }});
+
+  // Figure subsets: the paper cells most sensitive to perf drift, on the
+  // NUS-WIDE surrogate (the smallest real spec).
+  suites.push_back(
+      {"fig13",
+       "Fig. 13 subset: response time vs cache size (EXACT / HC-D / HC-O)",
+       workload::NuswSimSpec(),
+       {
+           {"exact_05", core::CacheMethod::kExact, 0.05, 10},
+           {"exact_15", core::CacheMethod::kExact, 0.15, 10},
+           {"exact_30", core::CacheMethod::kExact, 0.30, 10},
+           {"hc_d_05", core::CacheMethod::kHcD, 0.05, 10},
+           {"hc_d_15", core::CacheMethod::kHcD, 0.15, 10},
+           {"hc_d_30", core::CacheMethod::kHcD, 0.30, 10},
+           {"hc_o_05", core::CacheMethod::kHcO, 0.05, 10},
+           {"hc_o_15", core::CacheMethod::kHcO, 0.15, 10},
+           {"hc_o_30", core::CacheMethod::kHcO, 0.30, 10},
+       }});
+
+  suites.push_back({"fig14",
+                    "Fig. 14 subset: response time vs k for HC-O at 30% CS",
+                    workload::NuswSimSpec(),
+                    {
+                        {"hc_o_k1", core::CacheMethod::kHcO, 0.30, 1},
+                        {"hc_o_k10", core::CacheMethod::kHcO, 0.30, 10},
+                        {"hc_o_k25", core::CacheMethod::kHcO, 0.30, 25},
+                        {"hc_o_k50", core::CacheMethod::kHcO, 0.30, 50},
+                    }});
+
+  suites.push_back(
+      {"tab03",
+       "Table 3 subset: every cache category at the default 30% CS",
+       workload::NuswSimSpec(),
+       {
+           {"no_cache", core::CacheMethod::kNone, 0.0, 10},
+           {"exact", core::CacheMethod::kExact, 0.30, 10},
+           {"c_va", core::CacheMethod::kCVa, 0.30, 10},
+           {"hc_w", core::CacheMethod::kHcW, 0.30, 10},
+           {"hc_d", core::CacheMethod::kHcD, 0.30, 10},
+           {"hc_o", core::CacheMethod::kHcO, 0.30, 10},
+           {"ihc_o", core::CacheMethod::kIHcO, 0.30, 10},
+           {"mhc_r", core::CacheMethod::kMHcR, 0.30, 10},
+       }});
+  return suites;
+}
+
+// --------------------------------------------------------- JSON emission --
+
+void AppendF(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out->append(buf, std::min(static_cast<size_t>(n), sizeof(buf) - 1));
+}
+
+// Cell names / method names / suite ids are ASCII identifiers; escaping
+// covers the characters JSON forbids outright.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+struct CellResult {
+  CellSpec spec;
+  size_t cache_bytes = 0;
+  uint32_t effective_tau = 0;
+  core::AggregateResult agg;
+  std::string phase_profile_json;
+  bool model_supported = false;
+  core::ModelValidation model;
+};
+
+void AppendCellJson(std::string* out, const CellResult& c) {
+  AppendF(out, "{\"name\":\"%s\",\"method\":\"%s\",\"cache_bytes\":%zu,",
+          JsonEscape(c.spec.name).c_str(),
+          core::CacheMethodName(c.spec.method), c.cache_bytes);
+  AppendF(out, "\"k\":%zu,\"tau\":%u,\"lru\":%s,", c.spec.k, c.effective_tau,
+          c.spec.lru ? "true" : "false");
+  AppendF(out,
+          "\"latency\":{\"avg_seconds\":%.9g,\"p50_seconds\":%.9g,"
+          "\"p95_seconds\":%.9g,\"p99_seconds\":%.9g},",
+          c.agg.avg_response_seconds, c.agg.p50_response_seconds,
+          c.agg.p95_response_seconds, c.agg.p99_response_seconds);
+  const double cand_ratio =
+      c.agg.avg_candidates > 0 ? c.agg.avg_remaining / c.agg.avg_candidates
+                               : 0.0;
+  AppendF(out,
+          "\"candidates\":{\"avg\":%.9g,\"avg_remaining\":%.9g,"
+          "\"refine_ratio\":%.9g},",
+          c.agg.avg_candidates, c.agg.avg_remaining, cand_ratio);
+  AppendF(out,
+          "\"io\":{\"avg_refine_pages\":%.9g,\"avg_gen_pages\":%.9g,"
+          "\"avg_gen_seq_pages\":%.9g},",
+          c.agg.avg_refine_pages, c.agg.avg_gen_pages,
+          c.agg.avg_gen_seq_pages);
+  AppendF(out, "\"cache\":{\"hit_ratio\":%.9g,\"prune_ratio\":%.9g},",
+          c.agg.hit_ratio, c.agg.prune_ratio);
+  out->append("\"phase_profile\":");
+  out->append(c.phase_profile_json);
+  out->push_back(',');
+  if (c.model_supported) {
+    AppendF(out,
+            "\"model_error\":{\"predicted_hit\":%.9g,\"observed_hit\":%.9g,"
+            "\"predicted_prune\":%.9g,\"observed_prune\":%.9g,"
+            "\"predicted_crefine\":%.9g,\"observed_crefine\":%.9g,"
+            "\"hit_error\":%.9g,\"prune_error\":%.9g,"
+            "\"crefine_rel_error\":%.9g}",
+            c.model.predicted_hit, c.model.observed_hit,
+            c.model.predicted_prune, c.model.observed_prune,
+            c.model.predicted_crefine, c.model.observed_crefine,
+            c.model.hit_error, c.model.prune_error,
+            c.model.crefine_rel_error);
+  } else {
+    out->append("\"model_error\":null");
+  }
+  out->push_back('}');
+}
+
+int RunSuite(const SuiteSpec& suite, const std::string& out_path) {
+  const workload::QueryLogSpec log_spec =
+      workload::MaybeQuick(workload::DefaultLogSpec());
+  auto wb = bench::MakeWorkbench(suite.dataset);
+  const size_t file_bytes = wb->spec.n * wb->spec.dim * sizeof(float);
+
+  obs::Profiler prof;
+  wb->system->SetProfiler(&prof);
+
+  std::vector<CellResult> results;
+  for (const CellSpec& cell : suite.cells) {
+    std::fprintf(stderr, "[%s] cell %s...\n", suite.name.c_str(),
+                 cell.name.c_str());
+    // Per-cell epoch: instruments and phase tree restart at zero so the
+    // recorded percentiles/profile describe exactly this cell.
+    wb->metrics.ResetAll();
+    prof.Reset();
+
+    CellResult r;
+    r.spec = cell;
+    r.cache_bytes = static_cast<size_t>(file_bytes * cell.cs_frac);
+    r.agg = bench::RunCell(*wb, cell.method, r.cache_bytes, cell.k, cell.tau,
+                           cell.lru);
+    r.effective_tau = wb->system->last_tau();
+
+    prof.PublishTo(&wb->metrics);
+    r.phase_profile_json = obs::ExportProfileJson(prof);
+
+    core::CostEstimate est;
+    if (wb->system->EstimateCurrentCache(cell.k, &est).ok()) {
+      r.model_supported = true;
+      r.model = core::ValidateEstimate(est, r.agg.hit_ratio,
+                                       r.agg.prune_ratio,
+                                       r.agg.avg_remaining);
+      // Mirror the validation into gauges so metric exporters see it too.
+      wb->metrics.GetGauge("model.predicted_hit")->Set(r.model.predicted_hit);
+      wb->metrics.GetGauge("model.observed_hit")->Set(r.model.observed_hit);
+      wb->metrics.GetGauge("model.predicted_prune")
+          ->Set(r.model.predicted_prune);
+      wb->metrics.GetGauge("model.observed_prune")
+          ->Set(r.model.observed_prune);
+      wb->metrics.GetGauge("model.predicted_crefine")
+          ->Set(r.model.predicted_crefine);
+      wb->metrics.GetGauge("model.observed_crefine")
+          ->Set(r.model.observed_crefine);
+      wb->metrics.GetGauge("model.crefine_rel_error")
+          ->Set(r.model.crefine_rel_error);
+    }
+    results.push_back(std::move(r));
+  }
+
+  std::string json;
+  AppendF(&json, "{\"schema_version\":1,\"suite\":\"%s\",",
+          JsonEscape(suite.name).c_str());
+  AppendF(&json, "\"dataset\":{\"name\":\"%s\",\"n\":%zu,\"dim\":%zu,",
+          JsonEscape(wb->spec.name).c_str(), wb->spec.n, wb->spec.dim);
+  AppendF(&json, "\"ndom\":%u,\"seed\":%" PRIu64 "},", wb->spec.ndom,
+          wb->spec.seed);
+  AppendF(&json, "\"log\":{\"test_size\":%zu,\"seed\":%" PRIu64 "},",
+          wb->log.test.size(), log_spec.seed);
+  const char* quick = std::getenv("EEB_QUICK");
+  AppendF(&json, "\"quick\":%s,",
+          quick != nullptr && quick[0] != '\0' ? "true" : "false");
+#ifdef NDEBUG
+  const char* build_type = "release";
+#else
+  const char* build_type = "debug";
+#endif
+  AppendF(&json, "\"build\":{\"compiler\":\"%s\",\"type\":\"%s\"},",
+          JsonEscape(__VERSION__).c_str(), build_type);
+  json.append("\"cells\":[");
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i > 0) json.push_back(',');
+    AppendCellJson(&json, results[i]);
+  }
+  json.append("]}\n");
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "[%s] wrote %s (%zu cells)\n", suite.name.c_str(),
+               out_path.c_str(), results.size());
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: eeb_bench --suite <name> [--out <path>]\n"
+               "       eeb_bench --list\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  std::string suite_name;
+  std::string out_path;
+  bool list = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--suite" || arg == "--out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
+        return Usage();
+      }
+      (arg == "--suite" ? suite_name : out_path) = argv[++i];
+    } else {
+      std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+
+  const std::vector<SuiteSpec> suites = AllSuites();
+  if (list) {
+    for (const SuiteSpec& s : suites) {
+      std::printf("%-8s %zu cells  %s\n", s.name.c_str(), s.cells.size(),
+                  s.what.c_str());
+    }
+    return 0;
+  }
+  if (suite_name.empty()) return Usage();
+  for (const SuiteSpec& s : suites) {
+    if (s.name == suite_name) {
+      if (out_path.empty()) out_path = "BENCH_" + s.name + ".json";
+      return RunSuite(s, out_path);
+    }
+  }
+  std::fprintf(stderr, "error: unknown suite '%s' (try --list)\n",
+               suite_name.c_str());
+  return 2;
+}
+
+}  // namespace
+}  // namespace eeb
+
+int main(int argc, char** argv) { return eeb::Main(argc, argv); }

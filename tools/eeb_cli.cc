@@ -8,12 +8,14 @@
 //                 [--cache-mb 8] [--tau 0] [--workload 1000] [--test 50]
 //                 [--lru] [--eager] [--metrics-out m.json]
 //                 [--metrics-prom m.prom] [--trace-out t.jsonl]
+//                 [--profile-out p.json]
 //
 // `query` builds the full pipeline (point file, C2LSH, workload analysis,
 // cache) in a temp directory and reports the paper-style statistics. When
 // --queries is omitted a Zipf query log is synthesized from the data.
 // --metrics-out / --metrics-prom dump the full metrics registry (JSON /
-// Prometheus text); --trace-out writes one JSON span per query.
+// Prometheus text); --trace-out writes one JSON span per query;
+// --profile-out writes the hierarchical phase profile as JSON.
 
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +28,7 @@
 #include "core/system.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "workload/fvecs.h"
 #include "workload/generator.h"
@@ -188,10 +191,12 @@ int CmdQuery(const Args& args) {
 
   obs::MetricsRegistry metrics;
   obs::Tracer tracer;
+  obs::Profiler prof;
   const bool want_metrics =
       args.Has("metrics-out") || args.Has("metrics-prom");
   if (want_metrics) system->EnableMetrics(&metrics);
   if (args.Has("trace-out")) system->SetTracer(&tracer);
+  if (args.Has("profile-out")) system->SetProfiler(&prof);
 
   const core::CacheMethod method = ParseMethod(args.Str("cache", "hc-o"));
   const size_t cache_bytes =
@@ -205,6 +210,8 @@ int CmdQuery(const Args& args) {
   st = system->RunQueries(log.test, args.Int("k", 10), &agg);
   if (!st.ok()) Die(st, "run queries");
 
+  // Mirror the phase profile into prof.* gauges before the registry dumps.
+  if (args.Has("profile-out") && want_metrics) prof.PublishTo(&metrics);
   if (args.Has("metrics-out")) {
     st = obs::WriteStringToFile(args.Str("metrics-out", ""),
                                 obs::ExportJson(metrics));
@@ -218,6 +225,11 @@ int CmdQuery(const Args& args) {
   if (args.Has("trace-out")) {
     st = tracer.WriteJsonl(args.Str("trace-out", ""));
     if (!st.ok()) Die(st, "write trace jsonl");
+  }
+  if (args.Has("profile-out")) {
+    st = obs::WriteStringToFile(args.Str("profile-out", ""),
+                                obs::ExportProfileJson(prof));
+    if (!st.ok()) Die(st, "write profile json");
   }
 
   std::printf("dataset: %zu x %zu-d, ndom=%u | cache: %s %.1f MB tau=%u\n",
@@ -245,7 +257,8 @@ void Usage() {
                "  query --data F [--queries F --k K --cache M --cache-mb MB "
                "--tau T]\n"
                "        [--lru] [--eager] [--metrics-out F.json] "
-               "[--metrics-prom F.prom] [--trace-out F.jsonl]\n");
+               "[--metrics-prom F.prom] [--trace-out F.jsonl]\n"
+               "        [--profile-out F.json]\n");
 }
 
 }  // namespace
