@@ -1,0 +1,58 @@
+#include "common/crc32c.h"
+
+namespace eeb {
+namespace {
+
+// Slicing-by-4 lookup tables for the reflected Castagnoli polynomial.
+// Built once at first use; ~1 cycle/byte, which is noise next to the 4 KB
+// page reads the checksums protect.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+struct Tables {
+  uint32_t t[4][256];
+
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? kPoly ^ (c >> 1) : c >> 1;
+      }
+      t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFFu];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFFu];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFFu];
+    }
+  }
+};
+
+const Tables& GetTables() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const Tables& tb = GetTables();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  while (n >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = tb.t[3][crc & 0xFFu] ^ tb.t[2][(crc >> 8) & 0xFFu] ^
+          tb.t[1][(crc >> 16) & 0xFFu] ^ tb.t[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n > 0) {
+    crc = (crc >> 8) ^ tb.t[0][(crc ^ *p) & 0xFFu];
+    ++p;
+    --n;
+  }
+  return ~crc;
+}
+
+}  // namespace eeb

@@ -1,0 +1,26 @@
+// CRC32C (Castagnoli) checksums for on-disk page integrity. Software
+// table-driven implementation — no hardware intrinsics, so the value is
+// identical on every platform and a checksummed file written on one machine
+// verifies on any other.
+
+#ifndef EEB_COMMON_CRC32C_H_
+#define EEB_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace eeb {
+
+/// CRC32C of `data[0, n)` continuing from a previous checksum (pass 0 to
+/// start a new one). Castagnoli polynomial, reflected, final inversion —
+/// the same function iSCSI/RocksDB use, so test vectors are well known.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+/// CRC32C of `data[0, n)`.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+}  // namespace eeb
+
+#endif  // EEB_COMMON_CRC32C_H_

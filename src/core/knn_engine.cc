@@ -19,6 +19,13 @@ double KthMin(std::vector<double> values, size_t k) {
   return values[idx];
 }
 
+// Failures the degraded path may absorb: transient I/O (post-retry) and
+// checksum corruption. Anything else (bad id, bad span) is a caller bug and
+// must propagate.
+bool DegradableFailure(const Status& st) {
+  return st.IsIOError() || st.IsCorruption();
+}
+
 }  // namespace
 
 Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
@@ -27,6 +34,7 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
   if (k == 0) return Status::InvalidArgument("k must be positive");
   obs::ProfScope query_scope(prof_, "query");
   Timer timer;
+  Timer deadline_timer;  // wall clock across all phases, for deadline_ms
   obs::QuerySpan* span = tracer_ != nullptr ? tracer_->StartSpan(k) : nullptr;
 
   // ---- Phase 1: candidate generation -----------------------------------
@@ -57,6 +65,7 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
   std::vector<PointId> sure;  // R: true results detected without fetching
   struct Pending {
     double lb;
+    double ub;  // cached upper bound; the degraded fallback scores with it
     PointId id;
     bool resolved;  // exact distance already known (eager miss fetch)
   };
@@ -89,8 +98,21 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
           }
           if (options_.eager_miss_fetch) {
             // Footnote 6: resolve misses now so lbk/ubk are tight.
-            EEB_RETURN_IF_ERROR(
-                points_->ReadPoint(cand[i], buf, &out->refine_io, &tracker));
+            Status rs =
+                points_->ReadPoint(cand[i], buf, &out->refine_io, &tracker);
+            if (!rs.ok()) {
+              if (!options_.degraded_fallback || !DegradableFailure(rs)) {
+                return rs;
+              }
+              // The candidate stays an unresolved miss with [0, inf) bounds;
+              // refinement gets another shot at reading it.
+              out->read_failures++;
+              if (span != nullptr) {
+                tracer_->AddEvent(span, obs::TraceEventType::kReadFailure,
+                                  cand[i], 0.0);
+              }
+              continue;
+            }
             out->fetched++;
             const double d = L2(q, buf);
             lbs[i] = d;
@@ -126,7 +148,7 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
                             ubs[i]);
         }
       } else {
-        remaining.push_back({lbs[i], cand[i], resolved[i]});
+        remaining.push_back({lbs[i], ubs[i], cand[i], resolved[i]});
       }
     }
   }
@@ -150,14 +172,48 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
                     return a.id < b.id;
                   });
         TopK top(kprime);
+        // Degraded fallback: rank the candidate by its cached upper bound
+        // (pessimistic — a cache miss means +inf) instead of aborting.
+        auto substitute = [&](const Pending& p) {
+          out->degraded = true;
+          out->substituted++;
+          top.Push(p.id, p.ub);
+          if (span != nullptr) {
+            tracer_->AddEvent(span, obs::TraceEventType::kDegraded, p.id,
+                              p.ub);
+          }
+        };
         for (const Pending& p : remaining) {
           if (top.Full() && p.lb > top.Threshold()) break;  // optimal stop
           if (p.resolved) {
             top.Push(p.id, p.lb);  // lb == exact distance; no I/O needed
             continue;
           }
-          EEB_RETURN_IF_ERROR(
-              points_->ReadPoint(p.id, buf, &out->refine_io, &tracker));
+          if (options_.deadline_ms > 0.0 && !out->deadline_hit &&
+              deadline_timer.ElapsedMillis() >= options_.deadline_ms) {
+            out->deadline_hit = true;
+            if (span != nullptr) {
+              tracer_->AddEvent(span, obs::TraceEventType::kDeadlineCut, p.id,
+                                deadline_timer.ElapsedMillis());
+            }
+          }
+          if (out->deadline_hit) {
+            substitute(p);
+            continue;
+          }
+          Status rs = points_->ReadPoint(p.id, buf, &out->refine_io, &tracker);
+          if (!rs.ok()) {
+            if (!options_.degraded_fallback || !DegradableFailure(rs)) {
+              return rs;
+            }
+            out->read_failures++;
+            if (span != nullptr) {
+              tracer_->AddEvent(span, obs::TraceEventType::kReadFailure, p.id,
+                                0.0);
+            }
+            substitute(p);
+            continue;
+          }
           out->fetched++;
           const double d = L2(q, buf);
           top.Push(p.id, d);
@@ -186,6 +242,9 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
     span->true_hits = out->true_hits;
     span->remaining = out->remaining;
     span->fetched = out->fetched;
+    span->degraded = out->degraded ? 1 : 0;
+    span->substituted = out->substituted;
+    span->read_failures = out->read_failures;
     tracer_->EndSpan();
   }
   if (obs_.queries != nullptr) {
@@ -198,6 +257,10 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
     obs_.pruned->Add(out->pruned);
     obs_.true_hits->Add(out->true_hits);
     obs_.fetched->Add(out->fetched);
+    if (out->degraded) obs_.degraded_queries->Add(1);
+    obs_.substituted->Add(out->substituted);
+    obs_.read_failures->Add(out->read_failures);
+    if (out->deadline_hit) obs_.deadline_cuts->Add(1);
     obs_.gen_seconds->Record(out->gen_seconds);
     obs_.reduce_seconds->Record(out->reduce_seconds);
     obs_.refine_seconds->Record(out->refine_seconds);
@@ -220,6 +283,10 @@ void KnnEngine::BindMetrics(obs::MetricsRegistry* registry) {
   obs_.pruned = registry->GetCounter("engine.pruned");
   obs_.true_hits = registry->GetCounter("engine.true_results");
   obs_.fetched = registry->GetCounter("engine.fetched");
+  obs_.degraded_queries = registry->GetCounter("engine.degraded_queries");
+  obs_.substituted = registry->GetCounter("engine.degraded_substituted");
+  obs_.read_failures = registry->GetCounter("engine.read_failures");
+  obs_.deadline_cuts = registry->GetCounter("engine.deadline_cuts");
   obs_.gen_seconds = registry->GetHistogram("engine.gen_seconds");
   obs_.reduce_seconds = registry->GetHistogram("engine.reduce_seconds");
   obs_.refine_seconds = registry->GetHistogram("engine.refine_seconds");

@@ -45,6 +45,14 @@ struct QueryResult {
   size_t true_hits = 0;        ///< true results detected (ub < lbk)
   size_t remaining = 0;        ///< candidates entering phase 3 (Crefine)
   size_t fetched = 0;          ///< candidates actually fetched in phase 3
+
+  // Degraded execution (docs/ROBUSTNESS.md). A degraded answer is the best
+  // the cached code bounds can give when the disk cannot be read; its ids
+  // may differ from the exact answer, which is why the flag exists.
+  bool degraded = false;      ///< some result came from cached bounds
+  bool deadline_hit = false;  ///< refinement cut over by deadline_ms
+  size_t substituted = 0;     ///< candidates scored by cached ub, not disk
+  size_t read_failures = 0;   ///< point reads that ultimately failed
 };
 
 /// Engine options.
@@ -59,6 +67,18 @@ struct EngineOptions {
   /// paper notes this only helps at middling hit ratios; the flag lets the
   /// ablation bench quantify that.
   bool eager_miss_fetch = false;
+
+  /// When a candidate's disk read ultimately fails (transient IOError after
+  /// the Env-level retry budget, or a page-checksum Corruption), score the
+  /// candidate by its cached upper bound instead of failing the whole query;
+  /// the result is flagged degraded. Disable to propagate the error (strict
+  /// mode — the pre-fault-tolerance behavior).
+  bool degraded_fallback = true;
+
+  /// Per-query wall-clock deadline in milliseconds. Once refinement crosses
+  /// it, unresolved candidates are resolved from cached bounds instead of
+  /// disk (degraded, deadline_hit). 0 disables the deadline.
+  double deadline_ms = 0.0;
 };
 
 /// Cache-assisted kNN query processor.
@@ -107,6 +127,10 @@ class KnnEngine {
     obs::Counter* pruned = nullptr;
     obs::Counter* true_hits = nullptr;
     obs::Counter* fetched = nullptr;
+    obs::Counter* degraded_queries = nullptr;
+    obs::Counter* substituted = nullptr;
+    obs::Counter* read_failures = nullptr;
+    obs::Counter* deadline_cuts = nullptr;
     obs::LatencyHistogram* gen_seconds = nullptr;
     obs::LatencyHistogram* reduce_seconds = nullptr;
     obs::LatencyHistogram* refine_seconds = nullptr;

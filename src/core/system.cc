@@ -67,9 +67,16 @@ Status System::Create(storage::Env* env, const std::string& dir,
       break;
   }
   const std::string path = dir + "/points.eeb";
-  EEB_RETURN_IF_ERROR(storage::PointFile::Create(env, path, data, order,
+  // All point-file I/O goes through the retry wrapper; with max_retries == 0
+  // it is a pass-through. Writes are never retried (see retry_env.h), so the
+  // wrapper is safe for Create too.
+  sys->retry_env_ =
+      std::make_unique<storage::RetryingEnv>(env, options.io_retry);
+  EEB_RETURN_IF_ERROR(storage::PointFile::Create(sys->retry_env_.get(), path,
+                                                 data, order,
                                                  options.page_size));
-  EEB_RETURN_IF_ERROR(storage::PointFile::Open(env, path, &sys->points_));
+  EEB_RETURN_IF_ERROR(
+      storage::PointFile::Open(sys->retry_env_.get(), path, &sys->points_));
 
   EEB_RETURN_IF_ERROR(index::C2Lsh::Build(data, options.lsh, &sys->lsh_));
 
@@ -92,6 +99,7 @@ void System::EnableMetrics(obs::MetricsRegistry* registry) {
   engine_->BindMetrics(registry);
   lsh_->BindMetrics(registry);
   points_->BindMetrics(registry);
+  retry_env_->BindMetrics(registry);
   if (cache_ != nullptr) cache_->BindMetrics(registry);
   if (registry == nullptr) {
     obs_queries_ = nullptr;
@@ -421,6 +429,10 @@ Status System::RunQueries(const std::vector<std::vector<Scalar>>& queries,
     hits += static_cast<double>(r.cache_hits);
     probes += static_cast<double>(r.candidates);
     reduced += static_cast<double>(r.pruned + r.true_hits);
+    if (r.degraded) out->degraded_queries++;
+    if (r.deadline_hit) out->deadline_cuts++;
+    out->avg_substituted += static_cast<double>(r.substituted);
+    out->read_failures += r.read_failures;
   }
   const double nq = static_cast<double>(queries.size());
   out->queries = queries.size();
@@ -439,6 +451,9 @@ Status System::RunQueries(const std::vector<std::vector<Scalar>>& queries,
   out->avg_refine_seconds = out->avg_reduce_cpu + out->avg_refine_cpu +
                             disk_model_.Seconds(refine_total) / nq;
   out->avg_response_seconds = out->avg_gen_seconds + out->avg_refine_seconds;
+
+  out->degraded_rate = static_cast<double>(out->degraded_queries) / nq;
+  out->avg_substituted /= nq;
 
   out->p50_response_seconds = latencies.Percentile(0.50);
   out->p95_response_seconds = latencies.Percentile(0.95);

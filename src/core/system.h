@@ -29,6 +29,7 @@
 #include "storage/env.h"
 #include "storage/io_stats.h"
 #include "storage/point_file.h"
+#include "storage/retry_env.h"
 
 namespace eeb::core {
 
@@ -65,6 +66,9 @@ struct SystemOptions {
   FileOrdering ordering = FileOrdering::kRaw;
   uint64_t seed = 5;
   EngineOptions engine;  ///< forwarded to the KnnEngine
+  /// Transient-IOError retry budget for point-file reads (Corruption is
+  /// never retried). max_retries = 0 disables retrying.
+  storage::RetryPolicy io_retry;
 };
 
 /// Aggregate statistics over a batch of queries.
@@ -90,6 +94,13 @@ struct AggregateResult {
   double p50_response_seconds = 0.0;
   double p95_response_seconds = 0.0;
   double p99_response_seconds = 0.0;
+
+  // Degraded execution over the batch (0 on a healthy disk).
+  size_t degraded_queries = 0;   ///< queries with any bound-substituted result
+  double degraded_rate = 0.0;    ///< degraded_queries / queries
+  double avg_substituted = 0.0;  ///< bound-substituted candidates per query
+  size_t read_failures = 0;      ///< total reads that failed post-retry
+  size_t deadline_cuts = 0;      ///< queries cut over by deadline_ms
 };
 
 /// Fully assembled kNN-search system with pluggable caching.
@@ -192,6 +203,8 @@ class System {
   storage::Env* env_ = nullptr;
   SystemOptions options_;
   const Dataset* data_ = nullptr;
+  // Retry wrapper the point file reads through (owns no Env; wraps env_).
+  std::unique_ptr<storage::RetryingEnv> retry_env_;
   std::unique_ptr<storage::PointFile> points_;
   std::unique_ptr<index::C2Lsh> lsh_;
   std::unique_ptr<KnnEngine> engine_;

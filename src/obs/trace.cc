@@ -15,7 +15,7 @@ namespace {
 // printf-style formatting into the sink (same rationale as the exporters:
 // stable rendering regardless of caller stream state).
 void StreamF(std::ostream& os, const char* fmt, ...) {
-  char buf[320];
+  char buf[512];
   va_list ap;
   va_start(ap, fmt);
   const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
@@ -41,6 +41,12 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "fetch";
     case TraceEventType::kPageRead:
       return "page_read";
+    case TraceEventType::kReadFailure:
+      return "read_failure";
+    case TraceEventType::kDegraded:
+      return "degraded";
+    case TraceEventType::kDeadlineCut:
+      return "deadline_cut";
   }
   return "?";
 }
@@ -80,12 +86,14 @@ void Tracer::WriteJsonl(std::ostream& os) const {
             "\"response_seconds\":%.9g,\"candidates\":%" PRIu64
             ",\"cache_hits\":%" PRIu64 ",\"pruned\":%" PRIu64
             ",\"true_hits\":%" PRIu64 ",\"remaining\":%" PRIu64
-            ",\"fetched\":%" PRIu64 ",\"dropped_events\":%" PRIu64
-            ",\"events\":[",
+            ",\"fetched\":%" PRIu64 ",\"degraded\":%" PRIu64
+            ",\"substituted\":%" PRIu64 ",\"read_failures\":%" PRIu64
+            ",\"dropped_events\":%" PRIu64 ",\"events\":[",
             s.query_id, s.k, s.gen_seconds, s.reduce_seconds,
             s.refine_seconds, s.modeled_io_seconds, s.response_seconds,
             s.candidates, s.cache_hits, s.pruned, s.true_hits, s.remaining,
-            s.fetched, s.dropped_events);
+            s.fetched, s.degraded, s.substituted, s.read_failures,
+            s.dropped_events);
     for (size_t i = 0; i < s.events.size(); ++i) {
       const TraceEvent& e = s.events[i];
       StreamF(os, "%s{\"t\":\"%s\",\"id\":%" PRIu64 ",\"v\":%.9g}",

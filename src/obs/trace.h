@@ -28,6 +28,9 @@ enum class TraceEventType : uint8_t {
   kTrueResult,  ///< ub < lbk, candidate accepted without I/O
   kFetch,       ///< refinement fetch; value = exact distance
   kPageRead,    ///< first touch of a disk page this query; id = page number
+  kReadFailure,  ///< disk read ultimately failed (post-retry); value = 0
+  kDegraded,     ///< candidate scored from cached bounds; value = used bound
+  kDeadlineCut,  ///< deadline_ms exceeded, refinement switched to degraded
 };
 
 const char* TraceEventTypeName(TraceEventType type);
@@ -53,6 +56,9 @@ struct QuerySpan {
   uint64_t true_hits = 0;
   uint64_t remaining = 0;
   uint64_t fetched = 0;
+  uint64_t degraded = 0;       ///< 1 when any result came from cached bounds
+  uint64_t substituted = 0;    ///< candidates resolved without their disk read
+  uint64_t read_failures = 0;  ///< reads that failed after the retry budget
   uint64_t dropped_events = 0;  ///< events past max_events_per_span
   std::vector<TraceEvent> events;
 };

@@ -86,7 +86,9 @@ class FaultyFile : public RandomAccessFile {
 
   Status Read(uint64_t offset, size_t n, char* scratch) const override {
     EEB_RETURN_IF_ERROR(env_->OnRead());
-    return base_->Read(offset, n, scratch);
+    EEB_RETURN_IF_ERROR(base_->Read(offset, n, scratch));
+    env_->MaybeCorrupt(scratch, n);
+    return Status::OK();
   }
 
   uint64_t Size() const override { return base_->Size(); }
@@ -134,18 +136,31 @@ Status FaultInjectionEnv::NewWritableFile(const std::string& path,
   return Status::OK();
 }
 
+namespace {
+
+// Shared schedule semantics for reads and writes: persistent plans fail
+// every operation from the trigger onward; one-shot (transient) plans fail
+// exactly the triggering operation and then recover.
+bool ScheduledFault(uint64_t index, uint64_t trigger, bool persistent,
+                    bool* tripped) {
+  if (index < trigger) return false;
+  if (persistent) return true;
+  if (index == trigger && !*tripped) {
+    *tripped = true;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 Status FaultInjectionEnv::OnRead() {
   const uint64_t index = reads_++;
-  if (index >= plan_.fail_after_reads && (plan_.persistent || !tripped_)) {
-    // One-shot plans trip exactly once (on the triggering read).
-    if (!plan_.persistent) {
-      if (index == plan_.fail_after_reads) {
-        tripped_ = true;
-        return Status::IOError("injected read fault");
-      }
-      return Status::OK();
-    }
-    tripped_ = true;
+  if (ScheduledFault(index, plan_.fail_after_reads, plan_.persistent,
+                     &read_tripped_) ||
+      (plan_.read_fault_rate > 0.0 &&
+       rng_.Bernoulli(plan_.read_fault_rate))) {
+    injected_read_faults_++;
     return Status::IOError("injected read fault");
   }
   return Status::OK();
@@ -153,10 +168,22 @@ Status FaultInjectionEnv::OnRead() {
 
 Status FaultInjectionEnv::OnWrite() {
   const uint64_t index = writes_++;
-  if (index >= plan_.fail_after_writes) {
+  if (ScheduledFault(index, plan_.fail_after_writes, plan_.persistent,
+                     &write_tripped_) ||
+      (plan_.write_fault_rate > 0.0 &&
+       rng_.Bernoulli(plan_.write_fault_rate))) {
+    injected_write_faults_++;
     return Status::IOError("injected write fault");
   }
   return Status::OK();
+}
+
+void FaultInjectionEnv::MaybeCorrupt(char* data, size_t n) {
+  if (plan_.corrupt_rate <= 0.0 || n == 0) return;
+  if (!rng_.Bernoulli(plan_.corrupt_rate)) return;
+  const uint64_t bit = rng_.Uniform(static_cast<uint64_t>(n) * 8);
+  data[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+  injected_corruptions_++;
 }
 
 }  // namespace eeb::storage

@@ -4,9 +4,14 @@
 // paths (headers, slot tables, page alignment) without touching the
 // filesystem, and CI stays hermetic.
 //
-// FaultInjectionEnv wraps any Env and fails the N-th read (or all reads
-// after N), letting tests verify that every layer propagates Status instead
-// of crashing or corrupting results.
+// FaultInjectionEnv wraps any Env and injects failures two ways:
+//   - a deterministic schedule (fail the N-th read/write, once or forever),
+//     for tests that pin a failure to an exact operation, and
+//   - probabilistic rates (each read fails with read_fault_rate, each write
+//     with write_fault_rate, each surviving read is bit-flipped with
+//     corrupt_rate), driven by a seeded Rng, for chaos-style workloads.
+// Injected faults are counted so tests can reconcile what the layers above
+// reported against what was actually injected.
 
 #ifndef EEB_STORAGE_MEM_ENV_H_
 #define EEB_STORAGE_MEM_ENV_H_
@@ -17,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/random.h"
 #include "storage/env.h"
 
 namespace eeb::storage {
@@ -42,12 +48,23 @@ class MemEnv : public Env {
 
 /// Failure schedule for FaultInjectionEnv.
 struct FaultPlan {
-  /// Reads before the first injected failure (0 = fail immediately).
+  /// Reads before the first scheduled failure (0 = fail immediately).
   uint64_t fail_after_reads = UINT64_MAX;
-  /// Appends before the first injected write failure (0 = fail immediately).
+  /// Appends before the first scheduled write failure (0 = fail immediately).
   uint64_t fail_after_writes = UINT64_MAX;
-  /// When true, every read past the trigger fails; otherwise only one.
+  /// When true, every operation past its trigger fails; otherwise only the
+  /// triggering one does (a transient fault). Applies to reads and writes.
   bool persistent = true;
+
+  /// Probability that a read fails with IOError (on top of the schedule).
+  double read_fault_rate = 0.0;
+  /// Probability that an Append fails with IOError.
+  double write_fault_rate = 0.0;
+  /// Probability that a surviving read has one random bit flipped in the
+  /// bytes it returns — the footer checksums must catch this.
+  double corrupt_rate = 0.0;
+  /// Seed for the probabilistic legs (deterministic chaos).
+  uint64_t seed = 42;
 };
 
 /// Env wrapper that injects IOError into reads and appends according to a
@@ -61,10 +78,19 @@ class FaultInjectionEnv : public Env {
     plan_ = plan;
     reads_ = 0;
     writes_ = 0;
-    tripped_ = false;
+    read_tripped_ = false;
+    write_tripped_ = false;
+    injected_read_faults_ = 0;
+    injected_write_faults_ = 0;
+    injected_corruptions_ = 0;
+    rng_ = Rng(plan.seed);
   }
   uint64_t reads() const { return reads_; }
   uint64_t writes() const { return writes_; }
+  /// Faults actually fired since set_plan (scheduled + probabilistic).
+  uint64_t injected_read_faults() const { return injected_read_faults_; }
+  uint64_t injected_write_faults() const { return injected_write_faults_; }
+  uint64_t injected_corruptions() const { return injected_corruptions_; }
 
   Status NewRandomAccessFile(const std::string& path,
                              std::unique_ptr<RandomAccessFile>* out) override;
@@ -84,12 +110,21 @@ class FaultInjectionEnv : public Env {
   /// Write-side counterpart of OnRead(), consulted before each Append.
   Status OnWrite();
 
+  /// Bit-flips `data[0, n)` with probability corrupt_rate (called by the
+  /// wrapped file after a successful read).
+  void MaybeCorrupt(char* data, size_t n);
+
  private:
   Env* base_;
   FaultPlan plan_;
   uint64_t reads_ = 0;
   uint64_t writes_ = 0;
-  bool tripped_ = false;
+  bool read_tripped_ = false;
+  bool write_tripped_ = false;
+  uint64_t injected_read_faults_ = 0;
+  uint64_t injected_write_faults_ = 0;
+  uint64_t injected_corruptions_ = 0;
+  Rng rng_{42};
 };
 
 }  // namespace eeb::storage

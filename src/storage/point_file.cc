@@ -2,10 +2,13 @@
 
 #include <cstring>
 
+#include "common/crc32c.h"
+
 namespace eeb::storage {
 namespace {
 
-constexpr uint64_t kMagic = 0x4545425046494c45ULL;  // "EEBPFILE"
+constexpr uint64_t kMagicV1 = 0x4545425046494c45ULL;  // "EEBPFILE"
+constexpr uint64_t kMagicV2 = 0x4545425046494c32ULL;  // "EEBPFIL2"
 
 struct Header {
   uint64_t magic;
@@ -20,39 +23,64 @@ struct Header {
 Status PointFile::Create(Env* env, const std::string& path,
                          const Dataset& data,
                          const std::vector<PointId>& order,
-                         size_t page_size) {
+                         size_t page_size, uint32_t format_version) {
   const size_t n = data.size();
   const size_t dim = data.dim();
   const size_t n_slots = order.size();
   if (n_slots < n) {
     return Status::InvalidArgument("order has fewer slots than points");
   }
+  if (format_version != kFormatLegacy &&
+      format_version != kFormatChecksummed) {
+    return Status::InvalidArgument("unknown point file format version");
+  }
+  const size_t footer =
+      format_version >= kFormatChecksummed ? kPageFooterBytes : 0;
   const size_t record_bytes = dim * sizeof(Scalar);
-  if (record_bytes == 0 || page_size == 0) {
+  if (record_bytes == 0 || page_size <= footer) {
     return Status::InvalidArgument("empty record or page");
   }
+  const size_t payload = page_size - footer;
 
   std::unique_ptr<WritableFile> f;
   EEB_RETURN_IF_ERROR(env->NewWritableFile(path, &f));
   // From here on any failure must also remove the partial file; the write
   // body runs in a lambda so every early return funnels through the cleanup.
   auto write_body = [&]() -> Status {
-    // Header page.
     std::vector<char> page(page_size, 0);
-    Header h{kMagic, n, dim, page_size, n_slots};
-    std::memcpy(page.data(), &h, sizeof(h));
-    EEB_RETURN_IF_ERROR(f->Append(page.data(), page.size()));
+    // Stamp the footer (v2) and flush one finished page.
+    auto append_page = [&]() -> Status {
+      if (footer > 0) {
+        const uint32_t crc = Crc32c(page.data(), payload);
+        std::memcpy(page.data() + payload, &crc, sizeof(crc));
+      }
+      return f->Append(page.data(), page.size());
+    };
 
-    // Data pages in slot order.
-    const size_t ppp = record_bytes <= page_size ? page_size / record_bytes : 0;
+    // Header page.
+    Header h{format_version >= kFormatChecksummed ? kMagicV2 : kMagicV1, n,
+             dim, page_size, n_slots};
+    std::memcpy(page.data(), &h, sizeof(h));
+    EEB_RETURN_IF_ERROR(append_page());
+
+    // Data pages in slot order. Records pack into the page payload area;
+    // oversized records are chunked payload-by-payload across whole pages.
+    const size_t ppp = record_bytes <= payload ? payload / record_bytes : 0;
     const size_t pages_per_point =
-        ppp > 0 ? 1 : (record_bytes + page_size - 1) / page_size;
+        ppp > 0 ? 1 : (record_bytes + payload - 1) / payload;
 
     // Build the inverse permutation (id -> slot) while writing, validating
     // that every real id appears exactly once (a duplicate would silently
     // orphan another point's slot-table entry).
     std::vector<bool> seen(n, false);
     std::vector<uint32_t> id_to_slot(n);
+    auto claim = [&](PointId id, size_t slot) -> Status {
+      if (id >= n) return Status::InvalidArgument("order id out of range");
+      if (seen[id]) return Status::InvalidArgument("duplicate id in order");
+      seen[id] = true;
+      id_to_slot[id] = static_cast<uint32_t>(slot);
+      return Status::OK();
+    };
     if (ppp > 0) {
       size_t slot = 0;
       while (slot < n_slots) {
@@ -61,30 +89,31 @@ Status PointFile::Create(Env* env, const std::string& path,
         for (size_t i = 0; i < in_page; ++i) {
           PointId id = order[slot + i];
           if (id == kInvalidPointId) continue;  // padding slot
-          if (id >= n) return Status::InvalidArgument("order id out of range");
-          if (seen[id]) return Status::InvalidArgument("duplicate id in order");
-          seen[id] = true;
-          id_to_slot[id] = static_cast<uint32_t>(slot + i);
+          EEB_RETURN_IF_ERROR(claim(id, slot + i));
           auto p = data.point(id);
           std::memcpy(page.data() + i * record_bytes, p.data(), record_bytes);
         }
-        EEB_RETURN_IF_ERROR(f->Append(page.data(), page.size()));
+        EEB_RETURN_IF_ERROR(append_page());
         slot += in_page;
       }
     } else {
-      std::vector<char> rec(pages_per_point * page_size, 0);
       for (size_t slot = 0; slot < n_slots; ++slot) {
         PointId id = order[slot];
-        std::memset(rec.data(), 0, rec.size());
+        const char* src = nullptr;
         if (id != kInvalidPointId) {
-          if (id >= n) return Status::InvalidArgument("order id out of range");
-          if (seen[id]) return Status::InvalidArgument("duplicate id in order");
-          seen[id] = true;
-          id_to_slot[id] = static_cast<uint32_t>(slot);
-          auto p = data.point(id);
-          std::memcpy(rec.data(), p.data(), record_bytes);
+          EEB_RETURN_IF_ERROR(claim(id, slot));
+          src = reinterpret_cast<const char*>(data.point(id).data());
         }
-        EEB_RETURN_IF_ERROR(f->Append(rec.data(), rec.size()));
+        size_t off = 0;
+        for (size_t pg = 0; pg < pages_per_point; ++pg) {
+          std::fill(page.begin(), page.end(), 0);
+          if (src != nullptr && off < record_bytes) {
+            const size_t chunk = std::min(payload, record_bytes - off);
+            std::memcpy(page.data(), src + off, chunk);
+            off += chunk;
+          }
+          EEB_RETURN_IF_ERROR(append_page());
+        }
       }
     }
 
@@ -92,10 +121,15 @@ Status PointFile::Create(Env* env, const std::string& path,
       if (!seen[id]) return Status::InvalidArgument("order is missing an id");
     }
 
-    // Slot table tail: id -> slot, 4 bytes per point.
-    EEB_RETURN_IF_ERROR(
-        f->Append(reinterpret_cast<const char*>(id_to_slot.data()),
-                  id_to_slot.size() * sizeof(uint32_t)));
+    // Slot table tail: id -> slot, 4 bytes per point, then its CRC (v2).
+    const char* table = reinterpret_cast<const char*>(id_to_slot.data());
+    const size_t table_bytes = id_to_slot.size() * sizeof(uint32_t);
+    EEB_RETURN_IF_ERROR(f->Append(table, table_bytes));
+    if (footer > 0) {
+      const uint32_t crc = Crc32c(table, table_bytes);
+      EEB_RETURN_IF_ERROR(
+          f->Append(reinterpret_cast<const char*>(&crc), sizeof(crc)));
+    }
     return f->Close();
   };
   return CleanupIfError(env, path, write_body());
@@ -116,21 +150,45 @@ Status PointFile::Open(Env* env, const std::string& path,
   return Status::OK();
 }
 
+Status PointFile::VerifyPage(const char* page, uint64_t file_page) const {
+  uint32_t stored;
+  std::memcpy(&stored, page + payload_bytes_, sizeof(stored));
+  if (Crc32c(page, payload_bytes_) != stored) {
+    return Status::Corruption("point file page " + std::to_string(file_page) +
+                              " checksum mismatch");
+  }
+  return Status::OK();
+}
+
 Status PointFile::Init(Env* env, const std::string& path) {
   EEB_RETURN_IF_ERROR(env->NewRandomAccessFile(path, &file_));
   Header h;
   EEB_RETURN_IF_ERROR(file_->Read(0, sizeof(h), reinterpret_cast<char*>(&h)));
-  if (h.magic != kMagic) return Status::Corruption("bad point file magic");
+  if (h.magic == kMagicV2) {
+    format_version_ = kFormatChecksummed;
+    footer_bytes_ = kPageFooterBytes;
+  } else if (h.magic == kMagicV1) {
+    format_version_ = kFormatLegacy;
+    footer_bytes_ = 0;
+  } else {
+    return Status::Corruption("bad point file magic");
+  }
   n_ = h.n;
   dim_ = h.dim;
   page_size_ = h.page_size;
   n_slots_ = h.n_slots;
   record_bytes_ = dim_ * sizeof(Scalar);
+  if (record_bytes_ == 0 || page_size_ <= footer_bytes_ ||
+      page_size_ < sizeof(Header)) {
+    return Status::Corruption("bad point file geometry");
+  }
+  payload_bytes_ = page_size_ - footer_bytes_;
   points_per_page_ =
-      record_bytes_ <= page_size_ ? page_size_ / record_bytes_ : 0;
+      record_bytes_ <= payload_bytes_ ? payload_bytes_ / record_bytes_ : 0;
   pages_per_point_ = points_per_page_ > 0
                          ? 1
-                         : (record_bytes_ + page_size_ - 1) / page_size_;
+                         : (record_bytes_ + payload_bytes_ - 1) /
+                               payload_bytes_;
   data_start_ = page_size_;
   if (points_per_page_ > 0) {
     data_pages_ = (n_slots_ + points_per_page_ - 1) / points_per_page_;
@@ -138,10 +196,27 @@ Status PointFile::Init(Env* env, const std::string& path) {
     data_pages_ = n_slots_ * pages_per_point_;
   }
 
+  if (footer_bytes_ > 0) {
+    // Re-read the whole header page to verify its footer: a flipped bit in
+    // n/dim/page_size would otherwise silently rewire the file geometry.
+    std::vector<char> page(page_size_);
+    EEB_RETURN_IF_ERROR(file_->Read(0, page_size_, page.data()));
+    EEB_RETURN_IF_ERROR(VerifyPage(page.data(), 0));
+  }
+
   id_to_slot_.resize(n_);
   const uint64_t table_off = data_start_ + data_pages_ * page_size_;
-  EEB_RETURN_IF_ERROR(file_->Read(table_off, n_ * sizeof(uint32_t),
+  const size_t table_bytes = n_ * sizeof(uint32_t);
+  EEB_RETURN_IF_ERROR(file_->Read(table_off, table_bytes,
                                   reinterpret_cast<char*>(id_to_slot_.data())));
+  if (footer_bytes_ > 0) {
+    uint32_t stored;
+    EEB_RETURN_IF_ERROR(file_->Read(table_off + table_bytes, sizeof(stored),
+                                    reinterpret_cast<char*>(&stored)));
+    if (Crc32c(id_to_slot_.data(), table_bytes) != stored) {
+      return Status::Corruption("point file slot table checksum mismatch");
+    }
+  }
   return Status::OK();
 }
 
@@ -158,28 +233,51 @@ Status PointFile::ReadPoint(PointId id, std::span<Scalar> out, IoStats* stats,
   if (out.size() != dim_) return Status::InvalidArgument("bad output span");
   const uint32_t slot = id_to_slot_[id];
 
-  uint64_t offset;
   uint64_t first_page;
+  size_t in_page = 0;
   size_t pages_touched;
   if (points_per_page_ > 0) {
     first_page = slot / points_per_page_;
-    const size_t in_page = slot % points_per_page_;
-    offset = data_start_ + first_page * page_size_ + in_page * record_bytes_;
+    in_page = slot % points_per_page_;
     pages_touched = 1;
   } else {
     first_page = static_cast<uint64_t>(slot) * pages_per_point_;
-    offset = data_start_ + first_page * page_size_;
     pages_touched = pages_per_point_;
   }
 
-  EEB_RETURN_IF_ERROR(
-      file_->Read(offset, record_bytes_, reinterpret_cast<char*>(out.data())));
+  if (footer_bytes_ == 0) {
+    // Legacy format: fetch just the record bytes (contiguous on disk).
+    const uint64_t offset = data_start_ + first_page * page_size_ +
+                            in_page * record_bytes_;
+    EEB_RETURN_IF_ERROR(file_->Read(offset, record_bytes_,
+                                    reinterpret_cast<char*>(out.data())));
+  } else {
+    // Checksummed format: each page is read whole and verified before any
+    // byte of it is copied out, so a corrupt page can never look like data.
+    thread_local std::vector<char> page;
+    page.resize(page_size_);
+    char* dst = reinterpret_cast<char*>(out.data());
+    size_t copied = 0;
+    for (size_t pg = 0; pg < pages_touched; ++pg) {
+      const uint64_t file_page = 1 + first_page + pg;  // 0 is the header
+      EEB_RETURN_IF_ERROR(
+          file_->Read(file_page * page_size_, page_size_, page.data()));
+      EEB_RETURN_IF_ERROR(VerifyPage(page.data(), file_page));
+      if (points_per_page_ > 0) {
+        std::memcpy(dst, page.data() + in_page * record_bytes_, record_bytes_);
+      } else {
+        const size_t chunk = std::min(payload_bytes_, record_bytes_ - copied);
+        std::memcpy(dst + copied, page.data(), chunk);
+        copied += chunk;
+      }
+    }
+  }
 
   if (stats != nullptr) {
     uint64_t charged_pages = 0;
     for (size_t i = 0; i < pages_touched; ++i) {
-      const uint64_t page = first_page + i;
-      if (tracker == nullptr || tracker->Touch(page)) charged_pages += 1;
+      const uint64_t page_index = first_page + i;
+      if (tracker == nullptr || tracker->Touch(page_index)) charged_pages += 1;
     }
     stats->point_reads += 1;
     stats->bytes_read += record_bytes_;

@@ -1,0 +1,70 @@
+#include "storage/retry_env.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace eeb::storage {
+namespace {
+
+class RetryingFile : public RandomAccessFile {
+ public:
+  RetryingFile(std::unique_ptr<RandomAccessFile> base, RetryingEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Read(uint64_t offset, size_t n, char* scratch) const override {
+    return env_->WithRetries(
+        [&]() { return base_->Read(offset, n, scratch); });
+  }
+
+  uint64_t Size() const override { return base_->Size(); }
+
+ private:
+  std::unique_ptr<RandomAccessFile> base_;
+  RetryingEnv* env_;
+};
+
+}  // namespace
+
+Status RetryingEnv::WithRetries(const std::function<Status()>& op) {
+  Status st = op();
+  double sleep_ms = policy_.backoff_initial_ms;
+  for (int attempt = 0; attempt < policy_.max_retries && st.IsIOError();
+       ++attempt) {
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    if (obs_retries_ != nullptr) obs_retries_->Add(1);
+    if (sleep_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(sleep_ms));
+    }
+    sleep_ms = std::min(sleep_ms * policy_.backoff_multiplier,
+                        policy_.backoff_max_ms);
+    st = op();
+  }
+  if (st.IsIOError()) {
+    exhausted_.fetch_add(1, std::memory_order_relaxed);
+    if (obs_exhausted_ != nullptr) obs_exhausted_->Add(1);
+  }
+  return st;
+}
+
+Status RetryingEnv::NewRandomAccessFile(
+    const std::string& path, std::unique_ptr<RandomAccessFile>* out) {
+  std::unique_ptr<RandomAccessFile> base;
+  EEB_RETURN_IF_ERROR(
+      WithRetries([&]() { return base_->NewRandomAccessFile(path, &base); }));
+  out->reset(new RetryingFile(std::move(base), this));
+  return Status::OK();
+}
+
+void RetryingEnv::BindMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    obs_retries_ = nullptr;
+    obs_exhausted_ = nullptr;
+    return;
+  }
+  obs_retries_ = registry->GetCounter("io.retries");
+  obs_exhausted_ = registry->GetCounter("io.retry_exhausted");
+}
+
+}  // namespace eeb::storage

@@ -1,0 +1,85 @@
+// RetryingEnv: bounded-retry wrapper around any Env for transient I/O
+// faults. Reads (and file opens) that fail with IOError are retried up to
+// max_retries times with exponential backoff; any other code — Corruption
+// in particular — is final and passes straight through, because re-reading
+// a page whose checksum failed either returns the same bad bytes or hides a
+// fault the operator must hear about.
+//
+// Writes are deliberately NOT retried: an Append that failed mid-stream may
+// have written a prefix, and blindly re-appending the buffer would duplicate
+// it. Writers already recover via CleanupIfError (delete + rebuild).
+
+#ifndef EEB_STORAGE_RETRY_ENV_H_
+#define EEB_STORAGE_RETRY_ENV_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.h"
+#include "storage/env.h"
+
+namespace eeb::storage {
+
+/// Retry budget and backoff shape for transient IOError.
+struct RetryPolicy {
+  /// Additional attempts after the first failure (0 disables retrying).
+  int max_retries = 3;
+  /// Sleep before the first retry, in milliseconds.
+  double backoff_initial_ms = 0.2;
+  /// Multiplier applied to the sleep after each failed retry.
+  double backoff_multiplier = 2.0;
+  /// Upper bound on a single sleep, in milliseconds.
+  double backoff_max_ms = 5.0;
+};
+
+/// Env wrapper applying RetryPolicy to reads and opens. Pass-through for
+/// everything else. The base Env must outlive the wrapper.
+class RetryingEnv : public Env {
+ public:
+  explicit RetryingEnv(Env* base, RetryPolicy policy = {})
+      : base_(base), policy_(policy) {}
+
+  Status NewRandomAccessFile(const std::string& path,
+                             std::unique_ptr<RandomAccessFile>* out) override;
+  Status NewWritableFile(const std::string& path,
+                         std::unique_ptr<WritableFile>* out) override {
+    return base_->NewWritableFile(path, out);  // writes are never retried
+  }
+  bool FileExists(const std::string& path) override {
+    return base_->FileExists(path);
+  }
+  Status DeleteFile(const std::string& path) override {
+    return base_->DeleteFile(path);
+  }
+
+  /// Runs `op`, retrying per the policy while it returns IOError. Exposed
+  /// so RetryingFile (internal) and tests can drive it directly.
+  Status WithRetries(const std::function<Status()>& op);
+
+  const RetryPolicy& policy() const { return policy_; }
+
+  /// Retries performed / operations that failed even after the last retry.
+  uint64_t retries() const { return retries_.load(std::memory_order_relaxed); }
+  uint64_t exhausted() const {
+    return exhausted_.load(std::memory_order_relaxed);
+  }
+
+  /// Binds "io.retries" / "io.retry_exhausted" counters in `registry`;
+  /// nullptr detaches. Counters record deltas from bind time.
+  void BindMetrics(obs::MetricsRegistry* registry);
+
+ private:
+  Env* base_;
+  RetryPolicy policy_;
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> exhausted_{0};
+  obs::Counter* obs_retries_ = nullptr;
+  obs::Counter* obs_exhausted_ = nullptr;
+};
+
+}  // namespace eeb::storage
+
+#endif  // EEB_STORAGE_RETRY_ENV_H_

@@ -191,6 +191,70 @@ TEST(BenchDiffTest, SuiteMismatchIsAnInputError) {
   EXPECT_FALSE(DiffBench(a, b, DiffOptions{}, &r).ok());
 }
 
+// Artifact with a robustness section (post-fault-tolerance schema).
+std::string ArtifactWithDegraded(double degraded_rate) {
+  char cell[640];
+  std::snprintf(
+      cell, sizeof(cell),
+      "{\"name\":\"hc_o_30\",\"method\":\"HC-O\",\"cache_bytes\":786432,"
+      "\"k\":10,\"tau\":6,\"lru\":false,"
+      "\"latency\":{\"avg_seconds\":0.46,\"p50_seconds\":0.46,"
+      "\"p95_seconds\":0.47,\"p99_seconds\":0.47},"
+      "\"candidates\":{\"avg\":110,\"avg_remaining\":30,"
+      "\"refine_ratio\":0.27},"
+      "\"io\":{\"avg_refine_pages\":25,\"avg_gen_pages\":92,"
+      "\"avg_gen_seq_pages\":30},"
+      "\"cache\":{\"hit_ratio\":0.95,\"prune_ratio\":0.9},"
+      "\"robustness\":{\"degraded_rate\":%g,\"degraded_queries\":%d,"
+      "\"avg_substituted\":0,\"read_failures\":0},"
+      "\"phase_profile\":{\"schema_version\":1,\"phases\":[]},"
+      "\"model_error\":null}",
+      degraded_rate, degraded_rate > 0 ? 1 : 0);
+  return std::string(
+             "{\"schema_version\":1,\"suite\":\"smoke\","
+             "\"dataset\":{\"name\":\"smoke\",\"n\":20000,\"dim\":32,"
+             "\"ndom\":256,\"seed\":5},\"log\":{\"test_size\":50,\"seed\":2},"
+             "\"quick\":false,"
+             "\"build\":{\"compiler\":\"x\",\"type\":\"release\"},"
+             "\"cells\":[") +
+         cell + "]}";
+}
+
+TEST(BenchDiffTest, AnyDegradedQueryOnCleanDiskFails) {
+  // The default gate is zero tolerance: a change that silently degrades
+  // queries in the clean-disk bench must fail even against an old baseline
+  // that predates the robustness section (missing section reads as rate 0).
+  const std::string old_base = Artifact(0.46, 0.47, 25, 0.95);
+  const std::string cur = ArtifactWithDegraded(0.02);
+  DiffResult r;
+  ASSERT_TRUE(DiffBench(old_base, cur, DiffOptions{}, &r).ok());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.regressions[0].find("degraded rate"), std::string::npos);
+}
+
+TEST(BenchDiffTest, ZeroDegradedRatePasses) {
+  const std::string old_base = Artifact(0.46, 0.47, 25, 0.95);
+  const std::string cur = ArtifactWithDegraded(0.0);
+  DiffResult r;
+  ASSERT_TRUE(DiffBench(old_base, cur, DiffOptions{}, &r).ok());
+  EXPECT_TRUE(r.ok()) << (r.regressions.empty() ? "" : r.regressions[0]);
+  // New-schema baseline vs itself also passes.
+  ASSERT_TRUE(DiffBench(cur, cur, DiffOptions{}, &r).ok());
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(BenchDiffTest, DegradedRateThresholdIsOverridable) {
+  const std::string base = ArtifactWithDegraded(0.0);
+  const std::string cur = ArtifactWithDegraded(0.05);
+  DiffOptions chaos;  // a fault-injection bench expects some degradation
+  chaos.max_degraded_rate_increase = 0.10;
+  DiffResult r;
+  ASSERT_TRUE(DiffBench(base, cur, chaos, &r).ok());
+  EXPECT_TRUE(r.ok());
+  ASSERT_TRUE(DiffBench(base, cur, DiffOptions{}, &r).ok());
+  EXPECT_FALSE(r.ok());
+}
+
 TEST(BenchDiffTest, MalformedInputIsAnInputErrorNotACrash) {
   const std::string a = Artifact(0.46, 0.47, 25, 0.95);
   DiffResult r;

@@ -7,8 +7,11 @@
 #include <cmath>
 #include <map>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "common/bitops.h"
+#include "common/crc32c.h"
 #include "common/dataset.h"
 #include "common/discretizer.h"
 #include "common/distance.h"
@@ -355,6 +358,41 @@ TEST(KMeansTest, SizesSumToN) {
   uint32_t total = 0;
   for (uint32_t s : km.sizes) total += s;
   EXPECT_EQ(total, d.size());
+}
+
+// ----------------------------------------------------------------- CRC32C --
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 Appendix B / de-facto Castagnoli test vectors.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  const std::vector<char> zeros(32, 0);
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  const std::vector<char> ones(32, '\xff');
+  EXPECT_EQ(Crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+}
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  const std::string s = "exploit every bit: caching for NN search";
+  const uint32_t whole = Crc32c(s.data(), s.size());
+  for (size_t split : {size_t{0}, size_t{1}, size_t{7}, s.size()}) {
+    uint32_t crc = Crc32cExtend(0, s.data(), split);
+    crc = Crc32cExtend(crc, s.data() + split, s.size() - split);
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, SensitiveToSingleBitFlips) {
+  std::vector<char> buf(4096, 'p');
+  const uint32_t clean = Crc32c(buf.data(), buf.size());
+  Rng rng(59);
+  for (int trial = 0; trial < 64; ++trial) {
+    const size_t bit = rng.Uniform(buf.size() * 8);
+    buf[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+    EXPECT_NE(Crc32c(buf.data(), buf.size()), clean);
+    buf[bit / 8] ^= static_cast<char>(1u << (bit % 8));  // restore
+  }
+  EXPECT_EQ(Crc32c(buf.data(), buf.size()), clean);
 }
 
 }  // namespace

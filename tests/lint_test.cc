@@ -276,10 +276,50 @@ TEST(LintTest, OutputFormats) {
   EXPECT_EQ(FormatJson({}), "[]\n");
 }
 
+// ------------------------------------------------------------- raw-ioerror
+
+TEST(LintTest, RawIoErrorFires) {
+  const std::string src =
+      "Status F() {\n"
+      "  return Status::IOError(\"engine hiccup\");\n"
+      "}\n";
+  ExpectSingle(Lint("src/core/knn_engine.cc", src), "raw-ioerror", 2);
+}
+
+TEST(LintTest, RawIoErrorScopedToLibraryOutsideStorage) {
+  const std::string src = "return Status::IOError(\"disk\");\n";
+  // The storage layer is where IOError legitimately originates.
+  EXPECT_TRUE(Lint("src/storage/env.cc", src).empty());
+  EXPECT_TRUE(Lint("src/storage/retry_env.cc", src).empty());
+  // Tools and tests mint whatever they need.
+  EXPECT_TRUE(Lint("tools/eeb_cli.cc", src).empty());
+  EXPECT_TRUE(Lint("tests/foo_test.cc", src).empty());
+  // Everywhere else in src/ it is a finding.
+  ExpectSingle(Lint("src/cache/code_cache.cc", src), "raw-ioerror", 1);
+}
+
+TEST(LintTest, RawIoErrorIgnoresOtherCodesAndPropagation) {
+  const std::string src =
+      "Status F(Status st) {\n"
+      "  if (st.IsIOError()) return st;\n"
+      "  return Status::InvalidArgument(\"bad\");\n"
+      "}\n";
+  EXPECT_TRUE(Lint("src/core/system.cc", src).empty());
+}
+
+TEST(LintTest, RawIoErrorSuppressible) {
+  const std::string src =
+      "Status F() {\n"
+      "  // eeb-lint: allow(raw-ioerror)\n"
+      "  return Status::IOError(\"sanctioned\");\n"
+      "}\n";
+  EXPECT_TRUE(Lint("src/obs/export.cc", src).empty());
+}
+
 TEST(LintTest, EveryRuleHasAName) {
   const std::vector<std::string> expected = {
-      "dropped-status", "env-io",    "determinism",
-      "iostream",       "naked-new", "header-hygiene"};
+      "dropped-status", "env-io",    "determinism",    "iostream",
+      "naked-new",      "raw-ioerror", "header-hygiene"};
   EXPECT_EQ(RuleNames(), expected);
 }
 

@@ -156,41 +156,43 @@ TEST(PointFileTest, MultiPageRecords) {
 
 TEST(PointFileTest, PageTrackerDeduplicatesWithinQuery) {
   const std::string path = TempPath("pf_dedup");
-  // 16-dim floats = 64 bytes: 64 points per 4K page.
+  // 16-dim floats = 64 bytes: 63 points per 4K page (4 bytes go to the
+  // CRC32C page footer).
   Dataset data = RandomData(128, 16, 79);
   ASSERT_TRUE(PointFile::Create(Env::Default(), path, data).ok());
   std::unique_ptr<PointFile> pf;
   ASSERT_TRUE(PointFile::Open(Env::Default(), path, &pf).ok());
+  ASSERT_EQ(pf->points_per_page(), 63u);
 
   std::vector<Scalar> buf(16);
   IoStats stats;
   PageTracker tracker;
-  // Points 0..63 share page 0.
-  for (PointId id = 0; id < 64; ++id) {
+  // Points 0..62 share page 0.
+  for (PointId id = 0; id < 63; ++id) {
     ASSERT_TRUE(pf->ReadPoint(id, buf, &stats, &tracker).ok());
   }
-  EXPECT_EQ(stats.point_reads, 64u);
+  EXPECT_EQ(stats.point_reads, 63u);
   EXPECT_EQ(stats.page_reads, 1u);
 
   // Without a tracker every read charges its page.
   IoStats stats2;
-  for (PointId id = 0; id < 64; ++id) {
+  for (PointId id = 0; id < 63; ++id) {
     ASSERT_TRUE(pf->ReadPoint(id, buf, &stats2, nullptr).ok());
   }
-  EXPECT_EQ(stats2.page_reads, 64u);
+  EXPECT_EQ(stats2.page_reads, 63u);
   Env::Default()->DeleteFile(path).IgnoreError();
 }
 
 TEST(PointFileTest, PageOfPointConsistentWithOrdering) {
   const std::string path = TempPath("pf_pages");
-  Dataset data = RandomData(256, 16, 83);  // 64 per page
+  Dataset data = RandomData(256, 16, 83);  // 63 per checksummed page
   ASSERT_TRUE(PointFile::Create(Env::Default(), path, data).ok());
   std::unique_ptr<PointFile> pf;
   ASSERT_TRUE(PointFile::Open(Env::Default(), path, &pf).ok());
   EXPECT_EQ(pf->PageOfPoint(0), 0u);
-  EXPECT_EQ(pf->PageOfPoint(63), 0u);
-  EXPECT_EQ(pf->PageOfPoint(64), 1u);
-  EXPECT_EQ(pf->PageOfPoint(255), 3u);
+  EXPECT_EQ(pf->PageOfPoint(62), 0u);
+  EXPECT_EQ(pf->PageOfPoint(63), 1u);
+  EXPECT_EQ(pf->PageOfPoint(255), 4u);
   Env::Default()->DeleteFile(path).IgnoreError();
 }
 
@@ -228,6 +230,122 @@ TEST(PointFileTest, OutOfRangeIdRejected) {
   EXPECT_TRUE(pf->ReadPoint(10, buf, nullptr, nullptr).IsInvalidArgument());
   std::vector<Scalar> small(2);
   EXPECT_TRUE(pf->ReadPoint(0, small, nullptr, nullptr).IsInvalidArgument());
+  Env::Default()->DeleteFile(path).IgnoreError();
+}
+
+// ------------------------------------------------------- page checksums --
+
+// Flips one bit of the file at `offset` by rewriting it through the Env.
+void FlipByteAt(Env* env, const std::string& path, uint64_t offset) {
+  std::unique_ptr<RandomAccessFile> r;
+  ASSERT_TRUE(env->NewRandomAccessFile(path, &r).ok());
+  std::vector<char> all(r->Size());
+  ASSERT_TRUE(r->Read(0, all.size(), all.data()).ok());
+  r.reset();
+  ASSERT_LT(offset, all.size());
+  all[offset] ^= 0x01;
+  std::unique_ptr<WritableFile> w;
+  ASSERT_TRUE(env->NewWritableFile(path, &w).ok());
+  ASSERT_TRUE(w->Append(all.data(), all.size()).ok());
+  ASSERT_TRUE(w->Close().ok());
+}
+
+TEST(PointFileTest, NewFilesAreChecksummedByDefault) {
+  const std::string path = TempPath("pf_ck_default");
+  Dataset data = RandomData(8, 4, 107);
+  ASSERT_TRUE(PointFile::Create(Env::Default(), path, data).ok());
+  std::unique_ptr<PointFile> pf;
+  ASSERT_TRUE(PointFile::Open(Env::Default(), path, &pf).ok());
+  EXPECT_TRUE(pf->checksummed());
+  EXPECT_EQ(pf->format_version(), PointFile::kFormatChecksummed);
+  Env::Default()->DeleteFile(path).IgnoreError();
+}
+
+TEST(PointFileTest, LegacyFormatStillReadable) {
+  const std::string path = TempPath("pf_legacy");
+  Dataset data = RandomData(128, 16, 109);
+  std::vector<PointId> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  ASSERT_TRUE(PointFile::Create(Env::Default(), path, data, order,
+                                kDefaultPageSize,
+                                PointFile::kFormatLegacy)
+                  .ok());
+  std::unique_ptr<PointFile> pf;
+  ASSERT_TRUE(PointFile::Open(Env::Default(), path, &pf).ok());
+  EXPECT_FALSE(pf->checksummed());
+  EXPECT_EQ(pf->format_version(), PointFile::kFormatLegacy);
+  EXPECT_EQ(pf->points_per_page(), 64u);  // no footer: full 4K of records
+  std::vector<Scalar> buf(16);
+  for (PointId id = 0; id < 128; ++id) {
+    ASSERT_TRUE(pf->ReadPoint(id, buf, nullptr, nullptr).ok());
+    EXPECT_EQ(buf[0], data.point(id)[0]);
+  }
+  Env::Default()->DeleteFile(path).IgnoreError();
+}
+
+TEST(PointFileTest, CorruptDataPageIsCorruptionNeverData) {
+  const std::string path = TempPath("pf_ck_data");
+  Dataset data = RandomData(256, 16, 113);  // 63 per page, 5 data pages
+  ASSERT_TRUE(PointFile::Create(Env::Default(), path, data).ok());
+  std::unique_ptr<PointFile> pf;
+  ASSERT_TRUE(PointFile::Open(Env::Default(), path, &pf).ok());
+  // Flip a bit inside data page 1 (file page 2, after the header page).
+  FlipByteAt(Env::Default(), path, 2 * kDefaultPageSize + 100);
+  // The file object caches nothing across reads: every point on the bad
+  // page reports Corruption, every other page still reads fine.
+  std::vector<Scalar> buf(16);
+  for (PointId id = 63; id < 126; ++id) {
+    EXPECT_TRUE(pf->ReadPoint(id, buf, nullptr, nullptr).IsCorruption());
+  }
+  for (PointId id = 0; id < 63; ++id) {
+    ASSERT_TRUE(pf->ReadPoint(id, buf, nullptr, nullptr).ok());
+    EXPECT_EQ(buf[0], data.point(id)[0]);
+  }
+  ASSERT_TRUE(pf->ReadPoint(200, buf, nullptr, nullptr).ok());
+  EXPECT_EQ(buf[0], data.point(200)[0]);
+  Env::Default()->DeleteFile(path).IgnoreError();
+}
+
+TEST(PointFileTest, CorruptHeaderPageRejectedAtOpen) {
+  const std::string path = TempPath("pf_ck_hdr");
+  Dataset data = RandomData(16, 4, 127);
+  ASSERT_TRUE(PointFile::Create(Env::Default(), path, data).ok());
+  // Past the header struct but inside the checksummed header page.
+  FlipByteAt(Env::Default(), path, 256);
+  std::unique_ptr<PointFile> pf;
+  EXPECT_TRUE(PointFile::Open(Env::Default(), path, &pf).IsCorruption());
+  Env::Default()->DeleteFile(path).IgnoreError();
+}
+
+TEST(PointFileTest, CorruptSlotTableRejectedAtOpen) {
+  const std::string path = TempPath("pf_ck_slots");
+  Dataset data = RandomData(64, 4, 131);
+  ASSERT_TRUE(PointFile::Create(Env::Default(), path, data).ok());
+  std::unique_ptr<RandomAccessFile> r;
+  ASSERT_TRUE(Env::Default()->NewRandomAccessFile(path, &r).ok());
+  const uint64_t size = r->Size();
+  r.reset();
+  // The slot table (and its CRC) are the last bytes of the file.
+  FlipByteAt(Env::Default(), path, size - 10);
+  std::unique_ptr<PointFile> pf;
+  EXPECT_TRUE(PointFile::Open(Env::Default(), path, &pf).IsCorruption());
+  Env::Default()->DeleteFile(path).IgnoreError();
+}
+
+TEST(PointFileTest, CorruptMultiPageRecordDetected) {
+  const std::string path = TempPath("pf_ck_big");
+  // 2000-dim floats = 8000 bytes > one 4092-byte payload: 2 pages each.
+  Dataset data = RandomData(5, 2000, 137);
+  ASSERT_TRUE(PointFile::Create(Env::Default(), path, data).ok());
+  std::unique_ptr<PointFile> pf;
+  ASSERT_TRUE(PointFile::Open(Env::Default(), path, &pf).ok());
+  std::vector<Scalar> buf(2000);
+  ASSERT_TRUE(pf->ReadPoint(1, buf, nullptr, nullptr).ok());
+  // Record 1 starts at file page 1 + 1*2 = 3; corrupt its second page.
+  FlipByteAt(Env::Default(), path, 4 * kDefaultPageSize + 8);
+  EXPECT_TRUE(pf->ReadPoint(1, buf, nullptr, nullptr).IsCorruption());
+  ASSERT_TRUE(pf->ReadPoint(0, buf, nullptr, nullptr).ok());
+  EXPECT_EQ(buf[0], data.point(0)[0]);
   Env::Default()->DeleteFile(path).IgnoreError();
 }
 

@@ -310,6 +310,18 @@ Status DiffBench(std::string_view baseline_json, std::string_view current_json,
                     options.max_hit_drop));
       }
     }
+    // Degraded-query rate: pre-robustness baselines have no section, which
+    // reads as rate 0 — exactly the clean-disk expectation.
+    double bdr = 0.0;
+    double cdr = 0.0;
+    Num2(bc, "robustness", "degraded_rate", &bdr);
+    if (Num2(*cc, "robustness", "degraded_rate", &cdr) &&
+        cdr > bdr + options.max_degraded_rate_increase + 1e-12) {
+      out->regressions.push_back(
+          name + ": degraded rate " +
+          FormatF("%.4g -> %.4g (max increase %.2g)", bdr, cdr,
+                  options.max_degraded_rate_increase));
+    }
   }
   for (const JsonValue& cc : ccells->items) {
     const std::string name = cell_name(cc);

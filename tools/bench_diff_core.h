@@ -43,6 +43,11 @@ struct DiffOptions {
   double max_tail_latency_increase = 0.25;  ///< p95
   double max_io_increase = 0.10;            ///< refine+gen pages per query
   double max_hit_drop = 0.05;               ///< absolute hit-ratio drop
+  /// Absolute increase allowed in robustness.degraded_rate. The default 0
+  /// means any degraded query on a clean-disk bench run is a regression —
+  /// degradation must never happen silently. A baseline without a
+  /// robustness section counts as rate 0.
+  double max_degraded_rate_increase = 0.0;
 };
 
 /// Outcome of one comparison.

@@ -189,6 +189,13 @@ void AppendCellJson(std::string* out, const CellResult& c) {
           c.agg.avg_gen_seq_pages);
   AppendF(out, "\"cache\":{\"hit_ratio\":%.9g,\"prune_ratio\":%.9g},",
           c.agg.hit_ratio, c.agg.prune_ratio);
+  // Expected all-zero on the clean bench disk; bench_diff gates on
+  // degraded_rate so a change that silently degrades queries fails CI.
+  AppendF(out,
+          "\"robustness\":{\"degraded_rate\":%.9g,\"degraded_queries\":%zu,"
+          "\"avg_substituted\":%.9g,\"read_failures\":%zu},",
+          c.agg.degraded_rate, c.agg.degraded_queries, c.agg.avg_substituted,
+          c.agg.read_failures);
   out->append("\"phase_profile\":");
   out->append(c.phase_profile_json);
   out->push_back(',');

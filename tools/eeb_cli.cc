@@ -6,9 +6,9 @@
 //   eeb_cli query --data data.fvecs [--queries q.fvecs] [--k 10]
 //                 [--cache none|exact|hc-w|hc-v|hc-m|hc-d|hc-o|c-va]
 //                 [--cache-mb 8] [--tau 0] [--workload 1000] [--test 50]
-//                 [--lru] [--eager] [--metrics-out m.json]
-//                 [--metrics-prom m.prom] [--trace-out t.jsonl]
-//                 [--profile-out p.json]
+//                 [--lru] [--eager] [--deadline-ms MS] [--io-retries N]
+//                 [--metrics-out m.json] [--metrics-prom m.prom]
+//                 [--trace-out t.jsonl] [--profile-out p.json]
 //
 // `query` builds the full pipeline (point file, C2LSH, workload analysis,
 // cache) in a temp directory and reports the paper-style statistics. When
@@ -184,6 +184,9 @@ int CmdQuery(const Args& args) {
   opt.ndom = ndom;
   opt.integral_values = args.Int("integral", 1) != 0;
   opt.engine.eager_miss_fetch = args.Has("eager");
+  opt.engine.deadline_ms = args.Dbl("deadline-ms", 0.0);
+  opt.io_retry.max_retries =
+      static_cast<int>(args.Int("io-retries", opt.io_retry.max_retries));
   std::unique_ptr<core::System> system;
   st = core::System::Create(storage::Env::Default(), dir, data,
                             log.workload, opt, &system);
@@ -245,6 +248,10 @@ int CmdQuery(const Args& args) {
               agg.avg_response_seconds, agg.avg_gen_seconds,
               agg.avg_refine_seconds, agg.p50_response_seconds,
               agg.p95_response_seconds, agg.p99_response_seconds);
+  std::printf("robustness: degraded %zu/%zu (rate %.3f) | substituted/q "
+              "%.2f | read failures %zu | deadline cuts %zu\n",
+              agg.degraded_queries, agg.queries, agg.degraded_rate,
+              agg.avg_substituted, agg.read_failures, agg.deadline_cuts);
   return 0;
 }
 
@@ -256,8 +263,9 @@ void Usage() {
                "  info  --data F\n"
                "  query --data F [--queries F --k K --cache M --cache-mb MB "
                "--tau T]\n"
-               "        [--lru] [--eager] [--metrics-out F.json] "
-               "[--metrics-prom F.prom] [--trace-out F.jsonl]\n"
+               "        [--lru] [--eager] [--deadline-ms MS] [--io-retries N]\n"
+               "        [--metrics-out F.json] [--metrics-prom F.prom] "
+               "[--trace-out F.jsonl]\n"
                "        [--profile-out F.json]\n");
 }
 

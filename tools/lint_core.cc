@@ -297,6 +297,28 @@ void CheckNakedNew(const std::string& path, const std::vector<Line>& lines,
   }
 }
 
+/// raw-ioerror: a Status::IOError constructed in library code outside
+/// src/storage/. IOError means "the storage layer failed"; minting one
+/// elsewhere bypasses the retry/degradation machinery keyed on that code
+/// (RetryingEnv retries IOError, the engine degrades on it) and makes a
+/// logic failure look transient. Use InvalidArgument/NotSupported/etc., or
+/// propagate the storage layer's own status.
+void CheckRawIoError(const std::string& path, const std::vector<Line>& lines,
+                     const Suppressions& sup,
+                     std::vector<Finding>* findings) {
+  if (!IsLibraryCode(path)) return;
+  if (StartsWith(path, "src/storage/")) return;  // the I/O layer itself
+  static const std::regex kIoError(R"(\bStatus::IOError\s*\()");
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (std::regex_search(lines[i].code, kIoError)) {
+      AddFinding(findings, sup, path, i, "raw-ioerror",
+                 "Status::IOError minted outside src/storage/; IOError "
+                 "drives retry/degradation policy — propagate the storage "
+                 "status or use a non-I/O error code");
+    }
+  }
+}
+
 /// header-hygiene: every header needs an include guard (or #pragma once),
 /// and `using namespace` in a header leaks into every includer.
 void CheckHeaderHygiene(const std::string& path,
@@ -344,8 +366,8 @@ std::string JsonEscape(const std::string& s) {
 
 const std::vector<std::string>& RuleNames() {
   static const std::vector<std::string> kRules = {
-      "dropped-status", "env-io",    "determinism",
-      "iostream",       "naked-new", "header-hygiene"};
+      "dropped-status", "env-io",    "determinism",    "iostream",
+      "naked-new",      "raw-ioerror", "header-hygiene"};
   return kRules;
 }
 
@@ -359,6 +381,7 @@ void CheckSource(const std::string& path, const std::string& content,
   CheckDeterminism(path, lines, sup, findings);
   CheckIostream(path, lines, sup, findings);
   CheckNakedNew(path, lines, sup, findings);
+  CheckRawIoError(path, lines, sup, findings);
   CheckHeaderHygiene(path, lines, sup, findings);
   std::sort(findings->begin() + first, findings->end(),
             [](const Finding& a, const Finding& b) {

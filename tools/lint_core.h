@@ -13,6 +13,9 @@
 //   iostream         std::cout / std::cerr / printf-family output in
 //                    library code (reporting belongs to src/obs/)
 //   naked-new        new/delete outside the unique_ptr factory idiom
+//   raw-ioerror      Status::IOError minted in library code outside
+//                    src/storage/ — IOError drives the retry/degradation
+//                    policy and must mean "the storage layer failed"
 //   header-hygiene   headers without an include guard or with
 //                    `using namespace` at header scope
 //
