@@ -35,14 +35,20 @@ void EncodeIndividual(const hist::IndividualHistograms& hs,
 
 CodeCacheBase::CodeCacheBase(size_t dim, uint32_t tau, size_t capacity_bytes,
                              bool lru)
-    : dim_(dim),
-      lru_(lru),
-      store_(dim, tau),
-      scratch_(dim) {
+    : dim_(dim), lru_(lru), store_(dim, tau) {
   capacity_items_ =
       store_.item_bytes() == 0 ? 0 : capacity_bytes / store_.item_bytes();
 }
 
+std::span<BucketId> CodeCacheBase::Scratch() const {
+  thread_local std::vector<BucketId> buf;
+  if (buf.size() < dim_) buf.resize(dim_);
+  return {buf.data(), dim_};
+}
+
+// Static fill runs before the cache is published to engine threads, so it
+// needs no locking (ConfigureCache builds a full generation, then swaps it
+// in — see core/system.cc).
 void CodeCacheBase::InsertStatic(PointId id, std::span<const BucketId> codes) {
   if (slot_of_.size() >= capacity_items_ || slot_of_.count(id)) return;
   const uint32_t slot = store_.AllocateSlot();
@@ -54,6 +60,7 @@ void CodeCacheBase::InsertStatic(PointId id, std::span<const BucketId> codes) {
 
 void CodeCacheBase::AdmitCodes(PointId id, std::span<const BucketId> codes) {
   if (capacity_items_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = slot_of_.find(id);
   if (it != slot_of_.end()) {
     lru_list_.Touch(id);
@@ -80,15 +87,30 @@ void CodeCacheBase::AdmitCodes(PointId id, std::span<const BucketId> codes) {
   NoteAdmit();
 }
 
-bool CodeCacheBase::LookupCodes(PointId id) {
+bool CodeCacheBase::LookupCodes(PointId id, std::span<BucketId> codes) {
+  if (lru_) {
+    // The recency touch and the slot read mutate/follow shared state; the
+    // whole lookup holds the lock so a concurrent eviction cannot recycle
+    // the slot mid-decode.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = slot_of_.find(id);
+    if (it == slot_of_.end()) {
+      NoteMiss();
+      return false;
+    }
+    NoteHit();
+    lru_list_.Touch(id);
+    store_.Read(it->second, codes);
+    return true;
+  }
+  // Static cache: slot table and store are immutable after Fill.
   auto it = slot_of_.find(id);
   if (it == slot_of_.end()) {
     NoteMiss();
     return false;
   }
   NoteHit();
-  if (lru_) lru_list_.Touch(id);
-  store_.Read(it->second, scratch_);
+  store_.Read(it->second, codes);
   return true;
 }
 
@@ -96,33 +118,35 @@ HistCodeCache::HistCodeCache(const hist::Histogram* h, size_t dim,
                              size_t capacity_bytes, bool lru, bool integral)
     : CodeCacheBase(dim, TauFor(h->num_buckets()), capacity_bytes, lru),
       hist_(h),
-      integral_(integral),
-      encode_buf_(dim) {}
+      integral_(integral) {}
 
 Status HistCodeCache::Fill(const Dataset& data,
                            std::span<const PointId> ids_by_freq) {
   if (data.dim() != dim_) {
     return Status::InvalidArgument("dataset dim mismatch");
   }
+  std::span<BucketId> buf = Scratch();
   for (PointId id : ids_by_freq) {
     if (slot_of_.size() >= capacity_items_) break;
-    EncodeGlobal(*hist_, data.point(id), encode_buf_);
-    InsertStatic(id, encode_buf_);
+    EncodeGlobal(*hist_, data.point(id), buf);
+    InsertStatic(id, buf);
   }
   return Status::OK();
 }
 
 bool HistCodeCache::Probe(std::span<const Scalar> q, PointId id, double* lb,
                           double* ub) {
-  if (!LookupCodes(id)) return false;
-  hist::CodeBoundsGlobal(*hist_, q, scratch_, lb, ub, integral_);
+  std::span<BucketId> codes = Scratch();
+  if (!LookupCodes(id, codes)) return false;
+  hist::CodeBoundsGlobal(*hist_, q, codes, lb, ub, integral_);
   return true;
 }
 
 void HistCodeCache::Admit(PointId id, std::span<const Scalar> exact) {
   if (!lru_) return;
-  EncodeGlobal(*hist_, exact, encode_buf_);
-  AdmitCodes(id, encode_buf_);
+  std::span<BucketId> codes = Scratch();
+  EncodeGlobal(*hist_, exact, codes);
+  AdmitCodes(id, codes);
 }
 
 IndividualCodeCache::IndividualCodeCache(const hist::IndividualHistograms* hs,
@@ -131,33 +155,35 @@ IndividualCodeCache::IndividualCodeCache(const hist::IndividualHistograms* hs,
                                          bool integral)
     : CodeCacheBase(hs->dim(), TauFor(num_buckets), capacity_bytes, lru),
       hists_(hs),
-      integral_(integral),
-      encode_buf_(hs->dim()) {}
+      integral_(integral) {}
 
 Status IndividualCodeCache::Fill(const Dataset& data,
                                  std::span<const PointId> ids_by_freq) {
   if (data.dim() != dim_) {
     return Status::InvalidArgument("dataset dim mismatch");
   }
+  std::span<BucketId> buf = Scratch();
   for (PointId id : ids_by_freq) {
     if (slot_of_.size() >= capacity_items_) break;
-    EncodeIndividual(*hists_, data.point(id), encode_buf_);
-    InsertStatic(id, encode_buf_);
+    EncodeIndividual(*hists_, data.point(id), buf);
+    InsertStatic(id, buf);
   }
   return Status::OK();
 }
 
 bool IndividualCodeCache::Probe(std::span<const Scalar> q, PointId id,
                                 double* lb, double* ub) {
-  if (!LookupCodes(id)) return false;
-  hist::CodeBoundsIndividual(*hists_, q, scratch_, lb, ub, integral_);
+  std::span<BucketId> codes = Scratch();
+  if (!LookupCodes(id, codes)) return false;
+  hist::CodeBoundsIndividual(*hists_, q, codes, lb, ub, integral_);
   return true;
 }
 
 void IndividualCodeCache::Admit(PointId id, std::span<const Scalar> exact) {
   if (!lru_) return;
-  EncodeIndividual(*hists_, exact, encode_buf_);
-  AdmitCodes(id, encode_buf_);
+  std::span<BucketId> codes = Scratch();
+  EncodeIndividual(*hists_, exact, codes);
+  AdmitCodes(id, codes);
 }
 
 }  // namespace eeb::cache

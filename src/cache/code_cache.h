@@ -7,10 +7,18 @@
 //   IndividualCodeCache — d per-dimension histograms (iHC-*); also used to
 //                         realize the C-VA baseline (VA-file = per-dimension
 //                         equi-depth encoding of all points).
+//
+// Concurrency (docs/CONCURRENCY.md): a statically filled (HFF) cache is
+// immutable after Fill, so probes are lock-free — they only touch the
+// read-only slot table / code store plus the per-thread counter shards and
+// a thread_local decode buffer. Under the LRU policy probes and admissions
+// mutate the slot table, recency list and store, so the whole mutating path
+// serializes behind `mu_`.
 
 #ifndef EEB_CACHE_CODE_CACHE_H_
 #define EEB_CACHE_CODE_CACHE_H_
 
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -48,11 +56,17 @@ class CodeCacheBase : public KnnCache {
   /// Inserts codes for `id` (static fill path). No-op when full or present.
   void InsertStatic(PointId id, std::span<const BucketId> codes);
 
-  /// LRU admission of codes for `id`.
+  /// LRU admission of codes for `id`. Takes `mu_`.
   void AdmitCodes(PointId id, std::span<const BucketId> codes);
 
-  /// Looks up `id`; on hit decodes into `scratch_` and returns true.
-  bool LookupCodes(PointId id);
+  /// Looks up `id`; on hit decodes into `codes` (dim_ entries) and returns
+  /// true. Lock-free on static caches; takes `mu_` under LRU (the recency
+  /// touch and the decode must see a consistent slot).
+  bool LookupCodes(PointId id, std::span<BucketId> codes);
+
+  /// Thread-local decode/encode scratch of dim_ entries, shared across
+  /// cache instances (contents never outlive one call).
+  std::span<BucketId> Scratch() const;
 
   size_t dim_;
   size_t capacity_items_;
@@ -61,7 +75,7 @@ class CodeCacheBase : public KnnCache {
   std::unordered_map<PointId, uint32_t> slot_of_;
   std::vector<uint32_t> free_slots_;
   LruTracker lru_list_;
-  std::vector<BucketId> scratch_;  // decode buffer (single-threaded use)
+  std::mutex mu_;  // guards all mutable state, LRU policy only
 };
 
 /// Cache of codes under one global histogram.
@@ -86,7 +100,6 @@ class HistCodeCache : public CodeCacheBase {
  private:
   const hist::Histogram* hist_;
   bool integral_;
-  std::vector<BucketId> encode_buf_;
 };
 
 /// Cache of codes under per-dimension histograms.
@@ -106,7 +119,6 @@ class IndividualCodeCache : public CodeCacheBase {
  private:
   const hist::IndividualHistograms* hists_;
   bool integral_;
-  std::vector<BucketId> encode_buf_;
 };
 
 }  // namespace eeb::cache

@@ -31,15 +31,34 @@ Status ExactCache::Fill(const Dataset& data,
 
 bool ExactCache::Probe(std::span<const Scalar> q, PointId id, double* lb,
                        double* ub) {
+  if (lru_) {
+    // The recency touch mutates the list and a concurrent Admit may recycle
+    // this slot mid-read, so the whole probe (including the distance over
+    // the slot's values) holds the lock.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = slot_of_.find(id);
+    if (it == slot_of_.end()) {
+      NoteMiss();
+      return false;
+    }
+    NoteHit();
+    lru_list_.Touch(id);
+    std::span<const Scalar> p{
+        values_.data() + static_cast<size_t>(it->second) * dim_, dim_};
+    const double d = L2(q, p);
+    *lb = d;
+    *ub = d;
+    return true;
+  }
+  // Static cache: slot table and values are immutable after Fill.
   auto it = slot_of_.find(id);
   if (it == slot_of_.end()) {
     NoteMiss();
     return false;
   }
   NoteHit();
-  if (lru_) lru_list_.Touch(id);
-  std::span<const Scalar> p{values_.data() + static_cast<size_t>(it->second) * dim_,
-                            dim_};
+  std::span<const Scalar> p{
+      values_.data() + static_cast<size_t>(it->second) * dim_, dim_};
   const double d = L2(q, p);
   *lb = d;
   *ub = d;
@@ -68,6 +87,7 @@ uint32_t ExactCache::SlotFor() {
 
 void ExactCache::Admit(PointId id, std::span<const Scalar> exact) {
   if (!lru_ || capacity_items_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = slot_of_.find(id);
   if (it != slot_of_.end()) {
     lru_list_.Touch(id);

@@ -1,10 +1,16 @@
 // EXACT cache baseline (paper Sec. 5.1): caches full-precision points. A hit
 // yields the exact distance (lb == ub), a miss forces a disk fetch. Supports
 // the static HFF fill and the dynamic LRU policy (Fig. 8).
+//
+// Concurrency: statically filled caches are immutable after Fill and probe
+// lock-free. Under LRU, probes and admissions mutate the slot table, recency
+// list and value store, so the whole mutating path serializes behind `mu_`
+// (docs/CONCURRENCY.md).
 
 #ifndef EEB_CACHE_EXACT_CACHE_H_
 #define EEB_CACHE_EXACT_CACHE_H_
 
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -39,9 +45,10 @@ class ExactCache : public KnnCache {
   size_t capacity_items() const override { return capacity_items_; }
 
  private:
-  uint32_t SlotFor();  // allocates or recycles a slot (LRU)
+  uint32_t SlotFor();  // allocates or recycles a slot (LRU); needs mu_
 
   size_t dim_;
+  std::mutex mu_;  // guards all mutable state, LRU policy only
   size_t capacity_items_;
   bool lru_;
   std::unordered_map<PointId, uint32_t> slot_of_;

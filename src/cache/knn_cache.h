@@ -4,11 +4,22 @@
 // return the dist-/dist+ interval, misses return false. The engine treats
 // all cache flavors uniformly, which is what makes the framework generic
 // across EXACT / HC-* / C-VA / mHC-R.
+//
+// Concurrency: Probe/Admit are safe to call from many engine threads at
+// once (docs/CONCURRENCY.md). Hit/miss/admission events land in per-thread
+// counter shards — one cache-line-padded block of relaxed atomics per
+// thread slot, so concurrent readers never bounce a shared line — and are
+// merged on snapshot (stats(), PublishMetrics()). Static (HFF) caches are
+// immutable after Fill and probe lock-free; LRU caches serialize their
+// mutating probe/admission path behind an internal mutex (see
+// CodeCacheBase / ExactCache).
 
 #ifndef EEB_CACHE_KNN_CACHE_H_
 #define EEB_CACHE_KNN_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <string>
 
@@ -18,6 +29,8 @@
 namespace eeb::cache {
 
 /// Hit/miss accounting for a cache (feeds rho_hit in the experiments).
+/// Returned by value from KnnCache::stats() as a merged point-in-time
+/// snapshot of the per-thread shards.
 struct CacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -36,13 +49,13 @@ class KnnCache {
   virtual ~KnnCache() = default;
 
   /// Probes for candidate `id` against query `q`. On a hit returns true and
-  /// fills `*lb` / `*ub`. On a miss returns false.
+  /// fills `*lb` / `*ub`. On a miss returns false. Thread-safe.
   virtual bool Probe(std::span<const Scalar> q, PointId id, double* lb,
                      double* ub) = 0;
 
   /// Admission hook called by the engine after a candidate was fetched from
   /// disk (its exact coordinates are supplied). Static policies (HFF)
-  /// ignore it; LRU caches insert/refresh.
+  /// ignore it; LRU caches insert/refresh. Thread-safe.
   virtual void Admit(PointId id, std::span<const Scalar> exact) {
     (void)id;
     (void)exact;
@@ -65,6 +78,7 @@ class KnnCache {
   /// unbound are not replayed.
   void BindMetrics(obs::MetricsRegistry* registry,
                    const std::string& prefix = "cache") {
+    std::lock_guard<std::mutex> lock(publish_mu_);
     if (registry == nullptr) {
       obs_ = Instruments{};
       return;
@@ -81,38 +95,41 @@ class KnnCache {
     obs_.capacity->Set(static_cast<double>(capacity_items()));
     obs_.item_size->Set(static_cast<double>(item_bytes()));
     if (!was_bound) published_ = CurrentTotals();
-    PublishMetrics();
+    PublishLocked();
   }
 
   /// Flushes events accumulated since the previous publish into the bound
   /// instruments (one atomic add per counter) and refreshes the occupancy
-  /// gauge. The engine calls this once per query, which keeps the
-  /// per-candidate Note* hooks free of atomic operations. No-op when
-  /// unbound.
+  /// gauge. The engine calls this once per query; concurrent callers
+  /// serialize on an internal mutex so each delta is pushed exactly once.
+  /// No-op when unbound.
   void PublishMetrics() {
-    if (obs_.hits == nullptr) return;
-    const EventTotals now = CurrentTotals();
-    obs_.hits->Add(now.hits - published_.hits);
-    obs_.misses->Add(now.misses - published_.misses);
-    obs_.fill_inserts->Add(now.fill_inserts - published_.fill_inserts);
-    obs_.admits->Add(now.admits - published_.admits);
-    obs_.evictions->Add(now.evictions - published_.evictions);
-    published_ = now;
-    SyncOccupancy();
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    PublishLocked();
   }
 
-  CacheStats& stats() { return stats_; }
-  const CacheStats& stats() const { return stats_; }
+  /// Merged snapshot of the per-thread hit/miss shards. Concurrent probes
+  /// may keep recording; each shard is read once (relaxed).
+  CacheStats stats() const {
+    const EventTotals t = CurrentTotals();
+    return CacheStats{t.hits, t.misses};
+  }
 
  protected:
-  // Event hooks implementations call instead of touching stats_ directly.
-  // They are on the per-candidate hot path, so they only bump plain
-  // counters; PublishMetrics() moves the deltas into the registry.
-  void NoteHit() { stats_.hits++; }
-  void NoteMiss() { stats_.misses++; }
-  void NoteFillInsert() { totals_.fill_inserts++; }
-  void NoteAdmit() { totals_.admits++; }
-  void NoteEviction() { totals_.evictions++; }
+  // Event hooks implementations call instead of keeping their own tallies.
+  // They are on the per-candidate hot path: one relaxed fetch_add on the
+  // calling thread's private shard line — no shared-line contention, no
+  // lock. PublishMetrics() merges the shards and moves deltas into the
+  // registry.
+  void NoteHit() { Shard().hits.fetch_add(1, std::memory_order_relaxed); }
+  void NoteMiss() { Shard().misses.fetch_add(1, std::memory_order_relaxed); }
+  void NoteFillInsert() {
+    Shard().fill_inserts.fetch_add(1, std::memory_order_relaxed);
+  }
+  void NoteAdmit() { Shard().admits.fetch_add(1, std::memory_order_relaxed); }
+  void NoteEviction() {
+    Shard().evictions.fetch_add(1, std::memory_order_relaxed);
+  }
   void SyncOccupancy() {
     if (obs_.items != nullptr) obs_.items->Set(static_cast<double>(size()));
   }
@@ -128,9 +145,9 @@ class KnnCache {
     obs::Gauge* item_size = nullptr;
   };
 
-  // Cumulative event totals (plain integers; one writer). `published_`
-  // remembers the totals as of the last PublishMetrics() so only deltas are
-  // pushed into the shared registry.
+  // Cumulative event totals, merged across shards. `published_` remembers
+  // the totals as of the last publish so only deltas are pushed into the
+  // shared registry.
   struct EventTotals {
     uint64_t hits = 0;
     uint64_t misses = 0;
@@ -140,15 +157,54 @@ class KnnCache {
   };
 
   EventTotals CurrentTotals() const {
-    EventTotals t = totals_;
-    t.hits = stats_.hits;
-    t.misses = stats_.misses;
+    EventTotals t;
+    for (const EventShard& s : shards_) {
+      t.hits += s.hits.load(std::memory_order_relaxed);
+      t.misses += s.misses.load(std::memory_order_relaxed);
+      t.fill_inserts += s.fill_inserts.load(std::memory_order_relaxed);
+      t.admits += s.admits.load(std::memory_order_relaxed);
+      t.evictions += s.evictions.load(std::memory_order_relaxed);
+    }
     return t;
   }
 
-  CacheStats stats_;
-  EventTotals totals_;
+ private:
+  // Number of counter shards. Threads are assigned slots round-robin at
+  // first use; with a worker pool at or below this size every thread owns
+  // its shard line exclusively. More threads than shards still works —
+  // colliding threads share a line via the (still correct) relaxed atomics.
+  static constexpr size_t kStatShards = 16;
+
+  struct alignas(64) EventShard {
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> fill_inserts{0};
+    std::atomic<uint64_t> admits{0};
+    std::atomic<uint64_t> evictions{0};
+  };
+
+  EventShard& Shard() {
+    static std::atomic<size_t> next_slot{0};
+    thread_local size_t slot =
+        next_slot.fetch_add(1, std::memory_order_relaxed) % kStatShards;
+    return shards_[slot];
+  }
+
+  void PublishLocked() {
+    if (obs_.hits == nullptr) return;
+    const EventTotals now = CurrentTotals();
+    obs_.hits->Add(now.hits - published_.hits);
+    obs_.misses->Add(now.misses - published_.misses);
+    obs_.fill_inserts->Add(now.fill_inserts - published_.fill_inserts);
+    obs_.admits->Add(now.admits - published_.admits);
+    obs_.evictions->Add(now.evictions - published_.evictions);
+    published_ = now;
+    SyncOccupancy();
+  }
+
+  EventShard shards_[kStatShards];
   EventTotals published_;
+  std::mutex publish_mu_;  // guards obs_ binding + published_ deltas
   Instruments obs_;
 };
 

@@ -32,6 +32,14 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
                         QueryResult* out) {
   *out = QueryResult{};
   if (k == 0) return Status::InvalidArgument("k must be positive");
+  // Pin the published cache generation for this whole query; a concurrent
+  // set_cache() (maintenance rebuild) cannot free it from under us.
+  std::shared_ptr<cache::KnnCache> cache_ref;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    cache_ref = cache_;
+  }
+  cache::KnnCache* const cache = cache_ref.get();
   obs::ProfScope query_scope(prof_, "query");
   Timer timer;
   Timer deadline_timer;  // wall clock across all phases, for deadline_ms
@@ -79,11 +87,11 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
     std::vector<double> lbs(cand.size(), 0.0);
     std::vector<double> ubs(cand.size(), inf);
     std::vector<bool> resolved(cand.size(), false);
-    if (cache_ != nullptr) {
+    if (cache != nullptr) {
       obs::ProfScope probes_scope(prof_, "cache_probes");
       for (size_t i = 0; i < cand.size(); ++i) {
         double lb, ub;
-        if (cache_->Probe(q, cand[i], &lb, &ub)) {
+        if (cache->Probe(q, cand[i], &lb, &ub)) {
           lbs[i] = lb;
           ubs[i] = ub;
           out->cache_hits++;
@@ -118,7 +126,7 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
             lbs[i] = d;
             ubs[i] = d;
             resolved[i] = true;
-            cache_->Admit(cand[i], buf);
+            cache->Admit(cand[i], buf);
             if (span != nullptr) {
               tracer_->AddEvent(span, obs::TraceEventType::kEagerFetch,
                                 cand[i], d);
@@ -217,7 +225,7 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
           out->fetched++;
           const double d = L2(q, buf);
           top.Push(p.id, d);
-          if (cache_ != nullptr) cache_->Admit(p.id, buf);
+          if (cache != nullptr) cache->Admit(p.id, buf);
           if (span != nullptr) {
             tracer_->AddEvent(span, obs::TraceEventType::kFetch, p.id, d);
           }
@@ -250,7 +258,7 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
   if (obs_.queries != nullptr) {
     obs_.queries->Add(1);
     obs_.candidates->Add(out->candidates);
-    if (cache_ != nullptr) {
+    if (cache != nullptr) {
       obs_.cache_hits->Add(out->cache_hits);
       obs_.cache_misses->Add(out->candidates - out->cache_hits);
     }
@@ -266,7 +274,7 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
     obs_.refine_seconds->Record(out->refine_seconds);
   }
   // Cache and storage batch their hot-path events; publish once per query.
-  if (cache_ != nullptr) cache_->PublishMetrics();
+  if (cache != nullptr) cache->PublishMetrics();
   points_->PublishIo(out->refine_io);
   return Status::OK();
 }

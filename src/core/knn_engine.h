@@ -8,10 +8,21 @@
 //
 // The engine is generic over the cache flavor (EXACT / HC-* / C-VA / mHC-R)
 // and never changes query results: the returned ids equal the no-cache ids.
+//
+// Concurrency (docs/CONCURRENCY.md): Query is safe to call from many
+// threads at once provided the index, point file and cache are themselves
+// thread-safe on their read paths (all in-tree implementations are). Each
+// query pins one shared_ptr snapshot of the cache at entry, so set_cache —
+// the maintenance rebuild publication point — can swap in a new cache
+// generation while queries are in flight; in-flight queries finish against
+// the generation they started with. The tracer remains single-threaded by
+// contract and must not be attached on the concurrent path.
 
 #ifndef EEB_CORE_KNN_ENGINE_H_
 #define EEB_CORE_KNN_ENGINE_H_
 
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -88,13 +99,28 @@ class KnnEngine {
   /// be nullptr (the NO-CACHE baseline).
   KnnEngine(index::CandidateIndex* index, const storage::PointFile* points,
             cache::KnnCache* cache, EngineOptions options = {})
-      : index_(index), points_(points), cache_(cache), options_(options) {}
+      : index_(index),
+        points_(points),
+        cache_(std::shared_ptr<cache::KnnCache>{}, cache),  // non-owning
+        options_(options) {}
 
-  /// Executes a kNN query (Algorithm 1).
+  /// Executes a kNN query (Algorithm 1). Thread-safe (see header comment).
   Status Query(std::span<const Scalar> q, size_t k, QueryResult* out);
 
-  cache::KnnCache* cache() { return cache_; }
-  void set_cache(cache::KnnCache* cache) { cache_ = cache; }
+  /// Snapshot of the currently published cache (may be empty/nullptr).
+  std::shared_ptr<cache::KnnCache> cache() {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    return cache_;
+  }
+
+  /// Publishes a new cache generation. In-flight queries keep their pinned
+  /// snapshot; queries entering afterwards see `cache`. When the shared_ptr
+  /// owns (or aliases) the histograms backing the cache, the whole bundle
+  /// stays alive until the last in-flight reader drops it.
+  void set_cache(std::shared_ptr<cache::KnnCache> cache) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    cache_ = std::move(cache);
+  }
 
   /// Binds the engine's per-phase counters and latency histograms in
   /// `registry` (names under "engine."); nullptr detaches. Instruments are
@@ -113,7 +139,8 @@ class KnnEngine {
  private:
   index::CandidateIndex* index_;
   const storage::PointFile* points_;
-  cache::KnnCache* cache_;
+  std::mutex cache_mu_;  // guards cache_ publication vs. query snapshots
+  std::shared_ptr<cache::KnnCache> cache_;
   EngineOptions options_;
   obs::Tracer* tracer_ = nullptr;
   obs::Profiler* prof_ = nullptr;

@@ -1,10 +1,12 @@
 #include "core/system.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/bitops.h"
 #include "common/timer.h"
+#include "core/thread_pool.h"
 #include "index/rtree/rtree_histogram.h"
 #include "storage/file_ordering.h"
 
@@ -100,7 +102,9 @@ void System::EnableMetrics(obs::MetricsRegistry* registry) {
   lsh_->BindMetrics(registry);
   points_->BindMetrics(registry);
   retry_env_->BindMetrics(registry);
-  if (cache_ != nullptr) cache_->BindMetrics(registry);
+  if (auto gen = generation(); gen != nullptr) {
+    gen->cache->BindMetrics(registry);
+  }
   if (registry == nullptr) {
     obs_queries_ = nullptr;
     obs_response_ = nullptr;
@@ -133,11 +137,14 @@ Status System::EstimateCurrentCache(size_t k, CostEstimate* out) const {
     case CacheMethod::kHcV:
     case CacheMethod::kHcM:
     case CacheMethod::kHcD:
-    case CacheMethod::kHcO:
-      // ConfigureCache retained the method's global histogram; re-estimate
-      // against exactly the structure the installed cache codes with.
-      *out = EstimateForHistogram(in, global_hist_, *fprime_, *fdata_);
+    case CacheMethod::kHcO: {
+      // The published generation retains the method's global histogram;
+      // re-estimate against exactly the structure the cache codes with.
+      auto gen = generation();
+      if (gen == nullptr) return Status::InvalidArgument("no cache configured");
+      *out = EstimateForHistogram(in, gen->global_hist, *fprime_, *fdata_);
       return Status::OK();
+    }
     case CacheMethod::kNone:
       return Status::InvalidArgument("no cache configured");
     default:
@@ -208,24 +215,31 @@ uint32_t System::AutoTau(CacheMethod method, size_t cache_bytes,
   }
 }
 
+// Builds a complete, fully filled cache generation without touching the
+// published one; the caller publishes it atomically on success. Histograms
+// live inside the generation so each cache points at structures with the
+// same lifetime as itself — a rebuild can no longer mutate a histogram an
+// in-flight query is decoding against.
 Status System::BuildCacheObject(CacheMethod method, size_t cache_bytes,
-                                uint32_t tau, bool lru) {
+                                uint32_t tau, bool lru,
+                                std::shared_ptr<CacheGeneration>* out) {
   const Dataset& data = *data_;
   const uint32_t buckets = 1u << tau;
   Timer timer;
   last_space_bytes_ = 0;
+  out->reset();
 
   switch (method) {
     case CacheMethod::kNone:
-      cache_.reset();
       return Status::OK();
 
     case CacheMethod::kExact: {
+      auto gen = std::make_shared<CacheGeneration>();
       auto c = std::make_unique<cache::ExactCache>(data.dim(), cache_bytes,
                                                    lru);
-      if (metrics_ != nullptr) c->BindMetrics(metrics_);
       if (!lru) EEB_RETURN_IF_ERROR(c->Fill(data, wl_.ids_by_freq));
-      cache_ = std::move(c);
+      gen->cache = std::move(c);
+      *out = std::move(gen);
       return Status::OK();
     }
 
@@ -234,15 +248,17 @@ Status System::BuildCacheObject(CacheMethod method, size_t cache_bytes,
     case CacheMethod::kHcM:
     case CacheMethod::kHcD:
     case CacheMethod::kHcO: {
-      EEB_RETURN_IF_ERROR(BuildGlobalHistogram(method, tau, &global_hist_));
+      auto gen = std::make_shared<CacheGeneration>();
+      EEB_RETURN_IF_ERROR(
+          BuildGlobalHistogram(method, tau, &gen->global_hist));
       last_build_seconds_ = timer.ElapsedSeconds();
-      last_space_bytes_ = global_hist_.SpaceBytes();
+      last_space_bytes_ = gen->global_hist.SpaceBytes();
       auto c = std::make_unique<cache::HistCodeCache>(
-          &global_hist_, data.dim(), cache_bytes, lru,
+          &gen->global_hist, data.dim(), cache_bytes, lru,
           options_.integral_values);
-      if (metrics_ != nullptr) c->BindMetrics(metrics_);
       if (!lru) EEB_RETURN_IF_ERROR(c->Fill(data, wl_.ids_by_freq));
-      cache_ = std::move(c);
+      gen->cache = std::move(c);
+      *out = std::move(gen);
       return Status::OK();
     }
 
@@ -265,29 +281,31 @@ Status System::BuildCacheObject(CacheMethod method, size_t cache_bytes,
         kind = hist::BuilderKind::kKnnOptimal;
         freqs = hist::PerDimFrequencies(data, wl_.qr_points, options_.ndom);
       }
+      auto gen = std::make_shared<CacheGeneration>();
       EEB_RETURN_IF_ERROR(
-          hist::BuildIndividual(freqs, buckets, kind, &indiv_hist_));
+          hist::BuildIndividual(freqs, buckets, kind, &gen->indiv_hist));
       last_build_seconds_ = timer.ElapsedSeconds();
-      last_space_bytes_ = indiv_hist_.SpaceBytes();
+      last_space_bytes_ = gen->indiv_hist.SpaceBytes();
       auto c = std::make_unique<cache::IndividualCodeCache>(
-          &indiv_hist_, buckets, cache_bytes, lru,
+          &gen->indiv_hist, buckets, cache_bytes, lru,
           options_.integral_values);
-      if (metrics_ != nullptr) c->BindMetrics(metrics_);
       if (!lru) EEB_RETURN_IF_ERROR(c->Fill(data, wl_.ids_by_freq));
-      cache_ = std::move(c);
+      gen->cache = std::move(c);
+      *out = std::move(gen);
       return Status::OK();
     }
 
     case CacheMethod::kMHcR: {
-      EEB_RETURN_IF_ERROR(index::BuildRTreeHistogram(data, buckets, &md_hist_,
-                                                     &md_assignment_));
+      auto gen = std::make_shared<CacheGeneration>();
+      EEB_RETURN_IF_ERROR(index::BuildRTreeHistogram(
+          data, buckets, &gen->md_hist, &gen->md_assignment));
       last_build_seconds_ = timer.ElapsedSeconds();
-      last_space_bytes_ = md_hist_.SpaceBytes();
-      auto c = std::make_unique<cache::MultiDimCodeCache>(&md_hist_,
+      last_space_bytes_ = gen->md_hist.SpaceBytes();
+      auto c = std::make_unique<cache::MultiDimCodeCache>(&gen->md_hist,
                                                           cache_bytes);
-      if (metrics_ != nullptr) c->BindMetrics(metrics_);
-      EEB_RETURN_IF_ERROR(c->Fill(wl_.ids_by_freq, md_assignment_));
-      cache_ = std::move(c);
+      EEB_RETURN_IF_ERROR(c->Fill(wl_.ids_by_freq, gen->md_assignment));
+      gen->cache = std::move(c);
+      *out = std::move(gen);
       return Status::OK();
     }
 
@@ -307,23 +325,41 @@ Status System::BuildCacheObject(CacheMethod method, size_t cache_bytes,
       std::vector<PointId> all(data.size());
       for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<PointId>(i);
       auto freqs = hist::PerDimFrequencies(data, all, options_.ndom);
+      auto gen = std::make_shared<CacheGeneration>();
       EEB_RETURN_IF_ERROR(hist::BuildIndividual(freqs, 1u << fit_tau,
                                                 hist::BuilderKind::kEquiDepth,
-                                                &indiv_hist_));
+                                                &gen->indiv_hist));
       last_build_seconds_ = timer.ElapsedSeconds();
-      last_space_bytes_ = indiv_hist_.SpaceBytes();
+      last_space_bytes_ = gen->indiv_hist.SpaceBytes();
       // Capacity: whole VA-file; fill in frequency order (complete anyway
       // when it fits).
       auto c = std::make_unique<cache::IndividualCodeCache>(
-          &indiv_hist_, 1u << fit_tau, cache_bytes, /*lru=*/false,
+          &gen->indiv_hist, 1u << fit_tau, cache_bytes, /*lru=*/false,
           options_.integral_values);
-      if (metrics_ != nullptr) c->BindMetrics(metrics_);
       EEB_RETURN_IF_ERROR(c->Fill(data, wl_.ids_by_freq));
-      cache_ = std::move(c);
+      gen->cache = std::move(c);
+      *out = std::move(gen);
       return Status::OK();
     }
   }
   return Status::InvalidArgument("unknown cache method");
+}
+
+void System::PublishGeneration(std::shared_ptr<CacheGeneration> gen) {
+  // Bind instruments before the swap so no probe lands on an unbound cache.
+  if (metrics_ != nullptr && gen != nullptr) {
+    gen->cache->BindMetrics(metrics_);
+  }
+  // The engine receives an aliasing pointer: it shares ownership of the
+  // whole generation but points at the cache, so histograms stay alive for
+  // exactly as long as any query still reads through them.
+  std::shared_ptr<cache::KnnCache> cache_view;
+  if (gen != nullptr) cache_view = {gen, gen->cache.get()};
+  {
+    std::lock_guard<std::mutex> lock(generation_mu_);
+    generation_ = std::move(gen);
+  }
+  engine_->set_cache(std::move(cache_view));
 }
 
 Status System::RefreshWorkload(
@@ -368,10 +404,10 @@ Status System::ConfigureCache(CacheMethod method, size_t cache_bytes,
     if (tau > 24) return Status::InvalidArgument("tau too large");
     last_tau_ = tau;
   }
-  EEB_RETURN_IF_ERROR(BuildCacheObject(method, cache_bytes, tau, lru));
-  engine_->set_cache(cache_.get());
+  std::shared_ptr<CacheGeneration> gen;
+  EEB_RETURN_IF_ERROR(BuildCacheObject(method, cache_bytes, tau, lru, &gen));
+  PublishGeneration(std::move(gen));
   if (metrics_ != nullptr) {
-    if (cache_ != nullptr) cache_->BindMetrics(metrics_);
     metrics_->GetGauge("cache.build_seconds")->Set(last_build_seconds_);
     metrics_->GetGauge("cache.aux_space_bytes")
         ->Set(static_cast<double>(last_space_bytes_));
@@ -389,6 +425,68 @@ Status System::RunQueries(const std::vector<std::vector<Scalar>>& queries,
   *out = AggregateResult{};
   if (queries.empty()) return Status::OK();
   obs::ProfScope batch_scope(profiler_, "run_queries");
+  std::vector<QueryResult> results(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EEB_RETURN_IF_ERROR(Query(queries[i], k, &results[i]));
+    if (tracer_ != nullptr) {
+      if (obs::QuerySpan* span = tracer_->last_span(); span != nullptr) {
+        const QueryResult& r = results[i];
+        storage::IoStats io = r.gen_io;
+        io += r.refine_io;
+        span->modeled_io_seconds = disk_model_.Seconds(io);
+        span->response_seconds = r.gen_seconds + r.reduce_seconds +
+                                 r.refine_seconds + span->modeled_io_seconds;
+      }
+    }
+  }
+  AggregateResults(results, out);
+  return Status::OK();
+}
+
+Status System::RunQueriesConcurrent(
+    const std::vector<std::vector<Scalar>>& queries, size_t k,
+    size_t n_threads, AggregateResult* out,
+    std::vector<QueryResult>* per_query) {
+  *out = AggregateResult{};
+  if (per_query != nullptr) per_query->clear();
+  if (n_threads == 0) {
+    return Status::InvalidArgument("n_threads must be positive");
+  }
+  if (tracer_ != nullptr) {
+    // The tracer's span ring is single-threaded by contract; refusing beats
+    // silently interleaving spans from different queries.
+    return Status::InvalidArgument(
+        "detach the tracer before RunQueriesConcurrent");
+  }
+  if (queries.empty()) return Status::OK();
+  obs::ProfScope batch_scope(profiler_, "run_queries_concurrent");
+
+  // Every query writes only its own slot, so no result-side synchronization
+  // is needed; aggregation then folds the slots in query order, making the
+  // aggregate bit-exact with the serial path.
+  std::vector<QueryResult> results(queries.size());
+  std::vector<Status> statuses(queries.size());
+  {
+    ThreadPool pool(n_threads);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const bool accepted =
+          pool.Submit([this, &queries, &results, &statuses, i, k] {
+            statuses[i] = engine_->Query(queries[i], k, &results[i]);
+          });
+      if (!accepted) break;  // pool shut down; unreachable in this scope
+    }
+    pool.Drain();
+  }
+  for (const Status& st : statuses) {
+    EEB_RETURN_IF_ERROR(st);
+  }
+  AggregateResults(results, out);
+  if (per_query != nullptr) *per_query = std::move(results);
+  return Status::OK();
+}
+
+void System::AggregateResults(const std::vector<QueryResult>& results,
+                              AggregateResult* out) {
   double hits = 0.0;
   double probes = 0.0;
   double reduced = 0.0;
@@ -398,9 +496,7 @@ Status System::RunQueries(const std::vector<std::vector<Scalar>>& queries,
   // aggregate in O(1) memory (satisfies the same p50<=p95<=p99 contract as
   // the exact sort it replaces, within one bucket width).
   obs::LatencyHistogram latencies;
-  QueryResult r;
-  for (const auto& q : queries) {
-    EEB_RETURN_IF_ERROR(Query(q, k, &r));
+  for (const QueryResult& r : results) {
     storage::IoStats io = r.gen_io;
     io += r.refine_io;
     const double modeled_io = disk_model_.Seconds(io);
@@ -409,12 +505,6 @@ Status System::RunQueries(const std::vector<std::vector<Scalar>>& queries,
     latencies.Record(response);
     modeled_io_total += modeled_io;
     if (obs_response_ != nullptr) obs_response_->Record(response);
-    if (tracer_ != nullptr) {
-      if (obs::QuerySpan* span = tracer_->last_span(); span != nullptr) {
-        span->modeled_io_seconds = modeled_io;
-        span->response_seconds = response;
-      }
-    }
     out->avg_candidates += static_cast<double>(r.candidates);
     out->avg_remaining += static_cast<double>(r.remaining);
     out->avg_fetched += static_cast<double>(r.fetched);
@@ -434,8 +524,8 @@ Status System::RunQueries(const std::vector<std::vector<Scalar>>& queries,
     out->avg_substituted += static_cast<double>(r.substituted);
     out->read_failures += r.read_failures;
   }
-  const double nq = static_cast<double>(queries.size());
-  out->queries = queries.size();
+  const double nq = static_cast<double>(results.size());
+  out->queries = results.size();
   out->avg_candidates /= nq;
   out->avg_remaining /= nq;
   out->avg_fetched /= nq;
@@ -460,10 +550,9 @@ Status System::RunQueries(const std::vector<std::vector<Scalar>>& queries,
   out->p99_response_seconds = latencies.Percentile(0.99);
 
   if (obs_queries_ != nullptr) {
-    obs_queries_->Add(queries.size());
+    obs_queries_->Add(results.size());
     obs_modeled_io_->Add(modeled_io_total);
   }
-  return Status::OK();
 }
 
 }  // namespace eeb::core

@@ -135,13 +135,27 @@ class System {
   /// options().ndom. Call ReconfigureCache afterwards.
   Status SetWorkloadStats(WorkloadStats stats, hist::FrequencyArray fprime);
 
-  /// Runs one query (Algorithm 1).
+  /// Runs one query (Algorithm 1). Thread-safe: concurrent callers share
+  /// the read-only index/point file and the thread-safe cache, and each
+  /// query pins the cache generation published at its start.
   Status Query(std::span<const Scalar> q, size_t k, QueryResult* out);
 
   /// Runs a batch and aggregates, converting I/O counts into modeled time
   /// with the disk model.
   Status RunQueries(const std::vector<std::vector<Scalar>>& queries, size_t k,
                     AggregateResult* out);
+
+  /// Runs the batch through a fixed pool of `n_threads` workers fed by a
+  /// bounded task queue, then aggregates exactly like RunQueries — the
+  /// aggregate and every per-query result are bit-exact with the serial
+  /// path (docs/CONCURRENCY.md). A ConfigureCache/ReconfigureCache from a
+  /// maintenance thread may run concurrently; queries keep the generation
+  /// they started with. Refuses to run with a tracer attached (the tracer
+  /// is single-threaded by contract). `per_query`, when non-null, receives
+  /// the result of queries[i] at index i.
+  Status RunQueriesConcurrent(const std::vector<std::vector<Scalar>>& queries,
+                              size_t k, size_t n_threads, AggregateResult* out,
+                              std::vector<QueryResult>* per_query = nullptr);
 
   /// Builds the global histogram a method would use at code length tau.
   Status BuildGlobalHistogram(CacheMethod method, uint32_t tau,
@@ -160,7 +174,10 @@ class System {
   const hist::FrequencyArray& fdata() const { return *fdata_; }
   const storage::PointFile& point_file() const { return *points_; }
   index::C2Lsh& lsh() { return *lsh_; }
-  cache::KnnCache* cache() { return cache_.get(); }
+  cache::KnnCache* cache() {
+    auto gen = generation();
+    return gen == nullptr ? nullptr : gen->cache.get();
+  }
   const SystemOptions& options() const { return options_; }
   uint32_t lvalue() const;
 
@@ -197,8 +214,34 @@ class System {
  private:
   System() = default;
 
+  /// One published cache epoch: the cache plus the histogram structures it
+  /// codes with, bundled so a rebuild can swap the whole generation
+  /// atomically while in-flight queries keep reading the old one
+  /// (docs/CONCURRENCY.md). Built privately, immutable once published
+  /// except for the cache's own thread-safe internals.
+  struct CacheGeneration {
+    hist::Histogram global_hist;
+    hist::IndividualHistograms indiv_hist;
+    hist::MultiDimHistogram md_hist;
+    std::vector<BucketId> md_assignment;
+    std::unique_ptr<cache::KnnCache> cache;
+  };
+
+  std::shared_ptr<CacheGeneration> generation() const {
+    std::lock_guard<std::mutex> lock(generation_mu_);
+    return generation_;
+  }
+
+  void PublishGeneration(std::shared_ptr<CacheGeneration> gen);
+
   Status BuildCacheObject(CacheMethod method, size_t cache_bytes, uint32_t tau,
-                          bool lru);
+                          bool lru, std::shared_ptr<CacheGeneration>* out);
+
+  /// Shared serial/concurrent aggregation: folds per-query results in query
+  /// order (identical floating-point accumulation on both paths) and
+  /// records batch-level observability.
+  void AggregateResults(const std::vector<QueryResult>& results,
+                        AggregateResult* out);
 
   storage::Env* env_ = nullptr;
   SystemOptions options_;
@@ -213,12 +256,11 @@ class System {
   std::unique_ptr<hist::FrequencyArray> fdata_;   // raw data distribution
   storage::DiskModel disk_model_;
 
-  // Cache state (owned; histograms must outlive the cache objects).
-  hist::Histogram global_hist_;
-  hist::IndividualHistograms indiv_hist_;
-  hist::MultiDimHistogram md_hist_;
-  std::vector<BucketId> md_assignment_;
-  std::unique_ptr<cache::KnnCache> cache_;
+  // Currently published cache generation (nullptr before ConfigureCache /
+  // for NO-CACHE). Readers copy the shared_ptr under generation_mu_; the
+  // engine additionally pins its own snapshot per query.
+  mutable std::mutex generation_mu_;
+  std::shared_ptr<CacheGeneration> generation_;
 
   double last_build_seconds_ = 0.0;
   size_t last_space_bytes_ = 0;

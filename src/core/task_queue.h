@@ -1,0 +1,89 @@
+// Bounded MPMC task queue: the hand-off between query producers and the
+// worker pool (docs/CONCURRENCY.md). Bounded so an open-loop producer that
+// outruns the workers blocks instead of growing an unbounded backlog — the
+// classic admission-control backpressure of a query server.
+//
+// Semantics:
+//   Push  blocks while the queue is full; returns false iff closed.
+//   Pop   blocks while the queue is empty; returns false iff closed AND
+//         drained (tasks enqueued before Shutdown are always delivered).
+//   Shutdown wakes every waiter; further Push calls are rejected.
+
+#ifndef EEB_CORE_TASK_QUEUE_H_
+#define EEB_CORE_TASK_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <utility>
+
+namespace eeb::core {
+
+/// Fixed-capacity multi-producer/multi-consumer queue of tasks.
+class BoundedTaskQueue {
+ public:
+  using Task = std::function<void()>;
+
+  explicit BoundedTaskQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedTaskQueue(const BoundedTaskQueue&) = delete;
+  BoundedTaskQueue& operator=(const BoundedTaskQueue&) = delete;
+
+  /// Enqueues `task`, blocking while the queue is at capacity. Returns false
+  /// (task dropped) iff the queue was closed.
+  bool Push(Task task) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || tasks_.size() < capacity_; });
+    if (closed_) return false;
+    tasks_.push_back(std::move(task));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Dequeues into `*task`, blocking while the queue is empty. Returns false
+  /// iff the queue is closed and fully drained.
+  bool Pop(Task* task) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !tasks_.empty(); });
+    if (tasks_.empty()) return false;  // closed and drained
+    *task = std::move(tasks_.front());
+    tasks_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Closes the queue: pending tasks still drain, new pushes are rejected,
+  /// and blocked waiters wake up.
+  void Shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tasks_.size();
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<Task> tasks_;
+  bool closed_ = false;
+};
+
+}  // namespace eeb::core
+
+#endif  // EEB_CORE_TASK_QUEUE_H_

@@ -1,0 +1,56 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace eeb::core {
+
+ThreadPool::ThreadPool(size_t n_threads, size_t queue_capacity)
+    : queue_(queue_capacity == 0 ? 2 * std::max<size_t>(1, n_threads)
+                                 : queue_capacity) {
+  const size_t n = std::max<size_t>(1, n_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  queue_.Shutdown();
+  for (std::thread& w : workers_) w.join();
+}
+
+bool ThreadPool::Submit(BoundedTaskQueue::Task task) {
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    ++submitted_;
+  }
+  if (!queue_.Push(std::move(task))) {
+    // Rejected by a closed queue: roll the accounting back so Drain does
+    // not wait for a task that will never run.
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    --submitted_;
+    return false;
+  }
+  return true;
+}
+
+void ThreadPool::Drain() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [this] { return completed_ == submitted_; });
+}
+
+void ThreadPool::WorkerLoop() {
+  BoundedTaskQueue::Task task;
+  while (queue_.Pop(&task)) {
+    task();
+    task = nullptr;  // release captures before signaling completion
+    {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      ++completed_;
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+}  // namespace eeb::core

@@ -1,0 +1,59 @@
+// Fixed-size worker pool over a BoundedTaskQueue (docs/CONCURRENCY.md).
+// Workers are spawned once at construction and live until destruction —
+// a query server keeps its threads warm instead of paying spawn latency
+// per request. Submit applies queue backpressure; Drain is the batch
+// barrier System::RunQueriesConcurrent uses between fan-out and the
+// deterministic aggregation pass.
+
+#ifndef EEB_CORE_THREAD_POOL_H_
+#define EEB_CORE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/task_queue.h"
+
+namespace eeb::core {
+
+/// Fixed pool of worker threads consuming a bounded MPMC queue.
+class ThreadPool {
+ public:
+  /// Spawns `n_threads` workers (at least one). `queue_capacity` bounds the
+  /// backlog of submitted-but-unstarted tasks; 0 picks 2 * n_threads, enough
+  /// to keep every worker fed without unbounded buildup.
+  explicit ThreadPool(size_t n_threads, size_t queue_capacity = 0);
+
+  /// Closes the queue, drains remaining tasks and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task, blocking while the queue is full. Returns false iff
+  /// the pool is shutting down.
+  bool Submit(BoundedTaskQueue::Task task);
+
+  /// Blocks until every task submitted so far has finished executing.
+  void Drain();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  BoundedTaskQueue queue_;
+  std::vector<std::thread> workers_;
+
+  // Drain bookkeeping: tasks submitted vs. completed.
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  uint64_t submitted_ = 0;
+  uint64_t completed_ = 0;
+};
+
+}  // namespace eeb::core
+
+#endif  // EEB_CORE_THREAD_POOL_H_

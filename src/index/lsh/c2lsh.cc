@@ -19,6 +19,22 @@ int64_t FloorDiv(int64_t a, int64_t b) {
 // entry is one 8-byte word). Used only for index-I/O accounting.
 constexpr size_t kEntryBytes = 8;
 
+// Per-thread collision-count scratch, shared by every C2Lsh instance on the
+// thread. `counts` only grows (new entries are zero-initialized) and every
+// query zeroes exactly the entries it touched, so a query sees all-zero
+// counts regardless of which instance the thread served before.
+struct QueryScratch {
+  std::vector<uint8_t> counts;
+  std::vector<PointId> touched;
+};
+
+QueryScratch& Scratch(size_t n) {
+  thread_local QueryScratch s;
+  if (s.counts.size() < n) s.counts.resize(n, 0);
+  if (s.touched.capacity() < 1024) s.touched.reserve(1024);
+  return s;
+}
+
 }  // namespace
 
 Status C2Lsh::Build(const Dataset& data, const C2LshOptions& options,
@@ -82,8 +98,6 @@ Status C2Lsh::Build(const Dataset& data, const C2LshOptions& options,
     std::sort(table.begin(), table.end());
   }
 
-  idx->counts_.assign(n, 0);
-  idx->touched_.reserve(1024);
   *out = std::move(idx);
   return Status::OK();
 }
@@ -106,9 +120,12 @@ Status C2Lsh::Candidates(std::span<const Scalar> q, size_t k,
   const int64_t c = static_cast<int64_t>(options_.approximation_ratio);
   const size_t want = std::min<size_t>(n_, k + options_.beta_candidates);
 
-  // Reset scratch counters from the previous query.
-  for (PointId id : touched_) counts_[id] = 0;
-  touched_.clear();
+  // Reset this thread's scratch counters from its previous query.
+  QueryScratch& scratch = Scratch(n_);
+  std::vector<uint8_t>& counts = scratch.counts;
+  std::vector<PointId>& touched = scratch.touched;
+  for (PointId id : touched) counts[id] = 0;
+  touched.clear();
 
   std::vector<int64_t> qkeys(m);
   for (uint32_t i = 0; i < m; ++i) qkeys[i] = KeyFor(i, q);
@@ -153,14 +170,14 @@ Status C2Lsh::Candidates(std::span<const Scalar> q, size_t k,
             table.begin(), table.end(), fresh[r].b + 1,
             [](const Entry& e, int64_t key) { return e.key < key; });
         for (auto it = begin; it != end; ++it) {
-          if (counts_[it->id] == 0) touched_.push_back(it->id);
-          if (counts_[it->id] < 255) counts_[it->id]++;
+          if (counts[it->id] == 0) touched.push_back(it->id);
+          if (counts[it->id] < 255) counts[it->id]++;
           // Admit candidates until the k + beta*n target is reached; points
           // crossing the collision threshold earliest (i.e. at the smallest
           // radius) are the most promising, so capping keeps the candidate
           // volume near the C2LSH termination target instead of admitting a
           // whole cluster when one level jump engulfs it.
-          if (counts_[it->id] == l && out->size() < want) {
+          if (counts[it->id] == l && out->size() < want) {
             out->push_back(it->id);
           }
         }
@@ -186,7 +203,8 @@ Status C2Lsh::Candidates(std::span<const Scalar> q, size_t k,
     bucket *= c;
   }
 
-  last_radius_ = width_ * static_cast<double>(bucket);
+  const double radius = width_ * static_cast<double>(bucket);
+  last_radius_.store(radius, std::memory_order_relaxed);
   std::sort(out->begin(), out->end());
   if (obs_.queries != nullptr) {
     obs_.queries->Add(1);
@@ -194,7 +212,7 @@ Status C2Lsh::Candidates(std::span<const Scalar> q, size_t k,
     obs_.entries_scanned->Add(total_entries);
     obs_.seq_page_reads->Add(total_seq_pages);
     obs_.candidates->Add(out->size());
-    obs_.last_radius->Set(last_radius_);
+    obs_.last_radius->Set(radius);
   }
   return Status::OK();
 }

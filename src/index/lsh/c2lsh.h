@@ -8,10 +8,15 @@
 // The hash tables are conceptually disk-resident (bucket lists of ids); we
 // keep them in RAM for speed but charge index I/O per bucket-list visit so
 // the candidate-generation cost of paper Fig. 1 is reproduced.
+//
+// Concurrency: after Build the index is immutable; Candidates uses only
+// thread_local collision-count scratch, so concurrent queries are safe
+// (docs/CONCURRENCY.md).
 
 #ifndef EEB_INDEX_LSH_C2LSH_H_
 #define EEB_INDEX_LSH_C2LSH_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -52,8 +57,11 @@ class C2Lsh : public CandidateIndex {
   std::string name() const override { return "C2LSH"; }
 
   /// Terminal search radius R of the last query, in original distance units.
-  /// Dmax = c * R feeds the cost model (Thm. 3).
-  double last_radius() const { return last_radius_; }
+  /// Dmax = c * R feeds the cost model (Thm. 3). Under concurrent queries
+  /// this reports whichever query finished last — observational only.
+  double last_radius() const {
+    return last_radius_.load(std::memory_order_relaxed);
+  }
 
   /// Binds candidate-generation instruments (queries, bucket probes,
   /// entries scanned, sequential pages, candidates, terminal radius) in
@@ -87,7 +95,7 @@ class C2Lsh : public CandidateIndex {
   };
   std::vector<std::vector<Entry>> tables_;
 
-  double last_radius_ = 0.0;
+  std::atomic<double> last_radius_{0.0};
 
   // Bound instruments (nullptr when observability is off).
   struct Instruments {
@@ -98,10 +106,6 @@ class C2Lsh : public CandidateIndex {
     obs::Counter* candidates = nullptr;
     obs::Gauge* last_radius = nullptr;
   } obs_;
-
-  // Scratch reused across queries.
-  std::vector<uint8_t> counts_;
-  std::vector<PointId> touched_;
 };
 
 }  // namespace eeb::index

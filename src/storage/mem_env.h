@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -70,11 +71,18 @@ struct FaultPlan {
 /// Env wrapper that injects IOError into reads and appends according to a
 /// FaultPlan. The write leg lets tests verify that failed writers remove
 /// their partial output (CleanupIfError) instead of leaving it behind.
+///
+/// Thread-safe: the schedule counters, fault tallies and the chaos Rng are
+/// guarded by one mutex so multi-threaded chaos tests can hammer a shared
+/// plan and still reconcile injected counts exactly. The fault sequence
+/// stays deterministic for a given seed, but its assignment to threads
+/// follows the arrival interleaving.
 class FaultInjectionEnv : public Env {
  public:
   explicit FaultInjectionEnv(Env* base) : base_(base) {}
 
   void set_plan(const FaultPlan& plan) {
+    std::lock_guard<std::mutex> lock(mu_);
     plan_ = plan;
     reads_ = 0;
     writes_ = 0;
@@ -85,12 +93,27 @@ class FaultInjectionEnv : public Env {
     injected_corruptions_ = 0;
     rng_ = Rng(plan.seed);
   }
-  uint64_t reads() const { return reads_; }
-  uint64_t writes() const { return writes_; }
+  uint64_t reads() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reads_;
+  }
+  uint64_t writes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return writes_;
+  }
   /// Faults actually fired since set_plan (scheduled + probabilistic).
-  uint64_t injected_read_faults() const { return injected_read_faults_; }
-  uint64_t injected_write_faults() const { return injected_write_faults_; }
-  uint64_t injected_corruptions() const { return injected_corruptions_; }
+  uint64_t injected_read_faults() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return injected_read_faults_;
+  }
+  uint64_t injected_write_faults() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return injected_write_faults_;
+  }
+  uint64_t injected_corruptions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return injected_corruptions_;
+  }
 
   Status NewRandomAccessFile(const std::string& path,
                              std::unique_ptr<RandomAccessFile>* out) override;
@@ -116,6 +139,7 @@ class FaultInjectionEnv : public Env {
 
  private:
   Env* base_;
+  mutable std::mutex mu_;  // guards everything below
   FaultPlan plan_;
   uint64_t reads_ = 0;
   uint64_t writes_ = 0;

@@ -255,6 +255,76 @@ TEST(BenchDiffTest, DegradedRateThresholdIsOverridable) {
   EXPECT_FALSE(r.ok());
 }
 
+// Concurrency-suite artifact with one tweakable thread cell.
+std::string ConcurrencyArtifact(double capacity_qps, double p95,
+                                bool bit_exact) {
+  char cell[512];
+  std::snprintf(
+      cell, sizeof(cell),
+      "{\"name\":\"threads_8\",\"threads\":8,"
+      "\"throughput\":{\"capacity_qps\":%g,\"speedup_vs_1\":7.6,"
+      "\"wall_qps\":3.1},"
+      "\"open_loop\":{\"utilization\":0.8,\"arrival_qps\":%g,"
+      "\"p50_seconds\":0.5,\"p95_seconds\":%g,\"p99_seconds\":%g},"
+      "\"bit_exact\":%s}",
+      capacity_qps, 0.8 * capacity_qps, p95, p95,
+      bit_exact ? "true" : "false");
+  return std::string(
+             "{\"schema_version\":1,\"suite\":\"concurrency\","
+             "\"dataset\":{\"name\":\"smoke\",\"n\":20000,\"dim\":32,"
+             "\"ndom\":256,\"seed\":5},\"log\":{\"test_size\":50,\"seed\":2},"
+             "\"quick\":false,"
+             "\"build\":{\"compiler\":\"x\",\"type\":\"release\"},"
+             "\"config\":{\"method\":\"HC-O\",\"cache_bytes\":786432,"
+             "\"k\":10,\"utilization\":0.8,\"avg_service_seconds\":0.45},"
+             "\"cells\":[") +
+         cell + "]}";
+}
+
+TEST(BenchDiffTest, QpsDropBeyondThresholdFails) {
+  // Acceptance criterion: an injected QPS regression past the default 25%
+  // threshold must fail the gate; a smaller dip must not.
+  const std::string base = ConcurrencyArtifact(16.0, 0.6, true);
+  DiffResult r;
+  ASSERT_TRUE(
+      DiffBench(base, ConcurrencyArtifact(13.0, 0.6, true), DiffOptions{}, &r)
+          .ok());
+  EXPECT_TRUE(r.ok());  // -19%: within threshold
+  ASSERT_TRUE(
+      DiffBench(base, ConcurrencyArtifact(10.0, 0.6, true), DiffOptions{}, &r)
+          .ok());
+  ASSERT_FALSE(r.ok());  // -37%: regression
+  EXPECT_NE(r.regressions[0].find("capacity QPS"), std::string::npos);
+}
+
+TEST(BenchDiffTest, QpsThresholdIsOverridable) {
+  const std::string base = ConcurrencyArtifact(16.0, 0.6, true);
+  const std::string cur = ConcurrencyArtifact(10.0, 0.6, true);  // -37%
+  DiffOptions loose;
+  loose.max_qps_drop = 0.50;
+  DiffResult r;
+  ASSERT_TRUE(DiffBench(base, cur, loose, &r).ok());
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(BenchDiffTest, QpsImprovementIsANote) {
+  const std::string base = ConcurrencyArtifact(16.0, 0.6, true);
+  const std::string cur = ConcurrencyArtifact(24.0, 0.6, true);
+  DiffResult r;
+  ASSERT_TRUE(DiffBench(base, cur, DiffOptions{}, &r).ok());
+  EXPECT_TRUE(r.ok());
+  EXPECT_FALSE(r.notes.empty());
+}
+
+TEST(BenchDiffTest, BitExactFalseFailsEvenWithGoodQps) {
+  const std::string base = ConcurrencyArtifact(16.0, 0.6, true);
+  const std::string cur = ConcurrencyArtifact(20.0, 0.6, false);
+  DiffResult r;
+  ASSERT_TRUE(DiffBench(base, cur, DiffOptions{}, &r).ok());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.regressions[0].find("bit-exact"), std::string::npos);
+}
+
 TEST(BenchDiffTest, MalformedInputIsAnInputErrorNotACrash) {
   const std::string a = Artifact(0.46, 0.47, 25, 0.95);
   DiffResult r;

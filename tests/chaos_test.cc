@@ -167,6 +167,79 @@ TEST(ChaosTest, RetriesAbsorbTransientFaultsBackToExact) {
   EXPECT_GT(rig.env.injected_read_faults(), 0u);  // faults really fired
 }
 
+TEST(ChaosTest, EightThreadsFaultyDiskNeverAbortsAndReconciles) {
+  core::SystemOptions opt;
+  opt.ndom = 256;
+  // Retries off: every injected fault surfaces as exactly one engine-level
+  // read failure, so the cross-thread reconciliation below is exact.
+  opt.io_retry.max_retries = 0;
+  ChaosRig rig(opt);
+  const size_t k = 10;
+
+  // Fault-free ground truth (serial; caches never change results).
+  std::vector<std::vector<PointId>> truth;
+  core::QueryResult r;
+  for (const auto& q : rig.log.test) {
+    ASSERT_TRUE(rig.system->Query(q, k, &r).ok());
+    ASSERT_FALSE(r.degraded);
+    truth.push_back(r.result_ids);
+  }
+
+  // Heavy chaos under 8 threads. Which query absorbs which fault depends on
+  // the interleaving, so per-query failure counts are nondeterministic —
+  // but (a) nothing aborts, (b) unflagged answers are exact, and (c) the
+  // summed accounting reconciles with the injector to the last fault.
+  storage::FaultPlan plan;
+  plan.read_fault_rate = 0.05;
+  plan.corrupt_rate = 0.01;
+  plan.seed = 29;
+  rig.env.set_plan(plan);
+
+  core::AggregateResult agg;
+  std::vector<core::QueryResult> results;
+  ASSERT_TRUE(rig.system
+                  ->RunQueriesConcurrent(rig.log.test, k, /*n_threads=*/8,
+                                         &agg, &results)
+                  .ok());
+
+  uint64_t reported_failures = 0;
+  size_t degraded = 0;
+  ASSERT_EQ(results.size(), truth.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    reported_failures += results[i].read_failures;
+    if (results[i].degraded) {
+      ++degraded;
+      EXPECT_GT(results[i].read_failures, 0u);
+    } else {
+      EXPECT_EQ(results[i].read_failures, 0u);
+      EXPECT_EQ(results[i].result_ids, truth[i]) << "query " << i;
+    }
+    EXPECT_EQ(results[i].result_ids.size(), truth[i].size());
+  }
+  EXPECT_GT(degraded, 0u);
+  EXPECT_EQ(agg.degraded_queries, degraded);
+  EXPECT_EQ(agg.read_failures, reported_failures);
+
+  // (c) Exact reconciliation across all 8 threads.
+  EXPECT_EQ(reported_failures,
+            rig.env.injected_read_faults() + rig.env.injected_corruptions());
+  EXPECT_GT(rig.env.injected_read_faults(), 0u);
+  EXPECT_GT(rig.env.injected_corruptions(), 0u);
+
+  // Healthy disk again: the concurrent path returns to bit-exact answers.
+  storage::FaultPlan healthy;
+  rig.env.set_plan(healthy);
+  ASSERT_TRUE(rig.system
+                  ->RunQueriesConcurrent(rig.log.test, k, /*n_threads=*/8,
+                                         &agg, &results)
+                  .ok());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_FALSE(results[i].degraded);
+    EXPECT_EQ(results[i].result_ids, truth[i]) << "query " << i;
+  }
+  EXPECT_EQ(agg.read_failures, 0u);
+}
+
 TEST(ChaosTest, AggregateDegradedAccountingMatchesPerQuery) {
   core::SystemOptions opt;
   opt.ndom = 256;

@@ -1,0 +1,300 @@
+// Concurrency tests (docs/CONCURRENCY.md): the worker-pool primitives, and
+// the backbone invariant of the concurrent query path — N threads hammering
+// RunQueriesConcurrent produce bit-exact per-query results, bit-exact
+// I/O-derived aggregates, and merged HFF cache counters equal to the serial
+// totals. A final test races queries against maintenance-style cache
+// rebuilds: publication is atomic, so every answer stays exact.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/dataset.h"
+#include "core/system.h"
+#include "core/task_queue.h"
+#include "core/thread_pool.h"
+#include "hist/frequency.h"
+#include "storage/mem_env.h"
+#include "workload/generator.h"
+
+namespace eeb {
+namespace {
+
+constexpr size_t kThreads = 8;
+
+// ---- BoundedTaskQueue / ThreadPool units ---------------------------------
+
+TEST(BoundedTaskQueueTest, FifoSingleThread) {
+  core::BoundedTaskQueue q(4);
+  std::vector<int> order;
+  ASSERT_TRUE(q.Push([&] { order.push_back(1); }));
+  ASSERT_TRUE(q.Push([&] { order.push_back(2); }));
+  core::BoundedTaskQueue::Task t;
+  ASSERT_TRUE(q.Pop(&t));
+  t();
+  ASSERT_TRUE(q.Pop(&t));
+  t();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(BoundedTaskQueueTest, ShutdownRejectsPushButDrainsPending) {
+  core::BoundedTaskQueue q(4);
+  int ran = 0;
+  ASSERT_TRUE(q.Push([&] { ran++; }));
+  q.Shutdown();
+  EXPECT_FALSE(q.Push([&] { ran += 100; }));
+  core::BoundedTaskQueue::Task t;
+  ASSERT_TRUE(q.Pop(&t));  // enqueued before Shutdown: still delivered
+  t();
+  EXPECT_FALSE(q.Pop(&t));  // closed and drained
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(BoundedTaskQueueTest, PushBlocksAtCapacityUntilPop) {
+  core::BoundedTaskQueue q(1);
+  ASSERT_TRUE(q.Push([] {}));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(q.Push([] {}));  // blocks until the consumer pops
+    second_pushed.store(true);
+  });
+  // The producer must be blocked: the queue is full.
+  EXPECT_EQ(q.size(), 1u);
+  core::BoundedTaskQueue::Task t;
+  ASSERT_TRUE(q.Pop(&t));
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskAcrossThreads) {
+  core::ThreadPool pool(kThreads);
+  constexpr int kTasks = 500;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < kTasks; ++i) {
+    ASSERT_TRUE(pool.Submit([&] { ran.fetch_add(1); }));
+  }
+  pool.Drain();
+  EXPECT_EQ(ran.load(), kTasks);
+  // Drain is a barrier, not a shutdown: the pool accepts more work.
+  ASSERT_TRUE(pool.Submit([&] { ran.fetch_add(1); }));
+  pool.Drain();
+  EXPECT_EQ(ran.load(), kTasks + 1);
+}
+
+TEST(ThreadPoolTest, DrainWithNothingSubmittedReturnsImmediately) {
+  core::ThreadPool pool(2);
+  pool.Drain();
+  EXPECT_EQ(pool.num_threads(), 2u);
+}
+
+TEST(FrequencyArrayTest, MergeAccumulatesShards) {
+  hist::FrequencyArray total(8);
+  hist::FrequencyArray a(8), b(8);
+  a.Add(1, 2.0);
+  a.Add(7, 1.0);
+  b.Add(1, 3.0);
+  b.Add(4, 0.5);
+  total.Merge(a);
+  total.Merge(b);
+  EXPECT_DOUBLE_EQ(total[1], 5.0);
+  EXPECT_DOUBLE_EQ(total[4], 0.5);
+  EXPECT_DOUBLE_EQ(total[7], 1.0);
+  EXPECT_DOUBLE_EQ(total.Total(), 6.5);
+}
+
+// ---- Concurrent query path ------------------------------------------------
+
+struct ConcurrencyRig {
+  storage::MemEnv env;
+  Dataset data;
+  workload::QueryLog log;
+  std::unique_ptr<core::System> system;
+
+  ConcurrencyRig() {
+    core::SystemOptions opt;
+    opt.ndom = 256;
+    // LSH tuned for the 16-dim surrogate (defaults target 64-dim).
+    opt.lsh.num_functions = 16;
+    opt.lsh.collision_threshold = 8;
+    opt.lsh.beta_candidates = 150;
+    workload::DatasetSpec dspec;
+    dspec.name = "conc";
+    dspec.n = 4000;
+    dspec.dim = 16;
+    dspec.ndom = 256;
+    dspec.clusters = 16;
+    dspec.cluster_stddev = 12.0;
+    dspec.seed = 7;
+    data = workload::GenerateClustered(dspec);
+    workload::QueryLogSpec lspec;
+    lspec.workload_size = 400;
+    lspec.test_size = 80;
+    lspec.jitter_stddev = 4.0;
+    lspec.seed = 11;
+    log = workload::GenerateQueryLog(data, lspec);
+    EXPECT_TRUE(
+        core::System::Create(&env, "/conc", data, log.workload, opt, &system)
+            .ok());
+    // Static HFF cache: lock-free concurrent probes, deterministic hit/miss
+    // totals (an LRU cache's content would depend on arrival interleaving).
+    EXPECT_TRUE(system
+                    ->ConfigureCache(core::CacheMethod::kHcO,
+                                     /*cache_bytes=*/32 << 10, /*tau=*/4)
+                    .ok());
+  }
+};
+
+void ExpectSameIo(const storage::IoStats& a, const storage::IoStats& b) {
+  EXPECT_EQ(a.point_reads, b.point_reads);
+  EXPECT_EQ(a.page_reads, b.page_reads);
+  EXPECT_EQ(a.seq_page_reads, b.seq_page_reads);
+  EXPECT_EQ(a.node_reads, b.node_reads);
+  EXPECT_EQ(a.bytes_read, b.bytes_read);
+}
+
+TEST(ConcurrencyTest, EightThreadsBitExactVsSerialReference) {
+  ConcurrencyRig rig;
+  const size_t k = 10;
+
+  // Serial reference pass, plus the serial HFF counter totals.
+  const cache::CacheStats before_serial = rig.system->cache()->stats();
+  std::vector<core::QueryResult> serial(rig.log.test.size());
+  for (size_t i = 0; i < rig.log.test.size(); ++i) {
+    ASSERT_TRUE(rig.system->Query(rig.log.test[i], k, &serial[i]).ok());
+  }
+  const cache::CacheStats after_serial = rig.system->cache()->stats();
+  const uint64_t serial_hits = after_serial.hits - before_serial.hits;
+  const uint64_t serial_misses = after_serial.misses - before_serial.misses;
+
+  // Concurrent pass over the same shared system, 8 workers.
+  core::AggregateResult agg;
+  std::vector<core::QueryResult> conc;
+  ASSERT_TRUE(rig.system
+                  ->RunQueriesConcurrent(rig.log.test, k, kThreads, &agg,
+                                         &conc)
+                  .ok());
+  const cache::CacheStats after_conc = rig.system->cache()->stats();
+
+  // Every query is bit-exact vs the serial reference: ids and every count
+  // that feeds the modeled-latency pipeline.
+  ASSERT_EQ(conc.size(), serial.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(conc[i].result_ids, serial[i].result_ids) << "query " << i;
+    EXPECT_EQ(conc[i].candidates, serial[i].candidates) << "query " << i;
+    EXPECT_EQ(conc[i].cache_hits, serial[i].cache_hits) << "query " << i;
+    EXPECT_EQ(conc[i].pruned, serial[i].pruned) << "query " << i;
+    EXPECT_EQ(conc[i].true_hits, serial[i].true_hits) << "query " << i;
+    EXPECT_EQ(conc[i].remaining, serial[i].remaining) << "query " << i;
+    EXPECT_EQ(conc[i].fetched, serial[i].fetched) << "query " << i;
+    EXPECT_FALSE(conc[i].degraded) << "query " << i;
+    ExpectSameIo(conc[i].gen_io, serial[i].gen_io);
+    ExpectSameIo(conc[i].refine_io, serial[i].refine_io);
+  }
+
+  // Merged sharded counters equal the serial totals exactly.
+  EXPECT_EQ(after_conc.hits - after_serial.hits, serial_hits);
+  EXPECT_EQ(after_conc.misses - after_serial.misses, serial_misses);
+  EXPECT_GT(serial_hits, 0u);
+}
+
+TEST(ConcurrencyTest, AggregateBitExactVsSerialRunQueries) {
+  ConcurrencyRig rig;
+  const size_t k = 10;
+
+  core::AggregateResult serial, conc;
+  ASSERT_TRUE(rig.system->RunQueries(rig.log.test, k, &serial).ok());
+  ASSERT_TRUE(rig.system
+                  ->RunQueriesConcurrent(rig.log.test, k, kThreads, &conc)
+                  .ok());
+
+  // Aggregation folds per-query results in query order on both paths, so
+  // every deterministic (non-CPU-time) field matches bit for bit.
+  EXPECT_EQ(conc.queries, serial.queries);
+  EXPECT_DOUBLE_EQ(conc.avg_candidates, serial.avg_candidates);
+  EXPECT_DOUBLE_EQ(conc.avg_remaining, serial.avg_remaining);
+  EXPECT_DOUBLE_EQ(conc.avg_fetched, serial.avg_fetched);
+  EXPECT_DOUBLE_EQ(conc.avg_refine_pages, serial.avg_refine_pages);
+  EXPECT_DOUBLE_EQ(conc.avg_gen_pages, serial.avg_gen_pages);
+  EXPECT_DOUBLE_EQ(conc.avg_gen_seq_pages, serial.avg_gen_seq_pages);
+  EXPECT_DOUBLE_EQ(conc.hit_ratio, serial.hit_ratio);
+  EXPECT_DOUBLE_EQ(conc.prune_ratio, serial.prune_ratio);
+  EXPECT_EQ(conc.degraded_queries, serial.degraded_queries);
+  EXPECT_EQ(conc.read_failures, serial.read_failures);
+  EXPECT_EQ(conc.deadline_cuts, serial.deadline_cuts);
+  EXPECT_GT(conc.hit_ratio, 0.0);
+}
+
+TEST(ConcurrencyTest, SingleWorkerDegeneratesToSerial) {
+  ConcurrencyRig rig;
+  core::QueryResult serial;
+  ASSERT_TRUE(rig.system->Query(rig.log.test[0], 10, &serial).ok());
+  core::AggregateResult agg;
+  std::vector<core::QueryResult> conc;
+  const std::vector<std::vector<Scalar>> one{rig.log.test[0]};
+  ASSERT_TRUE(
+      rig.system->RunQueriesConcurrent(one, 10, 1, &agg, &conc).ok());
+  ASSERT_EQ(conc.size(), 1u);
+  EXPECT_EQ(conc[0].result_ids, serial.result_ids);
+  EXPECT_EQ(agg.queries, 1u);
+}
+
+TEST(ConcurrencyTest, RejectsZeroThreadsAndAttachedTracer) {
+  ConcurrencyRig rig;
+  core::AggregateResult agg;
+  EXPECT_FALSE(
+      rig.system->RunQueriesConcurrent(rig.log.test, 10, 0, &agg).ok());
+  obs::Tracer tracer(16);
+  rig.system->SetTracer(&tracer);
+  EXPECT_FALSE(
+      rig.system->RunQueriesConcurrent(rig.log.test, 10, 2, &agg).ok());
+  rig.system->SetTracer(nullptr);
+  EXPECT_TRUE(
+      rig.system->RunQueriesConcurrent(rig.log.test, 10, 2, &agg).ok());
+}
+
+TEST(ConcurrencyTest, QueriesStayExactWhileMaintenanceRebuildsCache) {
+  ConcurrencyRig rig;
+  const size_t k = 10;
+
+  // Ground truth (caches never change results, whatever generation serves).
+  std::vector<std::vector<PointId>> truth;
+  core::QueryResult r;
+  for (const auto& q : rig.log.test) {
+    ASSERT_TRUE(rig.system->Query(q, k, &r).ok());
+    truth.push_back(r.result_ids);
+  }
+
+  // A maintenance thread republishes the cache generation in a tight loop
+  // while 8 workers hammer queries. Epoch publication means every query
+  // reads one coherent generation; the histogram a probe decodes against
+  // can never be mutated mid-flight.
+  std::atomic<bool> stop{false};
+  std::atomic<int> rebuilds{0};
+  std::thread maintenance([&] {
+    while (!stop.load()) {
+      ASSERT_TRUE(rig.system->ReconfigureCache().ok());
+      rebuilds.fetch_add(1);
+    }
+  });
+
+  for (int round = 0; round < 3; ++round) {
+    core::AggregateResult agg;
+    std::vector<core::QueryResult> conc;
+    ASSERT_TRUE(rig.system
+                    ->RunQueriesConcurrent(rig.log.test, k, kThreads, &agg,
+                                           &conc)
+                    .ok());
+    for (size_t i = 0; i < truth.size(); ++i) {
+      EXPECT_EQ(conc[i].result_ids, truth[i])
+          << "round " << round << " query " << i;
+    }
+  }
+  stop.store(true);
+  maintenance.join();
+  EXPECT_GT(rebuilds.load(), 0);
+}
+
+}  // namespace
+}  // namespace eeb

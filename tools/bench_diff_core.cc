@@ -322,6 +322,29 @@ Status DiffBench(std::string_view baseline_json, std::string_view current_json,
           FormatF("%.4g -> %.4g (max increase %.2g)", bdr, cdr,
                   options.max_degraded_rate_increase));
     }
+    // Concurrency-suite cells: modeled capacity throughput must not drop.
+    if (Num2(bc, "throughput", "capacity_qps", &b) &&
+        Num2(*cc, "throughput", "capacity_qps", &c)) {
+      if (c < b * (1.0 - options.max_qps_drop)) {
+        out->regressions.push_back(
+            name + ": capacity QPS " +
+            FormatF("%.4g -> %.4g (drop > %.2g)", b, c,
+                    options.max_qps_drop));
+      } else if (b > 0.0 && c > b * 1.10) {
+        out->notes.push_back(name + ": capacity QPS improved " +
+                             FormatF("%.4g -> %.4g (+%.1f%%)", b, c,
+                                     100.0 * (c - b) / b));
+      }
+    }
+    // A concurrent run that diverged from the serial reference is always a
+    // regression, whatever the throughput did.
+    const JsonValue* bit = cc->Find("bit_exact");
+    if (bit != nullptr && bit->type == JsonValue::Type::kBool &&
+        !bit->boolean) {
+      out->regressions.push_back(name +
+                                 ": concurrent results not bit-exact "
+                                 "against the serial reference");
+    }
   }
   for (const JsonValue& cc : ccells->items) {
     const std::string name = cell_name(cc);

@@ -48,6 +48,13 @@ struct DiffOptions {
   /// degradation must never happen silently. A baseline without a
   /// robustness section counts as rate 0.
   double max_degraded_rate_increase = 0.0;
+  /// Relative drop allowed in throughput.capacity_qps (concurrency-suite
+  /// cells): current below baseline * (1 - max_qps_drop) is a regression.
+  /// Cells without a throughput section are unaffected. Independently of
+  /// any threshold, a current cell with "bit_exact": false always fails —
+  /// a concurrent run that diverged from the serial reference is broken,
+  /// however fast it is.
+  double max_qps_drop = 0.25;
 };
 
 /// Outcome of one comparison.

@@ -19,6 +19,7 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +28,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "common/timer.h"
 #include "core/cost_model.h"
 #include "core/system.h"
 #include "obs/prof.h"
@@ -307,6 +309,212 @@ int RunSuite(const SuiteSpec& suite, const std::string& out_path) {
   return 0;
 }
 
+// ------------------------------------------------------ concurrency suite --
+//
+// Thread-scaling cells for the concurrent query engine (docs/CONCURRENCY.md).
+// The gated numbers are modeled, not wall-clock: the box running the bench
+// may have a single core, where wall-clock QPS cannot show scaling, and the
+// latency suites already established the convention that exact I/O counts x
+// the disk model dominate measured CPU. Each query's modeled service time is
+// its CPU seconds plus DiskModel seconds; capacity QPS at n threads is the
+// FCFS makespan over n servers (all queries arrive at t=0, each runs on the
+// earliest-free server), and the open-loop percentiles replay the same
+// service times against a fixed-rate arrival process at 80% of capacity.
+// Wall-clock QPS from a real RunQueriesConcurrent run is recorded per cell
+// (wall_qps) but informational only — bench_diff never gates on it. Every
+// cell also re-checks the concurrent results bit-exact against the serial
+// reference; a mismatch fails the run AND marks the artifact so bench_diff
+// fails too.
+
+double FcfsMakespan(const std::vector<double>& service, size_t n_servers) {
+  std::vector<double> free_at(n_servers, 0.0);
+  for (double s : service) {
+    *std::min_element(free_at.begin(), free_at.end()) += s;
+  }
+  return *std::max_element(free_at.begin(), free_at.end());
+}
+
+// FCFS sojourn times (queue wait + service) under a deterministic bursty
+// open-loop arrival process: queries arrive in groups of `burst` at the
+// given mean rate (one burst every burst * interarrival seconds). Smooth
+// fixed-interval arrivals below saturation never queue, which would make
+// the percentiles identical at every thread count; bursts are what expose
+// the latency benefit of more workers while staying fully deterministic.
+std::vector<double> OpenLoopSojourns(const std::vector<double>& service,
+                                     size_t n_servers,
+                                     double interarrival_seconds,
+                                     size_t burst) {
+  std::vector<double> free_at(n_servers, 0.0);
+  std::vector<double> sojourn;
+  sojourn.reserve(service.size());
+  for (size_t i = 0; i < service.size(); ++i) {
+    const double arrival = interarrival_seconds *
+                           static_cast<double>(burst) *
+                           static_cast<double>(i / burst);
+    double& server = *std::min_element(free_at.begin(), free_at.end());
+    const double start = std::max(arrival, server);
+    server = start + service[i];
+    sojourn.push_back(server - arrival);
+  }
+  return sojourn;
+}
+
+// Exact nearest-rank percentile (the batches here are 50 queries, so the
+// O(1)-memory log-bucket histogram the engine uses would be overkill).
+double SortedPercentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double rank = q * static_cast<double>(v.size());
+  size_t i = rank <= 1.0 ? 0 : static_cast<size_t>(std::ceil(rank)) - 1;
+  if (i >= v.size()) i = v.size() - 1;
+  return v[i];
+}
+
+int RunConcurrencySuite(const std::string& out_path) {
+  const workload::QueryLogSpec log_spec =
+      workload::MaybeQuick(workload::DefaultLogSpec());
+  auto wb = bench::MakeWorkbench(SmokeSpec());
+  const size_t file_bytes = wb->spec.n * wb->spec.dim * sizeof(float);
+  const size_t cache_bytes = static_cast<size_t>(file_bytes * 0.30);
+  const size_t k = 10;
+  bench::Check(
+      wb->system->ConfigureCache(core::CacheMethod::kHcO, cache_bytes),
+      "ConfigureCache");
+
+  // Serial reference pass: the bit-exactness baseline and the per-query
+  // modeled service times every simulation below reuses.
+  std::fprintf(stderr, "[concurrency] serial reference pass...\n");
+  std::vector<core::QueryResult> serial(wb->log.test.size());
+  std::vector<double> service;
+  service.reserve(serial.size());
+  double total_service = 0.0;
+  for (size_t i = 0; i < wb->log.test.size(); ++i) {
+    bench::Check(wb->system->Query(wb->log.test[i], k, &serial[i]), "Query");
+    storage::IoStats io = serial[i].gen_io;
+    io += serial[i].refine_io;
+    service.push_back(serial[i].gen_seconds + serial[i].reduce_seconds +
+                      serial[i].refine_seconds +
+                      wb->system->disk_model().Seconds(io));
+    total_service += service.back();
+  }
+
+  struct ConcCell {
+    size_t threads = 0;
+    double capacity_qps = 0.0;
+    double speedup = 0.0;   // vs the threads=1 cell
+    double wall_qps = 0.0;  // measured, machine-dependent, never gated
+    double arrival_qps = 0.0;
+    double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+    bool bit_exact = false;
+  };
+  constexpr size_t kThreadCounts[] = {1, 2, 4, 8};
+  constexpr double kUtilization = 0.8;
+  constexpr size_t kBurst = 8;  // clients arriving together per burst
+  std::vector<ConcCell> cells;
+  double base_qps = 0.0;
+  bool all_exact = true;
+  for (size_t n : kThreadCounts) {
+    ConcCell c;
+    c.threads = n;
+    c.capacity_qps =
+        static_cast<double>(service.size()) / FcfsMakespan(service, n);
+    if (n == 1) base_qps = c.capacity_qps;
+    c.speedup = base_qps > 0 ? c.capacity_qps / base_qps : 0.0;
+    c.arrival_qps = kUtilization * c.capacity_qps;
+    const std::vector<double> sojourns =
+        OpenLoopSojourns(service, n, 1.0 / c.arrival_qps, kBurst);
+    c.p50 = SortedPercentile(sojourns, 0.50);
+    c.p95 = SortedPercentile(sojourns, 0.95);
+    c.p99 = SortedPercentile(sojourns, 0.99);
+
+    core::AggregateResult agg;
+    std::vector<core::QueryResult> results;
+    Timer wall;
+    bench::Check(
+        wb->system->RunQueriesConcurrent(wb->log.test, k, n, &agg, &results),
+        "RunQueriesConcurrent");
+    const double wall_seconds = wall.ElapsedSeconds();
+    c.wall_qps = wall_seconds > 0
+                     ? static_cast<double>(results.size()) / wall_seconds
+                     : 0.0;
+    c.bit_exact = results.size() == serial.size();
+    for (size_t i = 0; c.bit_exact && i < results.size(); ++i) {
+      c.bit_exact = results[i].result_ids == serial[i].result_ids &&
+                    results[i].candidates == serial[i].candidates &&
+                    results[i].cache_hits == serial[i].cache_hits &&
+                    results[i].remaining == serial[i].remaining;
+    }
+    all_exact = all_exact && c.bit_exact;
+    std::fprintf(stderr,
+                 "[concurrency] threads=%zu capacity=%.1f qps (x%.2f) "
+                 "wall=%.1f qps p95=%.3fs bit_exact=%s\n",
+                 n, c.capacity_qps, c.speedup, c.wall_qps, c.p95,
+                 c.bit_exact ? "yes" : "NO");
+    cells.push_back(c);
+  }
+
+  std::string json;
+  AppendF(&json, "{\"schema_version\":1,\"suite\":\"concurrency\",");
+  AppendF(&json, "\"dataset\":{\"name\":\"%s\",\"n\":%zu,\"dim\":%zu,",
+          JsonEscape(wb->spec.name).c_str(), wb->spec.n, wb->spec.dim);
+  AppendF(&json, "\"ndom\":%u,\"seed\":%" PRIu64 "},", wb->spec.ndom,
+          wb->spec.seed);
+  AppendF(&json, "\"log\":{\"test_size\":%zu,\"seed\":%" PRIu64 "},",
+          wb->log.test.size(), log_spec.seed);
+  const char* quick = std::getenv("EEB_QUICK");
+  AppendF(&json, "\"quick\":%s,",
+          quick != nullptr && quick[0] != '\0' ? "true" : "false");
+#ifdef NDEBUG
+  const char* build_type = "release";
+#else
+  const char* build_type = "debug";
+#endif
+  AppendF(&json, "\"build\":{\"compiler\":\"%s\",\"type\":\"%s\"},",
+          JsonEscape(__VERSION__).c_str(), build_type);
+  AppendF(&json,
+          "\"config\":{\"method\":\"HC-O\",\"cache_bytes\":%zu,\"k\":%zu,"
+          "\"utilization\":%.9g,\"burst\":%zu,"
+          "\"avg_service_seconds\":%.9g},",
+          cache_bytes, k, kUtilization, kBurst,
+          total_service / static_cast<double>(service.size()));
+  json.append("\"cells\":[");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const ConcCell& c = cells[i];
+    if (i > 0) json.push_back(',');
+    AppendF(&json, "{\"name\":\"threads_%zu\",\"threads\":%zu,", c.threads,
+            c.threads);
+    AppendF(&json,
+            "\"throughput\":{\"capacity_qps\":%.9g,\"speedup_vs_1\":%.9g,"
+            "\"wall_qps\":%.9g},",
+            c.capacity_qps, c.speedup, c.wall_qps);
+    AppendF(&json,
+            "\"open_loop\":{\"utilization\":%.9g,\"arrival_qps\":%.9g,"
+            "\"p50_seconds\":%.9g,\"p95_seconds\":%.9g,"
+            "\"p99_seconds\":%.9g},",
+            kUtilization, c.arrival_qps, c.p50, c.p95, c.p99);
+    AppendF(&json, "\"bit_exact\":%s}", c.bit_exact ? "true" : "false");
+  }
+  json.append("]}\n");
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "[concurrency] wrote %s (%zu cells)\n",
+               out_path.c_str(), cells.size());
+  if (!all_exact) {
+    std::fprintf(stderr,
+                 "error: concurrent results diverged from the serial "
+                 "reference (see bit_exact flags)\n");
+    return 1;
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: eeb_bench --suite <name> [--out <path>]\n"
@@ -340,9 +548,16 @@ int Main(int argc, char** argv) {
       std::printf("%-8s %zu cells  %s\n", s.name.c_str(), s.cells.size(),
                   s.what.c_str());
     }
+    std::printf("%-8s %zu cells  %s\n", "concurrency", size_t{4},
+                "Thread scaling: modeled QPS + open-loop latency at "
+                "1/2/4/8 threads (HC-O, smoke)");
     return 0;
   }
   if (suite_name.empty()) return Usage();
+  if (suite_name == "concurrency") {
+    if (out_path.empty()) out_path = "BENCH_concurrency.json";
+    return RunConcurrencySuite(out_path);
+  }
   for (const SuiteSpec& s : suites) {
     if (s.name == suite_name) {
       if (out_path.empty()) out_path = "BENCH_" + s.name + ".json";
