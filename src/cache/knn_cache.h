@@ -115,6 +115,31 @@ class KnnCache {
     return CacheStats{t.hits, t.misses};
   }
 
+  /// Cumulative activity totals (merged shards), for the live-telemetry
+  /// cache tap: obs::WindowedMetrics differences successive readings into
+  /// windowed hit/admit/evict rates.
+  struct CacheActivity {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t admits = 0;
+    uint64_t evictions = 0;
+  };
+  CacheActivity activity() const {
+    const EventTotals t = CurrentTotals();
+    return CacheActivity{t.hits, t.misses, t.admits, t.evictions};
+  }
+
+  /// Generation id stamped by the publisher (System::PublishGeneration):
+  /// monotonically increasing, 0 = never published. Surfaced in per-query
+  /// explain records so a slow query can be tied to the cache generation
+  /// that served it.
+  void set_generation_id(uint64_t id) {
+    generation_id_.store(id, std::memory_order_relaxed);
+  }
+  uint64_t generation_id() const {
+    return generation_id_.load(std::memory_order_relaxed);
+  }
+
  protected:
   // Event hooks implementations call instead of keeping their own tallies.
   // They are on the per-candidate hot path: one relaxed fetch_add on the
@@ -206,6 +231,7 @@ class KnnCache {
   EventTotals published_;
   std::mutex publish_mu_;  // guards obs_ binding + published_ deltas
   Instruments obs_;
+  std::atomic<uint64_t> generation_id_{0};
 };
 
 }  // namespace eeb::cache

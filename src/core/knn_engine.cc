@@ -78,6 +78,10 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
     bool resolved;  // exact distance already known (eager miss fetch)
   };
   std::vector<Pending> remaining;
+  // Captured for the explain record.
+  double lbk_used = std::numeric_limits<double>::infinity();
+  double ubk_used = std::numeric_limits<double>::infinity();
+  bool saw_corruption = false;
 
   // ---- Phase 2: candidate reduction (no I/O) ----------------------------
   timer.Start();
@@ -115,6 +119,7 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
               // The candidate stays an unresolved miss with [0, inf) bounds;
               // refinement gets another shot at reading it.
               out->read_failures++;
+              saw_corruption |= rs.IsCorruption();
               if (span != nullptr) {
                 tracer_->AddEvent(span, obs::TraceEventType::kReadFailure,
                                   cand[i], 0.0);
@@ -139,6 +144,8 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
 
     const double lbk = KthMin(lbs, k);
     const double ubk = KthMin(ubs, k);
+    lbk_used = lbk;
+    ubk_used = ubk;
 
     remaining.reserve(cand.size());
     for (size_t i = 0; i < cand.size(); ++i) {
@@ -215,6 +222,7 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
               return rs;
             }
             out->read_failures++;
+            saw_corruption |= rs.IsCorruption();
             if (span != nullptr) {
               tracer_->AddEvent(span, obs::TraceEventType::kReadFailure, p.id,
                                 0.0);
@@ -239,6 +247,36 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
     std::sort(out->result_ids.begin(), out->result_ids.end());
   }
   out->refine_seconds = timer.ElapsedSeconds();
+
+  // ---- Explain record (filled on every query; scalars only) -------------
+  {
+    obs::QueryExplain& e = out->explain;
+    e.cache_generation = cache != nullptr ? cache->generation_id() : 0;
+    e.k = static_cast<uint32_t>(k);
+    e.candidates = static_cast<uint32_t>(out->candidates);
+    e.cache_hits = static_cast<uint32_t>(out->cache_hits);
+    e.pruned = static_cast<uint32_t>(out->pruned);
+    e.true_results = static_cast<uint32_t>(out->true_hits);
+    e.remaining = static_cast<uint32_t>(out->remaining);
+    e.fetched = static_cast<uint32_t>(out->fetched);
+    e.point_reads = static_cast<uint32_t>(out->refine_io.point_reads);
+    e.pages_read = static_cast<uint32_t>(out->refine_io.page_reads);
+    e.distinct_pages = static_cast<uint32_t>(tracker.distinct_pages());
+    e.substituted = static_cast<uint32_t>(out->substituted);
+    e.read_failures = static_cast<uint32_t>(out->read_failures);
+    e.lbk = lbk_used;
+    e.ubk = ubk_used;
+    e.gen_seconds = out->gen_seconds;
+    e.reduce_seconds = out->reduce_seconds;
+    e.refine_seconds = out->refine_seconds;
+    if (saw_corruption) {
+      e.degraded_cause = obs::DegradedCause::kCorruption;
+    } else if (out->read_failures > 0) {
+      e.degraded_cause = obs::DegradedCause::kReadFailure;
+    } else if (out->deadline_hit) {
+      e.degraded_cause = obs::DegradedCause::kDeadline;
+    }
+  }
 
   if (span != nullptr) {
     span->gen_seconds = out->gen_seconds;

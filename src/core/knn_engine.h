@@ -32,6 +32,7 @@
 #include "index/candidate_index.h"
 #include "obs/metrics.h"
 #include "obs/prof.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "storage/io_stats.h"
 #include "storage/point_file.h"
@@ -64,6 +65,13 @@ struct QueryResult {
   bool deadline_hit = false;  ///< refinement cut over by deadline_ms
   size_t substituted = 0;     ///< candidates scored by cached ub, not disk
   size_t read_failures = 0;   ///< point reads that ultimately failed
+
+  /// Compact explain record (docs/OBSERVABILITY.md): the candidate funnel,
+  /// the kth-bounds the reduction used, I/O shape, degraded cause, and the
+  /// cache generation that served the query. Filled on every query —
+  /// everything in it is a scalar the engine already computed — and
+  /// surfaced via `eeb_cli --explain` and the flight recorder.
+  obs::QueryExplain explain;
 };
 
 /// Engine options.

@@ -127,6 +127,65 @@ void System::SetProfiler(obs::Profiler* profiler) {
   points_->BindProfiler(profiler);
 }
 
+void System::SetWindow(obs::WindowedMetrics* window) {
+  window_ = window;
+  InstallCacheTap();
+}
+
+void System::SetRecorder(obs::FlightRecorder* recorder) {
+  recorder_ = recorder;
+}
+
+void System::InstallCacheTap() {
+  if (window_ == nullptr) return;
+  window_->SetCacheTap([this]() -> obs::CacheTapSample {
+    auto gen = generation();
+    if (gen == nullptr || gen->cache == nullptr) return {};
+    const cache::KnnCache::CacheActivity a = gen->cache->activity();
+    return obs::CacheTapSample{a.hits, a.misses, a.admits, a.evictions};
+  });
+}
+
+void System::SampleWorkerGauges() {
+  if (window_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (active_pool_ != nullptr) {
+    window_->SampleQueue(active_pool_->queue_depth(),
+                         active_pool_->busy_workers(),
+                         active_pool_->num_threads());
+  } else {
+    window_->SampleQueue(0, 0, 0);
+  }
+}
+
+void System::RecordQueryTelemetry(const QueryResult& r,
+                                  uint64_t query_index) {
+  if (window_ == nullptr && recorder_ == nullptr) return;
+  storage::IoStats io = r.gen_io;
+  io += r.refine_io;
+  // Same modeled response time AggregateResults reports, so windowed
+  // percentiles and batch percentiles measure the same quantity.
+  const double response = r.gen_seconds + r.reduce_seconds +
+                          r.refine_seconds + disk_model_.Seconds(io);
+  if (window_ != nullptr) {
+    obs::QuerySample sample;
+    sample.response_seconds = response;
+    sample.candidates = r.candidates;
+    sample.cache_hits = r.cache_hits;
+    sample.read_failures = r.read_failures;
+    sample.degraded = r.degraded;
+    sample.deadline_hit = r.deadline_hit;
+    window_->RecordQuery(sample);
+  }
+  if (recorder_ != nullptr) {
+    obs::QueryRecord record;
+    record.query_index = query_index;
+    record.response_seconds = response;
+    record.explain = r.explain;
+    recorder_->Record(record);
+  }
+}
+
 Status System::EstimateCurrentCache(size_t k, CostEstimate* out) const {
   const CostModelInputs in = MakeCostInputs(last_cache_bytes_, k);
   switch (last_method_) {
@@ -347,8 +406,10 @@ Status System::BuildCacheObject(CacheMethod method, size_t cache_bytes,
 
 void System::PublishGeneration(std::shared_ptr<CacheGeneration> gen) {
   // Bind instruments before the swap so no probe lands on an unbound cache.
-  if (metrics_ != nullptr && gen != nullptr) {
-    gen->cache->BindMetrics(metrics_);
+  if (gen != nullptr) {
+    gen->cache->set_generation_id(
+        next_generation_id_.fetch_add(1, std::memory_order_relaxed) + 1);
+    if (metrics_ != nullptr) gen->cache->BindMetrics(metrics_);
   }
   // The engine receives an aliasing pointer: it shares ownership of the
   // whole generation but points at the cache, so histograms stay alive for
@@ -360,6 +421,9 @@ void System::PublishGeneration(std::shared_ptr<CacheGeneration> gen) {
     generation_ = std::move(gen);
   }
   engine_->set_cache(std::move(cache_view));
+  // Re-base the windowed cache tap: the new generation's counters start
+  // from zero and must not read as a negative delta.
+  InstallCacheTap();
 }
 
 Status System::RefreshWorkload(
@@ -417,7 +481,9 @@ Status System::ConfigureCache(CacheMethod method, size_t cache_bytes,
 }
 
 Status System::Query(std::span<const Scalar> q, size_t k, QueryResult* out) {
-  return engine_->Query(q, k, out);
+  EEB_RETURN_IF_ERROR(engine_->Query(q, k, out));
+  RecordQueryTelemetry(*out, 0);
+  return Status::OK();
 }
 
 Status System::RunQueries(const std::vector<std::vector<Scalar>>& queries,
@@ -468,14 +534,29 @@ Status System::RunQueriesConcurrent(
   std::vector<Status> statuses(queries.size());
   {
     ThreadPool pool(n_threads);
+    {
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      active_pool_ = &pool;
+    }
     for (size_t i = 0; i < queries.size(); ++i) {
       const bool accepted =
           pool.Submit([this, &queries, &results, &statuses, i, k] {
             statuses[i] = engine_->Query(queries[i], k, &results[i]);
+            // Telemetry is recorded on the worker, as a server would: the
+            // window/recorder see queries as they finish, not at batch end.
+            if (statuses[i].ok()) RecordQueryTelemetry(results[i], i);
           });
       if (!accepted) break;  // pool shut down; unreachable in this scope
     }
     pool.Drain();
+    if (metrics_ != nullptr) {
+      metrics_->GetGauge("pool.queue_max_depth")
+          ->Set(static_cast<double>(pool.queue_max_depth()));
+    }
+    {
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      active_pool_ = nullptr;
+    }
   }
   for (const Status& st : statuses) {
     EEB_RETURN_IF_ERROR(st);

@@ -6,7 +6,9 @@
 #ifndef EEB_CORE_SYSTEM_H_
 #define EEB_CORE_SYSTEM_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -25,13 +27,17 @@
 #include "index/lsh/c2lsh.h"
 #include "obs/metrics.h"
 #include "obs/prof.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 #include "storage/env.h"
 #include "storage/io_stats.h"
 #include "storage/point_file.h"
 #include "storage/retry_env.h"
 
 namespace eeb::core {
+
+class ThreadPool;
 
 /// The cache configurations evaluated in the paper (Sec. 5.1).
 enum class CacheMethod {
@@ -204,6 +210,23 @@ class System {
   /// fetches. nullptr detaches.
   void SetProfiler(obs::Profiler* profiler);
 
+  /// Attaches the live-telemetry window (docs/OBSERVABILITY.md): every
+  /// finished query is folded into it (modeled response, candidate funnel,
+  /// degraded flags), and a cache tap is installed so windowed hit/admit/
+  /// evict ratios follow the live cache generation across rebuilds. Safe on
+  /// both the serial and concurrent paths. nullptr detaches.
+  void SetWindow(obs::WindowedMetrics* window);
+
+  /// Attaches the flight recorder: every finished query lands in the ring;
+  /// slow/degraded ones are tail-retained with their full explain record.
+  /// nullptr detaches.
+  void SetRecorder(obs::FlightRecorder* recorder);
+
+  /// Samples queue depth and worker occupancy from the pool currently
+  /// running RunQueriesConcurrent (zeros when idle) into the attached
+  /// window. Wired as the StatsPublisher pre-sample hook.
+  void SampleWorkerGauges();
+
   /// Cost-model prediction for the currently configured cache at the
   /// budget/tau of the last ConfigureCache call. Supported for EXACT and the
   /// global-histogram methods (HC-*); per-dimension, multi-dimensional and
@@ -233,6 +256,15 @@ class System {
   }
 
   void PublishGeneration(std::shared_ptr<CacheGeneration> gen);
+
+  /// (Re-)installs the window's cache tap against the live generation;
+  /// called on SetWindow and after every generation publication so the tap
+  /// re-bases on the new cache's (fresh) counters.
+  void InstallCacheTap();
+
+  /// Folds one finished query into the attached window and recorder.
+  /// `query_index` is the query's slot in its batch (0 for single queries).
+  void RecordQueryTelemetry(const QueryResult& r, uint64_t query_index);
 
   Status BuildCacheObject(CacheMethod method, size_t cache_bytes, uint32_t tau,
                           bool lru, std::shared_ptr<CacheGeneration>* out);
@@ -270,9 +302,21 @@ class System {
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   obs::Profiler* profiler_ = nullptr;
+  obs::WindowedMetrics* window_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
   obs::Counter* obs_queries_ = nullptr;
   obs::LatencyHistogram* obs_response_ = nullptr;
   obs::Gauge* obs_modeled_io_ = nullptr;
+
+  // Pool currently executing RunQueriesConcurrent (nullptr when idle);
+  // lets SampleWorkerGauges observe queue depth / busy workers from the
+  // stats-publisher thread while a batch is in flight.
+  mutable std::mutex pool_mu_;
+  ThreadPool* active_pool_ = nullptr;
+
+  // Monotonic id stamped on each published cache generation (explain
+  // records reference it).
+  std::atomic<uint64_t> next_generation_id_{0};
 
   // Most recent ConfigureCache arguments, for ReconfigureCache().
   CacheMethod last_method_ = CacheMethod::kNone;

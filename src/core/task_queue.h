@@ -39,6 +39,7 @@ class BoundedTaskQueue {
                    [this] { return closed_ || tasks_.size() < capacity_; });
     if (closed_) return false;
     tasks_.push_back(std::move(task));
+    if (tasks_.size() > max_depth_) max_depth_ = tasks_.size();
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -75,12 +76,21 @@ class BoundedTaskQueue {
     return tasks_.size();
   }
 
+  /// High-water mark of the backlog since construction — a cheap saturation
+  /// signal for the live-telemetry gauges (a max_depth near capacity means
+  /// producers were spending time blocked in Push).
+  size_t max_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_depth_;
+  }
+
  private:
   const size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<Task> tasks_;
+  size_t max_depth_ = 0;
   bool closed_ = false;
 };
 

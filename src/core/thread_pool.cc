@@ -43,7 +43,9 @@ void ThreadPool::Drain() {
 void ThreadPool::WorkerLoop() {
   BoundedTaskQueue::Task task;
   while (queue_.Pop(&task)) {
+    busy_.fetch_add(1, std::memory_order_relaxed);
     task();
+    busy_.fetch_sub(1, std::memory_order_relaxed);
     task = nullptr;  // release captures before signaling completion
     {
       std::lock_guard<std::mutex> lock(drain_mu_);

@@ -8,6 +8,7 @@
 #ifndef EEB_CORE_THREAD_POOL_H_
 #define EEB_CORE_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -41,11 +42,21 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Live-telemetry gauges (obs/window.h): instantaneous backlog and the
+  /// number of workers currently inside a task. Both are racy-by-nature
+  /// point samples for monitoring, not synchronization.
+  size_t queue_depth() const { return queue_.size(); }
+  size_t queue_max_depth() const { return queue_.max_depth(); }
+  size_t busy_workers() const {
+    return busy_.load(std::memory_order_relaxed);
+  }
+
  private:
   void WorkerLoop();
 
   BoundedTaskQueue queue_;
   std::vector<std::thread> workers_;
+  std::atomic<size_t> busy_{0};
 
   // Drain bookkeeping: tasks submitted vs. completed.
   std::mutex drain_mu_;

@@ -19,6 +19,67 @@ std::string PromName(const std::string& name) {
   return out;
 }
 
+// JSON string escaping for metric names embedded as object keys: quote,
+// backslash, and control characters (\uXXXX). Values are numeric and need
+// no escaping.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Renders the shared label set as `{k="v",...}` (empty string when there
+// are no labels) and with a `quantile` slot for summary samples.
+std::string LabelBlock(const PromLabels& labels, const char* quantile) {
+  if (labels.empty() && quantile == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    out += k;
+    out += "=\"";
+    out += PromEscapeLabelValue(v);
+    out += "\"";
+    first = false;
+  }
+  if (quantile != nullptr) {
+    if (!first) out += ",";
+    out += "quantile=\"";
+    out += quantile;
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
 // printf-style formatting into the sink: snapshot values keep the exact
 // rendering (%.9g, PRIu64) the exporters have always produced, independent
 // of any stream formatting state the caller left behind.
@@ -33,26 +94,93 @@ void StreamF(std::ostream& os, const char* fmt, ...) {
 
 }  // namespace
 
+bool IsValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  bool segment_has_char = false;
+  for (char c : name) {
+    if (c == '.') {
+      if (!segment_has_char) return false;  // empty segment ("", "a..b")
+      segment_has_char = false;
+      continue;
+    }
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_';
+    if (!ok) return false;
+    segment_has_char = true;
+  }
+  return segment_has_char;  // also rejects a trailing dot
+}
+
+std::string PromEscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 void ExportPrometheus(const MetricsRegistry& registry, std::ostream& os) {
+  ExportPrometheus(registry, os, PromLabels{});
+}
+
+void ExportPrometheus(const MetricsRegistry& registry, std::ostream& os,
+                      const PromLabels& labels) {
+  uint64_t skipped = 0;
+  const std::string lb = LabelBlock(labels, nullptr);
   for (const auto& [name, value] : registry.Counters()) {
+    if (!IsValidMetricName(name)) {
+      ++skipped;
+      continue;
+    }
     const std::string pn = PromName(name);
     StreamF(os, "# TYPE %s counter\n", pn.c_str());
-    StreamF(os, "%s_total %" PRIu64 "\n", pn.c_str(), value);
+    StreamF(os, "%s_total%s %" PRIu64 "\n", pn.c_str(), lb.c_str(), value);
   }
   for (const auto& [name, value] : registry.Gauges()) {
+    if (!IsValidMetricName(name)) {
+      ++skipped;
+      continue;
+    }
     const std::string pn = PromName(name);
     StreamF(os, "# TYPE %s gauge\n", pn.c_str());
-    StreamF(os, "%s %.9g\n", pn.c_str(), value);
+    StreamF(os, "%s%s %.9g\n", pn.c_str(), lb.c_str(), value);
   }
   for (const auto& [name, s] : registry.Histograms()) {
+    if (!IsValidMetricName(name)) {
+      ++skipped;
+      continue;
+    }
     const std::string pn = PromName(name);
     StreamF(os, "# TYPE %s summary\n", pn.c_str());
-    StreamF(os, "%s{quantile=\"0.5\"} %.9g\n", pn.c_str(), s.p50);
-    StreamF(os, "%s{quantile=\"0.95\"} %.9g\n", pn.c_str(), s.p95);
-    StreamF(os, "%s{quantile=\"0.99\"} %.9g\n", pn.c_str(), s.p99);
-    StreamF(os, "%s_sum %.9g\n", pn.c_str(), s.sum);
-    StreamF(os, "%s_count %" PRIu64 "\n", pn.c_str(), s.count);
-    StreamF(os, "%s_max %.9g\n", pn.c_str(), s.max);
+    StreamF(os, "%s%s %.9g\n", pn.c_str(),
+            LabelBlock(labels, "0.5").c_str(), s.p50);
+    StreamF(os, "%s%s %.9g\n", pn.c_str(),
+            LabelBlock(labels, "0.95").c_str(), s.p95);
+    StreamF(os, "%s%s %.9g\n", pn.c_str(),
+            LabelBlock(labels, "0.99").c_str(), s.p99);
+    StreamF(os, "%s_sum%s %.9g\n", pn.c_str(), lb.c_str(), s.sum);
+    StreamF(os, "%s_count%s %" PRIu64 "\n", pn.c_str(), lb.c_str(), s.count);
+    StreamF(os, "%s_max%s %.9g\n", pn.c_str(), lb.c_str(), s.max);
+  }
+  if (skipped > 0) {
+    // Invalid names are a caller bug; surface the drop instead of emitting
+    // output a scraper would reject wholesale.
+    StreamF(os, "# TYPE eeb_export_skipped_invalid_names gauge\n");
+    StreamF(os, "eeb_export_skipped_invalid_names%s %" PRIu64 "\n",
+            lb.c_str(), skipped);
   }
 }
 
@@ -66,13 +194,15 @@ void ExportJson(const MetricsRegistry& registry, std::ostream& os) {
   os << "{\"counters\":{";
   bool first = true;
   for (const auto& [name, value] : registry.Counters()) {
-    StreamF(os, "%s\"%s\":%" PRIu64, first ? "" : ",", name.c_str(), value);
+    StreamF(os, "%s\"%s\":%" PRIu64, first ? "" : ",",
+            JsonEscape(name).c_str(), value);
     first = false;
   }
   os << "},\"gauges\":{";
   first = true;
   for (const auto& [name, value] : registry.Gauges()) {
-    StreamF(os, "%s\"%s\":%.9g", first ? "" : ",", name.c_str(), value);
+    StreamF(os, "%s\"%s\":%.9g", first ? "" : ",", JsonEscape(name).c_str(),
+            value);
     first = false;
   }
   os << "},\"histograms\":{";
@@ -82,8 +212,8 @@ void ExportJson(const MetricsRegistry& registry, std::ostream& os) {
             "%s\"%s\":{\"count\":%" PRIu64
             ",\"sum\":%.9g,\"max\":%.9g,\"p50\":%.9g,\"p95\":%.9g,"
             "\"p99\":%.9g}",
-            first ? "" : ",", name.c_str(), s.count, s.sum, s.max, s.p50,
-            s.p95, s.p99);
+            first ? "" : ",", JsonEscape(name).c_str(), s.count, s.sum, s.max,
+            s.p50, s.p95, s.p99);
     first = false;
   }
   os << "}}";

@@ -13,15 +13,34 @@
 
 #include <iosfwd>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "obs/metrics.h"
 
 namespace eeb::obs {
 
+/// Registry naming convention: non-empty dotted lowercase, i.e. dot-joined
+/// segments of [a-z0-9_] (e.g. "cache.hits"). Exporters skip names that
+/// violate it (counting the skips) instead of emitting output a Prometheus
+/// scraper would reject wholesale.
+bool IsValidMetricName(const std::string& name);
+
+/// Escapes a Prometheus label value: backslash, double quote, and newline
+/// per the text exposition format.
+std::string PromEscapeLabelValue(const std::string& value);
+
+/// A set of labels attached to every exported sample (e.g. instance/job).
+using PromLabels = std::vector<std::pair<std::string, std::string>>;
+
 /// Prometheus text exposition format. Names are prefixed with "eeb_" and
-/// dots become underscores; counters get the "_total" suffix.
+/// dots become underscores; counters get the "_total" suffix. Names failing
+/// IsValidMetricName are skipped and reported via the
+/// eeb_export_skipped_invalid_names gauge; label values are escaped.
 void ExportPrometheus(const MetricsRegistry& registry, std::ostream& os);
+void ExportPrometheus(const MetricsRegistry& registry, std::ostream& os,
+                      const PromLabels& labels);
 std::string ExportPrometheus(const MetricsRegistry& registry);
 
 /// One JSON object: {"counters": {...}, "gauges": {...},

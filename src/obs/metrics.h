@@ -112,7 +112,8 @@ class LatencyHistogram {
 
   void Reset();
 
- private:
+  /// Bucket edge math, shared with the windowed histograms in obs/window so
+  /// live and cumulative percentiles quantize identically.
   static int BucketIndex(double v) {
     if (!(v > kMinValue)) return 0;  // also catches NaN and negatives
     const int idx =
@@ -126,6 +127,7 @@ class LatencyHistogram {
            std::exp2((static_cast<double>(idx) - 0.5) / kBucketsPerOctave);
   }
 
+ private:
   void AddToSum(double v) {
     uint64_t old = sum_bits_.load(std::memory_order_relaxed);
     while (!sum_bits_.compare_exchange_weak(

@@ -1,0 +1,181 @@
+// Flight recorder: an always-on, low-overhead diagnostic ring that retains
+// the last N per-query summaries plus a tail-sampled set of "interesting"
+// queries (slow, degraded, corruption-hit, deadline-cut) with their full
+// explain records. Intended to answer "what was the serving path doing just
+// now, and why was *that* query slow" without enabling tracing.
+//
+// Write path: each thread claims a ring entry with one relaxed fetch_add and
+// publishes the fixed-size record through a per-entry seqlock whose words
+// are plain atomics — no mutex, no allocation, and safe under TSan. Readers
+// (dump/snapshot) make a single validated pass per entry and skip torn
+// reads, so diagnostics never stall the serving threads.
+//
+// Tail retention (the slow-query list) is off the hot path for normal
+// queries: only records that qualify take a mutex.
+
+#ifndef EEB_OBS_RECORDER_H_
+#define EEB_OBS_RECORDER_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace eeb::obs {
+
+/// Why a query's answer is degraded (best-effort instead of exact).
+/// Priority order when several apply: corruption > read failure > deadline.
+enum class DegradedCause : uint8_t {
+  kNone = 0,
+  kCorruption = 1,   // a page failed its checksum during refinement
+  kReadFailure = 2,  // I/O error persisted through retries
+  kDeadline = 3,     // per-query deadline cut refinement short
+};
+
+const char* DegradedCauseName(DegradedCause cause);
+
+/// Compact per-query explain record: enough to reconstruct what Algorithm 1
+/// did for one query — candidate funnel, bounds, I/O, cache generation —
+/// without per-candidate events. Trivially copyable on purpose: the flight
+/// recorder publishes it through atomic words.
+struct QueryExplain {
+  uint64_t cache_generation = 0;  // which published cache answered
+  double lbk = 0.0;               // k-th smallest cached lower bound
+  double ubk = 0.0;               // k-th smallest cached upper bound
+  double gen_seconds = 0.0;       // candidate generation CPU
+  double reduce_seconds = 0.0;    // cache-probe reduction CPU
+  double refine_seconds = 0.0;    // refinement CPU (I/O excluded)
+  uint32_t k = 0;
+  uint32_t candidates = 0;     // from candidate generation
+  uint32_t cache_hits = 0;     // candidates with cached code bounds
+  uint32_t pruned = 0;         // dropped by lb > ubk
+  uint32_t true_results = 0;   // accepted by ub < lbk (no refinement)
+  uint32_t remaining = 0;      // survivors entering refinement
+  uint32_t fetched = 0;        // points actually read during refinement
+  uint32_t point_reads = 0;    // storage-level point reads issued
+  uint32_t pages_read = 0;     // total page reads issued
+  uint32_t distinct_pages = 0; // unique pages touched (coalescing headroom)
+  uint32_t substituted = 0;    // answers substituted from cached bounds
+  uint32_t read_failures = 0;  // refinement reads that failed
+  DegradedCause degraded_cause = DegradedCause::kNone;
+  uint8_t pad_[7] = {};        // keep sizeof a multiple of 8 explicitly
+};
+static_assert(std::is_trivially_copyable_v<QueryExplain>);
+static_assert(sizeof(QueryExplain) % 8 == 0);
+
+/// One flight-recorder entry: identity, outcome, and the explain record.
+struct QueryRecord {
+  uint64_t seq = 0;          // recorder-global order (1-based; 0 = empty)
+  uint64_t query_index = 0;  // caller's index within its batch
+  double response_seconds = 0.0;  // modeled response (CPU + disk model)
+  QueryExplain explain;
+};
+static_assert(std::is_trivially_copyable_v<QueryRecord>);
+static_assert(sizeof(QueryRecord) % 8 == 0);
+
+/// Renders one explain record / query record as a JSON object. Shared by
+/// `eeb_cli --explain` and the recorder dumps so the schema cannot drift.
+void AppendExplainJson(const QueryExplain& e, std::string* out);
+void AppendQueryRecordJson(const QueryRecord& r, std::string* out);
+std::string ExplainJson(const QueryExplain& e);
+
+class FlightRecorder {
+ public:
+  struct Options {
+    // Ring capacity per thread slot; total retained summaries is up to
+    // kSlots * ring_capacity across however many slots threads touched.
+    size_t ring_capacity = 256;
+    // Queries at or above this modeled-response threshold are retained with
+    // their full record. 0 disables the slowness criterion (degraded and
+    // corruption-hit queries are always retained).
+    double slow_threshold_seconds = 0.0;
+    // Bound on the retained slow/degraded list (oldest evicted first).
+    size_t max_retained_slow = 256;
+  };
+
+  FlightRecorder() : FlightRecorder(Options()) {}
+  explicit FlightRecorder(Options options);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Records one finished query. Assigns and returns its recorder sequence
+  /// number. Lock-free unless the record qualifies for tail retention.
+  uint64_t Record(QueryRecord record);
+
+  /// Retunes the slowness threshold (e.g. to a live p95 from the windowed
+  /// metrics). Takes effect for subsequent Record() calls.
+  void set_slow_threshold(double seconds) {
+    slow_threshold_bits_.store(std::bit_cast<uint64_t>(seconds),
+                               std::memory_order_relaxed);
+  }
+  double slow_threshold() const {
+    return std::bit_cast<double>(
+        slow_threshold_bits_.load(std::memory_order_relaxed));
+  }
+
+  /// Validated copy of the ring contents, oldest first. Entries a writer
+  /// was mid-publish on are skipped (counted in torn_reads()).
+  std::vector<QueryRecord> SnapshotRecent() const;
+
+  /// Copy of the tail-retained slow/degraded records, oldest first.
+  std::vector<QueryRecord> SlowQueries() const;
+
+  /// {"recorded":…,"slow_threshold":…,"recent":[…],"slow":[…]}
+  void DumpJson(std::ostream& os) const;
+  std::string DumpJson() const;
+
+  uint64_t recorded() const {
+    return seq_.load(std::memory_order_relaxed);
+  }
+  uint64_t retained_slow_total() const {
+    return retained_total_.load(std::memory_order_relaxed);
+  }
+  uint64_t torn_reads() const {
+    return torn_reads_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr size_t kSlots = 16;
+  static constexpr size_t kWords = sizeof(QueryRecord) / 8;
+
+  // Seqlock cell: even version = stable, odd = write in progress. Payload
+  // words are relaxed atomics so concurrent read/write is defined behavior;
+  // the version protocol detects (and discards) torn copies.
+  struct Cell {
+    std::atomic<uint64_t> version{0};
+    std::array<std::atomic<uint64_t>, kWords> words{};
+  };
+
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> cursor{0};  // total writes; next entry = cursor % cap
+    std::unique_ptr<Cell[]> cells;
+  };
+
+  size_t SlotIndex() const;
+  void WriteCell(Cell& cell, const QueryRecord& record);
+  bool ReadCell(const Cell& cell, QueryRecord* out) const;
+
+  const Options options_;
+  std::atomic<uint64_t> slow_threshold_bits_;
+  std::array<Slot, kSlots> slots_;
+  std::atomic<uint64_t> seq_{0};
+  std::atomic<uint64_t> next_slot_{0};
+  mutable std::atomic<uint64_t> torn_reads_{0};
+
+  std::atomic<uint64_t> retained_total_{0};
+  mutable std::mutex slow_mu_;
+  std::deque<QueryRecord> slow_;  // guarded by slow_mu_
+};
+
+}  // namespace eeb::obs
+
+#endif  // EEB_OBS_RECORDER_H_

@@ -9,10 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include <iostream>
+#include <map>
 #include <vector>
 
 #include "common/dataset.h"
 #include "core/system.h"
+#include "obs/recorder.h"
 #include "storage/mem_env.h"
 #include "workload/generator.h"
 
@@ -238,6 +241,76 @@ TEST(ChaosTest, EightThreadsFaultyDiskNeverAbortsAndReconciles) {
     EXPECT_EQ(results[i].result_ids, truth[i]) << "query " << i;
   }
   EXPECT_EQ(agg.read_failures, 0u);
+}
+
+TEST(ChaosTest, FlightRecorderCapturesEveryDegradedQueryWithItsCause) {
+  core::SystemOptions opt;
+  opt.ndom = 256;
+  opt.io_retry.max_retries = 0;
+  ChaosRig rig(opt);
+  const size_t k = 10;
+
+  // Always-on recorder, as a serving process would run it: tail retention
+  // sized so no degraded record can be evicted during the test.
+  obs::FlightRecorder::Options ropt;
+  ropt.ring_capacity = 256;
+  ropt.max_retained_slow = 1024;
+  obs::FlightRecorder recorder(ropt);
+  rig.system->SetRecorder(&recorder);
+
+  storage::FaultPlan plan;
+  plan.read_fault_rate = 0.05;
+  plan.corrupt_rate = 0.01;
+  plan.seed = 31;
+  rig.env.set_plan(plan);
+
+  core::AggregateResult agg;
+  std::vector<core::QueryResult> results;
+  ASSERT_TRUE(rig.system
+                  ->RunQueriesConcurrent(rig.log.test, k, /*n_threads=*/8,
+                                         &agg, &results)
+                  .ok());
+  EXPECT_EQ(recorder.recorded(), results.size());
+
+  // Every degraded query must be in the tail-retained list, carrying the
+  // full explain record that names its cause — that is the recorder's whole
+  // reason to exist.
+  std::map<uint64_t, obs::QueryRecord> retained;
+  for (const obs::QueryRecord& r : recorder.SlowQueries()) {
+    retained[r.query_index] = r;
+  }
+  size_t degraded = 0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].degraded) {
+      EXPECT_EQ(retained.count(i), 0u) << "clean query " << i << " retained";
+      continue;
+    }
+    ++degraded;
+    ASSERT_EQ(retained.count(i), 1u) << "degraded query " << i << " lost";
+    const obs::QueryExplain& e = retained[i].explain;
+    EXPECT_NE(e.degraded_cause, obs::DegradedCause::kNone) << "query " << i;
+    EXPECT_EQ(e.read_failures, results[i].read_failures) << "query " << i;
+    EXPECT_EQ(e.substituted, results[i].substituted) << "query " << i;
+    EXPECT_EQ(e.degraded_cause, results[i].explain.degraded_cause);
+  }
+  EXPECT_GT(degraded, 0u);
+  EXPECT_EQ(recorder.retained_slow_total(), degraded);
+
+  // Both fault flavors fired, so both causes must appear among the records.
+  bool saw_corruption = false, saw_read_failure = false;
+  for (const auto& [index, record] : retained) {
+    (void)index;
+    saw_corruption |=
+        record.explain.degraded_cause == obs::DegradedCause::kCorruption;
+    saw_read_failure |=
+        record.explain.degraded_cause == obs::DegradedCause::kReadFailure;
+  }
+  EXPECT_TRUE(saw_corruption);
+  EXPECT_TRUE(saw_read_failure);
+
+  // On failure, dump the flight recorder — the postmortem this subsystem
+  // was built to provide.
+  if (::testing::Test::HasFailure()) recorder.DumpJson(std::cerr);
 }
 
 TEST(ChaosTest, AggregateDegradedAccountingMatchesPerQuery) {

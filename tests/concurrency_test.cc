@@ -8,9 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <span>
 #include <thread>
 #include <vector>
 
+#include "cache/knn_cache.h"
 #include "common/dataset.h"
 #include "core/system.h"
 #include "core/task_queue.h"
@@ -87,6 +90,149 @@ TEST(ThreadPoolTest, DrainWithNothingSubmittedReturnsImmediately) {
   core::ThreadPool pool(2);
   pool.Drain();
   EXPECT_EQ(pool.num_threads(), 2u);
+}
+
+// ---- Sharded counters vs snapshot/reset interleaving ----------------------
+
+// Minimal KnnCache exposing the protected shard hooks, so the sharded
+// counter machinery (per-thread shards, delta publication, merged
+// snapshots) is tested without a real cache behind it.
+class ShardProbeCache : public cache::KnnCache {
+ public:
+  bool Probe(std::span<const Scalar>, PointId, double*, double*) override {
+    NoteMiss();
+    return false;
+  }
+  size_t item_bytes() const override { return 1; }
+  size_t size() const override { return 0; }
+
+  void Hit() { NoteHit(); }
+  void Miss() { NoteMiss(); }
+  void AdmitOne() { NoteAdmit(); }
+  void EvictOne() { NoteEviction(); }
+};
+
+TEST(ShardedCountersTest, DeltaPublishSurvivesRegistryResetMidFlight) {
+  ShardProbeCache cache;
+  obs::MetricsRegistry registry;
+  cache.BindMetrics(&registry, "cache");
+  obs::Counter* hits = registry.GetCounter("cache.hits");
+  obs::Counter* admits = registry.GetCounter("cache.admits");
+
+  // Two-phase writers: each writes half its events, signals, and blocks
+  // until the main thread has snapshotted and reset the registry — the
+  // reset is guaranteed to land mid-flight, with live concurrent writers on
+  // both sides of it, regardless of how the scheduler interleaves things.
+  constexpr uint64_t kPerWriter = 5000;
+  std::atomic<size_t> half_done{0};
+  std::atomic<bool> resume{false};
+  std::vector<std::thread> writers;
+  for (size_t w = 0; w < kThreads; ++w) {
+    writers.emplace_back([&] {
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        if (i == kPerWriter / 2) {
+          half_done.fetch_add(1);
+          while (!resume.load(std::memory_order_acquire)) {
+            std::this_thread::yield();
+          }
+        }
+        cache.Hit();
+        cache.AdmitOne();
+        if (i % 8 == 0) cache.EvictOne();
+      }
+    });
+  }
+
+  // Publish concurrently with the first-half writers, then snapshot + reset
+  // at the deterministic halfway barrier. Delta publication must hand every
+  // event to the registry exactly once: value-before-reset + value-at-end
+  // == total, with no event lost to the reset or double-counted around it.
+  while (half_done.load() < kThreads) {
+    cache.PublishMetrics();
+    std::this_thread::yield();
+  }
+  cache.PublishMetrics();  // all first-half events are now in the registry
+  const uint64_t published_before_reset = hits->value();
+  registry.ResetAll();
+  resume.store(true, std::memory_order_release);
+
+  for (auto& t : writers) t.join();
+  cache.PublishMetrics();
+
+  const uint64_t total = kThreads * kPerWriter;
+  EXPECT_EQ(published_before_reset, kThreads * (kPerWriter / 2));
+  EXPECT_EQ(published_before_reset + hits->value(), total);
+  EXPECT_EQ(cache.stats().hits, total);
+  // activity() is the same merged snapshot the live cache tap reads.
+  const cache::KnnCache::CacheActivity act = cache.activity();
+  EXPECT_EQ(act.hits, total);
+  EXPECT_EQ(act.admits, total);
+  EXPECT_EQ(act.evictions, kThreads * (kPerWriter / 8));
+  EXPECT_LE(admits->value(), total);  // the reset really discarded history
+}
+
+TEST(ShardedCountersTest, StatsSnapshotIsMonotoneUnderConcurrentWriters) {
+  ShardProbeCache cache;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (size_t w = 0; w < 4; ++w) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) cache.Hit();
+    });
+  }
+  // Merged snapshots taken while shards are being written must never go
+  // backwards (each shard is read once, relaxed, and only ever increases).
+  uint64_t prev = 0;
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t now = cache.stats().hits;
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  EXPECT_GE(cache.stats().hits, prev);
+}
+
+TEST(FrequencyArrayTest, MergeReconcilesExactlyAfterMidFlightReset) {
+  constexpr uint32_t kNdom = 64;
+  constexpr size_t kShards = 8;
+
+  // Reference: both rounds folded single-threaded. Integer weights keep
+  // double addition exact, so "reconciles" below means bit-equal.
+  hist::FrequencyArray reference(kNdom);
+  for (size_t round = 0; round < 2; ++round) {
+    for (size_t s = 0; s < kShards; ++s) {
+      for (uint32_t v = 0; v < kNdom; ++v) {
+        reference.Add(v, static_cast<double>((round + 1) * (s + v % 5)));
+      }
+    }
+  }
+
+  // Concurrent build: per-thread shards, merged and *reset* between rounds
+  // (the mid-flight reset a cache rebuild performs), then merged again.
+  hist::FrequencyArray total(kNdom);
+  std::vector<hist::FrequencyArray> shards(kShards,
+                                           hist::FrequencyArray(kNdom));
+  for (size_t round = 0; round < 2; ++round) {
+    std::vector<std::thread> workers;
+    for (size_t s = 0; s < kShards; ++s) {
+      workers.emplace_back([&shards, round, s] {
+        for (uint32_t v = 0; v < kNdom; ++v) {
+          shards[s].Add(v, static_cast<double>((round + 1) * (s + v % 5)));
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+    for (size_t s = 0; s < kShards; ++s) {
+      total.Merge(shards[s]);
+      shards[s] = hist::FrequencyArray(kNdom);  // the mid-flight reset
+    }
+  }
+
+  for (uint32_t v = 0; v < kNdom; ++v) {
+    ASSERT_EQ(total[v], reference[v]) << "value " << v;
+  }
+  EXPECT_EQ(total.Total(), reference.Total());
 }
 
 TEST(FrequencyArrayTest, MergeAccumulatesShards) {

@@ -96,6 +96,30 @@ TEST(LintTest, DeterminismAllowsRandomHeaderAndSeededRng) {
                "determinism", 1);
 }
 
+TEST(LintTest, DeterminismFlagsSystemClockInLibraryCode) {
+  const std::string src =
+      "void F() {\n"
+      "  auto t0 = std::chrono::system_clock::now();\n"
+      "}\n";
+  ExpectSingle(Lint("src/core/system.cc", src), "determinism", 2);
+  // Tools may take wall-clock timestamps (log lines, artifact metadata).
+  EXPECT_TRUE(Lint("tools/eeb_bench.cc", src).empty());
+  EXPECT_TRUE(Lint("tests/obs_test.cc", src).empty());
+}
+
+TEST(LintTest, DeterminismAllowsSteadyClockAndSuppressedSystemClock) {
+  EXPECT_TRUE(
+      Lint("src/common/timer.h",
+           "#pragma once\n"
+           "auto t0 = std::chrono::steady_clock::now();\n")
+          .empty());
+  EXPECT_TRUE(
+      Lint("src/foo/bar.cc",
+           "auto wall = std::chrono::system_clock::now();"
+           "  // eeb-lint: allow(determinism)\n")
+          .empty());
+}
+
 // ---------------------------------------------------------------- iostream
 
 TEST(LintTest, IostreamFires) {

@@ -264,6 +264,87 @@ TEST(ExportTest, JsonFormat) {
   EXPECT_NE(json.find("\"count\":1"), std::string::npos);
 }
 
+TEST(ExportTest, ValidatesMetricNames) {
+  EXPECT_TRUE(IsValidMetricName("cache.hits"));
+  EXPECT_TRUE(IsValidMetricName("live.latency.p95_seconds"));
+  EXPECT_TRUE(IsValidMetricName("n0"));
+  EXPECT_FALSE(IsValidMetricName(""));
+  EXPECT_FALSE(IsValidMetricName("Cache.Hits"));     // uppercase
+  EXPECT_FALSE(IsValidMetricName("cache..hits"));    // empty segment
+  EXPECT_FALSE(IsValidMetricName(".hits"));          // leading dot
+  EXPECT_FALSE(IsValidMetricName("cache.hits."));    // trailing dot
+  EXPECT_FALSE(IsValidMetricName("cache-hits"));     // dash
+  EXPECT_FALSE(IsValidMetricName("a b"));            // space
+  EXPECT_FALSE(IsValidMetricName("x\nrogue 1"));     // exposition injection
+}
+
+TEST(ExportTest, PrometheusSkipsInvalidNamesAndReportsTheSkips) {
+  MetricsRegistry reg;
+  reg.GetCounter("cache.hits")->Add(7);
+  // A malformed name (from a buggy call site) must not corrupt the whole
+  // exposition: a scraper rejects the full scrape on one bad line.
+  reg.GetCounter("BAD NAME\nrogue_metric 1")->Add(3);
+  reg.GetGauge("also bad")->Set(1.0);
+
+  const std::string text = ExportPrometheus(reg);
+  EXPECT_NE(text.find("eeb_cache_hits_total 7"), std::string::npos);
+  EXPECT_EQ(text.find("BAD"), std::string::npos);
+  EXPECT_EQ(text.find("rogue_metric"), std::string::npos);
+  EXPECT_EQ(text.find("also bad"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE eeb_export_skipped_invalid_names gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("eeb_export_skipped_invalid_names 2"),
+            std::string::npos);
+  // A clean registry does not emit the skip gauge at all.
+  MetricsRegistry clean;
+  clean.GetCounter("ok")->Add(1);
+  EXPECT_EQ(ExportPrometheus(clean).find("skipped_invalid_names"),
+            std::string::npos);
+}
+
+TEST(ExportTest, PrometheusEscapesLabelValues) {
+  EXPECT_EQ(PromEscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(PromEscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(PromEscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(PromEscapeLabelValue("a\nb"), "a\\nb");
+
+  MetricsRegistry reg;
+  reg.GetCounter("cache.hits")->Add(7);
+  reg.GetHistogram("engine.gen_seconds")->Record(0.5);
+  PromLabels labels;
+  labels.emplace_back("instance", "host\"1\"\n\\end");
+  std::ostringstream os;
+  ExportPrometheus(reg, os, labels);
+  const std::string text = os.str();
+  EXPECT_NE(
+      text.find(
+          "eeb_cache_hits_total{instance=\"host\\\"1\\\"\\n\\\\end\"} 7"),
+      std::string::npos);
+  // Histogram quantile series carry the extra labels alongside "quantile".
+  EXPECT_NE(text.find("quantile=\"0.5\""), std::string::npos);
+  EXPECT_NE(text.find("eeb_engine_gen_seconds_count{instance="),
+            std::string::npos);
+  // No unescaped newline may survive inside a label value: every line must
+  // be a comment, blank, or "name{...} value".
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_NE(line.find(' '), std::string::npos) << "torn line: " << line;
+  }
+}
+
+TEST(ExportTest, JsonEscapesMetricNames) {
+  MetricsRegistry reg;
+  reg.GetCounter("weird\"name\\with\nstuff")->Add(1);
+  const std::string json = ExportJson(reg);
+  EXPECT_NE(json.find("\"weird\\\"name\\\\with\\nstuff\":1"),
+            std::string::npos);
+  // The raw quote/newline must not appear un-escaped (which would tear the
+  // JSON document).
+  EXPECT_EQ(json.find("weird\"name"), std::string::npos);
+}
+
 TEST(ExportTest, WriteStringToFileRoundTrip) {
   const std::string path =
       (std::filesystem::temp_directory_path() / "eeb_obs_write.txt").string();

@@ -9,6 +9,9 @@
 //                 [--lru] [--eager] [--deadline-ms MS] [--io-retries N]
 //                 [--metrics-out m.json] [--metrics-prom m.prom]
 //                 [--trace-out t.jsonl] [--profile-out p.json]
+//                 [--threads N] [--repeat R] [--explain]
+//                 [--stats-interval-ms MS] [--stats-out s.jsonl]
+//                 [--recorder-out r.json]
 //
 // `query` builds the full pipeline (point file, C2LSH, workload analysis,
 // cache) in a temp directory and reports the paper-style statistics. When
@@ -16,20 +19,32 @@
 // --metrics-out / --metrics-prom dump the full metrics registry (JSON /
 // Prometheus text); --trace-out writes one JSON span per query;
 // --profile-out writes the hierarchical phase profile as JSON.
+//
+// Live serving mode: --threads fans the test batch over a worker pool,
+// --repeat re-runs it (a long-lived run), --stats-interval-ms/--stats-out
+// stream one live.* JSON snapshot line per interval, --explain prints a
+// per-query explain record, and --recorder-out dumps the flight recorder
+// (recent ring + retained slow/degraded queries).
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <iostream>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "core/system.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/prof.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 #include "workload/fvecs.h"
 #include "workload/generator.h"
 
@@ -201,6 +216,26 @@ int CmdQuery(const Args& args) {
   if (args.Has("trace-out")) system->SetTracer(&tracer);
   if (args.Has("profile-out")) system->SetProfiler(&prof);
 
+  // Live serving mode: worker threads, periodic live.* snapshots, flight
+  // recorder + per-query explain (docs/OBSERVABILITY.md).
+  const size_t threads = static_cast<size_t>(args.Int("threads", 0));
+  const long repeat = std::max<long>(1, args.Int("repeat", 1));
+  const bool explain = args.Has("explain");
+  const bool live_stats =
+      args.Has("stats-interval-ms") || args.Has("stats-out");
+  if ((threads > 0 || explain) && args.Has("trace-out")) {
+    // The tracer is single-threaded by contract and --explain routes
+    // through the concurrent path.
+    std::fprintf(stderr,
+                 "query: --trace-out is incompatible with --threads/"
+                 "--explain\n");
+    return 2;
+  }
+  obs::WindowedMetrics window;
+  obs::FlightRecorder recorder;
+  system->SetWindow(&window);
+  system->SetRecorder(&recorder);
+
   const core::CacheMethod method = ParseMethod(args.Str("cache", "hc-o"));
   const size_t cache_bytes =
       static_cast<size_t>(args.Dbl("cache-mb", 8.0) * (1 << 20));
@@ -209,9 +244,44 @@ int CmdQuery(const Args& args) {
                               args.Has("lru"));
   if (!st.ok()) Die(st, "configure cache");
 
+  // The stats publisher starts after the cache is configured so its first
+  // interval already observes serving traffic.
+  std::ofstream stats_file;
+  std::unique_ptr<obs::StatsPublisher> publisher;
+  if (live_stats) {
+    std::ostream* sink = &std::cerr;
+    if (args.Has("stats-out")) {
+      stats_file.open(args.Str("stats-out", ""));
+      if (!stats_file) {
+        std::fprintf(stderr, "query: cannot open --stats-out file\n");
+        return 2;
+      }
+      sink = &stats_file;
+    }
+    obs::StatsPublisher::Options pub_opt;
+    pub_opt.interval_ms =
+        static_cast<int>(args.Int("stats-interval-ms", 1000));
+    pub_opt.pre_sample = [&system] { system->SampleWorkerGauges(); };
+    publisher = std::make_unique<obs::StatsPublisher>(
+        &window, want_metrics ? &metrics : nullptr, sink, pub_opt);
+  }
+
+  const size_t k = static_cast<size_t>(args.Int("k", 10));
   core::AggregateResult agg;
-  st = system->RunQueries(log.test, args.Int("k", 10), &agg);
-  if (!st.ok()) Die(st, "run queries");
+  std::vector<core::QueryResult> per_query;
+  for (long r = 0; r < repeat; ++r) {
+    if (threads > 0 || explain) {
+      // --explain needs per-query results; the concurrent path is bit-exact
+      // with the serial one, so one worker is a faithful substitute.
+      st = system->RunQueriesConcurrent(log.test, k,
+                                        std::max<size_t>(1, threads), &agg,
+                                        explain ? &per_query : nullptr);
+    } else {
+      st = system->RunQueries(log.test, k, &agg);
+    }
+    if (!st.ok()) Die(st, "run queries");
+  }
+  if (publisher != nullptr) publisher->Stop();
 
   // Mirror the phase profile into prof.* gauges before the registry dumps.
   if (args.Has("profile-out") && want_metrics) prof.PublishTo(&metrics);
@@ -234,6 +304,17 @@ int CmdQuery(const Args& args) {
                                 obs::ExportProfileJson(prof));
     if (!st.ok()) Die(st, "write profile json");
   }
+  if (args.Has("recorder-out")) {
+    st = obs::WriteStringToFile(args.Str("recorder-out", ""),
+                                recorder.DumpJson());
+    if (!st.ok()) Die(st, "write recorder json");
+  }
+  if (explain) {
+    for (size_t i = 0; i < per_query.size(); ++i) {
+      std::printf("explain[%zu] %s\n", i,
+                  obs::ExplainJson(per_query[i].explain).c_str());
+    }
+  }
 
   std::printf("dataset: %zu x %zu-d, ndom=%u | cache: %s %.1f MB tau=%u\n",
               data.size(), data.dim(), ndom, core::CacheMethodName(method),
@@ -252,6 +333,16 @@ int CmdQuery(const Args& args) {
               "%.2f | read failures %zu | deadline cuts %zu\n",
               agg.degraded_queries, agg.queries, agg.degraded_rate,
               agg.avg_substituted, agg.read_failures, agg.deadline_cuts);
+  {
+    const obs::WindowSnapshot live = window.GetSnapshot();
+    std::printf("live: window %.1fs qps %.1f | p95 %.4fs ewma %.4fs | "
+                "hit ratio %.3f | recorded %llu (slow/degraded %llu)\n",
+                live.window_seconds, live.qps, live.p95_seconds,
+                live.ewma_seconds, live.hit_ratio,
+                static_cast<unsigned long long>(recorder.recorded()),
+                static_cast<unsigned long long>(
+                    recorder.retained_slow_total()));
+  }
   return 0;
 }
 
@@ -266,7 +357,10 @@ void Usage() {
                "        [--lru] [--eager] [--deadline-ms MS] [--io-retries N]\n"
                "        [--metrics-out F.json] [--metrics-prom F.prom] "
                "[--trace-out F.jsonl]\n"
-               "        [--profile-out F.json]\n");
+               "        [--profile-out F.json]\n"
+               "        [--threads N] [--repeat R] [--explain]\n"
+               "        [--stats-interval-ms MS] [--stats-out F.jsonl] "
+               "[--recorder-out F.json]\n");
 }
 
 }  // namespace
@@ -279,7 +373,9 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (cmd == "gen") return CmdGen(Args(argc, argv, 2));
   if (cmd == "info") return CmdInfo(Args(argc, argv, 2));
-  if (cmd == "query") return CmdQuery(Args(argc, argv, 2, {"lru", "eager"}));
+  if (cmd == "query") {
+    return CmdQuery(Args(argc, argv, 2, {"lru", "eager", "explain"}));
+  }
   Usage();
   return 2;
 }

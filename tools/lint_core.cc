@@ -242,6 +242,19 @@ void CheckDeterminism(const std::string& path, const std::vector<Line>& lines,
                  "use eeb::Rng from common/random.h with an explicit seed");
     }
   }
+  // system_clock is wall time: it jumps on NTP steps and varies across
+  // machines, so durations measured with it are non-deterministic and
+  // occasionally negative. Library code measures durations with
+  // steady_clock (common/timer.h); wall timestamps belong in tools.
+  static const std::regex kWallClock(R"(\bsystem_clock\b)");
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (std::regex_search(lines[i].code, kWallClock)) {
+      AddFinding(findings, sup, path, i, "determinism",
+                 "std::chrono::system_clock in library code; measure "
+                 "durations with steady_clock (common/timer.h) — wall-clock "
+                 "timestamps belong in tools");
+    }
+  }
 }
 
 /// iostream: direct terminal output in library code. Reporting belongs to

@@ -9,7 +9,9 @@
 //   env-io           raw file opens (fopen / ::open / fstream) in library
 //                    code bypassing the storage::Env choke point
 //   determinism      std::rand / random_device / mt19937 / time-seeds in
-//                    library code instead of common/random.h's seeded Rng
+//                    library code instead of common/random.h's seeded Rng;
+//                    also std::chrono::system_clock (wall time) where a
+//                    duration needs steady_clock (common/timer.h)
 //   iostream         std::cout / std::cerr / printf-family output in
 //                    library code (reporting belongs to src/obs/)
 //   naked-new        new/delete outside the unique_ptr factory idiom
