@@ -18,13 +18,15 @@
 #ifndef EEB_CACHE_CODE_CACHE_H_
 #define EEB_CACHE_CODE_CACHE_H_
 
-#include <mutex>
+#include <atomic>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "common/dataset.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "cache/code_store.h"
 #include "cache/knn_cache.h"
 #include "hist/bounds.h"
@@ -45,37 +47,68 @@ void EncodeIndividual(const hist::IndividualHistograms& hs,
 /// Common machinery of the two code caches.
 class CodeCacheBase : public KnnCache {
  public:
-  size_t item_bytes() const override { return store_.item_bytes(); }
-  size_t size() const override { return slot_of_.size(); }
+  /// Immutable store config (fixed at construction); reading it through
+  /// the mu_-guarded store_ member is lock-free by that invariant.
+  size_t item_bytes() const override EEB_NO_THREAD_SAFETY_ANALYSIS {
+    return store_.item_bytes();
+  }
+  /// Items currently cached. Reads an atomic count maintained under `mu_`,
+  /// so it is safe to call concurrently with LRU probes/admissions (the
+  /// occupancy gauge publishes it once per query).
+  size_t size() const override {
+    return item_count_.load(std::memory_order_relaxed);
+  }
   size_t capacity_items() const override { return capacity_items_; }
-  uint32_t tau() const { return store_.bits_per_code(); }
+  /// Immutable store config, same invariant as item_bytes().
+  uint32_t tau() const EEB_NO_THREAD_SAFETY_ANALYSIS {
+    return store_.bits_per_code();
+  }
 
  protected:
   CodeCacheBase(size_t dim, uint32_t tau, size_t capacity_bytes, bool lru);
 
   /// Inserts codes for `id` (static fill path). No-op when full or present.
-  void InsertStatic(PointId id, std::span<const BucketId> codes);
+  void InsertStatic(PointId id, std::span<const BucketId> codes)
+      EEB_REQUIRES(mu_);
 
   /// LRU admission of codes for `id`. Takes `mu_`.
-  void AdmitCodes(PointId id, std::span<const BucketId> codes);
+  void AdmitCodes(PointId id, std::span<const BucketId> codes)
+      EEB_EXCLUDES(mu_);
 
   /// Looks up `id`; on hit decodes into `codes` (dim_ entries) and returns
   /// true. Lock-free on static caches; takes `mu_` under LRU (the recency
   /// touch and the decode must see a consistent slot).
-  bool LookupCodes(PointId id, std::span<BucketId> codes);
+  bool LookupCodes(PointId id, std::span<BucketId> codes) EEB_EXCLUDES(mu_);
 
   /// Thread-local decode/encode scratch of dim_ entries, shared across
   /// cache instances (contents never outlive one call).
   std::span<BucketId> Scratch() const;
 
-  size_t dim_;
-  size_t capacity_items_;
-  bool lru_;
-  CodeStore store_;
-  std::unordered_map<PointId, uint32_t> slot_of_;
-  std::vector<uint32_t> free_slots_;
-  LruTracker lru_list_;
-  std::mutex mu_;  // guards all mutable state, LRU policy only
+  Mutex mu_;  // guards the slot table / store / recency list (see below)
+  const size_t dim_;
+  const bool lru_;
+
+ private:
+  /// LRU lookup: the recency touch and the slot decode hold `mu_`.
+  bool LookupLocked(PointId id, std::span<BucketId> codes) EEB_REQUIRES(mu_);
+
+  /// Static (HFF) lookup. Invariant that makes the suppression sound: a
+  /// statically filled cache is immutable after Fill — ConfigureCache
+  /// builds the whole generation before publishing it to engine threads
+  /// (core/system.cc), so these unlocked reads race with nothing.
+  bool LookupStatic(PointId id, std::span<BucketId> codes)
+      EEB_NO_THREAD_SAFETY_ANALYSIS;
+
+ protected:
+  CodeStore store_ EEB_GUARDED_BY(mu_);
+  std::unordered_map<PointId, uint32_t> slot_of_ EEB_GUARDED_BY(mu_);
+  std::vector<uint32_t> free_slots_ EEB_GUARDED_BY(mu_);
+  LruTracker lru_list_ EEB_GUARDED_BY(mu_);
+  // Mirror of slot_of_.size(), refreshed under mu_ at the end of every
+  // mutation; lets size() (and the per-query occupancy gauge behind it)
+  // read occupancy without taking the LRU lock.
+  std::atomic<size_t> item_count_{0};
+  const size_t capacity_items_;
 };
 
 /// Cache of codes under one global histogram.

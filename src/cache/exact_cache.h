@@ -10,14 +10,16 @@
 #ifndef EEB_CACHE_EXACT_CACHE_H_
 #define EEB_CACHE_EXACT_CACHE_H_
 
-#include <mutex>
+#include <atomic>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "common/dataset.h"
 #include "common/distance.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "cache/code_store.h"
 #include "cache/knn_cache.h"
 
@@ -41,20 +43,40 @@ class ExactCache : public KnnCache {
   void Admit(PointId id, std::span<const Scalar> exact) override;
 
   size_t item_bytes() const override { return dim_ * sizeof(Scalar); }
-  size_t size() const override { return slot_of_.size(); }
+  /// Items currently cached. Reads an atomic count maintained under `mu_`,
+  /// so it is safe to call concurrently with LRU probes/admissions.
+  size_t size() const override {
+    return item_count_.load(std::memory_order_relaxed);
+  }
   size_t capacity_items() const override { return capacity_items_; }
 
  private:
-  uint32_t SlotFor();  // allocates or recycles a slot (LRU); needs mu_
+  /// Allocates or recycles a slot (LRU eviction path).
+  uint32_t SlotFor() EEB_REQUIRES(mu_);
 
-  size_t dim_;
-  std::mutex mu_;  // guards all mutable state, LRU policy only
-  size_t capacity_items_;
-  bool lru_;
-  std::unordered_map<PointId, uint32_t> slot_of_;
-  std::vector<Scalar> values_;  // slot-major storage
-  std::vector<uint32_t> free_slots_;
-  LruTracker lru_list_;
+  /// LRU probe: the recency touch and the distance over the slot's values
+  /// hold `mu_`.
+  bool ProbeLocked(std::span<const Scalar> q, PointId id, double* lb,
+                   double* ub) EEB_REQUIRES(mu_);
+
+  /// Static (HFF) probe. Invariant that makes the suppression sound: a
+  /// statically filled cache is immutable after Fill, which completes
+  /// before the generation is published to engine threads (core/system.cc),
+  /// so these unlocked reads race with nothing.
+  bool ProbeStatic(std::span<const Scalar> q, PointId id, double* lb,
+                   double* ub) EEB_NO_THREAD_SAFETY_ANALYSIS;
+
+  const size_t dim_;
+  const size_t capacity_items_;
+  const bool lru_;
+  Mutex mu_;  // guards the slot table / values / recency list
+  std::unordered_map<PointId, uint32_t> slot_of_ EEB_GUARDED_BY(mu_);
+  std::vector<Scalar> values_ EEB_GUARDED_BY(mu_);  // slot-major storage
+  std::vector<uint32_t> free_slots_ EEB_GUARDED_BY(mu_);
+  LruTracker lru_list_ EEB_GUARDED_BY(mu_);
+  // Mirror of slot_of_.size(), refreshed under mu_ at the end of every
+  // mutation; lets size() (and the occupancy gauge) skip the LRU lock.
+  std::atomic<size_t> item_count_{0};
 };
 
 }  // namespace eeb::cache

@@ -19,10 +19,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <string>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "obs/metrics.h"
 
@@ -77,8 +78,8 @@ class KnnCache {
   /// activity from the moment of binding onward; events that happened while
   /// unbound are not replayed.
   void BindMetrics(obs::MetricsRegistry* registry,
-                   const std::string& prefix = "cache") {
-    std::lock_guard<std::mutex> lock(publish_mu_);
+                   const std::string& prefix = "cache") EEB_EXCLUDES(publish_mu_) {
+    MutexLock lock(publish_mu_);
     if (registry == nullptr) {
       obs_ = Instruments{};
       return;
@@ -103,8 +104,8 @@ class KnnCache {
   /// gauge. The engine calls this once per query; concurrent callers
   /// serialize on an internal mutex so each delta is pushed exactly once.
   /// No-op when unbound.
-  void PublishMetrics() {
-    std::lock_guard<std::mutex> lock(publish_mu_);
+  void PublishMetrics() EEB_EXCLUDES(publish_mu_) {
+    MutexLock lock(publish_mu_);
     PublishLocked();
   }
 
@@ -155,7 +156,10 @@ class KnnCache {
   void NoteEviction() {
     Shard().evictions.fetch_add(1, std::memory_order_relaxed);
   }
-  void SyncOccupancy() {
+  // `size()` implementations must be safe to call concurrently with
+  // probes/admissions (the LRU caches keep an atomic item count for this;
+  // see CodeCacheBase::size / ExactCache::size).
+  void SyncOccupancy() EEB_REQUIRES(publish_mu_) {
     if (obs_.items != nullptr) obs_.items->Set(static_cast<double>(size()));
   }
 
@@ -215,7 +219,7 @@ class KnnCache {
     return shards_[slot];
   }
 
-  void PublishLocked() {
+  void PublishLocked() EEB_REQUIRES(publish_mu_) {
     if (obs_.hits == nullptr) return;
     const EventTotals now = CurrentTotals();
     obs_.hits->Add(now.hits - published_.hits);
@@ -227,10 +231,11 @@ class KnnCache {
     SyncOccupancy();
   }
 
-  EventShard shards_[kStatShards];
-  EventTotals published_;
-  std::mutex publish_mu_;  // guards obs_ binding + published_ deltas
-  Instruments obs_;
+  EventShard shards_[kStatShards] EEB_UNGUARDED(
+      "per-thread cache-line shards of relaxed atomics, merged on snapshot");
+  Mutex publish_mu_;  // guards obs_ binding + published_ deltas
+  EventTotals published_ EEB_GUARDED_BY(publish_mu_);
+  Instruments obs_ EEB_GUARDED_BY(publish_mu_);
   std::atomic<uint64_t> generation_id_{0};
 };
 

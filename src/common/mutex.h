@@ -1,0 +1,114 @@
+#ifndef EEB_COMMON_MUTEX_H_
+#define EEB_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace eeb {
+
+// Capability-annotated wrapper around std::mutex (the LevelDB/Abseil
+// idiom). libstdc++'s std::mutex carries no `capability` attribute, so
+// Clang's thread-safety analysis cannot track it; this wrapper is what
+// makes EEB_GUARDED_BY(mu_) provable. Runtime behavior is exactly a
+// std::mutex — TSan sees the same lock, and the no-op annotation path
+// compiles to identical code under GCC.
+class EEB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() EEB_ACQUIRE() { mu_.lock(); }
+  void Unlock() EEB_RELEASE() { mu_.unlock(); }
+  bool TryLock() EEB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // Tells the analysis (not the runtime) that the mutex is held on entry;
+  // use in helpers reached only from critical sections the analysis cannot
+  // see through (e.g. type-erased callbacks).
+  void AssertHeld() EEB_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII lock for Mutex; the SCOPED_CAPABILITY attribute lets the analysis
+// treat construction as acquire and destruction as release.
+class EEB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) EEB_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() EEB_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable usable with eeb::Mutex.
+//
+// Wait takes the mutex as a parameter (not a constructor-bound member) so
+// the EEB_REQUIRES(mu) expression syntactically matches the capability the
+// caller actually holds — Clang substitutes parameter expressions, which
+// it cannot do for a pointer stashed at construction time.
+//
+// Callers must use the analyzable shape
+//
+//   mu_.Lock();
+//   while (!predicate()) cv_.Wait(mu_);
+//   ...
+//   mu_.Unlock();
+//
+// rather than std::condition_variable's lambda-predicate overloads: the
+// analysis treats lambdas as separate unannotated functions, so a
+// predicate reading guarded state inside `cv.wait(lock, pred)` would
+// either warn or silently escape checking.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) EEB_REQUIRES(mu) {
+    // adopt_lock: wrap the already-held native mutex for the wait, then
+    // release() so the wrapper does not unlock it on scope exit — the
+    // caller still owns the critical section when Wait returns.
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  template <class Clock, class Duration>
+  std::cv_status WaitUntil(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      EEB_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status;
+  }
+
+  template <class Rep, class Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         const std::chrono::duration<Rep, Period>& timeout)
+      EEB_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();
+    return status;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace eeb
+
+#endif  // EEB_COMMON_MUTEX_H_

@@ -1,0 +1,84 @@
+#ifndef EEB_COMMON_THREAD_ANNOTATIONS_H_
+#define EEB_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety analysis attributes (no-ops elsewhere).
+//
+// These macros let the compiler prove lock-discipline statically: which
+// mutex guards which member, which functions require/acquire/release which
+// capability. GCC accepts the code unchanged (the macros expand to
+// nothing); the dedicated `thread-safety` CI job builds with Clang and
+// `-Wthread-safety -Wthread-safety-beta -Werror`, so a guarded member read
+// outside its mutex fails the build rather than a lucky TSan run.
+//
+// Conventions (see docs/STATIC_ANALYSIS.md):
+//  - Every mutex is an `eeb::Mutex` (common/mutex.h), never a bare
+//    std::mutex: libstdc++'s mutex carries no capability attribute, so the
+//    analysis would silently see nothing.
+//  - Every mutable member of a class that owns a mutex is either
+//    EEB_GUARDED_BY(mu_) or carries EEB_UNGUARDED("why it is safe").
+//    The eeb_lint `lock-coverage` pass enforces this.
+//  - EEB_NO_THREAD_SAFETY_ANALYSIS is reserved for protocols the analysis
+//    cannot express (e.g. the flight recorder's seqlock) and must sit next
+//    to a comment stating the manual invariant.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define EEB_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define EEB_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+#define EEB_CAPABILITY(x) EEB_THREAD_ANNOTATION(capability(x))
+
+#define EEB_SCOPED_CAPABILITY EEB_THREAD_ANNOTATION(scoped_lockable)
+
+#define EEB_GUARDED_BY(x) EEB_THREAD_ANNOTATION(guarded_by(x))
+
+#define EEB_PT_GUARDED_BY(x) EEB_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define EEB_ACQUIRED_BEFORE(...) \
+  EEB_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+#define EEB_ACQUIRED_AFTER(...) \
+  EEB_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define EEB_REQUIRES(...) \
+  EEB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define EEB_REQUIRES_SHARED(...) \
+  EEB_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define EEB_ACQUIRE(...) \
+  EEB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define EEB_ACQUIRE_SHARED(...) \
+  EEB_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+#define EEB_RELEASE(...) \
+  EEB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define EEB_RELEASE_SHARED(...) \
+  EEB_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+#define EEB_TRY_ACQUIRE(...) \
+  EEB_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define EEB_EXCLUDES(...) EEB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define EEB_ASSERT_CAPABILITY(x) \
+  EEB_THREAD_ANNOTATION(assert_capability(x))
+
+#define EEB_RETURN_CAPABILITY(x) EEB_THREAD_ANNOTATION(lock_returned(x))
+
+#define EEB_NO_THREAD_SAFETY_ANALYSIS \
+  EEB_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// Documentation-only marker for a mutable member of a mutex-owning class
+// that is deliberately NOT guarded by the mutex. The string argument states
+// the invariant that makes the unguarded access safe ("set once before
+// serving", "sharded relaxed atomic merged on snapshot", ...). Expands to
+// nothing on every compiler; the eeb_lint `lock-coverage` pass accepts it
+// as an explicit per-member suppression, so unguarded state is always a
+// conscious, self-documenting decision.
+#define EEB_UNGUARDED(reason)  // documentation only
+
+#endif  // EEB_COMMON_THREAD_ANNOTATIONS_H_

@@ -36,7 +36,7 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
   // set_cache() (maintenance rebuild) cannot free it from under us.
   std::shared_ptr<cache::KnnCache> cache_ref;
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    MutexLock lock(cache_mu_);
     cache_ref = cache_;
   }
   cache::KnnCache* const cache = cache_ref.get();
@@ -93,6 +93,8 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
     std::vector<bool> resolved(cand.size(), false);
     if (cache != nullptr) {
       obs::ProfScope probes_scope(prof_, "cache_probes");
+      // eeb-hot-begin(reduce-probe-loop): one iteration per candidate; any
+      // allocation here multiplies by |C(q)| and shows in reduce_seconds.
       for (size_t i = 0; i < cand.size(); ++i) {
         double lb, ub;
         if (cache->Probe(q, cand[i], &lb, &ub)) {
@@ -140,6 +142,7 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
           }
         }
       }
+      // eeb-hot-end
     }
 
     const double lbk = KthMin(lbs, k);
@@ -198,6 +201,8 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
                               p.ub);
           }
         };
+        // eeb-hot-begin(refine-fetch-loop): the multi-step kNN inner loop —
+        // per-candidate work must stay fetch + distance only.
         for (const Pending& p : remaining) {
           if (top.Full() && p.lb > top.Threshold()) break;  // optimal stop
           if (p.resolved) {
@@ -239,6 +244,7 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
           }
           note_pages(p.id);
         }
+        // eeb-hot-end
         for (const Neighbor& nb : top.TakeSorted()) {
           out->result_ids.push_back(nb.id);
         }

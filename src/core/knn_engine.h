@@ -22,11 +22,12 @@
 #define EEB_CORE_KNN_ENGINE_H_
 
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "cache/knn_cache.h"
 #include "index/candidate_index.h"
@@ -116,8 +117,8 @@ class KnnEngine {
   Status Query(std::span<const Scalar> q, size_t k, QueryResult* out);
 
   /// Snapshot of the currently published cache (may be empty/nullptr).
-  std::shared_ptr<cache::KnnCache> cache() {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+  std::shared_ptr<cache::KnnCache> cache() EEB_EXCLUDES(cache_mu_) {
+    MutexLock lock(cache_mu_);
     return cache_;
   }
 
@@ -125,8 +126,9 @@ class KnnEngine {
   /// snapshot; queries entering afterwards see `cache`. When the shared_ptr
   /// owns (or aliases) the histograms backing the cache, the whole bundle
   /// stays alive until the last in-flight reader drops it.
-  void set_cache(std::shared_ptr<cache::KnnCache> cache) {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+  void set_cache(std::shared_ptr<cache::KnnCache> cache)
+      EEB_EXCLUDES(cache_mu_) {
+    MutexLock lock(cache_mu_);
     cache_ = std::move(cache);
   }
 
@@ -145,13 +147,16 @@ class KnnEngine {
   void set_profiler(obs::Profiler* profiler) { prof_ = profiler; }
 
  private:
-  index::CandidateIndex* index_;
-  const storage::PointFile* points_;
-  std::mutex cache_mu_;  // guards cache_ publication vs. query snapshots
-  std::shared_ptr<cache::KnnCache> cache_;
-  EngineOptions options_;
-  obs::Tracer* tracer_ = nullptr;
-  obs::Profiler* prof_ = nullptr;
+  index::CandidateIndex* const index_;
+  const storage::PointFile* const points_;
+  Mutex cache_mu_;  // guards cache_ publication vs. query snapshots
+  std::shared_ptr<cache::KnnCache> cache_ EEB_GUARDED_BY(cache_mu_);
+  const EngineOptions options_;
+  obs::Tracer* tracer_ EEB_UNGUARDED(
+      "attached by single-threaded setup; serving with a tracer is "
+      "single-threaded by contract") = nullptr;
+  obs::Profiler* prof_ EEB_UNGUARDED(
+      "attached by single-threaded setup before queries run") = nullptr;
 
   // Bound instruments (nullptr when observability is off).
   struct Instruments {
@@ -169,7 +174,9 @@ class KnnEngine {
     obs::LatencyHistogram* gen_seconds = nullptr;
     obs::LatencyHistogram* reduce_seconds = nullptr;
     obs::LatencyHistogram* refine_seconds = nullptr;
-  } obs_;
+  } obs_ EEB_UNGUARDED(
+      "bound by single-threaded setup before queries run; instruments "
+      "themselves are internally atomic");
 };
 
 }  // namespace eeb::core

@@ -148,7 +148,7 @@ void System::InstallCacheTap() {
 
 void System::SampleWorkerGauges() {
   if (window_ == nullptr) return;
-  std::lock_guard<std::mutex> lock(pool_mu_);
+  MutexLock lock(pool_mu_);
   if (active_pool_ != nullptr) {
     window_->SampleQueue(active_pool_->queue_depth(),
                          active_pool_->busy_workers(),
@@ -417,7 +417,7 @@ void System::PublishGeneration(std::shared_ptr<CacheGeneration> gen) {
   std::shared_ptr<cache::KnnCache> cache_view;
   if (gen != nullptr) cache_view = {gen, gen->cache.get()};
   {
-    std::lock_guard<std::mutex> lock(generation_mu_);
+    MutexLock lock(generation_mu_);
     generation_ = std::move(gen);
   }
   engine_->set_cache(std::move(cache_view));
@@ -535,7 +535,7 @@ Status System::RunQueriesConcurrent(
   {
     ThreadPool pool(n_threads);
     {
-      std::lock_guard<std::mutex> lock(pool_mu_);
+      MutexLock lock(pool_mu_);
       active_pool_ = &pool;
     }
     for (size_t i = 0; i < queries.size(); ++i) {
@@ -554,7 +554,7 @@ Status System::RunQueriesConcurrent(
           ->Set(static_cast<double>(pool.queue_max_depth()));
     }
     {
-      std::lock_guard<std::mutex> lock(pool_mu_);
+      MutexLock lock(pool_mu_);
       active_pool_ = nullptr;
     }
   }

@@ -8,13 +8,14 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/dataset.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "cache/code_cache.h"
 #include "cache/exact_cache.h"
 #include "cache/multidim_cache.h"
@@ -250,8 +251,9 @@ class System {
     std::unique_ptr<cache::KnnCache> cache;
   };
 
-  std::shared_ptr<CacheGeneration> generation() const {
-    std::lock_guard<std::mutex> lock(generation_mu_);
+  std::shared_ptr<CacheGeneration> generation() const
+      EEB_EXCLUDES(generation_mu_) {
+    MutexLock lock(generation_mu_);
     return generation_;
   }
 
@@ -275,54 +277,81 @@ class System {
   void AggregateResults(const std::vector<QueryResult>& results,
                         AggregateResult* out);
 
-  storage::Env* env_ = nullptr;
-  SystemOptions options_;
-  const Dataset* data_ = nullptr;
+  // Pipeline components: wired by Create() before the system is handed to
+  // callers, then structurally immutable — queries only read through them.
+  // (The components themselves synchronize their own mutable internals.)
+  storage::Env* env_ EEB_UNGUARDED("set once in Create before serving") =
+      nullptr;
+  SystemOptions options_ EEB_UNGUARDED("set once in Create before serving");
+  const Dataset* data_ EEB_UNGUARDED("set once in Create before serving") =
+      nullptr;
   // Retry wrapper the point file reads through (owns no Env; wraps env_).
-  std::unique_ptr<storage::RetryingEnv> retry_env_;
-  std::unique_ptr<storage::PointFile> points_;
-  std::unique_ptr<index::C2Lsh> lsh_;
-  std::unique_ptr<KnnEngine> engine_;
-  WorkloadStats wl_;
-  std::unique_ptr<hist::FrequencyArray> fprime_;  // workload QR coords
-  std::unique_ptr<hist::FrequencyArray> fdata_;   // raw data distribution
-  storage::DiskModel disk_model_;
+  std::unique_ptr<storage::RetryingEnv> retry_env_ EEB_UNGUARDED(
+      "set once in Create before serving");
+  std::unique_ptr<storage::PointFile> points_ EEB_UNGUARDED(
+      "set once in Create before serving");
+  std::unique_ptr<index::C2Lsh> lsh_ EEB_UNGUARDED(
+      "set once in Create before serving");
+  std::unique_ptr<KnnEngine> engine_ EEB_UNGUARDED(
+      "set once in Create before serving");
+  // Workload statistics: rewritten only by the single maintenance thread
+  // (RefreshWorkload / SetWorkloadStats); the query path never reads them.
+  WorkloadStats wl_ EEB_UNGUARDED("maintenance thread only; see above");
+  std::unique_ptr<hist::FrequencyArray> fprime_ EEB_UNGUARDED(
+      "maintenance thread only; see above");  // workload QR coords
+  std::unique_ptr<hist::FrequencyArray> fdata_ EEB_UNGUARDED(
+      "set once in Create before serving");  // raw data distribution
+  storage::DiskModel disk_model_ EEB_UNGUARDED(
+      "configured before serving; read-only afterwards");
 
   // Currently published cache generation (nullptr before ConfigureCache /
   // for NO-CACHE). Readers copy the shared_ptr under generation_mu_; the
   // engine additionally pins its own snapshot per query.
-  mutable std::mutex generation_mu_;
-  std::shared_ptr<CacheGeneration> generation_;
+  mutable Mutex generation_mu_;
+  std::shared_ptr<CacheGeneration> generation_ EEB_GUARDED_BY(generation_mu_);
 
-  double last_build_seconds_ = 0.0;
-  size_t last_space_bytes_ = 0;
-  uint32_t last_tau_ = 0;
+  // Offline-cost bookkeeping for the last ConfigureCache call: written by
+  // the single configuration/maintenance thread, read by the same thread's
+  // later accessor calls.
+  double last_build_seconds_ EEB_UNGUARDED("maintenance thread only") = 0.0;
+  size_t last_space_bytes_ EEB_UNGUARDED("maintenance thread only") = 0;
+  uint32_t last_tau_ EEB_UNGUARDED("maintenance thread only") = 0;
 
-  // Observability attachments (not owned; nullptr when disabled).
-  obs::MetricsRegistry* metrics_ = nullptr;
-  obs::Tracer* tracer_ = nullptr;
-  obs::Profiler* profiler_ = nullptr;
-  obs::WindowedMetrics* window_ = nullptr;
-  obs::FlightRecorder* recorder_ = nullptr;
-  obs::Counter* obs_queries_ = nullptr;
-  obs::LatencyHistogram* obs_response_ = nullptr;
-  obs::Gauge* obs_modeled_io_ = nullptr;
+  // Observability attachments (not owned; nullptr when disabled). Attached
+  // by single-threaded setup before queries run; the instruments behind
+  // the pointers are internally atomic.
+  obs::MetricsRegistry* metrics_ EEB_UNGUARDED("attached before serving") =
+      nullptr;
+  obs::Tracer* tracer_ EEB_UNGUARDED("attached before serving") = nullptr;
+  obs::Profiler* profiler_ EEB_UNGUARDED("attached before serving") = nullptr;
+  obs::WindowedMetrics* window_ EEB_UNGUARDED("attached before serving") =
+      nullptr;
+  obs::FlightRecorder* recorder_ EEB_UNGUARDED("attached before serving") =
+      nullptr;
+  obs::Counter* obs_queries_ EEB_UNGUARDED("attached before serving") =
+      nullptr;
+  obs::LatencyHistogram* obs_response_ EEB_UNGUARDED(
+      "attached before serving") = nullptr;
+  obs::Gauge* obs_modeled_io_ EEB_UNGUARDED("attached before serving") =
+      nullptr;
 
   // Pool currently executing RunQueriesConcurrent (nullptr when idle);
   // lets SampleWorkerGauges observe queue depth / busy workers from the
   // stats-publisher thread while a batch is in flight.
-  mutable std::mutex pool_mu_;
-  ThreadPool* active_pool_ = nullptr;
+  mutable Mutex pool_mu_;
+  ThreadPool* active_pool_ EEB_GUARDED_BY(pool_mu_) = nullptr;
 
   // Monotonic id stamped on each published cache generation (explain
   // records reference it).
   std::atomic<uint64_t> next_generation_id_{0};
 
-  // Most recent ConfigureCache arguments, for ReconfigureCache().
-  CacheMethod last_method_ = CacheMethod::kNone;
-  size_t last_cache_bytes_ = 0;
-  uint32_t last_requested_tau_ = 0;
-  bool last_lru_ = false;
+  // Most recent ConfigureCache arguments, for ReconfigureCache(): written
+  // and read only by the single configuration/maintenance thread.
+  CacheMethod last_method_ EEB_UNGUARDED("maintenance thread only") =
+      CacheMethod::kNone;
+  size_t last_cache_bytes_ EEB_UNGUARDED("maintenance thread only") = 0;
+  uint32_t last_requested_tau_ EEB_UNGUARDED("maintenance thread only") = 0;
+  bool last_lru_ EEB_UNGUARDED("maintenance thread only") = false;
 };
 
 }  // namespace eeb::core

@@ -12,15 +12,21 @@
 #ifndef EEB_CORE_TASK_QUEUE_H_
 #define EEB_CORE_TASK_QUEUE_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <utility>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace eeb::core {
 
 /// Fixed-capacity multi-producer/multi-consumer queue of tasks.
+///
+/// Waits use the explicit Lock / while-Wait / Unlock shape (not the
+/// lambda-predicate condition_variable overloads) so Clang's thread-safety
+/// analysis can see every guarded access — a lambda predicate would be
+/// analyzed as a separate, unannotated function.
 class BoundedTaskQueue {
  public:
   using Task = std::function<void()>;
@@ -33,65 +39,70 @@ class BoundedTaskQueue {
 
   /// Enqueues `task`, blocking while the queue is at capacity. Returns false
   /// (task dropped) iff the queue was closed.
-  bool Push(Task task) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || tasks_.size() < capacity_; });
-    if (closed_) return false;
+  bool Push(Task task) EEB_EXCLUDES(mu_) {
+    mu_.Lock();
+    while (!closed_ && tasks_.size() >= capacity_) not_full_.Wait(mu_);
+    if (closed_) {
+      mu_.Unlock();
+      return false;
+    }
     tasks_.push_back(std::move(task));
     if (tasks_.size() > max_depth_) max_depth_ = tasks_.size();
-    lock.unlock();
-    not_empty_.notify_one();
+    mu_.Unlock();  // unlock before notify: the woken consumer runs sooner
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Dequeues into `*task`, blocking while the queue is empty. Returns false
   /// iff the queue is closed and fully drained.
-  bool Pop(Task* task) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] { return closed_ || !tasks_.empty(); });
-    if (tasks_.empty()) return false;  // closed and drained
+  bool Pop(Task* task) EEB_EXCLUDES(mu_) {
+    mu_.Lock();
+    while (!closed_ && tasks_.empty()) not_empty_.Wait(mu_);
+    if (tasks_.empty()) {  // closed and drained
+      mu_.Unlock();
+      return false;
+    }
     *task = std::move(tasks_.front());
     tasks_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+    mu_.Unlock();
+    not_full_.NotifyOne();
     return true;
   }
 
   /// Closes the queue: pending tasks still drain, new pushes are rejected,
   /// and blocked waiters wake up.
-  void Shutdown() {
+  void Shutdown() EEB_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    not_full_.NotifyAll();
+    not_empty_.NotifyAll();
   }
 
   size_t capacity() const { return capacity_; }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const EEB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return tasks_.size();
   }
 
   /// High-water mark of the backlog since construction — a cheap saturation
   /// signal for the live-telemetry gauges (a max_depth near capacity means
   /// producers were spending time blocked in Push).
-  size_t max_depth() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t max_depth() const EEB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return max_depth_;
   }
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<Task> tasks_;
-  size_t max_depth_ = 0;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_full_;   // signaled after Pop frees a slot
+  CondVar not_empty_;  // signaled after Push adds a task
+  std::deque<Task> tasks_ EEB_GUARDED_BY(mu_);
+  size_t max_depth_ EEB_GUARDED_BY(mu_) = 0;
+  bool closed_ EEB_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace eeb::core

@@ -22,13 +22,13 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::Submit(BoundedTaskQueue::Task task) {
   {
-    std::lock_guard<std::mutex> lock(drain_mu_);
+    MutexLock lock(drain_mu_);
     ++submitted_;
   }
   if (!queue_.Push(std::move(task))) {
     // Rejected by a closed queue: roll the accounting back so Drain does
     // not wait for a task that will never run.
-    std::lock_guard<std::mutex> lock(drain_mu_);
+    MutexLock lock(drain_mu_);
     --submitted_;
     return false;
   }
@@ -36,8 +36,11 @@ bool ThreadPool::Submit(BoundedTaskQueue::Task task) {
 }
 
 void ThreadPool::Drain() {
-  std::unique_lock<std::mutex> lock(drain_mu_);
-  drain_cv_.wait(lock, [this] { return completed_ == submitted_; });
+  // Explicit while-Wait (not a lambda predicate) so the analysis sees the
+  // guarded reads of submitted_/completed_.
+  drain_mu_.Lock();
+  while (completed_ != submitted_) drain_cv_.Wait(drain_mu_);
+  drain_mu_.Unlock();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -48,10 +51,10 @@ void ThreadPool::WorkerLoop() {
     busy_.fetch_sub(1, std::memory_order_relaxed);
     task = nullptr;  // release captures before signaling completion
     {
-      std::lock_guard<std::mutex> lock(drain_mu_);
+      MutexLock lock(drain_mu_);
       ++completed_;
     }
-    drain_cv_.notify_all();
+    drain_cv_.NotifyAll();
   }
 }
 

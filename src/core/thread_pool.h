@@ -9,12 +9,12 @@
 #define EEB_CORE_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/task_queue.h"
 
 namespace eeb::core {
@@ -35,10 +35,10 @@ class ThreadPool {
 
   /// Enqueues a task, blocking while the queue is full. Returns false iff
   /// the pool is shutting down.
-  bool Submit(BoundedTaskQueue::Task task);
+  bool Submit(BoundedTaskQueue::Task task) EEB_EXCLUDES(drain_mu_);
 
   /// Blocks until every task submitted so far has finished executing.
-  void Drain();
+  void Drain() EEB_EXCLUDES(drain_mu_);
 
   size_t num_threads() const { return workers_.size(); }
 
@@ -54,15 +54,18 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  BoundedTaskQueue queue_;
-  std::vector<std::thread> workers_;
+  BoundedTaskQueue queue_ EEB_UNGUARDED(
+      "internally synchronized: the queue owns its own mutex/condvars");
+  std::vector<std::thread> workers_ EEB_UNGUARDED(
+      "spawned in the constructor, joined in the destructor; never touched "
+      "while workers run");
   std::atomic<size_t> busy_{0};
 
   // Drain bookkeeping: tasks submitted vs. completed.
-  std::mutex drain_mu_;
-  std::condition_variable drain_cv_;
-  uint64_t submitted_ = 0;
-  uint64_t completed_ = 0;
+  Mutex drain_mu_;
+  CondVar drain_cv_;  // signaled after a worker finishes a task
+  uint64_t submitted_ EEB_GUARDED_BY(drain_mu_) = 0;
+  uint64_t completed_ EEB_GUARDED_BY(drain_mu_) = 0;
 };
 
 }  // namespace eeb::core

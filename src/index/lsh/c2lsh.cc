@@ -103,10 +103,13 @@ Status C2Lsh::Build(const Dataset& data, const C2LshOptions& options,
 }
 
 int64_t C2Lsh::KeyFor(uint32_t func, std::span<const Scalar> p) const {
+  // eeb-hot-begin(lsh-projection): the generation kernel's dot product —
+  // runs m times per query over the full dimensionality; pure arithmetic.
   double dot = shift_[func];
   const auto& a = proj_[func];
   for (size_t j = 0; j < dim_; ++j) dot += a[j] * p[j];
   return static_cast<int64_t>(std::floor(dot / width_));
+  // eeb-hot-end
 }
 
 Status C2Lsh::Candidates(std::span<const Scalar> q, size_t k,

@@ -26,21 +26,21 @@ void LatencyHistogram::Reset() {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
   return slot.get();
@@ -48,7 +48,7 @@ LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
 
 std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::Counters()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<std::string, uint64_t>> out;
   out.reserve(counters_.size());
   for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
@@ -56,7 +56,7 @@ std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::Counters()
 }
 
 std::vector<std::pair<std::string, double>> MetricsRegistry::Gauges() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<std::string, double>> out;
   out.reserve(gauges_.size());
   for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
@@ -65,7 +65,7 @@ std::vector<std::pair<std::string, double>> MetricsRegistry::Gauges() const {
 
 std::vector<std::pair<std::string, MetricsRegistry::HistogramStats>>
 MetricsRegistry::Histograms() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<std::string, HistogramStats>> out;
   out.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) {
@@ -82,7 +82,7 @@ MetricsRegistry::Histograms() const {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();

@@ -19,12 +19,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace eeb::obs {
 
@@ -162,9 +163,9 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   /// Returns the instrument with `name`, creating it on first use.
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
-  LatencyHistogram* GetHistogram(const std::string& name);
+  Counter* GetCounter(const std::string& name) EEB_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) EEB_EXCLUDES(mu_);
+  LatencyHistogram* GetHistogram(const std::string& name) EEB_EXCLUDES(mu_);
 
   struct HistogramStats {
     uint64_t count = 0;
@@ -176,18 +177,27 @@ class MetricsRegistry {
   };
 
   /// Sorted-by-name snapshots for the exporters.
-  std::vector<std::pair<std::string, uint64_t>> Counters() const;
-  std::vector<std::pair<std::string, double>> Gauges() const;
-  std::vector<std::pair<std::string, HistogramStats>> Histograms() const;
+  std::vector<std::pair<std::string, uint64_t>> Counters() const
+      EEB_EXCLUDES(mu_);
+  std::vector<std::pair<std::string, double>> Gauges() const
+      EEB_EXCLUDES(mu_);
+  std::vector<std::pair<std::string, HistogramStats>> Histograms() const
+      EEB_EXCLUDES(mu_);
 
   /// Zeroes every instrument (epoch boundaries in long-running harnesses).
-  void ResetAll();
+  void ResetAll() EEB_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  // The maps (name -> owning pointer) are guarded; the instruments behind
+  // the pointers are internally atomic and are deliberately updated outside
+  // the lock on hot paths (pointer stability for the registry's lifetime is
+  // the published contract).
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      EEB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ EEB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_
+      EEB_GUARDED_BY(mu_);
 };
 
 /// Cause-tagged acknowledgment of a Status a caller deliberately does not

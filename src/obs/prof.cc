@@ -38,7 +38,7 @@ Profiler::Node* Profiler::FindOrAddChild(Node* parent, const char* name) {
        c != nullptr; c = c->next_sibling) {
     if (c->name == name || std::strcmp(c->name, name) == 0) return c;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (Node* c = parent->first_child.load(std::memory_order_acquire);
        c != nullptr; c = c->next_sibling) {
     if (c->name == name || std::strcmp(c->name, name) == 0) return c;
@@ -46,6 +46,9 @@ Profiler::Node* Profiler::FindOrAddChild(Node* parent, const char* name) {
   nodes_.push_back(std::make_unique<Node>(name, parent));
   Node* node = nodes_.back().get();
   node->next_sibling = parent->first_child.load(std::memory_order_relaxed);
+  // mu_ is held, so this thread is the only writer of first_child and the
+  // load/publish pair cannot lose an update.
+  // eeb-lint: allow(atomic-misuse)
   parent->first_child.store(node, std::memory_order_release);
   return node;
 }
@@ -92,7 +95,7 @@ std::vector<Profiler::PhaseStats> Profiler::Snapshot() const {
 }
 
 void Profiler::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& node : nodes_) {
     node->nanos.store(0, std::memory_order_relaxed);
     node->calls.store(0, std::memory_order_relaxed);

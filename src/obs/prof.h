@@ -25,10 +25,11 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace eeb::obs {
@@ -81,12 +82,15 @@ class Profiler {
     std::atomic<uint64_t> calls{0};
   };
 
-  Node* FindOrAddChild(Node* parent, const char* name);
+  Node* FindOrAddChild(Node* parent, const char* name) EEB_EXCLUDES(mu_);
 
-  Node root_{"", nullptr};
+  Node root_ EEB_UNGUARDED(
+      "tree links are lock-free: first_child is an acquire/release atomic, "
+      "siblings and accumulators are written before CAS-publish or are "
+      "relaxed atomics"){"", nullptr};
   const uint64_t gen_;  // unique per Profiler; guards stale thread caches
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Node>> nodes_;  // ownership only
+  mutable Mutex mu_;  // serializes node insertion and Reset
+  std::vector<std::unique_ptr<Node>> nodes_ EEB_GUARDED_BY(mu_);  // ownership
 };
 
 /// RAII phase scope. Opening nests under the innermost scope this thread

@@ -119,6 +119,10 @@ void FlightRecorder::WriteCell(Cell& cell, const QueryRecord& record) {
   for (size_t i = 0; i < kWords; ++i) {
     cell.words[i].store(words[i], std::memory_order_relaxed);
   }
+  // Seqlock writer side: slot-cursor claiming (fetch_add in Record) makes
+  // this thread the cell's only writer until the even version publishes,
+  // so the load-then-store version bump cannot race.
+  // eeb-lint: allow(atomic-misuse)
   cell.version.store(v + 2, std::memory_order_release);  // even: stable
 }
 
@@ -155,7 +159,7 @@ uint64_t FlightRecorder::Record(QueryRecord record) {
       record.explain.read_failures > 0;
   if (slow || degraded) {
     retained_total_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(slow_mu_);
+    MutexLock lock(slow_mu_);
     slow_.push_back(record);
     while (slow_.size() > options_.max_retained_slow) slow_.pop_front();
   }
@@ -180,7 +184,7 @@ std::vector<QueryRecord> FlightRecorder::SnapshotRecent() const {
 }
 
 std::vector<QueryRecord> FlightRecorder::SlowQueries() const {
-  std::lock_guard<std::mutex> lock(slow_mu_);
+  MutexLock lock(slow_mu_);
   return {slow_.begin(), slow_.end()};
 }
 

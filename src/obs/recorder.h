@@ -24,10 +24,12 @@
 #include <deque>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <type_traits>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace eeb::obs {
 
@@ -161,19 +163,38 @@ class FlightRecorder {
   };
 
   size_t SlotIndex() const;
+
+  // Seqlock protocol (not expressible to the thread-safety analysis, which
+  // models capabilities, not version counters — so the helpers document it):
+  //
+  //   WriteCell  "acquires" the cell by bumping version to odd (relaxed
+  //              load + store — the single-writer-per-cell guarantee comes
+  //              from the slot cursor's fetch_add claiming the entry), emits
+  //              a release fence, stores the payload words relaxed, emits
+  //              another release fence, and "releases" by storing the even
+  //              version+2.
+  //   ReadCell   reads version (acquire), copies the payload words relaxed,
+  //              emits an acquire fence, and re-reads version; the copy is
+  //              valid only if both reads saw the same even value.
+  //
+  // The version load-then-store in WriteCell is the canonical benign
+  // read-modify-write on an atomic: entry claiming makes this thread the
+  // only writer of the cell until it publishes the even version.
   void WriteCell(Cell& cell, const QueryRecord& record);
   bool ReadCell(const Cell& cell, QueryRecord* out) const;
 
   const Options options_;
   std::atomic<uint64_t> slow_threshold_bits_;
-  std::array<Slot, kSlots> slots_;
+  std::array<Slot, kSlots> slots_ EEB_UNGUARDED(
+      "seqlock-protected: every Slot field is an atomic and the per-cell "
+      "version protocol above governs all cross-thread access");
   std::atomic<uint64_t> seq_{0};
   std::atomic<uint64_t> next_slot_{0};
   mutable std::atomic<uint64_t> torn_reads_{0};
 
   std::atomic<uint64_t> retained_total_{0};
-  mutable std::mutex slow_mu_;
-  std::deque<QueryRecord> slow_;  // guarded by slow_mu_
+  mutable Mutex slow_mu_;  // tail-retention list; off the normal hot path
+  std::deque<QueryRecord> slow_ EEB_GUARDED_BY(slow_mu_);
 };
 
 }  // namespace eeb::obs

@@ -78,7 +78,7 @@ void WindowedMetrics::RecordQuery(const QuerySample& sample) {
   total_cache_hits_.fetch_add(sample.cache_hits, std::memory_order_relaxed);
   if (sample.degraded) total_degraded_.fetch_add(1, std::memory_order_relaxed);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Slice& slice = Touch(options_.now());
   slice.queries += 1;
   slice.sum_seconds += sample.response_seconds;
@@ -100,7 +100,7 @@ void WindowedMetrics::RecordQuery(const QuerySample& sample) {
 }
 
 void WindowedMetrics::SetCacheTap(std::function<CacheTapSample()> tap) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   tap_ = std::move(tap);
   // Re-base: activity before installation belongs to no slice.
   tap_base_ = tap_ ? tap_() : CacheTapSample{};
@@ -148,7 +148,7 @@ double WindowedMetrics::PercentileLocked(
 
 WindowSnapshot WindowedMetrics::GetSnapshot() {
   WindowSnapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const double now = options_.now();
   DrainTapLocked(now);
 
@@ -320,28 +320,37 @@ void StatsPublisher::PublishOnce() {
 }
 
 void StatsPublisher::Loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  // Explicit deadline loop (instead of a predicate lambda) so the analysis
+  // can see that stopping_ is only read with mu_ held: a spurious or early
+  // notify wake re-checks stopping_ and keeps waiting out the interval.
+  mu_.Lock();
   while (!stopping_) {
-    cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
-                 [this] { return stopping_; });
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(options_.interval_ms);
+    while (!stopping_ &&
+           cv_.WaitUntil(mu_, deadline) != std::cv_status::timeout) {
+    }
     if (stopping_) break;
-    lock.unlock();
+    mu_.Unlock();
     PublishOnce();
-    lock.lock();
+    mu_.Lock();
   }
+  mu_.Unlock();
 }
 
 void StatsPublisher::Stop() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopped_) return;
-    if (stopping_) return;  // concurrent Stop already tearing down
-    stopping_ = true;
+  mu_.Lock();
+  if (stopped_ || stopping_) {  // done, or concurrent Stop tearing down
+    mu_.Unlock();
+    return;
   }
-  cv_.notify_all();
+  stopping_ = true;
+  mu_.Unlock();
+  cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
   PublishOnce();  // final line so short runs still emit a snapshot
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stopped_ = true;
 }
 

@@ -21,15 +21,15 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace eeb::obs {
@@ -105,21 +105,21 @@ class WindowedMetrics {
   WindowedMetrics& operator=(const WindowedMetrics&) = delete;
 
   /// Folds one finished query into the current slice.
-  void RecordQuery(const QuerySample& sample);
+  void RecordQuery(const QuerySample& sample) EEB_EXCLUDES(mu_);
 
   /// Installs the cumulative cache-activity tap. The window differences
   /// successive tap readings into slices at snapshot time; re-installation
   /// (e.g. after a cache generation swap) re-bases the deltas.
-  void SetCacheTap(std::function<CacheTapSample()> tap);
+  void SetCacheTap(std::function<CacheTapSample()> tap) EEB_EXCLUDES(mu_);
 
   /// Records the latest queue/worker observation (sampled, not windowed).
   void SampleQueue(uint64_t queue_depth, uint64_t busy_workers,
                    uint64_t workers);
 
-  WindowSnapshot GetSnapshot();
+  WindowSnapshot GetSnapshot() EEB_EXCLUDES(mu_);
 
   /// Publishes a snapshot as "live.*" gauges on `registry`.
-  void PublishTo(MetricsRegistry* registry);
+  void PublishTo(MetricsRegistry* registry) EEB_EXCLUDES(mu_);
 
   /// Publishes an already-taken snapshot (so one snapshot can feed both the
   /// gauge publication and a JSON line without being taken twice).
@@ -149,24 +149,23 @@ class WindowedMetrics {
   };
 
   // Returns the slice for `now`, zeroing it first if its epoch is stale.
-  // Caller holds mu_.
-  Slice& Touch(double now);
-  void DrainTapLocked(double now);
+  Slice& Touch(double now) EEB_REQUIRES(mu_);
+  void DrainTapLocked(double now) EEB_REQUIRES(mu_);
   double PercentileLocked(
       const std::array<uint64_t, LatencyHistogram::kNumBuckets>& buckets,
-      uint64_t count, double p, double max_seconds) const;
+      uint64_t count, double p, double max_seconds) const EEB_REQUIRES(mu_);
 
   const WindowOptions options_;
   const double slice_width_;
 
-  std::mutex mu_;
-  std::vector<Slice> slices_;       // guarded by mu_
-  double start_time_;               // guarded by mu_
-  double ewma_seconds_ = 0.0;       // guarded by mu_
-  bool ewma_primed_ = false;        // guarded by mu_
-  std::function<CacheTapSample()> tap_;  // guarded by mu_
-  CacheTapSample tap_base_;         // last tap reading, guarded by mu_
-  bool tap_based_ = false;          // guarded by mu_
+  Mutex mu_;
+  std::vector<Slice> slices_ EEB_GUARDED_BY(mu_);
+  double start_time_ EEB_GUARDED_BY(mu_);
+  double ewma_seconds_ EEB_GUARDED_BY(mu_) = 0.0;
+  bool ewma_primed_ EEB_GUARDED_BY(mu_) = false;
+  std::function<CacheTapSample()> tap_ EEB_GUARDED_BY(mu_);
+  CacheTapSample tap_base_ EEB_GUARDED_BY(mu_);  // last tap reading
+  bool tap_based_ EEB_GUARDED_BY(mu_) = false;
 
   std::atomic<uint64_t> queue_depth_{0};
   std::atomic<uint64_t> busy_workers_{0};
@@ -202,7 +201,7 @@ class StatsPublisher {
   StatsPublisher& operator=(const StatsPublisher&) = delete;
 
   /// Idempotent; joins the thread and emits a final snapshot line.
-  void Stop();
+  void Stop() EEB_EXCLUDES(mu_);
 
   uint64_t lines_published() const {
     return lines_.load(std::memory_order_relaxed);
@@ -210,7 +209,7 @@ class StatsPublisher {
 
  private:
   void PublishOnce();
-  void Loop();
+  void Loop() EEB_EXCLUDES(mu_);
 
   WindowedMetrics* const window_;
   MetricsRegistry* const registry_;
@@ -218,12 +217,14 @@ class StatsPublisher {
   const Options options_;
   const double start_time_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopping_ = false;  // guarded by mu_
-  bool stopped_ = false;   // guarded by mu_
+  Mutex mu_;
+  CondVar cv_;
+  bool stopping_ EEB_GUARDED_BY(mu_) = false;
+  bool stopped_ EEB_GUARDED_BY(mu_) = false;
   std::atomic<uint64_t> lines_{0};
-  std::thread thread_;
+  std::thread thread_ EEB_UNGUARDED(
+      "spawned in the constructor, joined by Stop/destructor; never touched "
+      "while the publisher thread runs");
 };
 
 }  // namespace eeb::obs

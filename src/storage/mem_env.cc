@@ -155,7 +155,7 @@ bool ScheduledFault(uint64_t index, uint64_t trigger, bool persistent,
 }  // namespace
 
 Status FaultInjectionEnv::OnRead() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const uint64_t index = reads_++;
   if (ScheduledFault(index, plan_.fail_after_reads, plan_.persistent,
                      &read_tripped_) ||
@@ -168,7 +168,7 @@ Status FaultInjectionEnv::OnRead() {
 }
 
 Status FaultInjectionEnv::OnWrite() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const uint64_t index = writes_++;
   if (ScheduledFault(index, plan_.fail_after_writes, plan_.persistent,
                      &write_tripped_) ||
@@ -181,7 +181,7 @@ Status FaultInjectionEnv::OnWrite() {
 }
 
 void FaultInjectionEnv::MaybeCorrupt(char* data, size_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (plan_.corrupt_rate <= 0.0 || n == 0) return;
   if (!rng_.Bernoulli(plan_.corrupt_rate)) return;
   const uint64_t bit = rng_.Uniform(static_cast<uint64_t>(n) * 8);

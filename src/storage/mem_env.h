@@ -19,11 +19,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/random.h"
+#include "common/thread_annotations.h"
 #include "storage/env.h"
 
 namespace eeb::storage {
@@ -81,8 +82,8 @@ class FaultInjectionEnv : public Env {
  public:
   explicit FaultInjectionEnv(Env* base) : base_(base) {}
 
-  void set_plan(const FaultPlan& plan) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void set_plan(const FaultPlan& plan) EEB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     plan_ = plan;
     reads_ = 0;
     writes_ = 0;
@@ -93,25 +94,25 @@ class FaultInjectionEnv : public Env {
     injected_corruptions_ = 0;
     rng_ = Rng(plan.seed);
   }
-  uint64_t reads() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t reads() const EEB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return reads_;
   }
-  uint64_t writes() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t writes() const EEB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return writes_;
   }
   /// Faults actually fired since set_plan (scheduled + probabilistic).
-  uint64_t injected_read_faults() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t injected_read_faults() const EEB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return injected_read_faults_;
   }
-  uint64_t injected_write_faults() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t injected_write_faults() const EEB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return injected_write_faults_;
   }
-  uint64_t injected_corruptions() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t injected_corruptions() const EEB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return injected_corruptions_;
   }
 
@@ -128,27 +129,27 @@ class FaultInjectionEnv : public Env {
 
   /// Called by wrapped files before each read; returns non-OK when the
   /// read must fail. Public so the file wrapper (internal) can reach it.
-  Status OnRead();
+  Status OnRead() EEB_EXCLUDES(mu_);
 
   /// Write-side counterpart of OnRead(), consulted before each Append.
-  Status OnWrite();
+  Status OnWrite() EEB_EXCLUDES(mu_);
 
   /// Bit-flips `data[0, n)` with probability corrupt_rate (called by the
   /// wrapped file after a successful read).
-  void MaybeCorrupt(char* data, size_t n);
+  void MaybeCorrupt(char* data, size_t n) EEB_EXCLUDES(mu_);
 
  private:
-  Env* base_;
-  mutable std::mutex mu_;  // guards everything below
-  FaultPlan plan_;
-  uint64_t reads_ = 0;
-  uint64_t writes_ = 0;
-  bool read_tripped_ = false;
-  bool write_tripped_ = false;
-  uint64_t injected_read_faults_ = 0;
-  uint64_t injected_write_faults_ = 0;
-  uint64_t injected_corruptions_ = 0;
-  Rng rng_{42};
+  Env* const base_;
+  mutable Mutex mu_;  // guards the schedule, tallies and chaos Rng
+  FaultPlan plan_ EEB_GUARDED_BY(mu_);
+  uint64_t reads_ EEB_GUARDED_BY(mu_) = 0;
+  uint64_t writes_ EEB_GUARDED_BY(mu_) = 0;
+  bool read_tripped_ EEB_GUARDED_BY(mu_) = false;
+  bool write_tripped_ EEB_GUARDED_BY(mu_) = false;
+  uint64_t injected_read_faults_ EEB_GUARDED_BY(mu_) = 0;
+  uint64_t injected_write_faults_ EEB_GUARDED_BY(mu_) = 0;
+  uint64_t injected_corruptions_ EEB_GUARDED_BY(mu_) = 0;
+  Rng rng_ EEB_GUARDED_BY(mu_){42};
 };
 
 }  // namespace eeb::storage

@@ -258,6 +258,9 @@ Status PointFile::ReadPoint(PointId id, std::span<Scalar> out, IoStats* stats,
     page.resize(page_size_);
     char* dst = reinterpret_cast<char*>(out.data());
     size_t copied = 0;
+    // eeb-hot-begin(read-point-page-loop): per-page read/verify/copy — the
+    // refinement inner loop. The scratch buffer above is thread_local and
+    // sized before entry; nothing in here may allocate.
     for (size_t pg = 0; pg < pages_touched; ++pg) {
       const uint64_t file_page = 1 + first_page + pg;  // 0 is the header
       EEB_RETURN_IF_ERROR(
@@ -271,6 +274,7 @@ Status PointFile::ReadPoint(PointId id, std::span<Scalar> out, IoStats* stats,
         copied += chunk;
       }
     }
+    // eeb-hot-end
   }
 
   if (stats != nullptr) {

@@ -32,7 +32,9 @@ Status RetryingEnv::WithRetries(const std::function<Status()>& op) {
   for (int attempt = 0; attempt < policy_.max_retries && st.IsIOError();
        ++attempt) {
     retries_.fetch_add(1, std::memory_order_relaxed);
-    if (obs_retries_ != nullptr) obs_retries_->Add(1);
+    obs::Counter* retries_counter =
+        obs_retries_.load(std::memory_order_acquire);
+    if (retries_counter != nullptr) retries_counter->Add(1);
     if (sleep_ms > 0.0) {
       std::this_thread::sleep_for(
           std::chrono::duration<double, std::milli>(sleep_ms));
@@ -43,7 +45,9 @@ Status RetryingEnv::WithRetries(const std::function<Status()>& op) {
   }
   if (st.IsIOError()) {
     exhausted_.fetch_add(1, std::memory_order_relaxed);
-    if (obs_exhausted_ != nullptr) obs_exhausted_->Add(1);
+    obs::Counter* exhausted_counter =
+        obs_exhausted_.load(std::memory_order_acquire);
+    if (exhausted_counter != nullptr) exhausted_counter->Add(1);
   }
   return st;
 }
@@ -59,12 +63,14 @@ Status RetryingEnv::NewRandomAccessFile(
 
 void RetryingEnv::BindMetrics(obs::MetricsRegistry* registry) {
   if (registry == nullptr) {
-    obs_retries_ = nullptr;
-    obs_exhausted_ = nullptr;
+    obs_retries_.store(nullptr, std::memory_order_release);
+    obs_exhausted_.store(nullptr, std::memory_order_release);
     return;
   }
-  obs_retries_ = registry->GetCounter("io.retries");
-  obs_exhausted_ = registry->GetCounter("io.retry_exhausted");
+  obs_retries_.store(registry->GetCounter("io.retries"),
+                     std::memory_order_release);
+  obs_exhausted_.store(registry->GetCounter("io.retry_exhausted"),
+                       std::memory_order_release);
 }
 
 }  // namespace eeb::storage

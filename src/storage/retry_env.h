@@ -72,12 +72,15 @@ class RetryingEnv : public Env {
   void BindMetrics(obs::MetricsRegistry* registry);
 
  private:
-  Env* base_;
-  RetryPolicy policy_;
+  Env* const base_;
+  const RetryPolicy policy_;
   std::atomic<uint64_t> retries_{0};
   std::atomic<uint64_t> exhausted_{0};
-  obs::Counter* obs_retries_ = nullptr;
-  obs::Counter* obs_exhausted_ = nullptr;
+  // Atomic pointers: BindMetrics may run while reads retry on serving
+  // threads (System wires observability around a live Env). Counters are
+  // internally atomic, so a torn *binding* is the only hazard.
+  std::atomic<obs::Counter*> obs_retries_{nullptr};
+  std::atomic<obs::Counter*> obs_exhausted_{nullptr};
 };
 
 }  // namespace eeb::storage

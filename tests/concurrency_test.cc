@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "cache/exact_cache.h"
 #include "cache/knn_cache.h"
 #include "common/dataset.h"
 #include "core/system.h"
@@ -440,6 +441,41 @@ TEST(ConcurrencyTest, QueriesStayExactWhileMaintenanceRebuildsCache) {
   stop.store(true);
   maintenance.join();
   EXPECT_GT(rebuilds.load(), 0);
+}
+
+TEST(ConcurrencyTest, CacheSizeReadableWhileAdmitting) {
+  // Regression for a size() data race: it used to read the id->slot map's
+  // size without the cache mutex, racing concurrent Admit/evict rehashes
+  // (TSan-visible). size() now reads an atomic mirror refreshed under the
+  // lock, so a poller (the occupancy gauge path) can run against writers
+  // and always sees a value within capacity.
+  constexpr size_t kDim = 16;
+  constexpr size_t kCapacityItems = 64;
+  cache::ExactCache cache(kDim, kCapacityItems * kDim * sizeof(Scalar),
+                          /*lru=*/true);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> polls{0};
+  std::thread poller([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      EXPECT_LE(cache.size(), kCapacityItems);
+      polls.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (size_t t = 0; t < 4; ++t) {
+    writers.emplace_back([&cache, t] {
+      std::vector<Scalar> point(kDim, static_cast<Scalar>(t));
+      for (uint32_t i = 0; i < 2000; ++i) {
+        cache.Admit(static_cast<PointId>(t * 10000 + i), point);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  poller.join();
+  EXPECT_GT(polls.load(), 0u);
+  EXPECT_GT(cache.size(), 0u);
+  EXPECT_LE(cache.size(), kCapacityItems);
 }
 
 }  // namespace

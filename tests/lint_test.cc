@@ -292,12 +292,20 @@ TEST(LintTest, OutputFormats) {
   const std::string text = FormatText(findings);
   EXPECT_NE(text.find("src/a.cc:1: [naked-new]"), std::string::npos);
 
-  const std::string json = FormatJson(findings);
+  const std::string json = FormatJson(findings, 1);
+  EXPECT_NE(json.find("\"files_checked\": 1"), std::string::npos);
+  // Per-rule counts list every rule, including the zero ones.
+  EXPECT_NE(json.find("\"naked-new\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"layering\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"atomic-misuse\": 0"), std::string::npos);
   EXPECT_NE(json.find("\"file\":\"src/a.cc\""), std::string::npos);
   EXPECT_NE(json.find("\"line\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"end_line\":1"), std::string::npos);
   EXPECT_NE(json.find("\"rule\":\"naked-new\""), std::string::npos);
 
-  EXPECT_EQ(FormatJson({}), "[]\n");
+  const std::string empty = FormatJson({}, 0);
+  EXPECT_NE(empty.find("\"files_checked\": 0"), std::string::npos);
+  EXPECT_NE(empty.find("\"findings\": []"), std::string::npos);
 }
 
 // ------------------------------------------------------------- raw-ioerror
@@ -342,9 +350,341 @@ TEST(LintTest, RawIoErrorSuppressible) {
 
 TEST(LintTest, EveryRuleHasAName) {
   const std::vector<std::string> expected = {
-      "dropped-status", "env-io",    "determinism",    "iostream",
-      "naked-new",      "raw-ioerror", "header-hygiene"};
+      "dropped-status", "env-io",        "determinism", "iostream",
+      "naked-new",      "raw-ioerror",   "header-hygiene",
+      "layering",       "lock-coverage", "hot-path",    "atomic-misuse"};
   EXPECT_EQ(RuleNames(), expected);
+}
+
+// ---------------------------------------------------------------- layering
+
+/// A three-module manifest for the edge tests: cache may use common and
+/// obs; obs may use common; common sits at the bottom.
+LayeringManifest TestManifest() {
+  LayeringManifest m;
+  std::string error;
+  EXPECT_TRUE(ParseLayeringManifest(
+      "# test layering\ncommon:\nobs: common\ncache: common obs\n", &m,
+      &error))
+      << error;
+  return m;
+}
+
+std::vector<Finding> LintLayered(const LayeringManifest& manifest,
+                                 const std::string& path,
+                                 const std::string& src) {
+  LintOptions options;
+  options.layering = &manifest;
+  std::vector<Finding> findings;
+  CheckSource(path, src, options, &findings);
+  return findings;
+}
+
+TEST(LintTest, LayeringAllowsDeclaredEdgesSelfAndThirdParty) {
+  const LayeringManifest m = TestManifest();
+  const std::string src =
+      "#include \"cache/knn_cache.h\"\n"     // same module
+      "#include \"common/status.h\"\n"       // declared edge
+      "#include \"obs/metrics.h\"\n"         // declared edge
+      "#include <vector>\n"                  // system header
+      "#include \"third_party/x.h\"\n";      // not an src module
+  EXPECT_TRUE(LintLayered(m, "src/cache/code_cache.cc", src).empty());
+}
+
+TEST(LintTest, LayeringBackEdgeFires) {
+  const LayeringManifest m = TestManifest();
+  // obs -> cache is a back-edge: obs declares only common.
+  ExpectSingle(
+      LintLayered(m, "src/obs/metrics.cc", "#include \"cache/knn_cache.h\"\n"),
+      "layering", 1);
+}
+
+TEST(LintTest, LayeringUndeclaredModuleFires) {
+  const LayeringManifest m = TestManifest();
+  // "core" is not in the test manifest, and the include targets a module
+  // that is — so core's layering obligations are undeclared.
+  ExpectSingle(
+      LintLayered(m, "src/core/system.cc", "#include \"common/status.h\"\n"),
+      "layering", 1);
+}
+
+TEST(LintTest, LayeringOnlyBindsInsideSrc) {
+  const LayeringManifest m = TestManifest();
+  // Entry-point trees may include anything.
+  EXPECT_TRUE(
+      LintLayered(m, "tools/eeb_cli.cc", "#include \"cache/knn_cache.h\"\n")
+          .empty());
+  // Without a manifest the pass does not run at all.
+  EXPECT_TRUE(
+      Lint("src/obs/metrics.cc", "#include \"cache/knn_cache.h\"\n").empty());
+}
+
+TEST(LintTest, LayeringBackEdgeSuppressible) {
+  const LayeringManifest m = TestManifest();
+  EXPECT_TRUE(LintLayered(m, "src/obs/metrics.cc",
+                          "// eeb-lint: allow(layering)\n"
+                          "#include \"cache/knn_cache.h\"\n")
+                  .empty());
+}
+
+TEST(LintTest, ManifestParseRejectsMalformedInput) {
+  LayeringManifest m;
+  std::string error;
+  EXPECT_FALSE(ParseLayeringManifest("common\n", &m, &error));
+  EXPECT_NE(error.find("expected"), std::string::npos);
+  EXPECT_FALSE(ParseLayeringManifest("a: b\n", &m, &error));
+  EXPECT_NE(error.find("undeclared"), std::string::npos);
+  EXPECT_FALSE(ParseLayeringManifest("a:\na:\n", &m, &error));
+  EXPECT_NE(error.find("duplicate"), std::string::npos);
+}
+
+TEST(LintTest, ManifestCycleDetection) {
+  LayeringManifest m;
+  std::string error;
+  ASSERT_TRUE(ParseLayeringManifest("a: b\nb: c\nc: a\n", &m, &error));
+  const std::vector<std::string> cycle = ManifestCycle(m);
+  ASSERT_GE(cycle.size(), 2u);
+  EXPECT_EQ(cycle.front(), cycle.back());
+
+  ASSERT_TRUE(ParseLayeringManifest("a: b c\nb: c\nc:\n", &m, &error));
+  EXPECT_TRUE(ManifestCycle(m).empty());
+}
+
+// ----------------------------------------------------------- lock-coverage
+
+TEST(LintTest, LockCoverageFiresOnUnannotatedMember) {
+  const std::string src =
+      "class C {\n"
+      " private:\n"
+      "  Mutex mu_;\n"
+      "  int count_;\n"
+      "};\n";
+  ExpectSingle(Lint("src/foo/bar.cc", src), "lock-coverage", 4);
+}
+
+TEST(LintTest, LockCoverageSpansMultiLineMembers) {
+  const std::string src =
+      "class C {\n"
+      "  Mutex mu_;\n"
+      "  std::map<int,\n"
+      "           int> big_map_;\n"
+      "};\n";
+  const std::vector<Finding> findings = Lint("src/foo/bar.cc", src);
+  ASSERT_EQ(findings.size(), 1u) << FormatText(findings);
+  EXPECT_EQ(findings[0].rule, "lock-coverage");
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_EQ(findings[0].end_line, 4);
+}
+
+TEST(LintTest, LockCoverageAcceptsAnnotationsAndOptOuts) {
+  const std::string src =
+      "class C {\n"
+      "  Mutex mu_;\n"
+      "  int count_ EEB_GUARDED_BY(mu_) = 0;\n"
+      "  Node* head_ EEB_PT_GUARDED_BY(mu_) = nullptr;\n"
+      "  Queue queue_ EEB_UNGUARDED(\"internally synchronized\");\n"
+      "};\n";
+  EXPECT_TRUE(Lint("src/foo/bar.cc", src).empty());
+}
+
+TEST(LintTest, LockCoverageExemptsSelfSynchronizingAndImmutableMembers) {
+  const std::string src =
+      "class C {\n"
+      "  mutable Mutex mu_;\n"
+      "  std::atomic<uint64_t> hits_{0};\n"
+      "  CondVar cv_;\n"
+      "  std::thread worker_;\n"
+      "  const int k_;\n"
+      "  static constexpr int kMax = 4;\n"
+      "  Env* const base_;\n"
+      "};\n";
+  EXPECT_TRUE(Lint("src/foo/bar.cc", src).empty());
+}
+
+TEST(LintTest, LockCoverageIgnoresLocklessClassesAndBorrowedMutexes) {
+  // No Mutex member: not a concurrency boundary, nothing to annotate.
+  EXPECT_TRUE(Lint("src/foo/bar.cc",
+                   "class P {\n  int x_;\n  double y_;\n};\n")
+                  .empty());
+  // A Mutex& member is borrowed (scoped-lock idiom), not owned.
+  EXPECT_TRUE(Lint("src/foo/bar.cc",
+                   "class L {\n  Mutex& mu_;\n  int x_;\n};\n")
+                  .empty());
+  // Tests and tools may keep ad-hoc guarded state without annotations.
+  EXPECT_TRUE(Lint("tests/foo_test.cc",
+                   "class C {\n  Mutex mu_;\n  int count_;\n};\n")
+                  .empty());
+}
+
+// ---------------------------------------------------------------- hot-path
+
+TEST(LintTest, HotPathFiresOnGrowthInsideRegion) {
+  const std::string src =
+      "void F(std::vector<int>* v) {\n"
+      "  // eeb-hot-begin(kernel): per-candidate loop\n"
+      "  v->push_back(1);\n"
+      "  // eeb-hot-end\n"
+      "}\n";
+  ExpectSingle(Lint("src/foo/bar.cc", src), "hot-path", 3);
+}
+
+TEST(LintTest, HotPathCleanRegionAndOutsideGrowth) {
+  const std::string src =
+      "void F(std::vector<double>& a, std::vector<double>& p) {\n"
+      "  a.reserve(64);\n"  // growth outside the region is fine
+      "  double dot = 0.0;\n"
+      "  // eeb-hot-begin(dot-product)\n"
+      "  for (size_t j = 0; j < a.size(); ++j) dot += a[j] * p[j];\n"
+      "  // eeb-hot-end\n"
+      "}\n";
+  EXPECT_TRUE(Lint("src/foo/bar.cc", src).empty());
+}
+
+TEST(LintTest, HotPathMarkerErrors) {
+  // Missing label (no end marker either — a malformed begin opens nothing,
+  // so a trailing end would be a second, equally correct finding).
+  ExpectSingle(Lint("src/a.cc", "// eeb-hot-begin\nint x;\n"), "hot-path", 1);
+  // Nested begin.
+  ExpectSingle(Lint("src/a.cc",
+                    "// eeb-hot-begin(outer)\n"
+                    "// eeb-hot-begin(inner)\n"
+                    "// eeb-hot-end\n"),
+               "hot-path", 2);
+  // End without begin.
+  ExpectSingle(Lint("src/a.cc", "int x;\n// eeb-hot-end\n"), "hot-path", 2);
+  // Unclosed region: the finding spans from the marker to EOF.
+  const std::vector<Finding> findings =
+      Lint("src/a.cc", "// eeb-hot-begin(leaky)\nint x;\nint y;\n");
+  ASSERT_EQ(findings.size(), 1u) << FormatText(findings);
+  EXPECT_EQ(findings[0].rule, "hot-path");
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_GE(findings[0].end_line, 3);
+}
+
+TEST(LintTest, HotPathProseMentionDoesNotOpenARegion) {
+  // A comment that merely talks about the eeb-hot-begin(<label>) marker —
+  // like the lint rule's own documentation — is not a marker.
+  const std::string src =
+      "// Fence kernels with eeb-hot-begin(<label>) ... eeb-hot-end pairs.\n"
+      "void F(std::vector<int>* v) { v->push_back(1); }\n";
+  EXPECT_TRUE(Lint("src/foo/bar.cc", src).empty());
+}
+
+// ------------------------------------------------------------ atomic-misuse
+
+TEST(LintTest, AtomicDefaultOrderFires) {
+  const std::string src =
+      "void F(std::atomic<int>& a) {\n"
+      "  a.store(1);\n"
+      "}\n";
+  ExpectSingle(Lint("src/foo/bar.cc", src), "atomic-misuse", 2);
+}
+
+TEST(LintTest, AtomicExplicitOrderIsClean) {
+  const std::string src =
+      "void F(std::atomic<int>& a) {\n"
+      "  a.store(1, std::memory_order_relaxed);\n"
+      "  a.fetch_add(2, std::memory_order_acq_rel);\n"
+      "}\n";
+  EXPECT_TRUE(Lint("src/foo/bar.cc", src).empty());
+}
+
+TEST(LintTest, AtomicLoadThenStoreFires) {
+  const std::string src =
+      "void Bump(std::atomic<int>& a) {\n"
+      "  int v = a.load(std::memory_order_relaxed);\n"
+      "  a.store(v + 1, std::memory_order_relaxed);\n"
+      "}\n";
+  ExpectSingle(Lint("src/foo/bar.cc", src), "atomic-misuse", 3);
+}
+
+TEST(LintTest, AtomicCompareExchangeLoopIsClean) {
+  const std::string src =
+      "void Max(std::atomic<int>& a, int v) {\n"
+      "  int cur = a.load(std::memory_order_relaxed);\n"
+      "  while (cur < v && !a.compare_exchange_weak(\n"
+      "                        cur, v, std::memory_order_relaxed)) {\n"
+      "  }\n"
+      "}\n";
+  EXPECT_TRUE(Lint("src/foo/bar.cc", src).empty());
+}
+
+TEST(LintTest, AtomicSeqlockWriterSuppressible) {
+  // The seqlock writer's version bump is a load-then-store by design; the
+  // single-writer invariant goes on the suppressing line.
+  const std::string src =
+      "void WriteCell(Cell& cell) {\n"
+      "  uint64_t v = cell.version.load(std::memory_order_relaxed);\n"
+      "  // single writer: the slot-cursor claim owns this cell\n"
+      "  // eeb-lint: allow(atomic-misuse)\n"
+      "  cell.version.store(v + 1, std::memory_order_relaxed);\n"
+      "}\n";
+  EXPECT_TRUE(Lint("src/obs/recorder_like.cc", src).empty());
+}
+
+TEST(LintTest, AtomicRulesScopedToLibraryCode) {
+  const std::string src =
+      "void F(std::atomic<int>& a) {\n"
+      "  a.store(a.load() + 1);\n"
+      "}\n";
+  EXPECT_TRUE(Lint("tests/foo_test.cc", src).empty());
+  EXPECT_TRUE(Lint("bench/bench_micro.cc", src).empty());
+}
+
+// ---------------------------------------------------------------- --fix
+
+TEST(LintTest, FixInsertsExplicitMemoryOrders) {
+  const std::string src =
+      "void F(std::atomic<int>& a) {\n"
+      "  a.store(1);\n"
+      "}\n"
+      "int G(const std::atomic<int>& a) {\n"
+      "  return a.load();\n"
+      "}\n";
+  std::string fixed;
+  ASSERT_TRUE(ApplyFixes("src/foo/bar.cc", src, &fixed));
+  EXPECT_NE(fixed.find("a.store(1, std::memory_order_seq_cst);"),
+            std::string::npos);
+  EXPECT_NE(fixed.find("a.load(std::memory_order_seq_cst)"),
+            std::string::npos);
+  // The fixed file is clean and a second pass is a no-op.
+  EXPECT_TRUE(Lint("src/foo/bar.cc", fixed).empty());
+  std::string again;
+  EXPECT_FALSE(ApplyFixes("src/foo/bar.cc", fixed, &again));
+  EXPECT_EQ(again, fixed);
+}
+
+TEST(LintTest, FixInsertsUnguardedStubs) {
+  const std::string src =
+      "class C {\n"
+      "  Mutex mu_;\n"
+      "  int count_;\n"
+      "};\n";
+  std::string fixed;
+  ASSERT_TRUE(ApplyFixes("src/foo/bar.cc", src, &fixed));
+  EXPECT_NE(
+      fixed.find("int count_ EEB_UNGUARDED(\"FIXME: annotate with "
+                 "EEB_GUARDED_BY or justify\");"),
+      std::string::npos);
+  EXPECT_TRUE(Lint("src/foo/bar.cc", fixed).empty());
+  std::string again;
+  EXPECT_FALSE(ApplyFixes("src/foo/bar.cc", fixed, &again));
+  EXPECT_EQ(again, fixed);
+}
+
+TEST(LintTest, FixRespectsScopeAndSuppressions) {
+  // Entry-point trees are never rewritten.
+  std::string fixed;
+  EXPECT_FALSE(
+      ApplyFixes("tools/x.cc", "void F(std::atomic<int>& a) { a.store(1); }\n",
+                 &fixed));
+  // A suppressed site keeps its deliberate default order.
+  const std::string src =
+      "void F(std::atomic<int>& a) {\n"
+      "  a.store(1);  // eeb-lint: allow(atomic-misuse)\n"
+      "}\n";
+  EXPECT_FALSE(ApplyFixes("src/foo/bar.cc", src, &fixed));
+  EXPECT_EQ(fixed, src);
 }
 
 }  // namespace

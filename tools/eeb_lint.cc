@@ -3,10 +3,14 @@
 // 2 = usage or I/O error. CI and the `lint` CMake target run exactly this
 // binary, so local runs and the gate can never disagree.
 //
-//   eeb_lint [-root=DIR] [-format=text|json] [paths...]
+//   eeb_lint [-root=DIR] [-format=text|json] [-fix] [paths...]
 //
 // Default paths: src tools bench tests examples (relative to -root, which
-// defaults to the current directory).
+// defaults to the current directory). When <root>/tools/layering.manifest
+// exists it is loaded and the layering pass runs; a malformed or cyclic
+// manifest is a hard error (exit 2) — the pass cannot be half-enforced.
+// -fix rewrites mechanically fixable findings in place (explicit memory
+// orders, EEB_UNGUARDED stubs), then reports what remains.
 
 #include <algorithm>
 #include <filesystem>
@@ -28,7 +32,8 @@ bool HasSourceExtension(const fs::path& p) {
 }
 
 int Usage() {
-  std::cerr << "usage: eeb_lint [-root=DIR] [-format=text|json] [paths...]\n";
+  std::cerr
+      << "usage: eeb_lint [-root=DIR] [-format=text|json] [-fix] [paths...]\n";
   return 2;
 }
 
@@ -37,6 +42,7 @@ int Usage() {
 int main(int argc, char** argv) {
   std::string root = ".";
   std::string format = "text";
+  bool fix = false;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -45,6 +51,8 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("-format=", 0) == 0) {
       format = arg.substr(8);
       if (format != "text" && format != "json") return Usage();
+    } else if (arg == "-fix") {
+      fix = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return Usage();
     } else {
@@ -53,8 +61,34 @@ int main(int argc, char** argv) {
   }
   if (paths.empty()) paths = {"src", "tools", "bench", "tests", "examples"};
 
+  eeb::lint::LintOptions options;
+  eeb::lint::LayeringManifest manifest;
+  const fs::path manifest_path = fs::path(root) / "tools/layering.manifest";
+  if (fs::exists(manifest_path)) {
+    std::ifstream in(manifest_path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    if (!eeb::lint::ParseLayeringManifest(buf.str(), &manifest, &error)) {
+      std::cerr << "eeb_lint: " << error << "\n";
+      return 2;
+    }
+    const std::vector<std::string> cycle = eeb::lint::ManifestCycle(manifest);
+    if (!cycle.empty()) {
+      std::cerr << "eeb_lint: tools/layering.manifest declares a cycle: ";
+      for (size_t i = 0; i < cycle.size(); ++i) {
+        if (i > 0) std::cerr << " -> ";
+        std::cerr << cycle[i];
+      }
+      std::cerr << "\n";
+      return 2;
+    }
+    options.layering = &manifest;
+  }
+
   std::vector<eeb::lint::Finding> findings;
   size_t files_checked = 0;
+  size_t files_fixed = 0;
   for (const std::string& p : paths) {
     const fs::path base = fs::path(root) / p;
     if (!fs::exists(base)) {
@@ -80,18 +114,34 @@ int main(int argc, char** argv) {
       }
       std::ostringstream buf;
       buf << in.rdbuf();
+      std::string content = buf.str();
       // Rule scoping keys off the repo-relative path with forward slashes.
-      const std::string rel =
-          fs::relative(file, root).generic_string();
-      eeb::lint::CheckSource(rel, buf.str(), &findings);
+      const std::string rel = fs::relative(file, root).generic_string();
+      if (fix) {
+        std::string fixed;
+        if (eeb::lint::ApplyFixes(rel, content, &fixed)) {
+          std::ofstream out(file, std::ios::binary | std::ios::trunc);
+          if (!out) {
+            std::cerr << "eeb_lint: cannot write " << file.string() << "\n";
+            return 2;
+          }
+          out << fixed;
+          content = std::move(fixed);
+          ++files_fixed;
+        }
+      }
+      eeb::lint::CheckSource(rel, content, options, &findings);
       ++files_checked;
     }
   }
 
   if (format == "json") {
-    std::cout << eeb::lint::FormatJson(findings);
+    std::cout << eeb::lint::FormatJson(findings, files_checked);
   } else {
     std::cout << eeb::lint::FormatText(findings);
+    if (fix) {
+      std::cerr << "eeb_lint: rewrote " << files_fixed << " file(s)\n";
+    }
     std::cerr << "eeb_lint: " << files_checked << " files, "
               << findings.size() << " finding(s)\n";
   }
