@@ -97,7 +97,16 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
       // allocation here multiplies by |C(q)| and shows in reduce_seconds.
       for (size_t i = 0; i < cand.size(); ++i) {
         double lb, ub;
-        if (cache->Probe(q, cand[i], &lb, &ub)) {
+        const bool probe_hit = cache->Probe(q, cand[i], &lb, &ub);
+        // Introspection taps see every probe: the analytics sampling gate
+        // is one hash+compare, and the shadows replay the key only.
+        if (analytics_ != nullptr) {
+          analytics_->OnAccess(static_cast<uint64_t>(cand[i]), probe_hit);
+        }
+        if (shadow_ != nullptr) {
+          shadow_->OnAccess(static_cast<uint64_t>(cand[i]));
+        }
+        if (probe_hit) {
           lbs[i] = lb;
           ubs[i] = ub;
           out->cache_hits++;
@@ -319,6 +328,7 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
   }
   // Cache and storage batch their hot-path events; publish once per query.
   if (cache != nullptr) cache->PublishMetrics();
+  if (analytics_ != nullptr) analytics_->PublishMetrics();
   points_->PublishIo(out->refine_io);
   return Status::OK();
 }

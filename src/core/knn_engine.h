@@ -30,7 +30,9 @@
 #include "common/thread_annotations.h"
 #include "common/types.h"
 #include "cache/knn_cache.h"
+#include "cache/shadow_cache.h"
 #include "index/candidate_index.h"
+#include "obs/cache_analytics.h"
 #include "obs/metrics.h"
 #include "obs/prof.h"
 #include "obs/recorder.h"
@@ -146,6 +148,17 @@ class KnnEngine {
   /// children. nullptr (default) disables profiling.
   void set_profiler(obs::Profiler* profiler) { prof_ = profiler; }
 
+  /// Attaches the cache-introspection instrument; every cache probe then
+  /// feeds OnAccess(candidate, hit) — reuse-distance sampling, miss
+  /// classification, working-set sketches. nullptr (default) disables it.
+  void set_analytics(obs::CacheAnalytics* analytics) {
+    analytics_ = analytics;
+  }
+
+  /// Attaches shadow-cache simulations; every cache probe is replayed
+  /// against each configured shadow. nullptr (default) disables them.
+  void set_shadow(cache::ShadowCacheSet* shadow) { shadow_ = shadow; }
+
  private:
   index::CandidateIndex* const index_;
   const storage::PointFile* const points_;
@@ -157,6 +170,12 @@ class KnnEngine {
       "single-threaded by contract") = nullptr;
   obs::Profiler* prof_ EEB_UNGUARDED(
       "attached by single-threaded setup before queries run") = nullptr;
+  obs::CacheAnalytics* analytics_ EEB_UNGUARDED(
+      "attached by single-threaded setup before queries run; the instrument "
+      "itself is thread-safe on its access path") = nullptr;
+  cache::ShadowCacheSet* shadow_ EEB_UNGUARDED(
+      "attached by single-threaded setup before queries run; the shadows "
+      "are internally synchronized") = nullptr;
 
   // Bound instruments (nullptr when observability is off).
   struct Instruments {

@@ -130,10 +130,29 @@ void System::SetProfiler(obs::Profiler* profiler) {
 void System::SetWindow(obs::WindowedMetrics* window) {
   window_ = window;
   InstallCacheTap();
+  InstallShadowTap();
 }
 
 void System::SetRecorder(obs::FlightRecorder* recorder) {
   recorder_ = recorder;
+}
+
+void System::SetCacheAnalytics(obs::CacheAnalytics* analytics) {
+  analytics_ = analytics;
+  engine_->set_analytics(analytics);
+  if (analytics != nullptr) {
+    // Anchor the MRC reference point at the live cache's item capacity so
+    // cache.mrc.predicted_miss_ratio predicts the configuration in use.
+    if (auto gen = generation(); gen != nullptr && gen->cache != nullptr) {
+      analytics->set_reference_size(gen->cache->capacity_items());
+    }
+  }
+}
+
+void System::SetShadowCaches(cache::ShadowCacheSet* shadows) {
+  shadow_ = shadows;
+  engine_->set_shadow(shadows);
+  InstallShadowTap();
 }
 
 void System::InstallCacheTap() {
@@ -144,6 +163,16 @@ void System::InstallCacheTap() {
     const cache::KnnCache::CacheActivity a = gen->cache->activity();
     return obs::CacheTapSample{a.hits, a.misses, a.admits, a.evictions};
   });
+}
+
+void System::InstallShadowTap() {
+  if (window_ == nullptr) return;
+  if (shadow_ == nullptr) {
+    window_->SetShadowTap(nullptr);
+    return;
+  }
+  cache::ShadowCacheSet* shadows = shadow_;
+  window_->SetShadowTap([shadows] { return shadows->TapSamples(); });
 }
 
 void System::SampleWorkerGauges() {
@@ -416,14 +445,25 @@ void System::PublishGeneration(std::shared_ptr<CacheGeneration> gen) {
   // exactly as long as any query still reads through them.
   std::shared_ptr<cache::KnnCache> cache_view;
   if (gen != nullptr) cache_view = {gen, gen->cache.get()};
+  bool had_generation;
   {
     MutexLock lock(generation_mu_);
+    had_generation = generation_ != nullptr;
     generation_ = std::move(gen);
   }
   engine_->set_cache(std::move(cache_view));
   // Re-base the windowed cache tap: the new generation's counters start
   // from zero and must not read as a negative delta.
   InstallCacheTap();
+  if (analytics_ != nullptr) {
+    // Replacing a live generation invalidates every cached code: re-misses
+    // on keys seen under the old generation classify as invalidation, not
+    // capacity. The MRC reference point follows the new capacity either way.
+    if (had_generation) analytics_->NoteGenerationSwap();
+    if (auto cur = generation(); cur != nullptr && cur->cache != nullptr) {
+      analytics_->set_reference_size(cur->cache->capacity_items());
+    }
+  }
 }
 
 Status System::RefreshWorkload(

@@ -19,6 +19,7 @@
 #include "cache/code_cache.h"
 #include "cache/exact_cache.h"
 #include "cache/multidim_cache.h"
+#include "cache/shadow_cache.h"
 #include "core/cost_model.h"
 #include "core/knn_engine.h"
 #include "core/workload.h"
@@ -26,6 +27,7 @@
 #include "hist/individual.h"
 #include "hist/multidim_histogram.h"
 #include "index/lsh/c2lsh.h"
+#include "obs/cache_analytics.h"
 #include "obs/metrics.h"
 #include "obs/prof.h"
 #include "obs/recorder.h"
@@ -223,6 +225,19 @@ class System {
   /// nullptr detaches.
   void SetRecorder(obs::FlightRecorder* recorder);
 
+  /// Attaches the cache-introspection instrument (docs/OBSERVABILITY.md):
+  /// every cache probe feeds its reuse-distance sampler, miss classifier
+  /// and working-set sketches; generation swaps are forwarded so
+  /// invalidation misses classify correctly, and the MRC reference size
+  /// tracks the live cache's item capacity. nullptr detaches.
+  void SetCacheAnalytics(obs::CacheAnalytics* analytics);
+
+  /// Attaches shadow-cache simulations: every cache probe is replayed
+  /// against each configured shadow, and the attached window (if any) gets
+  /// a shadow tap publishing windowed per-config hit ratios. Shadows
+  /// deliberately survive generation swaps. nullptr detaches.
+  void SetShadowCaches(cache::ShadowCacheSet* shadows);
+
   /// Samples queue depth and worker occupancy from the pool currently
   /// running RunQueriesConcurrent (zeros when idle) into the attached
   /// window. Wired as the StatsPublisher pre-sample hook.
@@ -263,6 +278,11 @@ class System {
   /// called on SetWindow and after every generation publication so the tap
   /// re-bases on the new cache's (fresh) counters.
   void InstallCacheTap();
+
+  /// (Re-)installs the window's shadow tap against the attached shadow set
+  /// (detaches it when no shadows are attached); called on SetWindow and
+  /// SetShadowCaches.
+  void InstallShadowTap();
 
   /// Folds one finished query into the attached window and recorder.
   /// `query_index` is the query's slot in its batch (0 for single queries).
@@ -327,6 +347,11 @@ class System {
   obs::WindowedMetrics* window_ EEB_UNGUARDED("attached before serving") =
       nullptr;
   obs::FlightRecorder* recorder_ EEB_UNGUARDED("attached before serving") =
+      nullptr;
+  obs::CacheAnalytics* analytics_ EEB_UNGUARDED(
+      "attached before serving; internally thread-safe") = nullptr;
+  cache::ShadowCacheSet* shadow_ EEB_UNGUARDED(
+      "attached before serving; shadows are internally synchronized") =
       nullptr;
   obs::Counter* obs_queries_ EEB_UNGUARDED("attached before serving") =
       nullptr;

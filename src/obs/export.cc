@@ -1,6 +1,7 @@
 #include "obs/export.h"
 
 #include <algorithm>
+#include "obs/cache_analytics.h"
 #include <cctype>
 #include <cinttypes>
 #include <cstdarg>
@@ -146,6 +147,7 @@ void ExportPrometheus(const MetricsRegistry& registry, std::ostream& os,
       continue;
     }
     const std::string pn = PromName(name);
+    StreamF(os, "# HELP %s %s (counter)\n", pn.c_str(), name.c_str());
     StreamF(os, "# TYPE %s counter\n", pn.c_str());
     StreamF(os, "%s_total%s %" PRIu64 "\n", pn.c_str(), lb.c_str(), value);
   }
@@ -155,6 +157,7 @@ void ExportPrometheus(const MetricsRegistry& registry, std::ostream& os,
       continue;
     }
     const std::string pn = PromName(name);
+    StreamF(os, "# HELP %s %s (gauge)\n", pn.c_str(), name.c_str());
     StreamF(os, "# TYPE %s gauge\n", pn.c_str());
     StreamF(os, "%s%s %.9g\n", pn.c_str(), lb.c_str(), value);
   }
@@ -164,6 +167,7 @@ void ExportPrometheus(const MetricsRegistry& registry, std::ostream& os,
       continue;
     }
     const std::string pn = PromName(name);
+    StreamF(os, "# HELP %s %s (histogram)\n", pn.c_str(), name.c_str());
     StreamF(os, "# TYPE %s summary\n", pn.c_str());
     StreamF(os, "%s%s %.9g\n", pn.c_str(),
             LabelBlock(labels, "0.5").c_str(), s.p50);
@@ -178,6 +182,9 @@ void ExportPrometheus(const MetricsRegistry& registry, std::ostream& os,
   if (skipped > 0) {
     // Invalid names are a caller bug; surface the drop instead of emitting
     // output a scraper would reject wholesale.
+    StreamF(os,
+            "# HELP eeb_export_skipped_invalid_names registry names the "
+            "exporter refused to emit\n");
     StreamF(os, "# TYPE eeb_export_skipped_invalid_names gauge\n");
     StreamF(os, "eeb_export_skipped_invalid_names%s %" PRIu64 "\n",
             lb.c_str(), skipped);
@@ -223,6 +230,16 @@ std::string ExportJson(const MetricsRegistry& registry) {
   std::ostringstream os;
   ExportJson(registry, os);
   return std::move(os).str();
+}
+
+void ExportMrcJson(const CacheAnalytics& analytics, std::ostream& os) {
+  const std::string body = analytics.MrcJson();
+  os.write(body.data(), static_cast<std::streamsize>(body.size()));
+  os.put('\n');
+}
+
+std::string ExportMrcJson(const CacheAnalytics& analytics) {
+  return analytics.MrcJson() + "\n";
 }
 
 Status WriteStringToFile(const std::string& path,

@@ -48,6 +48,14 @@ std::string ExportPrometheus(const MetricsRegistry& registry);
 void ExportJson(const MetricsRegistry& registry, std::ostream& os);
 std::string ExportJson(const MetricsRegistry& registry);
 
+class CacheAnalytics;
+
+/// The miss-ratio-curve artifact: one JSON object with the sampling
+/// configuration, miss classification, working-set view, and the MRC points
+/// (see CacheAnalytics::MrcJson for the schema).
+void ExportMrcJson(const CacheAnalytics& analytics, std::ostream& os);
+std::string ExportMrcJson(const CacheAnalytics& analytics);
+
 /// Writes `content` to `path` (truncating). Shared by the CLI flags and the
 /// bench harness.
 Status WriteStringToFile(const std::string& path, const std::string& content);

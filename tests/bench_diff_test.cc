@@ -325,6 +325,87 @@ TEST(BenchDiffTest, BitExactFalseFailsEvenWithGoodQps) {
   EXPECT_NE(r.regressions[0].find("bit-exact"), std::string::npos);
 }
 
+// Analytics-suite artifact with one tweakable cell: the MRC-prediction
+// error and the miss-class reconciliation flag.
+std::string AnalyticsArtifact(double prediction_error, bool reconciled) {
+  char cell[768];
+  std::snprintf(
+      cell, sizeof(cell),
+      "{\"name\":\"exact_lru_10\",\"method\":\"Exact\",\"cache_bytes\":65536,"
+      "\"k\":10,\"tau\":0,\"lru\":true,"
+      "\"latency\":{\"avg_seconds\":0.4,\"p50_seconds\":0.4,"
+      "\"p95_seconds\":0.5,\"p99_seconds\":0.5},"
+      "\"io\":{\"avg_refine_pages\":20,\"avg_gen_pages\":90,"
+      "\"avg_gen_seq_pages\":30},"
+      "\"cache\":{\"hit_ratio\":0.8,\"prune_ratio\":0.9},"
+      "\"analytics\":{\"sampling_rate\":0.25,\"sampled_accesses\":5000,"
+      "\"tracked_keys\":900,\"capacity_items\":800,"
+      "\"predicted_miss_ratio\":0.21,\"measured_miss_ratio\":0.2,"
+      "\"prediction_error\":%g,\"reconciled\":%s,"
+      "\"miss_classes\":{\"accesses\":10000,\"hits\":8000,\"misses\":2000,"
+      "\"compulsory\":1500,\"capacity\":500,\"invalidation\":0}}}",
+      prediction_error, reconciled ? "true" : "false");
+  return std::string(
+             "{\"schema_version\":1,\"suite\":\"analytics\","
+             "\"dataset\":{\"name\":\"smoke\",\"n\":20000,\"dim\":32,"
+             "\"ndom\":256,\"seed\":5},\"log\":{\"test_size\":50,\"seed\":2},"
+             "\"quick\":false,"
+             "\"build\":{\"compiler\":\"x\",\"type\":\"release\"},"
+             "\"config\":{\"sampling_rate\":0.25,\"k\":10},"
+             "\"cells\":[") +
+         cell + "]}";
+}
+
+TEST(BenchDiffTest, MrcPredictionErrorBeyondThresholdFails) {
+  // Acceptance criterion: the gate is current-only — an inaccurate MRC
+  // fails regardless of what the baseline predicted.
+  const std::string base = AnalyticsArtifact(0.01, true);
+  DiffResult r;
+  ASSERT_TRUE(
+      DiffBench(base, AnalyticsArtifact(0.04, true), DiffOptions{}, &r).ok());
+  EXPECT_TRUE(r.ok());  // within the 0.05 default
+  ASSERT_TRUE(
+      DiffBench(base, AnalyticsArtifact(0.08, true), DiffOptions{}, &r).ok());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.regressions[0].find("MRC prediction error"), std::string::npos);
+  // A bad baseline does not excuse a bad current artifact, and an accurate
+  // current artifact passes even against a bad baseline.
+  const std::string bad = AnalyticsArtifact(0.30, true);
+  ASSERT_TRUE(DiffBench(bad, bad, DiffOptions{}, &r).ok());
+  EXPECT_FALSE(r.ok());
+  ASSERT_TRUE(
+      DiffBench(bad, AnalyticsArtifact(0.01, true), DiffOptions{}, &r).ok());
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(BenchDiffTest, MrcErrorThresholdIsOverridable) {
+  const std::string base = AnalyticsArtifact(0.01, true);
+  const std::string cur = AnalyticsArtifact(0.08, true);
+  DiffOptions loose;
+  loose.max_mrc_error = 0.10;
+  DiffResult r;
+  ASSERT_TRUE(DiffBench(base, cur, loose, &r).ok());
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(BenchDiffTest, UnreconciledMissClassesFailEvenWithAccurateMrc) {
+  const std::string base = AnalyticsArtifact(0.01, true);
+  const std::string cur = AnalyticsArtifact(0.01, false);
+  DiffResult r;
+  ASSERT_TRUE(DiffBench(base, cur, DiffOptions{}, &r).ok());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.regressions[0].find("reconcile"), std::string::npos);
+}
+
+TEST(BenchDiffTest, CellsWithoutAnalyticsSectionsAreUnaffectedByMrcGates) {
+  // Smoke-suite cells carry no analytics object; the new gates must not
+  // misfire on them.
+  const std::string base = Artifact(0.46, 0.47, 25, 0.95);
+  DiffResult r;
+  ASSERT_TRUE(DiffBench(base, base, DiffOptions{}, &r).ok());
+  EXPECT_TRUE(r.ok());
+}
+
 TEST(BenchDiffTest, MalformedInputIsAnInputErrorNotACrash) {
   const std::string a = Artifact(0.46, 0.47, 25, 0.95);
   DiffResult r;

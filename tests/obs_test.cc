@@ -8,18 +8,25 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <random>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <vector>
 
 #include "cache/exact_cache.h"
+#include "cache/shadow_cache.h"
 #include "core/system.h"
+#include "obs/cache_analytics.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/window.h"
+#include "storage/mem_env.h"
 #include "workload/generator.h"
 
 namespace eeb::obs {
@@ -300,6 +307,154 @@ TEST(ExportTest, PrometheusSkipsInvalidNamesAndReportsTheSkips) {
   clean.GetCounter("ok")->Add(1);
   EXPECT_EQ(ExportPrometheus(clean).find("skipped_invalid_names"),
             std::string::npos);
+}
+
+TEST(ExportTest, PrometheusEmitsHelpAndTypeForEveryFamily) {
+  MetricsRegistry reg;
+  reg.GetCounter("cache.miss.compulsory")->Add(2);
+  reg.GetGauge("cache.mrc.predicted_miss_ratio")->Set(0.25);
+  reg.GetGauge("live.shadow.lru_2x.hit_ratio")->Set(0.5);
+  reg.GetHistogram("system.response_seconds")->Record(0.01);
+
+  // Prometheus exposition contract: every sample line belongs to a family
+  // whose "# HELP <name> ..." and "# TYPE <name> <kind>" lines appeared
+  // first, in that order. A scraper drops families that violate this.
+  const std::string text = ExportPrometheus(reg);
+  std::istringstream in(text);
+  std::string line;
+  std::set<std::string> helped, typed;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tok;
+    ls >> tok;
+    if (tok == "#") {
+      std::string kind, family;
+      ls >> kind >> family;
+      ASSERT_TRUE(kind == "HELP" || kind == "TYPE") << line;
+      if (kind == "HELP") {
+        EXPECT_FALSE(helped.count(family)) << "duplicate HELP: " << line;
+        EXPECT_FALSE(typed.count(family)) << "TYPE before HELP: " << line;
+        helped.insert(family);
+      } else {
+        EXPECT_TRUE(helped.count(family)) << "TYPE without HELP: " << line;
+        typed.insert(family);
+      }
+      continue;
+    }
+    // Sample line: strip label block and exporter-added suffixes to recover
+    // the family name announced by HELP/TYPE.
+    std::string family = tok.substr(0, tok.find('{'));
+    for (const char* suffix : {"_total", "_sum", "_count", "_max"}) {
+      const size_t n = std::strlen(suffix);
+      if (family.size() > n &&
+          family.compare(family.size() - n, n, suffix) == 0 &&
+          typed.count(family) == 0) {
+        family.resize(family.size() - n);
+        break;
+      }
+    }
+    EXPECT_TRUE(helped.count(family) && typed.count(family))
+        << "sample before HELP/TYPE: " << line;
+  }
+  // The new analytics families surface with their dotted names in HELP.
+  EXPECT_NE(text.find("# HELP eeb_cache_miss_compulsory "
+                      "cache.miss.compulsory (counter)"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE eeb_cache_mrc_predicted_miss_ratio gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE eeb_live_shadow_lru_2x_hit_ratio gauge"),
+            std::string::npos);
+}
+
+// Every metric name the full serving stack registers — engine counters,
+// cache instruments, windowed live gauges, cache analytics, shadow panels —
+// must pass IsValidMetricName, or the Prometheus exporter will refuse to
+// emit it. Wired as the `metric_names` ctest.
+TEST(MetricNames, AllRegisteredNamesAreValid) {
+  workload::DatasetSpec dspec;
+  dspec.n = 2000;
+  dspec.dim = 16;
+  dspec.ndom = 256;
+  dspec.clusters = 8;
+  dspec.seed = 13;
+  Dataset data = workload::GenerateClustered(dspec);
+  workload::QueryLogSpec qspec;
+  qspec.pool_size = 30;
+  qspec.workload_size = 100;
+  qspec.test_size = 10;
+  workload::QueryLog log = workload::GenerateQueryLog(data, qspec);
+
+  core::SystemOptions opt;
+  opt.lsh.beta_candidates = 100;
+  storage::MemEnv env;
+  std::unique_ptr<core::System> system;
+  ASSERT_TRUE(core::System::Create(&env, "/metric_names", data, log.workload,
+                                   opt, &system)
+                  .ok());
+
+  MetricsRegistry metrics;
+  WindowedMetrics window;
+  CacheAnalytics::Options aopt;
+  aopt.sampling_rate = 1.0;
+  aopt.key_space = data.size();
+  CacheAnalytics analytics(aopt);
+  analytics.BindMetrics(&metrics);
+  cache::ShadowCacheSet shadows(cache::DefaultShadowConfigs(64));
+  system->EnableMetrics(&metrics);
+  system->SetWindow(&window);
+  system->SetCacheAnalytics(&analytics);
+  system->SetShadowCaches(&shadows);
+  ASSERT_TRUE(system->ConfigureCache(core::CacheMethod::kHcO, 4096).ok());
+
+  core::AggregateResult agg;
+  ASSERT_TRUE(system->RunQueries(log.test, 10, &agg).ok());
+  ASSERT_TRUE(system->ReconfigureCache().ok());  // generation-swap gauges
+  ASSERT_TRUE(system->RunQueries(log.test, 10, &agg).ok());
+  analytics.PublishMetrics();
+  window.PublishTo(&metrics);
+
+  size_t checked = 0;
+  for (const auto& [name, value] : metrics.Counters()) {
+    EXPECT_TRUE(IsValidMetricName(name)) << "counter: " << name;
+    ++checked;
+  }
+  for (const auto& [name, value] : metrics.Gauges()) {
+    EXPECT_TRUE(IsValidMetricName(name)) << "gauge: " << name;
+    ++checked;
+  }
+  for (const auto& [name, stats] : metrics.Histograms()) {
+    EXPECT_TRUE(IsValidMetricName(name)) << "histogram: " << name;
+    ++checked;
+  }
+  // The walk saw the whole stack, not a near-empty registry: analytics
+  // counters, MRC gauges, live window gauges, and per-shadow panels.
+  EXPECT_GT(checked, 40u);
+  const auto counters = metrics.Counters();
+  auto has_counter = [&counters](const std::string& name) {
+    for (const auto& [n, v] : counters) {
+      if (n == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_counter("cache.miss.compulsory"));
+  const auto gauges = metrics.Gauges();
+  auto has_gauge = [&gauges](const std::string& name) {
+    for (const auto& [n, v] : gauges) {
+      if (n == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_gauge("cache.mrc.sampling_rate"));
+  EXPECT_TRUE(has_gauge("cache.ws.jaccard"));
+  EXPECT_TRUE(has_gauge("cache.analytics.generation_swaps"));
+  EXPECT_TRUE(has_gauge("live.qps"));
+  EXPECT_TRUE(has_gauge("live.shadow.lru_1x.hit_ratio"));
+
+  system->SetShadowCaches(nullptr);
+  system->SetCacheAnalytics(nullptr);
+  system->SetWindow(nullptr);
+  system->EnableMetrics(nullptr);
 }
 
 TEST(ExportTest, PrometheusEscapesLabelValues) {

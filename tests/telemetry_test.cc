@@ -16,8 +16,10 @@
 #include <thread>
 #include <vector>
 
+#include "cache/shadow_cache.h"
 #include "common/dataset.h"
 #include "core/system.h"
+#include "obs/cache_analytics.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
 #include "obs/window.h"
@@ -168,6 +170,140 @@ TEST(WindowedMetricsTest, CacheTapDeltasAndReinstallRebases) {
   snap = w.GetSnapshot();
   EXPECT_EQ(snap.cache_admits, 4u + 3u);  // old window slices + new delta
   EXPECT_EQ(snap.cache_evictions, 2u);
+}
+
+TEST(WindowedMetricsTest, IdleGapSpanningWholeRingEmptiesLiveWindow) {
+  double t = 1.0;
+  obs::WindowOptions opt;
+  opt.window_seconds = 10.0;
+  opt.slices = 10;
+  opt.now = [&t] { return t; };
+  obs::WindowedMetrics w(opt);
+
+  for (int i = 0; i < 5; ++i) w.RecordQuery(Sample(0.010, 20, 10));
+
+  // An idle gap many times the ring span: every slice epoch falls out of
+  // the window. The live section must read fully empty (no stale slice may
+  // alias into the new epoch range), the totals must all survive.
+  t = 1.0 + 10.0 * 50;
+  const obs::WindowSnapshot snap = w.GetSnapshot();
+  EXPECT_EQ(snap.queries, 0u);
+  EXPECT_EQ(snap.candidates, 0u);
+  EXPECT_EQ(snap.cache_hits, 0u);
+  EXPECT_DOUBLE_EQ(snap.qps, 0.0);
+  EXPECT_DOUBLE_EQ(snap.mean_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(snap.hit_ratio, 0.0);
+  EXPECT_EQ(snap.total_queries, 5u);
+  EXPECT_EQ(snap.total_candidates, 100u);
+  EXPECT_EQ(snap.total_cache_hits, 50u);
+
+  // Serving resumes cleanly after the gap: only the new slice contributes.
+  w.RecordQuery(Sample(0.020, 10, 5));
+  const obs::WindowSnapshot after = w.GetSnapshot();
+  EXPECT_EQ(after.queries, 1u);
+  EXPECT_EQ(after.total_queries, 6u);
+  EXPECT_DOUBLE_EQ(after.max_seconds, 0.020);
+}
+
+TEST(WindowedMetricsTest, SnapshotsWithinOneEpochAreIdempotent) {
+  double t = 3.0;
+  obs::WindowOptions opt;
+  opt.window_seconds = 10.0;
+  opt.slices = 10;
+  opt.now = [&t] { return t; };
+  obs::WindowedMetrics w(opt);
+
+  obs::CacheTapSample tap;
+  tap.hits = 10;
+  tap.misses = 10;
+  w.SetCacheTap([&tap] { return tap; });
+  w.RecordQuery(Sample(0.010, 10, 5));
+  tap.admits = 3;
+
+  // The clock never advances: repeated snapshots land in the same slice
+  // epoch and must agree exactly — in particular the tap delta (admits=3)
+  // is drained once into the slice, not re-counted per snapshot.
+  const obs::WindowSnapshot s1 = w.GetSnapshot();
+  const obs::WindowSnapshot s2 = w.GetSnapshot();
+  EXPECT_EQ(s1.queries, 1u);
+  EXPECT_EQ(s2.queries, 1u);
+  EXPECT_EQ(s1.cache_admits, 3u);
+  EXPECT_EQ(s2.cache_admits, 3u);
+  EXPECT_DOUBLE_EQ(s1.qps, s2.qps);
+  EXPECT_DOUBLE_EQ(s1.mean_seconds, s2.mean_seconds);
+  EXPECT_DOUBLE_EQ(s1.p95_seconds, s2.p95_seconds);
+}
+
+TEST(WindowedMetricsTest, ShadowTapDeltasAndReinstallRebases) {
+  double t = 0.0;
+  obs::WindowOptions opt;
+  opt.now = [&t] { return t; };
+  obs::WindowedMetrics w(opt);
+
+  // Cumulative tap readings; pre-install history must never be counted.
+  std::vector<obs::ShadowTapEntry> cur(2);
+  cur[0].name = "lru_1x";
+  cur[0].hits = 100;
+  cur[0].misses = 50;
+  cur[1].name = "fifo_1x";
+  cur[1].hits = 7;
+  cur[1].misses = 3;
+  w.SetShadowTap([&cur] { return cur; });
+
+  cur[0].hits += 30;
+  cur[0].misses += 10;
+  cur[1].misses += 5;
+  obs::WindowSnapshot snap = w.GetSnapshot();
+  ASSERT_EQ(snap.shadows.size(), 2u);
+  EXPECT_EQ(snap.shadows[0].name, "lru_1x");
+  EXPECT_EQ(snap.shadows[0].hits, 30u);
+  EXPECT_EQ(snap.shadows[0].misses, 10u);
+  EXPECT_DOUBLE_EQ(snap.shadows[0].hit_ratio, 0.75);
+  EXPECT_EQ(snap.shadows[1].name, "fifo_1x");
+  EXPECT_EQ(snap.shadows[1].hits, 0u);
+  EXPECT_EQ(snap.shadows[1].misses, 5u);
+  EXPECT_DOUBLE_EQ(snap.shadows[1].hit_ratio, 0.0);
+
+  // Reinstalling (e.g. a new shadow set) re-bases: fresh zero counters must
+  // not produce negative deltas, and in-window history is reset.
+  std::vector<obs::ShadowTapEntry> fresh(1);
+  fresh[0].name = "lru_2x";
+  w.SetShadowTap([&fresh] { return fresh; });
+  fresh[0].hits = 4;
+  fresh[0].misses = 4;
+  snap = w.GetSnapshot();
+  ASSERT_EQ(snap.shadows.size(), 1u);
+  EXPECT_EQ(snap.shadows[0].name, "lru_2x");
+  EXPECT_EQ(snap.shadows[0].hits, 4u);
+  EXPECT_EQ(snap.shadows[0].misses, 4u);
+
+  // Detaching clears the shadow section entirely.
+  w.SetShadowTap(nullptr);
+  EXPECT_TRUE(w.GetSnapshot().shadows.empty());
+}
+
+TEST(WindowedMetricsTest, PublishToSetsShadowGauges) {
+  obs::WindowedMetrics w;
+  std::vector<obs::ShadowTapEntry> cur(1);
+  cur[0].name = "lru_2x";
+  w.SetShadowTap([&cur] { return cur; });
+  cur[0].hits = 9;
+  cur[0].misses = 1;
+
+  obs::MetricsRegistry registry;
+  w.PublishTo(&registry);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("live.shadow.lru_2x.hits")->value(),
+                   9.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("live.shadow.lru_2x.misses")->value(),
+                   1.0);
+  EXPECT_DOUBLE_EQ(
+      registry.GetGauge("live.shadow.lru_2x.hit_ratio")->value(), 0.9);
+
+  const std::string line =
+      obs::WindowSnapshotJson(w.GetSnapshot(), /*uptime=*/1.0);
+  EXPECT_NE(line.find("\"shadow\":[{\"name\":\"lru_2x\""), std::string::npos)
+      << line;
 }
 
 TEST(WindowedMetricsTest, QueueGaugesLastObservationWins) {
@@ -490,6 +626,117 @@ TEST(TelemetryEndToEndTest, ConcurrentRunReconcilesWindowAgainstCounters) {
     // recent is seq-ordered, not index-ordered; match through the set.
     EXPECT_TRUE(indices.count(i)) << "query " << i << " never recorded";
   }
+}
+
+TEST(TelemetryEndToEndTest, GenerationSwapMidWindowRebasesTapsAndAnalytics) {
+  TelemetryRig rig;
+  const size_t k = 10;
+
+  obs::WindowOptions wopt;
+  wopt.window_seconds = 3600.0;
+  obs::WindowedMetrics window(wopt);
+  obs::CacheAnalytics::Options aopt;
+  aopt.sampling_rate = 1.0;
+  aopt.key_space = rig.data.size();
+  obs::CacheAnalytics analytics(aopt);
+  rig.system->SetWindow(&window);
+  rig.system->SetCacheAnalytics(&analytics);
+
+  core::AggregateResult agg;
+  ASSERT_TRUE(rig.system->RunQueries(rig.log.test, k, &agg).ok());
+  const obs::WindowSnapshot before = window.GetSnapshot();
+  const uint64_t accesses_gen1 = analytics.total_accesses();
+  EXPECT_GT(accesses_gen1, 0u);
+
+  // Mid-window generation swap to a deliberately tiny cache: the new
+  // generation's cumulative counters restart at zero, so the re-based tap
+  // must not produce wrapped-around deltas, and the analytics instrument
+  // starts a fresh invalidation epoch. The tiny capacity guarantees some
+  // previously seen keys miss on their first post-swap touch.
+  ASSERT_TRUE(rig.system
+                  ->ConfigureCache(core::CacheMethod::kExact,
+                                   /*cache_bytes=*/2 << 10)
+                  .ok());
+  ASSERT_TRUE(rig.system->RunQueries(rig.log.test, k, &agg).ok());
+
+  const obs::WindowSnapshot after = window.GetSnapshot();
+  EXPECT_EQ(after.total_queries, 2 * rig.log.test.size());
+  // Tap deltas stayed sane across the re-base: the windowed admit count can
+  // never exceed the probes that could have admitted (total candidates).
+  EXPECT_LE(after.cache_admits, after.total_candidates);
+  EXPECT_GE(after.cache_admits, before.cache_admits);
+
+  EXPECT_EQ(analytics.generation_swaps(), 1u);
+  const obs::CacheAnalytics::MissBreakdown mb = analytics.miss_breakdown();
+  EXPECT_EQ(mb.misses, mb.compulsory + mb.capacity + mb.invalidation);
+  // The second pass replays only keys seen in generation 1, so it adds no
+  // compulsory misses, and every first re-touch that misses is an
+  // invalidation miss — guaranteed to exist by the tiny second cache.
+  EXPECT_GT(mb.invalidation, 0u);
+  EXPECT_EQ(analytics.total_accesses(), after.total_candidates);
+}
+
+TEST(TelemetryEndToEndTest, ConcurrentAnalyticsAndShadowsReconcile) {
+  // Runs the full introspection stack under the concurrent engine; the CI
+  // TSan job runs this binary, so this is also the data-race check for the
+  // sampler, miss-class bitsets, HLL sketches, and shadow cache locks.
+  TelemetryRig rig;
+  const size_t k = 10;
+
+  obs::WindowOptions wopt;
+  wopt.window_seconds = 3600.0;
+  obs::WindowedMetrics window(wopt);
+  obs::MetricsRegistry metrics;
+  obs::CacheAnalytics::Options aopt;
+  aopt.sampling_rate = 1.0;  // sample every probe: maximal contention
+  aopt.key_space = rig.data.size();
+  obs::CacheAnalytics analytics(aopt);
+  analytics.BindMetrics(&metrics);
+  cache::ShadowCacheSet shadows(cache::DefaultShadowConfigs(
+      rig.system->cache()->capacity_items()));
+  rig.system->EnableMetrics(&metrics);
+  rig.system->SetWindow(&window);
+  rig.system->SetCacheAnalytics(&analytics);
+  rig.system->SetShadowCaches(&shadows);
+
+  core::AggregateResult agg;
+  ASSERT_TRUE(rig.system
+                  ->RunQueriesConcurrent(rig.log.test, k, /*n_threads=*/8,
+                                         &agg, /*results=*/nullptr)
+                  .ok());
+
+  // Every probe reached every instrument exactly once.
+  const obs::WindowSnapshot snap = window.GetSnapshot();
+  EXPECT_GT(snap.total_candidates, 0u);
+  EXPECT_EQ(analytics.total_accesses(), snap.total_candidates);
+  for (size_t i = 0; i < shadows.size(); ++i) {
+    EXPECT_EQ(shadows.shadow(i).hits() + shadows.shadow(i).misses(),
+              snap.total_candidates)
+        << shadows.shadow(i).config().name;
+  }
+
+  // Miss classes reconcile exactly even under 8-way concurrent counting.
+  const obs::CacheAnalytics::MissBreakdown mb = analytics.miss_breakdown();
+  EXPECT_EQ(mb.accesses, snap.total_candidates);
+  EXPECT_EQ(mb.hits + mb.misses, mb.accesses);
+  EXPECT_EQ(mb.misses, mb.compulsory + mb.capacity + mb.invalidation);
+
+  // The shadow tap reached the window with the full per-config panel.
+  ASSERT_EQ(snap.shadows.size(), shadows.size());
+  uint64_t windowed = 0;
+  for (const obs::WindowSnapshot::ShadowStat& s : snap.shadows) {
+    windowed += s.hits + s.misses;
+  }
+  EXPECT_EQ(windowed, shadows.size() * snap.total_candidates);
+
+  // Gauge publication works on the post-run state.
+  analytics.PublishMetrics();
+  window.PublishTo(&metrics);
+  EXPECT_EQ(metrics.GetCounter("cache.miss.compulsory")->value() +
+                metrics.GetCounter("cache.miss.capacity")->value() +
+                metrics.GetCounter("cache.miss.invalidation")->value(),
+            mb.misses);
+  EXPECT_GT(metrics.GetGauge("cache.mrc.sampled_accesses")->value(), 0.0);
 }
 
 TEST(TelemetryEndToEndTest, PublisherEmitsPeriodicSnapshotsDuringServing) {

@@ -7,7 +7,7 @@
 //              --current BENCH_smoke.json
 //              [--max-avg-latency 0.15] [--max-tail-latency 0.25]
 //              [--max-io 0.10] [--max-hit-drop 0.05]
-//              [--max-qps-drop 0.25]
+//              [--max-qps-drop 0.25] [--max-mrc-error 0.05]
 //
 // Exit codes: 0 no regression, 1 regression(s) found, 2 usage/input error.
 
@@ -37,7 +37,7 @@ int Usage() {
       "usage: bench_diff --baseline <path> --current <path>\n"
       "                  [--max-avg-latency R] [--max-tail-latency R]\n"
       "                  [--max-io R] [--max-hit-drop R]\n"
-      "                  [--max-qps-drop R]\n"
+      "                  [--max-qps-drop R] [--max-mrc-error R]\n"
       "exit: 0 = no regression, 1 = regression, 2 = usage/input error\n");
   return 2;
 }
@@ -75,6 +75,8 @@ int Main(int argc, char** argv) {
       ok = ratio(&opt.max_hit_drop);
     } else if (arg == "--max-qps-drop") {
       ok = ratio(&opt.max_qps_drop);
+    } else if (arg == "--max-mrc-error") {
+      ok = ratio(&opt.max_mrc_error);
     } else {
       std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
       return Usage();

@@ -345,6 +345,23 @@ Status DiffBench(std::string_view baseline_json, std::string_view current_json,
                                  ": concurrent results not bit-exact "
                                  "against the serial reference");
     }
+    // Analytics-suite cells: both gates are current-only, like bit_exact —
+    // an introspection layer whose MRC misprediction exceeds the budget, or
+    // whose miss-cause counters don't reconcile, is broken outright.
+    if (Num2(*cc, "analytics", "prediction_error", &c) &&
+        c > options.max_mrc_error + 1e-12) {
+      out->regressions.push_back(
+          name + ": MRC prediction error " +
+          FormatF("%.4g (max %.2g)", c, options.max_mrc_error, 0.0));
+    }
+    const JsonValue* analytics = cc->Find("analytics");
+    const JsonValue* reconciled =
+        analytics != nullptr ? analytics->Find("reconciled") : nullptr;
+    if (reconciled != nullptr &&
+        reconciled->type == JsonValue::Type::kBool && !reconciled->boolean) {
+      out->regressions.push_back(
+          name + ": miss classes do not reconcile with total misses");
+    }
   }
   for (const JsonValue& cc : ccells->items) {
     const std::string name = cell_name(cc);

@@ -55,6 +55,14 @@ struct DiffOptions {
   /// a concurrent run that diverged from the serial reference is broken,
   /// however fast it is.
   double max_qps_drop = 0.25;
+  /// Absolute MRC-prediction error allowed in analytics-suite cells:
+  /// a current cell whose analytics.prediction_error (|MRC-predicted −
+  /// measured miss ratio|) exceeds this fails regardless of the baseline —
+  /// an introspection layer that mispredicts is broken, not merely
+  /// regressed. Likewise, "reconciled": false (miss-cause counters not
+  /// summing to total misses) always fails. Cells without an analytics
+  /// section are unaffected.
+  double max_mrc_error = 0.05;
 };
 
 /// Outcome of one comparison.

@@ -9,7 +9,16 @@
 //
 // Usage:
 //   eeb_bench --suite smoke [--out BENCH_smoke.json]
+//   eeb_bench --suite analytics [--mrc-out MRC_analytics.json]
 //   eeb_bench --list
+//
+// The analytics suite validates the cache-introspection layer end to end:
+// LRU cells run with the sampled reuse-distance tracker attached, and the
+// artifact records the MRC-predicted miss ratio next to the measured one
+// (bench_diff gates on their absolute difference) plus the exact miss-cause
+// breakdown and the shadow-cache panel. When a suite fails mid-run (bit
+// exactness, miss-class reconciliation), the flight recorder's recent
+// per-query ring is dumped to --recorder-out for post-mortem.
 //
 // Determinism: every suite pins its dataset/log RNG seeds (recorded in the
 // artifact) and all latencies are dominated by the modeled disk (fixed
@@ -28,9 +37,12 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "cache/shadow_cache.h"
 #include "common/timer.h"
 #include "core/cost_model.h"
 #include "core/system.h"
+#include "obs/cache_analytics.h"
+#include "obs/export.h"
 #include "obs/prof.h"
 #include "obs/recorder.h"
 #include "obs/window.h"
@@ -156,6 +168,20 @@ std::string JsonEscape(const std::string& s) {
     }
   }
   return out;
+}
+
+// Post-mortem dump for in-run failures (satellite of the chaos_test idiom:
+// when a gated invariant breaks mid-run, the recent per-query ring is worth
+// more than the aggregate numbers).
+void DumpRecorder(const obs::FlightRecorder& recorder,
+                  const std::string& path) {
+  const Status st = obs::WriteStringToFile(path, recorder.DumpJson());
+  if (st.ok()) {
+    std::fprintf(stderr, "flight recorder dumped to %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "error: flight recorder dump to %s failed: %s\n",
+                 path.c_str(), st.ToString().c_str());
+  }
 }
 
 struct CellResult {
@@ -380,7 +406,8 @@ double SortedPercentile(std::vector<double> v, double q) {
   return v[i];
 }
 
-int RunConcurrencySuite(const std::string& out_path) {
+int RunConcurrencySuite(const std::string& out_path,
+                        const std::string& recorder_path) {
   const workload::QueryLogSpec log_spec =
       workload::MaybeQuick(workload::DefaultLogSpec());
   auto wb = bench::MakeWorkbench(SmokeSpec());
@@ -527,6 +554,267 @@ int RunConcurrencySuite(const std::string& out_path) {
     std::fprintf(stderr,
                  "error: concurrent results diverged from the serial "
                  "reference (see bit_exact flags)\n");
+    DumpRecorder(recorder, recorder_path);
+    return 1;
+  }
+  return 0;
+}
+
+// ------------------------------------------------------- analytics suite --
+//
+// Validates the cache-introspection layer against ground truth. Every cell
+// is an LRU cache run with eager_miss_fetch on, so the live cache is
+// exactly the admit-on-miss LRU that the Mattson stack-distance model (and
+// hence the sampled MRC) predicts for: the MRC-predicted miss ratio at the
+// live capacity must match the measured one to within bench_diff's
+// max_mrc_error. The artifact also records the exact miss-cause breakdown
+// (compulsory + capacity + invalidation must equal misses — a reconciliation
+// failure fails the run and dumps the flight recorder) and the default
+// shadow panel simulated over the same probe stream.
+
+int RunAnalyticsSuite(const std::string& out_path, const std::string& mrc_path,
+                      const std::string& recorder_path) {
+  const workload::QueryLogSpec log_spec =
+      workload::MaybeQuick(workload::DefaultLogSpec());
+  core::SystemOptions opt;
+  // Eager miss fetch turns every probe miss into an immediate admit; with
+  // the --lru cells below the live cache is then a textbook admit-on-miss
+  // LRU over the candidate stream — the reference the MRC models.
+  opt.engine.eager_miss_fetch = true;
+  auto wb = bench::MakeWorkbench(SmokeSpec(), opt);
+  const size_t file_bytes = wb->spec.n * wb->spec.dim * sizeof(float);
+
+  obs::WindowedMetrics window;
+  obs::FlightRecorder recorder;
+  wb->system->SetWindow(&window);
+  wb->system->SetRecorder(&recorder);
+
+  // 0.25 keeps the sampled substream statistically meaningful on the small
+  // smoke stream (the production default is ~0.01 on streams orders of
+  // magnitude longer) while still exercising real spatial sampling.
+  constexpr double kSamplingRate = 0.25;
+  constexpr size_t kK = 10;
+
+  struct AnalyticsCellSpec {
+    std::string name;
+    core::CacheMethod method;
+    double cs_frac;
+  };
+  const std::vector<AnalyticsCellSpec> cell_specs = {
+      {"exact_lru_10", core::CacheMethod::kExact, 0.10},
+      {"exact_lru_30", core::CacheMethod::kExact, 0.30},
+      {"hc_o_lru_30", core::CacheMethod::kHcO, 0.30},
+  };
+
+  struct AnalyticsCell {
+    AnalyticsCellSpec spec;
+    size_t cache_bytes = 0;
+    uint64_t capacity_items = 0;
+    core::AggregateResult agg;
+    double predicted_miss = 0.0;
+    double measured_miss = 0.0;
+    double prediction_error = 0.0;
+    uint64_t sampled_accesses = 0;
+    uint64_t tracked_keys = 0;
+    obs::CacheAnalytics::MissBreakdown mb;
+    bool reconciled = false;
+    obs::CacheAnalytics::WorkingSet ws;
+    struct ShadowStat {
+      std::string name;
+      std::string policy;
+      size_t capacity_items = 0;
+      uint64_t hits = 0;
+      uint64_t misses = 0;
+      double hit_ratio = 0.0;
+    };
+    std::vector<ShadowStat> shadow;
+    std::string mrc_json;
+  };
+
+  std::vector<AnalyticsCell> cells;
+  bool all_reconciled = true;
+  for (const AnalyticsCellSpec& spec : cell_specs) {
+    std::fprintf(stderr, "[analytics] cell %s...\n", spec.name.c_str());
+    wb->metrics.ResetAll();
+
+    AnalyticsCell c;
+    c.spec = spec;
+    c.cache_bytes = static_cast<size_t>(file_bytes * spec.cs_frac);
+
+    obs::CacheAnalytics::Options aopt;
+    aopt.sampling_rate = kSamplingRate;
+    aopt.key_space = std::max<uint64_t>(64, wb->data.size());
+    obs::CacheAnalytics analytics(aopt);
+    analytics.BindMetrics(&wb->metrics);
+    wb->system->SetCacheAnalytics(&analytics);
+
+    bench::Check(wb->system->ConfigureCache(spec.method, c.cache_bytes,
+                                            /*tau=*/0, /*lru=*/true),
+                 "ConfigureCache");
+    c.capacity_items = wb->system->cache()->capacity_items();
+    cache::ShadowCacheSet shadows(
+        cache::DefaultShadowConfigs(c.capacity_items));
+    wb->system->SetShadowCaches(&shadows);
+
+    bench::Check(wb->system->RunQueries(wb->log.test, kK, &c.agg),
+                 "RunQueries");
+
+    c.predicted_miss = analytics.PredictedMissRatioAt(c.capacity_items);
+    c.measured_miss = 1.0 - c.agg.hit_ratio;
+    c.prediction_error = std::fabs(c.predicted_miss - c.measured_miss);
+    c.sampled_accesses = analytics.sampled_accesses();
+    c.tracked_keys = analytics.tracked_keys();
+    c.mb = analytics.miss_breakdown();
+    c.reconciled =
+        c.mb.compulsory + c.mb.capacity + c.mb.invalidation == c.mb.misses;
+    all_reconciled = all_reconciled && c.reconciled;
+    c.ws = analytics.working_set();
+    for (size_t i = 0; i < shadows.size(); ++i) {
+      const cache::ShadowCache& s = shadows.shadow(i);
+      AnalyticsCell::ShadowStat st;
+      st.name = cache::SanitizeShadowName(s.config().name);
+      st.policy = cache::ShadowPolicyName(s.config().policy);
+      st.capacity_items = s.config().capacity_items;
+      st.hits = s.hits();
+      st.misses = s.misses();
+      const uint64_t total = st.hits + st.misses;
+      st.hit_ratio =
+          total > 0 ? static_cast<double>(st.hits) / total : 0.0;
+      c.shadow.push_back(std::move(st));
+    }
+    c.mrc_json = analytics.MrcJson();
+    std::fprintf(stderr,
+                 "[analytics] %s: predicted_miss=%.4f measured_miss=%.4f "
+                 "err=%.4f sampled=%" PRIu64 " reconciled=%s\n",
+                 spec.name.c_str(), c.predicted_miss, c.measured_miss,
+                 c.prediction_error, c.sampled_accesses,
+                 c.reconciled ? "yes" : "NO");
+
+    // Detach before the per-cell instruments go out of scope.
+    wb->system->SetCacheAnalytics(nullptr);
+    wb->system->SetShadowCaches(nullptr);
+    cells.push_back(std::move(c));
+  }
+
+  std::string json;
+  AppendF(&json, "{\"schema_version\":1,\"suite\":\"analytics\",");
+  AppendF(&json, "\"dataset\":{\"name\":\"%s\",\"n\":%zu,\"dim\":%zu,",
+          JsonEscape(wb->spec.name).c_str(), wb->spec.n, wb->spec.dim);
+  AppendF(&json, "\"ndom\":%u,\"seed\":%" PRIu64 "},", wb->spec.ndom,
+          wb->spec.seed);
+  AppendF(&json, "\"log\":{\"test_size\":%zu,\"seed\":%" PRIu64 "},",
+          wb->log.test.size(), log_spec.seed);
+  const char* quick = std::getenv("EEB_QUICK");
+  AppendF(&json, "\"quick\":%s,",
+          quick != nullptr && quick[0] != '\0' ? "true" : "false");
+#ifdef NDEBUG
+  const char* build_type = "release";
+#else
+  const char* build_type = "debug";
+#endif
+  AppendF(&json, "\"build\":{\"compiler\":\"%s\",\"type\":\"%s\"},",
+          JsonEscape(__VERSION__).c_str(), build_type);
+  AppendF(&json,
+          "\"config\":{\"sampling_rate\":%.9g,\"k\":%zu,"
+          "\"eager_miss_fetch\":true,\"lru\":true},",
+          kSamplingRate, kK);
+  json.append("\"cells\":[");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const AnalyticsCell& c = cells[i];
+    if (i > 0) json.push_back(',');
+    AppendF(&json, "{\"name\":\"%s\",\"method\":\"%s\",\"cache_bytes\":%zu,",
+            JsonEscape(c.spec.name).c_str(),
+            core::CacheMethodName(c.spec.method), c.cache_bytes);
+    AppendF(&json, "\"k\":%zu,\"lru\":true,", kK);
+    AppendF(&json,
+            "\"latency\":{\"avg_seconds\":%.9g,\"p50_seconds\":%.9g,"
+            "\"p95_seconds\":%.9g,\"p99_seconds\":%.9g},",
+            c.agg.avg_response_seconds, c.agg.p50_response_seconds,
+            c.agg.p95_response_seconds, c.agg.p99_response_seconds);
+    AppendF(&json,
+            "\"io\":{\"avg_refine_pages\":%.9g,\"avg_gen_pages\":%.9g,"
+            "\"avg_gen_seq_pages\":%.9g},",
+            c.agg.avg_refine_pages, c.agg.avg_gen_pages,
+            c.agg.avg_gen_seq_pages);
+    AppendF(&json, "\"cache\":{\"hit_ratio\":%.9g,\"prune_ratio\":%.9g},",
+            c.agg.hit_ratio, c.agg.prune_ratio);
+    AppendF(&json,
+            "\"robustness\":{\"degraded_rate\":%.9g,"
+            "\"degraded_queries\":%zu,\"read_failures\":%zu},",
+            c.agg.degraded_rate, c.agg.degraded_queries,
+            c.agg.read_failures);
+    AppendF(&json,
+            "\"analytics\":{\"sampling_rate\":%.9g,"
+            "\"sampled_accesses\":%" PRIu64 ",\"tracked_keys\":%" PRIu64
+            ",\"capacity_items\":%" PRIu64 ",",
+            kSamplingRate, c.sampled_accesses, c.tracked_keys,
+            c.capacity_items);
+    AppendF(&json,
+            "\"predicted_miss_ratio\":%.9g,\"measured_miss_ratio\":%.9g,"
+            "\"prediction_error\":%.9g,\"reconciled\":%s,",
+            c.predicted_miss, c.measured_miss, c.prediction_error,
+            c.reconciled ? "true" : "false");
+    AppendF(&json,
+            "\"miss_classes\":{\"accesses\":%" PRIu64 ",\"hits\":%" PRIu64
+            ",\"misses\":%" PRIu64 ",\"compulsory\":%" PRIu64
+            ",\"capacity\":%" PRIu64 ",\"invalidation\":%" PRIu64 "},",
+            c.mb.accesses, c.mb.hits, c.mb.misses, c.mb.compulsory,
+            c.mb.capacity, c.mb.invalidation);
+    AppendF(&json,
+            "\"working_set\":{\"current_cardinality\":%.9g,"
+            "\"previous_cardinality\":%.9g,\"jaccard\":%.9g,"
+            "\"windows\":%" PRIu64 "},",
+            c.ws.current_cardinality, c.ws.previous_cardinality,
+            c.ws.jaccard, c.ws.windows);
+    json.append("\"shadow\":[");
+    for (size_t j = 0; j < c.shadow.size(); ++j) {
+      const AnalyticsCell::ShadowStat& st = c.shadow[j];
+      if (j > 0) json.push_back(',');
+      AppendF(&json,
+              "{\"name\":\"%s\",\"policy\":\"%s\",\"capacity_items\":%zu,"
+              "\"hits\":%" PRIu64 ",\"misses\":%" PRIu64
+              ",\"hit_ratio\":%.9g}",
+              JsonEscape(st.name).c_str(), JsonEscape(st.policy).c_str(),
+              st.capacity_items, st.hits, st.misses, st.hit_ratio);
+    }
+    json.append("]}}");
+  }
+  json.append("]}\n");
+
+  Status st = obs::WriteStringToFile(out_path, json);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: cannot write %s: %s\n", out_path.c_str(),
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "[analytics] wrote %s (%zu cells)\n", out_path.c_str(),
+               cells.size());
+
+  // Companion artifact: the full per-cell miss-ratio curves (the BENCH
+  // artifact carries only the single predicted-vs-measured point).
+  std::string mrc;
+  mrc.append("{\"schema_version\":1,\"suite\":\"analytics\",\"cells\":[");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) mrc.push_back(',');
+    AppendF(&mrc, "{\"name\":\"%s\",\"mrc\":",
+            JsonEscape(cells[i].spec.name).c_str());
+    mrc.append(cells[i].mrc_json);
+    mrc.push_back('}');
+  }
+  mrc.append("]}\n");
+  st = obs::WriteStringToFile(mrc_path, mrc);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: cannot write %s: %s\n", mrc_path.c_str(),
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "[analytics] wrote %s\n", mrc_path.c_str());
+
+  if (!all_reconciled) {
+    std::fprintf(stderr,
+                 "error: miss classification failed to reconcile (see "
+                 "reconciled flags)\n");
+    DumpRecorder(recorder, recorder_path);
     return 1;
   }
   return 0;
@@ -535,6 +823,7 @@ int RunConcurrencySuite(const std::string& out_path) {
 int Usage() {
   std::fprintf(stderr,
                "usage: eeb_bench --suite <name> [--out <path>]\n"
+               "                 [--mrc-out <path>] [--recorder-out <path>]\n"
                "       eeb_bench --list\n");
   return 2;
 }
@@ -542,17 +831,29 @@ int Usage() {
 int Main(int argc, char** argv) {
   std::string suite_name;
   std::string out_path;
+  std::string mrc_path;
+  std::string recorder_path;
   bool list = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list") {
       list = true;
-    } else if (arg == "--suite" || arg == "--out") {
+    } else if (arg == "--suite" || arg == "--out" || arg == "--mrc-out" ||
+               arg == "--recorder-out") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
         return Usage();
       }
-      (arg == "--suite" ? suite_name : out_path) = argv[++i];
+      const std::string value = argv[++i];
+      if (arg == "--suite") {
+        suite_name = value;
+      } else if (arg == "--out") {
+        out_path = value;
+      } else if (arg == "--mrc-out") {
+        mrc_path = value;
+      } else {
+        recorder_path = value;
+      }
     } else {
       std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
       return Usage();
@@ -568,12 +869,23 @@ int Main(int argc, char** argv) {
     std::printf("%-8s %zu cells  %s\n", "concurrency", size_t{4},
                 "Thread scaling: modeled QPS + open-loop latency at "
                 "1/2/4/8 threads (HC-O, smoke)");
+    std::printf("%-8s %zu cells  %s\n", "analytics", size_t{3},
+                "Cache introspection: MRC prediction vs measured LRU miss "
+                "ratio, miss classes, shadow panel (smoke)");
     return 0;
   }
   if (suite_name.empty()) return Usage();
+  if (recorder_path.empty()) {
+    recorder_path = "RECORDER_" + suite_name + ".json";
+  }
   if (suite_name == "concurrency") {
     if (out_path.empty()) out_path = "BENCH_concurrency.json";
-    return RunConcurrencySuite(out_path);
+    return RunConcurrencySuite(out_path, recorder_path);
+  }
+  if (suite_name == "analytics") {
+    if (out_path.empty()) out_path = "BENCH_analytics.json";
+    if (mrc_path.empty()) mrc_path = "MRC_analytics.json";
+    return RunAnalyticsSuite(out_path, mrc_path, recorder_path);
   }
   for (const SuiteSpec& s : suites) {
     if (s.name == suite_name) {

@@ -11,7 +11,8 @@
 //                 [--trace-out t.jsonl] [--profile-out p.json]
 //                 [--threads N] [--repeat R] [--explain]
 //                 [--stats-interval-ms MS] [--stats-out s.jsonl]
-//                 [--recorder-out r.json]
+//                 [--recorder-out r.json] [--mrc-out mrc.json]
+//                 [--mrc-rate 0.01] [--shadow-configs SPEC|default]
 //
 // `query` builds the full pipeline (point file, C2LSH, workload analysis,
 // cache) in a temp directory and reports the paper-style statistics. When
@@ -31,6 +32,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -38,7 +40,9 @@
 #include <string>
 #include <vector>
 
+#include "cache/shadow_cache.h"
 #include "core/system.h"
+#include "obs/cache_analytics.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/prof.h"
@@ -98,8 +102,15 @@ class Args {
   std::map<std::string, std::string> kv_;
 };
 
+// Cleanup run by Die before std::exit. std::exit performs no stack
+// unwinding, so without this an early error path would abandon the stats
+// publisher thread and lose buffered --stats-out / --mrc-out output that
+// was already collected.
+std::function<void()> g_die_cleanup;
+
 [[noreturn]] void Die(const Status& st, const char* what) {
   std::fprintf(stderr, "error: %s: %s\n", what, st.ToString().c_str());
+  if (g_die_cleanup) g_die_cleanup();
   std::exit(1);
 }
 
@@ -153,6 +164,21 @@ core::CacheMethod ParseMethod(const std::string& name) {
 }
 
 int CmdQuery(const Args& args) {
+  // Strict flag validation first: a bad shadow spec or sampling rate fails
+  // before any dataset or index work (and before live outputs exist).
+  std::vector<cache::ShadowConfig> shadow_configs;
+  const bool shadow_default = args.Str("shadow-configs", "") == "default";
+  if (args.Has("shadow-configs") && !shadow_default) {
+    Status sst = cache::ParseShadowConfigs(args.Str("shadow-configs", ""),
+                                           &shadow_configs);
+    if (!sst.ok()) Die(sst, "parse --shadow-configs");
+  }
+  const double mrc_rate = args.Dbl("mrc-rate", 0.01);
+  if (args.Has("mrc-rate") && !(mrc_rate > 0.0 && mrc_rate <= 1.0)) {
+    Die(Status::InvalidArgument("--mrc-rate must be in (0, 1]"),
+        "parse --mrc-rate");
+  }
+
   Dataset data;
   Status st = workload::ReadFvecs(storage::Env::Default(),
                                   args.Str("data", ""), &data);
@@ -236,6 +262,35 @@ int CmdQuery(const Args& args) {
   system->SetWindow(&window);
   system->SetRecorder(&recorder);
 
+  // Cache introspection (docs/OBSERVABILITY.md "Cache analytics"):
+  // --mrc-out / --mrc-rate attach the reuse-distance sampler, miss
+  // classifier and working-set sketches to every cache probe.
+  std::unique_ptr<obs::CacheAnalytics> analytics;
+  if (args.Has("mrc-out") || args.Has("mrc-rate")) {
+    obs::CacheAnalytics::Options aopt;
+    aopt.sampling_rate = mrc_rate;
+    aopt.key_space = std::max<uint64_t>(64, data.size());
+    analytics = std::make_unique<obs::CacheAnalytics>(aopt);
+    if (want_metrics) analytics->BindMetrics(&metrics);
+    system->SetCacheAnalytics(analytics.get());
+  }
+
+  // Live outputs must survive Die paths: std::exit runs no destructors, so
+  // the registered cleanup stops the publisher (emitting its final line),
+  // closes the stats file, and dumps whatever MRC data was collected.
+  std::ofstream stats_file;
+  std::unique_ptr<obs::StatsPublisher> publisher;
+  auto write_mrc = [&]() -> Status {
+    if (!args.Has("mrc-out") || analytics == nullptr) return Status::OK();
+    return obs::WriteStringToFile(args.Str("mrc-out", ""),
+                                  obs::ExportMrcJson(*analytics));
+  };
+  g_die_cleanup = [&] {
+    if (publisher != nullptr) publisher->Stop();
+    if (stats_file.is_open()) stats_file.close();
+    (void)write_mrc();
+  };
+
   const core::CacheMethod method = ParseMethod(args.Str("cache", "hc-o"));
   const size_t cache_bytes =
       static_cast<size_t>(args.Dbl("cache-mb", 8.0) * (1 << 20));
@@ -244,10 +299,21 @@ int CmdQuery(const Args& args) {
                               args.Has("lru"));
   if (!st.ok()) Die(st, "configure cache");
 
+  // Shadow-cache simulations ride the probe stream; "default" sizes the
+  // panel around the configured cache's item capacity.
+  std::unique_ptr<cache::ShadowCacheSet> shadows;
+  if (args.Has("shadow-configs")) {
+    if (shadow_default) {
+      const size_t cap =
+          system->cache() != nullptr ? system->cache()->capacity_items() : 0;
+      shadow_configs = cache::DefaultShadowConfigs(cap);
+    }
+    shadows = std::make_unique<cache::ShadowCacheSet>(shadow_configs);
+    system->SetShadowCaches(shadows.get());
+  }
+
   // The stats publisher starts after the cache is configured so its first
   // interval already observes serving traffic.
-  std::ofstream stats_file;
-  std::unique_ptr<obs::StatsPublisher> publisher;
   if (live_stats) {
     std::ostream* sink = &std::cerr;
     if (args.Has("stats-out")) {
@@ -283,8 +349,11 @@ int CmdQuery(const Args& args) {
   }
   if (publisher != nullptr) publisher->Stop();
 
-  // Mirror the phase profile into prof.* gauges before the registry dumps.
+  // Mirror the phase profile and the final live window (incl. the
+  // live.shadow.* panels) into gauges before the registry dumps, so
+  // --metrics-out is self-contained without --stats-interval-ms.
   if (args.Has("profile-out") && want_metrics) prof.PublishTo(&metrics);
+  if (want_metrics) window.PublishTo(&metrics);
   if (args.Has("metrics-out")) {
     st = obs::WriteStringToFile(args.Str("metrics-out", ""),
                                 obs::ExportJson(metrics));
@@ -308,6 +377,10 @@ int CmdQuery(const Args& args) {
     st = obs::WriteStringToFile(args.Str("recorder-out", ""),
                                 recorder.DumpJson());
     if (!st.ok()) Die(st, "write recorder json");
+  }
+  if (args.Has("mrc-out")) {
+    st = write_mrc();
+    if (!st.ok()) Die(st, "write mrc json");
   }
   if (explain) {
     for (size_t i = 0; i < per_query.size(); ++i) {
@@ -343,6 +416,34 @@ int CmdQuery(const Args& args) {
                 static_cast<unsigned long long>(
                     recorder.retained_slow_total()));
   }
+  if (analytics != nullptr) {
+    const obs::CacheAnalytics::MissBreakdown mb = analytics->miss_breakdown();
+    std::printf("analytics: rate %.3g sampled %llu | misses %llu "
+                "(compulsory %llu capacity %llu invalidation %llu) | "
+                "predicted miss@cap %.3f\n",
+                analytics->sampling_rate(),
+                static_cast<unsigned long long>(analytics->sampled_accesses()),
+                static_cast<unsigned long long>(mb.misses),
+                static_cast<unsigned long long>(mb.compulsory),
+                static_cast<unsigned long long>(mb.capacity),
+                static_cast<unsigned long long>(mb.invalidation),
+                analytics->PredictedMissRatioAt(analytics->reference_size()));
+  }
+  if (shadows != nullptr) {
+    for (size_t i = 0; i < shadows->size(); ++i) {
+      const cache::ShadowCache& sc = shadows->shadow(i);
+      const uint64_t probes = sc.hits() + sc.misses();
+      std::printf("shadow[%s %s cap=%zu]: hit ratio %.3f (%llu probes)\n",
+                  sc.config().name.c_str(),
+                  cache::ShadowPolicyName(sc.config().policy),
+                  sc.config().capacity_items,
+                  probes > 0 ? double(sc.hits()) / double(probes) : 0.0,
+                  static_cast<unsigned long long>(probes));
+    }
+  }
+  // Locals referenced by the Die cleanup are about to go out of scope
+  // normally; destructors handle the flushing from here.
+  g_die_cleanup = nullptr;
   return 0;
 }
 
@@ -360,7 +461,9 @@ void Usage() {
                "        [--profile-out F.json]\n"
                "        [--threads N] [--repeat R] [--explain]\n"
                "        [--stats-interval-ms MS] [--stats-out F.jsonl] "
-               "[--recorder-out F.json]\n");
+               "[--recorder-out F.json]\n"
+               "        [--mrc-out F.json] [--mrc-rate R] "
+               "[--shadow-configs SPEC|default]\n");
 }
 
 }  // namespace

@@ -1,8 +1,9 @@
 // Telemetry overhead budget check (docs/OBSERVABILITY.md): runs the same
 // query batch with live telemetry (windowed metrics + flight recorder +
-// cumulative registry) attached and detached, interleaved A/B so machine
-// drift hits both arms equally, and fails (exit 1) if the telemetry-on
-// median exceeds the telemetry-off median by more than the budget.
+// cumulative registry + cache analytics + shadow caches) attached and
+// detached, interleaved A/B so machine drift hits both arms equally, and
+// fails (exit 1) if the telemetry-on median exceeds the telemetry-off
+// median by more than the budget.
 //
 // Budget: max(5% relative, an absolute floor). The floor keeps the check
 // meaningful on fast boxes where the whole batch takes a few milliseconds
@@ -21,8 +22,10 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "cache/shadow_cache.h"
 #include "common/timer.h"
 #include "core/system.h"
+#include "obs/cache_analytics.h"
 #include "obs/recorder.h"
 #include "obs/window.h"
 #include "workload/registry.h"
@@ -63,9 +66,30 @@ int Main(int argc, char** argv) {
                "ConfigureCache");
   const size_t k = 10;
 
-  // The full serving-telemetry stack, exactly as eeb_cli attaches it.
+  // The full serving-telemetry stack, exactly as eeb_cli attaches it:
+  // windowed metrics, flight recorder, the sampled cache-analytics
+  // instrument at the production rate, and the default shadow panel.
   obs::WindowedMetrics window;
   obs::FlightRecorder recorder;
+  obs::CacheAnalytics::Options aopt;
+  aopt.key_space = wb->data.size();
+  obs::CacheAnalytics analytics(aopt);
+  analytics.BindMetrics(&wb->metrics);
+  cache::ShadowCacheSet shadows(
+      cache::DefaultShadowConfigs(wb->system->cache()->capacity_items()));
+
+  auto attach = [&] {
+    wb->system->SetWindow(&window);
+    wb->system->SetRecorder(&recorder);
+    wb->system->SetCacheAnalytics(&analytics);
+    wb->system->SetShadowCaches(&shadows);
+  };
+  auto detach = [&] {
+    wb->system->SetWindow(nullptr);
+    wb->system->SetRecorder(nullptr);
+    wb->system->SetCacheAnalytics(nullptr);
+    wb->system->SetShadowCaches(nullptr);
+  };
 
   auto run_batch = [&] {
     core::AggregateResult agg;
@@ -73,25 +97,21 @@ int Main(int argc, char** argv) {
   };
 
   // Warmup both configurations (page allocations, first-touch shards).
-  wb->system->SetWindow(&window);
-  wb->system->SetRecorder(&recorder);
+  attach();
   run_batch();
-  wb->system->SetWindow(nullptr);
-  wb->system->SetRecorder(nullptr);
+  detach();
   run_batch();
 
   std::vector<double> off_seconds, on_seconds;
   for (int r = 0; r < rounds; ++r) {
     // Interleaved A/B: off then on each round, so slow drift (thermal,
     // noisy neighbors) cancels instead of biasing one arm.
-    wb->system->SetWindow(nullptr);
-    wb->system->SetRecorder(nullptr);
+    detach();
     Timer off;
     run_batch();
     off_seconds.push_back(off.ElapsedSeconds());
 
-    wb->system->SetWindow(&window);
-    wb->system->SetRecorder(&recorder);
+    attach();
     Timer on;
     run_batch();
     on_seconds.push_back(on.ElapsedSeconds());
@@ -108,6 +128,16 @@ int Main(int argc, char** argv) {
                  static_cast<unsigned long long>(snap.total_queries),
                  static_cast<unsigned long long>(recorder.recorded()),
                  static_cast<unsigned long long>(expected));
+    return 1;
+  }
+  const uint64_t shadow_accesses =
+      shadows.shadow(0).hits() + shadows.shadow(0).misses();
+  if (analytics.total_accesses() == 0 || shadow_accesses == 0) {
+    std::fprintf(stderr,
+                 "obs_overhead: cache analytics not attached (analytics "
+                 "%llu accesses, shadow %llu)\n",
+                 static_cast<unsigned long long>(analytics.total_accesses()),
+                 static_cast<unsigned long long>(shadow_accesses));
     return 1;
   }
 
