@@ -1,0 +1,121 @@
+#include "core/health.h"
+
+#include <algorithm>
+
+namespace eeb::core {
+namespace {
+
+HealthPolicy Sanitize(HealthPolicy policy) {
+  auto clamp01 = [](double v) { return std::clamp(v, 0.0, 1.0); };
+  policy.queue_brownout_fraction = clamp01(policy.queue_brownout_fraction);
+  policy.queue_shed_fraction = clamp01(policy.queue_shed_fraction);
+  policy.degraded_brownout_rate = clamp01(policy.degraded_brownout_rate);
+  if (!(policy.brownout_deadline_factor > 0.0) ||
+      policy.brownout_deadline_factor > 1.0) {
+    policy.brownout_deadline_factor = 1.0;
+  }
+  if (policy.recover_evals < 1) policy.recover_evals = 1;
+  return policy;
+}
+
+}  // namespace
+
+const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kBrownedOut:
+      return "browned_out";
+    case HealthState::kShedding:
+      return "shedding";
+  }
+  return "unknown";
+}
+
+HealthMonitor::HealthMonitor(HealthPolicy policy)
+    : policy_(Sanitize(policy)) {}
+
+HealthState HealthMonitor::Classify(const obs::WindowSnapshot& snap) const {
+  double occupancy = 0.0;
+  if (snap.queue_capacity > 0) {
+    occupancy = static_cast<double>(snap.queue_depth) /
+                static_cast<double>(snap.queue_capacity);
+  }
+  if (policy_.p95_shed_seconds > 0.0 &&
+      snap.p95_seconds >= policy_.p95_shed_seconds) {
+    return HealthState::kShedding;
+  }
+  if (policy_.queue_shed_fraction > 0.0 &&
+      occupancy >= policy_.queue_shed_fraction) {
+    return HealthState::kShedding;
+  }
+  if (policy_.p95_brownout_seconds > 0.0 &&
+      snap.p95_seconds >= policy_.p95_brownout_seconds) {
+    return HealthState::kBrownedOut;
+  }
+  if (policy_.queue_brownout_fraction > 0.0 &&
+      occupancy >= policy_.queue_brownout_fraction) {
+    return HealthState::kBrownedOut;
+  }
+  if (policy_.degraded_brownout_rate > 0.0 &&
+      snap.degraded_rate >= policy_.degraded_brownout_rate) {
+    return HealthState::kBrownedOut;
+  }
+  return HealthState::kHealthy;
+}
+
+HealthState HealthMonitor::Evaluate(const obs::WindowSnapshot& snap) {
+  const HealthState current = state_.load(std::memory_order_relaxed);
+  const HealthState classified = Classify(snap);
+  HealthState next = current;
+  if (classified > current) {
+    // Escalate immediately: under overload the queue grows every tick.
+    next = classified;
+    calm_evals_ = 0;
+  } else if (classified < current) {
+    // De-escalate one level only after a sustained calm streak.
+    if (++calm_evals_ >= policy_.recover_evals) {
+      next = static_cast<HealthState>(static_cast<uint8_t>(current) - 1);
+      calm_evals_ = 0;
+    }
+  } else {
+    calm_evals_ = 0;
+  }
+  if (next != current) {
+    transitions_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::Counter* c = obs_transitions_.load(std::memory_order_acquire);
+        c != nullptr) {
+      c->Add(1);
+    }
+    // Single writer by contract (one evaluator thread, see calm_evals_);
+    // the atomic exists for lock-free readers, not for contended updates.
+    state_.store(next, std::memory_order_relaxed);  // eeb-lint: allow(atomic-misuse)
+  }
+  if (obs::Gauge* g = obs_state_.load(std::memory_order_acquire);
+      g != nullptr) {
+    g->Set(static_cast<double>(static_cast<uint8_t>(next)));
+  }
+  return next;
+}
+
+double HealthMonitor::EffectiveDeadlineMs(double base_deadline_ms) const {
+  if (base_deadline_ms <= 0.0) return base_deadline_ms;
+  if (state() == HealthState::kHealthy) return base_deadline_ms;
+  return base_deadline_ms * policy_.brownout_deadline_factor;
+}
+
+void HealthMonitor::BindMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    obs_state_.store(nullptr, std::memory_order_release);
+    obs_transitions_.store(nullptr, std::memory_order_release);
+    return;
+  }
+  obs::Gauge* state_gauge = registry->GetGauge("health.state");
+  state_gauge->Set(
+      static_cast<double>(static_cast<uint8_t>(state())));
+  obs_state_.store(state_gauge, std::memory_order_release);
+  obs_transitions_.store(registry->GetCounter("health.transitions"),
+                         std::memory_order_release);
+}
+
+}  // namespace eeb::core

@@ -1,0 +1,113 @@
+// HealthMonitor: the serving-side brownout state machine
+// (docs/ROBUSTNESS.md). It watches the live window — p95 latency, queue
+// occupancy, degraded rate — and classifies the process into one of three
+// states:
+//
+//   HEALTHY     serve normally
+//   BROWNED_OUT pressure is building: tighten per-query deadlines so each
+//               admitted query does less work (graceful degradation)
+//   SHEDDING    saturated: drop new arrivals at admission (kBrownout cause)
+//               so already-admitted queries keep meeting their deadlines
+//
+// Escalation is immediate — one bad evaluation is enough, because under
+// overload every second of delay grows the queue — while de-escalation
+// requires `recover_evals` consecutive calmer evaluations and steps down one
+// level at a time, so the state does not flap across the threshold.
+//
+// Evaluate() is driven from one place (the StatsPublisher pre-sample hook
+// via System::SampleWorkerGauges); state()/EffectiveDeadlineMs() are lock-
+// free reads safe from any serving thread.
+
+#ifndef EEB_CORE_HEALTH_H_
+#define EEB_CORE_HEALTH_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/thread_annotations.h"
+#include "obs/metrics.h"
+#include "obs/window.h"
+
+namespace eeb::core {
+
+/// Serving health, ordered by pressure. Numeric values are stable — they
+/// are exported as the "health.state" gauge.
+enum class HealthState : uint8_t {
+  kHealthy = 0,
+  kBrownedOut = 1,
+  kShedding = 2,
+};
+
+const char* HealthStateName(HealthState state);
+
+/// Thresholds for the brownout state machine. A threshold set to 0 disables
+/// that signal.
+struct HealthPolicy {
+  /// Windowed p95 latency above which the process is browned out / starts
+  /// shedding, in seconds. 0 disables the latency signal.
+  double p95_brownout_seconds = 0.0;
+  double p95_shed_seconds = 0.0;
+  /// Queue occupancy (depth / capacity) above which the process is browned
+  /// out / starts shedding. 0 disables the occupancy signal.
+  double queue_brownout_fraction = 0.75;
+  double queue_shed_fraction = 0.95;
+  /// Windowed degraded rate above which the process is browned out (a sick
+  /// disk is load the deadline tightening relieves). 0 disables.
+  double degraded_brownout_rate = 0.0;
+  /// Deadline multiplier applied while browned out or shedding: admitted
+  /// queries run with base_deadline * factor. Clamped to (0, 1].
+  double brownout_deadline_factor = 0.5;
+  /// Consecutive calmer evaluations required before stepping down one state.
+  int recover_evals = 3;
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(HealthPolicy policy = {});
+
+  /// Folds one window snapshot into the state machine and returns the new
+  /// state. Called from the single stats-publisher thread.
+  HealthState Evaluate(const obs::WindowSnapshot& snap);
+
+  /// Current state; lock-free, safe from any thread.
+  HealthState state() const {
+    return state_.load(std::memory_order_relaxed);
+  }
+
+  /// Deadline an admitted query should run with right now: the base when
+  /// healthy, base * brownout_deadline_factor otherwise. Non-positive bases
+  /// (deadline disabled / engine default) pass through unchanged.
+  double EffectiveDeadlineMs(double base_deadline_ms) const;
+
+  /// Whether admission should shed new arrivals right now.
+  bool ShouldShed() const { return state() == HealthState::kShedding; }
+
+  /// Binds the "health.state" gauge and "health.transitions" counter in
+  /// `registry`; nullptr detaches.
+  void BindMetrics(obs::MetricsRegistry* registry);
+
+  const HealthPolicy& policy() const { return policy_; }
+
+  /// Healthy→browned/shedding escalations plus step-downs, since
+  /// construction.
+  uint64_t transitions() const {
+    return transitions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Raw pressure classification of one snapshot, before hysteresis.
+  HealthState Classify(const obs::WindowSnapshot& snap) const;
+
+  const HealthPolicy policy_;
+  std::atomic<HealthState> state_{HealthState::kHealthy};
+  std::atomic<uint64_t> transitions_{0};
+  // Consecutive evaluations classified strictly below the current state;
+  // touched only by the single Evaluate() caller.
+  int calm_evals_ EEB_UNGUARDED("single evaluator thread by contract") = 0;
+  std::atomic<obs::Gauge*> obs_state_{nullptr};
+  std::atomic<obs::Counter*> obs_transitions_{nullptr};
+};
+
+}  // namespace eeb::core
+
+#endif  // EEB_CORE_HEALTH_H_

@@ -29,7 +29,7 @@ bool DegradableFailure(const Status& st) {
 }  // namespace
 
 Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
-                        QueryResult* out) {
+                        const QueryContext& ctx, QueryResult* out) {
   *out = QueryResult{};
   if (k == 0) return Status::InvalidArgument("k must be positive");
   // Pin the published cache generation for this whole query; a concurrent
@@ -42,7 +42,16 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
   cache::KnnCache* const cache = cache_ref.get();
   obs::ProfScope query_scope(prof_, "query");
   Timer timer;
-  Timer deadline_timer;  // wall clock across all phases, for deadline_ms
+  Timer deadline_timer;  // wall clock across all phases, for the deadline
+  // Effective per-call deadline: the context overrides the engine default,
+  // and time spent before entry (queue wait, ctx.elapsed_ms) counts as
+  // already consumed — the end-to-end budget of docs/ROBUSTNESS.md.
+  const double deadline_ms =
+      ctx.deadline_ms < 0.0 ? options_.deadline_ms : ctx.deadline_ms;
+  auto deadline_expired = [&deadline_timer, &ctx, deadline_ms] {
+    return deadline_ms > 0.0 &&
+           ctx.elapsed_ms + deadline_timer.ElapsedMillis() >= deadline_ms;
+  };
   obs::QuerySpan* span = tracer_ != nullptr ? tracer_->StartSpan(k) : nullptr;
 
   // ---- Phase 1: candidate generation -----------------------------------
@@ -53,6 +62,17 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
   }
   out->candidates = cand.size();
   out->gen_seconds = timer.ElapsedSeconds();
+  // Generation-boundary cut: generation itself is one in-memory index scan
+  // (its I/O is modeled, not performed), so the budget is checked at the
+  // phase edge; an exhausted budget skips the probe loop and sends every
+  // candidate to the degraded bound-substitution path.
+  if (!out->deadline_hit && deadline_expired()) {
+    out->deadline_hit = true;
+    if (span != nullptr) {
+      tracer_->AddEvent(span, obs::TraceEventType::kDeadlineCut, 0,
+                        ctx.elapsed_ms + deadline_timer.ElapsedMillis());
+    }
+  }
 
   // State shared by reduction and refinement.
   storage::PageTracker tracker;
@@ -96,6 +116,19 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
       // eeb-hot-begin(reduce-probe-loop): one iteration per candidate; any
       // allocation here multiplies by |C(q)| and shows in reduce_seconds.
       for (size_t i = 0; i < cand.size(); ++i) {
+        // Reduction cut point, checked every 32 candidates so the timer
+        // read stays off the per-probe cost. Unprobed candidates keep
+        // [0, inf) bounds and fall through to refinement, where the
+        // already-expired deadline resolves them by substitution.
+        if ((i & 31u) == 0u && !out->deadline_hit && deadline_expired()) {
+          out->deadline_hit = true;
+          if (span != nullptr) {
+            tracer_->AddEvent(span, obs::TraceEventType::kDeadlineCut,
+                              cand[i],
+                              ctx.elapsed_ms + deadline_timer.ElapsedMillis());
+          }
+        }
+        if (out->deadline_hit) break;
         double lb, ub;
         const bool probe_hit = cache->Probe(q, cand[i], &lb, &ub);
         // Introspection taps see every probe: the analytics sampling gate
@@ -218,12 +251,12 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
             top.Push(p.id, p.lb);  // lb == exact distance; no I/O needed
             continue;
           }
-          if (options_.deadline_ms > 0.0 && !out->deadline_hit &&
-              deadline_timer.ElapsedMillis() >= options_.deadline_ms) {
+          if (!out->deadline_hit && deadline_expired()) {
             out->deadline_hit = true;
             if (span != nullptr) {
               tracer_->AddEvent(span, obs::TraceEventType::kDeadlineCut, p.id,
-                                deadline_timer.ElapsedMillis());
+                                ctx.elapsed_ms +
+                                    deadline_timer.ElapsedMillis());
             }
           }
           if (out->deadline_hit) {
@@ -262,6 +295,7 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
     std::sort(out->result_ids.begin(), out->result_ids.end());
   }
   out->refine_seconds = timer.ElapsedSeconds();
+  out->queue_wait_ms = ctx.elapsed_ms;
 
   // ---- Explain record (filled on every query; scalars only) -------------
   {
@@ -281,6 +315,7 @@ Status KnnEngine::Query(std::span<const Scalar> q, size_t k,
     e.read_failures = static_cast<uint32_t>(out->read_failures);
     e.lbk = lbk_used;
     e.ubk = ubk_used;
+    e.queue_wait_ms = ctx.elapsed_ms;
     e.gen_seconds = out->gen_seconds;
     e.reduce_seconds = out->reduce_seconds;
     e.refine_seconds = out->refine_seconds;

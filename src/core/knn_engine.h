@@ -65,9 +65,17 @@ struct QueryResult {
   // the cached code bounds can give when the disk cannot be read; its ids
   // may differ from the exact answer, which is why the flag exists.
   bool degraded = false;      ///< some result came from cached bounds
-  bool deadline_hit = false;  ///< refinement cut over by deadline_ms
+  bool deadline_hit = false;  ///< a phase was cut over by the deadline
   size_t substituted = 0;     ///< candidates scored by cached ub, not disk
   size_t read_failures = 0;   ///< point reads that ultimately failed
+
+  // Admission control (docs/ROBUSTNESS.md). A shed query never reached the
+  // engine: result_ids is empty and every phase counter is zero. Shed is
+  // weaker than degraded — nothing was computed at all — and is accounted
+  // separately so that shed + completed == submitted reconciles exactly.
+  bool shed = false;  ///< dropped by admission control; never executed
+  obs::ShedCause shed_cause = obs::ShedCause::kNone;
+  double queue_wait_ms = 0.0;  ///< admission-to-dequeue wait (Serve path)
 
   /// Compact explain record (docs/OBSERVABILITY.md): the candidate funnel,
   /// the kth-bounds the reduction used, I/O shape, degraded cause, and the
@@ -97,10 +105,28 @@ struct EngineOptions {
   /// mode — the pre-fault-tolerance behavior).
   bool degraded_fallback = true;
 
-  /// Per-query wall-clock deadline in milliseconds. Once refinement crosses
-  /// it, unresolved candidates are resolved from cached bounds instead of
-  /// disk (degraded, deadline_hit). 0 disables the deadline.
+  /// Per-query wall-clock deadline in milliseconds, enforced across all
+  /// three phases: checked at the generation boundary, every 32 candidates
+  /// inside the reduction probe loop, and per fetch (page boundary) inside
+  /// refinement. Once crossed, remaining probes stop and unresolved
+  /// candidates are resolved from cached bounds instead of disk (degraded,
+  /// deadline_hit). 0 disables the deadline.
   double deadline_ms = 0.0;
+};
+
+/// Per-call execution budget, threaded in by the serving layer
+/// (docs/ROBUSTNESS.md). Lets the end-to-end deadline include time spent
+/// before the engine ran — queue wait under load — and lets the
+/// HealthMonitor tighten deadlines under pressure without reconfiguring the
+/// engine.
+struct QueryContext {
+  /// Effective deadline for this call in milliseconds. Negative means "use
+  /// EngineOptions::deadline_ms" (the default); 0 disables the deadline for
+  /// this call; positive overrides the engine default.
+  double deadline_ms = -1.0;
+  /// Wall-clock already consumed against the deadline before Query() was
+  /// entered (queue wait). Counted as if the engine had spent it.
+  double elapsed_ms = 0.0;
 };
 
 /// Cache-assisted kNN query processor.
@@ -116,7 +142,16 @@ class KnnEngine {
         options_(options) {}
 
   /// Executes a kNN query (Algorithm 1). Thread-safe (see header comment).
-  Status Query(std::span<const Scalar> q, size_t k, QueryResult* out);
+  Status Query(std::span<const Scalar> q, size_t k, QueryResult* out) {
+    return Query(q, k, QueryContext{}, out);
+  }
+
+  /// Executes a kNN query under an explicit per-call budget: the serving
+  /// layer charges queue wait against the deadline and may tighten it under
+  /// brownout. Identical to the two-argument overload when `ctx` is
+  /// default-constructed.
+  Status Query(std::span<const Scalar> q, size_t k, const QueryContext& ctx,
+               QueryResult* out);
 
   /// Snapshot of the currently published cache (may be empty/nullptr).
   std::shared_ptr<cache::KnnCache> cache() EEB_EXCLUDES(cache_mu_) {

@@ -42,6 +42,18 @@ const char* CacheMethodName(CacheMethod method) {
   return "?";
 }
 
+const char* AdmissionPolicyName(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kBlock:
+      return "block";
+    case AdmissionPolicy::kShed:
+      return "shed";
+    case AdmissionPolicy::kTimeout:
+      return "timeout";
+  }
+  return "?";
+}
+
 uint32_t System::lvalue() const { return CeilLog2(options_.ndom); }
 
 Status System::Create(storage::Env* env, const std::string& dir,
@@ -74,11 +86,18 @@ Status System::Create(storage::Env* env, const std::string& dir,
   // wrapper is safe for Create too.
   sys->retry_env_ =
       std::make_unique<storage::RetryingEnv>(env, options.io_retry);
-  EEB_RETURN_IF_ERROR(storage::PointFile::Create(sys->retry_env_.get(), path,
-                                                 data, order,
+  // Breaker outside retry: when open, reads fail before the retry ladder,
+  // so a dead disk costs one short-circuit per candidate instead of the
+  // whole backoff schedule.
+  storage::Env* io_env = sys->retry_env_.get();
+  if (options.io_breaker.enabled) {
+    sys->breaker_env_ = std::make_unique<storage::CircuitBreakerEnv>(
+        io_env, options.io_breaker);
+    io_env = sys->breaker_env_.get();
+  }
+  EEB_RETURN_IF_ERROR(storage::PointFile::Create(io_env, path, data, order,
                                                  options.page_size));
-  EEB_RETURN_IF_ERROR(
-      storage::PointFile::Open(sys->retry_env_.get(), path, &sys->points_));
+  EEB_RETURN_IF_ERROR(storage::PointFile::Open(io_env, path, &sys->points_));
 
   EEB_RETURN_IF_ERROR(index::C2Lsh::Build(data, options.lsh, &sys->lsh_));
 
@@ -102,6 +121,8 @@ void System::EnableMetrics(obs::MetricsRegistry* registry) {
   lsh_->BindMetrics(registry);
   points_->BindMetrics(registry);
   retry_env_->BindMetrics(registry);
+  if (breaker_env_ != nullptr) breaker_env_->BindMetrics(registry);
+  if (health_ != nullptr) health_->BindMetrics(registry);
   if (auto gen = generation(); gen != nullptr) {
     gen->cache->BindMetrics(registry);
   }
@@ -135,6 +156,13 @@ void System::SetWindow(obs::WindowedMetrics* window) {
 
 void System::SetRecorder(obs::FlightRecorder* recorder) {
   recorder_ = recorder;
+}
+
+void System::SetHealthMonitor(HealthMonitor* health) {
+  health_ = health;
+  if (health_ != nullptr && metrics_ != nullptr) {
+    health_->BindMetrics(metrics_);
+  }
 }
 
 void System::SetCacheAnalytics(obs::CacheAnalytics* analytics) {
@@ -177,19 +205,59 @@ void System::InstallShadowTap() {
 
 void System::SampleWorkerGauges() {
   if (window_ == nullptr) return;
-  MutexLock lock(pool_mu_);
-  if (active_pool_ != nullptr) {
-    window_->SampleQueue(active_pool_->queue_depth(),
-                         active_pool_->busy_workers(),
-                         active_pool_->num_threads());
-  } else {
-    window_->SampleQueue(0, 0, 0);
+  {
+    MutexLock lock(pool_mu_);
+    if (active_pool_ != nullptr) {
+      window_->SampleQueue(active_pool_->queue_depth(),
+                           active_pool_->busy_workers(),
+                           active_pool_->num_threads());
+      const QueueStats qs = active_pool_->queue_stats();
+      window_->SampleQueueStats(qs.capacity, qs.max_depth, qs.rejected);
+    } else {
+      window_->SampleQueue(0, 0, 0);
+      window_->SampleQueueStats(0, 0, 0);
+    }
   }
+  // Feed the brownout state machine outside pool_mu_: GetSnapshot takes the
+  // window lock and needs nothing from the pool.
+  if (health_ != nullptr) health_->Evaluate(window_->GetSnapshot());
+}
+
+void System::StampBreakerState(QueryResult* r) {
+  if (breaker_env_ == nullptr) return;
+  r->explain.breaker_state = static_cast<uint8_t>(breaker_env_->state());
+}
+
+void System::MarkShed(QueryResult* r, obs::ShedCause cause,
+                      double queue_wait_ms, uint64_t query_index) {
+  r->shed = true;
+  r->shed_cause = cause;
+  r->queue_wait_ms = queue_wait_ms;
+  r->explain.shed_cause = cause;
+  r->explain.queue_wait_ms = queue_wait_ms;
+  StampBreakerState(r);
+  RecordQueryTelemetry(*r, query_index);
 }
 
 void System::RecordQueryTelemetry(const QueryResult& r,
                                   uint64_t query_index) {
   if (window_ == nullptr && recorder_ == nullptr) return;
+  if (r.shed) {
+    // Nothing executed: record only the shed marker (window) and the
+    // explain record carrying the cause (recorder tail-retains it).
+    if (window_ != nullptr) {
+      obs::QuerySample sample;
+      sample.shed = true;
+      window_->RecordQuery(sample);
+    }
+    if (recorder_ != nullptr) {
+      obs::QueryRecord record;
+      record.query_index = query_index;
+      record.explain = r.explain;
+      recorder_->Record(record);
+    }
+    return;
+  }
   storage::IoStats io = r.gen_io;
   io += r.refine_io;
   // Same modeled response time AggregateResults reports, so windowed
@@ -522,6 +590,7 @@ Status System::ConfigureCache(CacheMethod method, size_t cache_bytes,
 
 Status System::Query(std::span<const Scalar> q, size_t k, QueryResult* out) {
   EEB_RETURN_IF_ERROR(engine_->Query(q, k, out));
+  StampBreakerState(out);
   RecordQueryTelemetry(*out, 0);
   return Status::OK();
 }
@@ -542,6 +611,15 @@ Status System::RunQueries(const std::vector<std::vector<Scalar>>& queries,
         span->modeled_io_seconds = disk_model_.Seconds(io);
         span->response_seconds = r.gen_seconds + r.reduce_seconds +
                                  r.refine_seconds + span->modeled_io_seconds;
+        // Surface a non-closed breaker on the span: the query ran against a
+        // disk the breaker currently distrusts.
+        if (breaker_env_ != nullptr) {
+          const auto state = breaker_env_->state();
+          if (state != storage::CircuitBreakerEnv::State::kClosed) {
+            tracer_->AddEvent(span, obs::TraceEventType::kBreakerOpen,
+                              static_cast<uint64_t>(state), 0.0);
+          }
+        }
       }
     }
   }
@@ -554,39 +632,152 @@ Status System::RunQueriesConcurrent(
     size_t n_threads, AggregateResult* out,
     std::vector<QueryResult>* per_query) {
   *out = AggregateResult{};
+  // Blocking admission with no end-to-end deadline: nothing sheds, and the
+  // engine runs with a default QueryContext, so results and the aggregate
+  // stay bit-exact with the serial path (docs/CONCURRENCY.md).
+  ServeOptions options;
+  options.n_threads = n_threads;
+  options.admission = AdmissionPolicy::kBlock;
+  options.deadline_ms = -1.0;
+  ServeReport report;
+  EEB_RETURN_IF_ERROR(ServeInternal(queries, k, options,
+                                    "run_queries_concurrent", &report,
+                                    per_query));
+  *out = report.agg;
+  return Status::OK();
+}
+
+Status System::Serve(const std::vector<std::vector<Scalar>>& queries,
+                     size_t k, const ServeOptions& options,
+                     ServeReport* report,
+                     std::vector<QueryResult>* per_query) {
+  return ServeInternal(queries, k, options, "serve", report, per_query);
+}
+
+Status System::ServeInternal(const std::vector<std::vector<Scalar>>& queries,
+                             size_t k, const ServeOptions& options,
+                             const char* scope_name, ServeReport* report,
+                             std::vector<QueryResult>* per_query) {
+  *report = ServeReport{};
   if (per_query != nullptr) per_query->clear();
-  if (n_threads == 0) {
+  if (options.n_threads == 0) {
     return Status::InvalidArgument("n_threads must be positive");
   }
   if (tracer_ != nullptr) {
     // The tracer's span ring is single-threaded by contract; refusing beats
     // silently interleaving spans from different queries.
     return Status::InvalidArgument(
-        "detach the tracer before RunQueriesConcurrent");
+        "detach the tracer before concurrent serving");
   }
   if (queries.empty()) return Status::OK();
-  obs::ProfScope batch_scope(profiler_, "run_queries_concurrent");
+  obs::ProfScope batch_scope(profiler_, scope_name);
+
+  // Brownout shedding only applies on the open-loop policies: blocking
+  // admission is the closed-loop batch contract, where dropping a query
+  // would silently change the batch.
+  const bool brownout_sheds =
+      health_ != nullptr && options.admission != AdmissionPolicy::kBlock;
+  obs::Counter* admitted_counter = nullptr;
+  obs::Counter* shed_counter = nullptr;
+  obs::Counter* timeout_counter = nullptr;
+  obs::Counter* expired_counter = nullptr;
+  if (metrics_ != nullptr) {
+    admitted_counter = metrics_->GetCounter("admission.admitted");
+    shed_counter = metrics_->GetCounter("admission.shed");
+    timeout_counter = metrics_->GetCounter("admission.timeout");
+    expired_counter = metrics_->GetCounter("admission.expired");
+  }
 
   // Every query writes only its own slot, so no result-side synchronization
   // is needed; aggregation then folds the slots in query order, making the
-  // aggregate bit-exact with the serial path.
+  // aggregate bit-exact with the serial path when nothing sheds.
   std::vector<QueryResult> results(queries.size());
   std::vector<Status> statuses(queries.size());
+  // Admission timestamps: started right before each Submit so queue wait —
+  // including any blocking/timeout wait in admission itself — counts
+  // against the end-to-end deadline.
+  std::vector<Timer> admitted_at(queries.size());
+  // Reconciliation counts owned by the admission loop; workers never touch
+  // them. shed_expired is the exception: expiry is discovered on a worker.
+  std::atomic<size_t> shed_expired{0};
   {
-    ThreadPool pool(n_threads);
+    ThreadPool pool(options.n_threads, options.queue_capacity);
     {
       MutexLock lock(pool_mu_);
       active_pool_ = &pool;
     }
     for (size_t i = 0; i < queries.size(); ++i) {
-      const bool accepted =
-          pool.Submit([this, &queries, &results, &statuses, i, k] {
-            statuses[i] = engine_->Query(queries[i], k, &results[i]);
-            // Telemetry is recorded on the worker, as a server would: the
-            // window/recorder see queries as they finish, not at batch end.
-            if (statuses[i].ok()) RecordQueryTelemetry(results[i], i);
-          });
-      if (!accepted) break;  // pool shut down; unreachable in this scope
+      report->submitted++;
+      if (brownout_sheds && health_->ShouldShed()) {
+        report->shed_brownout++;
+        if (shed_counter != nullptr) shed_counter->Add(1);
+        MarkShed(&results[i], obs::ShedCause::kBrownout, 0.0, i);
+        continue;
+      }
+      auto task = [this, &queries, &results, &statuses, &admitted_at,
+                   &shed_expired, &options, expired_counter, i, k] {
+        const double wait_ms = admitted_at[i].ElapsedMillis();
+        double deadline_ms = options.deadline_ms;
+        if (health_ != nullptr) {
+          deadline_ms = health_->EffectiveDeadlineMs(deadline_ms);
+        }
+        if (deadline_ms > 0.0 && wait_ms >= deadline_ms) {
+          // The whole budget burned in the queue: shed without touching the
+          // engine — the deadline would cut every phase anyway.
+          shed_expired.fetch_add(1, std::memory_order_relaxed);
+          if (expired_counter != nullptr) expired_counter->Add(1);
+          MarkShed(&results[i], obs::ShedCause::kDeadlineExpired, wait_ms, i);
+          return;
+        }
+        QueryContext ctx;
+        if (options.deadline_ms >= 0.0) {
+          ctx.deadline_ms = deadline_ms;
+          ctx.elapsed_ms = wait_ms;
+        }
+        statuses[i] = engine_->Query(queries[i], k, ctx, &results[i]);
+        // Telemetry is recorded on the worker, as a server would: the
+        // window/recorder see queries as they finish, not at batch end.
+        if (statuses[i].ok()) {
+          StampBreakerState(&results[i]);
+          RecordQueryTelemetry(results[i], i);
+        }
+      };
+      admitted_at[i].Start();
+      PushOutcome outcome = PushOutcome::kAccepted;
+      switch (options.admission) {
+        case AdmissionPolicy::kBlock:
+          if (!pool.Submit(std::move(task))) outcome = PushOutcome::kClosed;
+          break;
+        case AdmissionPolicy::kShed:
+          outcome = pool.TrySubmit(std::move(task));
+          break;
+        case AdmissionPolicy::kTimeout:
+          outcome = pool.SubmitWithDeadline(std::move(task),
+                                            options.admission_timeout_ms);
+          break;
+      }
+      switch (outcome) {
+        case PushOutcome::kAccepted:
+          if (admitted_counter != nullptr) admitted_counter->Add(1);
+          break;
+        case PushOutcome::kFull:
+          report->shed_queue_full++;
+          if (shed_counter != nullptr) shed_counter->Add(1);
+          MarkShed(&results[i], obs::ShedCause::kQueueFull, 0.0, i);
+          break;
+        case PushOutcome::kTimedOut:
+          report->shed_timeout++;
+          if (timeout_counter != nullptr) timeout_counter->Add(1);
+          MarkShed(&results[i], obs::ShedCause::kQueueTimeout,
+                   admitted_at[i].ElapsedMillis(), i);
+          break;
+        case PushOutcome::kClosed:
+          // The pool only closes at scope exit; unreachable here, but a
+          // defensive shed keeps the reconciliation exact if it ever fires.
+          report->shed_queue_full++;
+          MarkShed(&results[i], obs::ShedCause::kQueueFull, 0.0, i);
+          break;
+      }
     }
     pool.Drain();
     if (metrics_ != nullptr) {
@@ -601,7 +792,11 @@ Status System::RunQueriesConcurrent(
   for (const Status& st : statuses) {
     EEB_RETURN_IF_ERROR(st);
   }
-  AggregateResults(results, out);
+  report->shed_expired = shed_expired.load(std::memory_order_relaxed);
+  report->shed = report->shed_queue_full + report->shed_timeout +
+                 report->shed_expired + report->shed_brownout;
+  report->completed = report->submitted - report->shed;
+  AggregateResults(results, &report->agg);
   if (per_query != nullptr) *per_query = std::move(results);
   return Status::OK();
 }
@@ -617,7 +812,12 @@ void System::AggregateResults(const std::vector<QueryResult>& results,
   // aggregate in O(1) memory (satisfies the same p50<=p95<=p99 contract as
   // the exact sort it replaces, within one bucket width).
   obs::LatencyHistogram latencies;
+  size_t completed = 0;
   for (const QueryResult& r : results) {
+    // Shed queries never executed: they carry no phase data and would
+    // dilute every average toward zero. Serve reports them separately.
+    if (r.shed) continue;
+    ++completed;
     storage::IoStats io = r.gen_io;
     io += r.refine_io;
     const double modeled_io = disk_model_.Seconds(io);
@@ -645,8 +845,9 @@ void System::AggregateResults(const std::vector<QueryResult>& results,
     out->avg_substituted += static_cast<double>(r.substituted);
     out->read_failures += r.read_failures;
   }
-  const double nq = static_cast<double>(results.size());
-  out->queries = results.size();
+  out->queries = completed;
+  if (completed == 0) return;  // every arrival was shed; nothing to average
+  const double nq = static_cast<double>(completed);
   out->avg_candidates /= nq;
   out->avg_remaining /= nq;
   out->avg_fetched /= nq;
@@ -671,7 +872,7 @@ void System::AggregateResults(const std::vector<QueryResult>& results,
   out->p99_response_seconds = latencies.Percentile(0.99);
 
   if (obs_queries_ != nullptr) {
-    obs_queries_->Add(results.size());
+    obs_queries_->Add(completed);
     obs_modeled_io_->Add(modeled_io_total);
   }
 }

@@ -21,6 +21,7 @@
 #include "cache/multidim_cache.h"
 #include "cache/shadow_cache.h"
 #include "core/cost_model.h"
+#include "core/health.h"
 #include "core/knn_engine.h"
 #include "core/workload.h"
 #include "hist/builders.h"
@@ -33,6 +34,7 @@
 #include "obs/recorder.h"
 #include "obs/trace.h"
 #include "obs/window.h"
+#include "storage/circuit_breaker_env.h"
 #include "storage/env.h"
 #include "storage/io_stats.h"
 #include "storage/point_file.h"
@@ -78,6 +80,11 @@ struct SystemOptions {
   /// Transient-IOError retry budget for point-file reads (Corruption is
   /// never retried). max_retries = 0 disables retrying.
   storage::RetryPolicy io_retry;
+  /// Storage circuit breaker composed OUTSIDE the retry wrapper, so an open
+  /// breaker short-circuits before any retry sleeps: a dead disk flips the
+  /// engine into cached-bound degraded mode immediately instead of paying
+  /// the full retry ladder per candidate. Disabled by default.
+  storage::CircuitBreakerPolicy io_breaker;
 };
 
 /// Aggregate statistics over a batch of queries.
@@ -110,6 +117,46 @@ struct AggregateResult {
   double avg_substituted = 0.0;  ///< bound-substituted candidates per query
   size_t read_failures = 0;      ///< total reads that failed post-retry
   size_t deadline_cuts = 0;      ///< queries cut over by deadline_ms
+};
+
+/// How Serve admits arrivals when the queue is full (docs/ROBUSTNESS.md).
+enum class AdmissionPolicy : uint8_t {
+  kBlock = 0,    ///< wait for a slot (closed-loop batch semantics)
+  kShed = 1,     ///< drop immediately (open-loop load shedding)
+  kTimeout = 2,  ///< wait up to admission_timeout_ms, then drop
+};
+
+const char* AdmissionPolicyName(AdmissionPolicy policy);
+
+/// Configuration for System::Serve.
+struct ServeOptions {
+  size_t n_threads = 1;
+  /// Backlog bound for admitted-but-unstarted queries; 0 picks 2*n_threads.
+  size_t queue_capacity = 0;
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
+  /// Wait bound for AdmissionPolicy::kTimeout, in milliseconds.
+  double admission_timeout_ms = 1.0;
+  /// End-to-end deadline per query in milliseconds: stamped at admission, so
+  /// queue wait counts against it, and the remaining budget is passed into
+  /// the engine. A query whose wait alone exceeds the deadline is shed on
+  /// dequeue without touching the engine. Negative means "engine-configured
+  /// deadline, no queue-wait accounting" (the RunQueriesConcurrent
+  /// contract); 0 disables the deadline.
+  double deadline_ms = -1.0;
+};
+
+/// Outcome accounting for one Serve call. Always reconciles exactly:
+/// completed + shed == submitted, and shed_queue_full + shed_timeout +
+/// shed_expired + shed_brownout == shed.
+struct ServeReport {
+  AggregateResult agg;  ///< over completed queries only (shed excluded)
+  size_t submitted = 0;
+  size_t completed = 0;
+  size_t shed = 0;
+  size_t shed_queue_full = 0;  ///< dropped by kShed on a full queue
+  size_t shed_timeout = 0;     ///< dropped by kTimeout after the wait bound
+  size_t shed_expired = 0;     ///< deadline expired in-queue; never executed
+  size_t shed_brownout = 0;    ///< dropped at admission by the HealthMonitor
 };
 
 /// Fully assembled kNN-search system with pluggable caching.
@@ -165,6 +212,19 @@ class System {
   Status RunQueriesConcurrent(const std::vector<std::vector<Scalar>>& queries,
                               size_t k, size_t n_threads, AggregateResult* out,
                               std::vector<QueryResult>* per_query = nullptr);
+
+  /// Open-loop serving entry (docs/ROBUSTNESS.md): runs the batch through a
+  /// worker pool like RunQueriesConcurrent, but admits each arrival under
+  /// `options.admission` instead of unconditionally blocking, charges queue
+  /// wait against `options.deadline_ms`, and sheds instead of failing when
+  /// the process is saturated. Shed queries come back as first-class
+  /// results (`QueryResult::shed` with a cause) in `per_query`, never as
+  /// errors; the report reconciles exactly (completed + shed == submitted).
+  /// With the default blocking options this is bit-exact with
+  /// RunQueriesConcurrent.
+  Status Serve(const std::vector<std::vector<Scalar>>& queries, size_t k,
+               const ServeOptions& options, ServeReport* report,
+               std::vector<QueryResult>* per_query = nullptr);
 
   /// Builds the global histogram a method would use at code length tau.
   Status BuildGlobalHistogram(CacheMethod method, uint32_t tau,
@@ -238,9 +298,20 @@ class System {
   /// deliberately survive generation swaps. nullptr detaches.
   void SetShadowCaches(cache::ShadowCacheSet* shadows);
 
-  /// Samples queue depth and worker occupancy from the pool currently
-  /// running RunQueriesConcurrent (zeros when idle) into the attached
-  /// window. Wired as the StatsPublisher pre-sample hook.
+  /// Attaches the brownout state machine: SampleWorkerGauges feeds it window
+  /// snapshots, Serve consults it at admission (kShedding drops arrivals on
+  /// the non-blocking policies) and tightens per-query deadlines while
+  /// browned out. nullptr detaches.
+  void SetHealthMonitor(HealthMonitor* health);
+
+  /// The storage circuit breaker, or nullptr when SystemOptions::io_breaker
+  /// was disabled at Create time.
+  storage::CircuitBreakerEnv* breaker_env() { return breaker_env_.get(); }
+
+  /// Samples queue depth, worker occupancy and queue-lifetime stats from the
+  /// pool currently running RunQueriesConcurrent/Serve (zeros when idle)
+  /// into the attached window, then feeds the attached HealthMonitor one
+  /// snapshot. Wired as the StatsPublisher pre-sample hook.
   void SampleWorkerGauges();
 
   /// Cost-model prediction for the currently configured cache at the
@@ -288,6 +359,21 @@ class System {
   /// `query_index` is the query's slot in its batch (0 for single queries).
   void RecordQueryTelemetry(const QueryResult& r, uint64_t query_index);
 
+  /// Stamps the breaker's current state into the result's explain record
+  /// (no-op when no breaker is configured).
+  void StampBreakerState(QueryResult* r);
+
+  /// Marks a result shed with `cause` and records its telemetry.
+  void MarkShed(QueryResult* r, obs::ShedCause cause, double queue_wait_ms,
+                uint64_t query_index);
+
+  /// Shared RunQueriesConcurrent/Serve body; `scope_name` labels the
+  /// profiler scope so both entries keep their distinct names.
+  Status ServeInternal(const std::vector<std::vector<Scalar>>& queries,
+                       size_t k, const ServeOptions& options,
+                       const char* scope_name, ServeReport* report,
+                       std::vector<QueryResult>* per_query);
+
   Status BuildCacheObject(CacheMethod method, size_t cache_bytes, uint32_t tau,
                           bool lru, std::shared_ptr<CacheGeneration>* out);
 
@@ -307,6 +393,10 @@ class System {
       nullptr;
   // Retry wrapper the point file reads through (owns no Env; wraps env_).
   std::unique_ptr<storage::RetryingEnv> retry_env_ EEB_UNGUARDED(
+      "set once in Create before serving");
+  // Circuit breaker wrapping retry_env_ (nullptr when disabled): breaker
+  // outside retry, so an open breaker skips the retry ladder entirely.
+  std::unique_ptr<storage::CircuitBreakerEnv> breaker_env_ EEB_UNGUARDED(
       "set once in Create before serving");
   std::unique_ptr<storage::PointFile> points_ EEB_UNGUARDED(
       "set once in Create before serving");
@@ -353,6 +443,8 @@ class System {
   cache::ShadowCacheSet* shadow_ EEB_UNGUARDED(
       "attached before serving; shadows are internally synchronized") =
       nullptr;
+  HealthMonitor* health_ EEB_UNGUARDED(
+      "attached before serving; the monitor is internally atomic") = nullptr;
   obs::Counter* obs_queries_ EEB_UNGUARDED("attached before serving") =
       nullptr;
   obs::LatencyHistogram* obs_response_ EEB_UNGUARDED(

@@ -1,17 +1,30 @@
 // Bounded MPMC task queue: the hand-off between query producers and the
 // worker pool (docs/CONCURRENCY.md). Bounded so an open-loop producer that
 // outruns the workers blocks instead of growing an unbounded backlog — the
-// classic admission-control backpressure of a query server.
+// classic admission-control backpressure of a query server. Producers that
+// must not block (load-shedding admission, docs/ROBUSTNESS.md) use TryPush
+// or PushWithDeadline and turn a rejection into a first-class shed result.
 //
 // Semantics:
-//   Push  blocks while the queue is full; returns false iff closed.
-//   Pop   blocks while the queue is empty; returns false iff closed AND
-//         drained (tasks enqueued before Shutdown are always delivered).
-//   Shutdown wakes every waiter; further Push calls are rejected.
+//   Push             blocks while the queue is full; returns false iff closed.
+//   TryPush          never blocks; kFull when at capacity, kClosed after
+//                    Shutdown.
+//   PushWithDeadline blocks at most `timeout_ms`; kTimedOut when the queue
+//                    stayed full for the whole wait.
+//   Pop              blocks while the queue is empty; returns false iff
+//                    closed AND drained (tasks enqueued before Shutdown are
+//                    always delivered).
+//   Shutdown         wakes every waiter; further pushes are rejected.
+//
+// Every rejected push (full, timed out, or closed) counts in
+// Stats().rejected, so admission accounting reconciles exactly:
+// pushed == popped after a drain, and attempts == pushed + rejected.
 
 #ifndef EEB_CORE_TASK_QUEUE_H_
 #define EEB_CORE_TASK_QUEUE_H_
 
+#include <chrono>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <utility>
@@ -20,6 +33,28 @@
 #include "common/thread_annotations.h"
 
 namespace eeb::core {
+
+/// Outcome of a non-blocking / bounded-wait push.
+enum class PushOutcome : uint8_t {
+  kAccepted = 0,  ///< task enqueued
+  kFull = 1,      ///< rejected: queue at capacity (TryPush only)
+  kTimedOut = 2,  ///< rejected: still full when the wait budget ran out
+  kClosed = 3,    ///< rejected: queue shut down
+};
+
+/// Snapshot of queue accounting. Totals survive Shutdown — the high-water
+/// mark and rejection counts are exactly what the post-mortem of a saturated
+/// serving window needs (ISSUE: max_depth was previously unreachable once
+/// the owning pool wound down).
+struct QueueStats {
+  size_t depth = 0;       ///< instantaneous backlog
+  size_t capacity = 0;    ///< fixed bound
+  size_t max_depth = 0;   ///< high-water mark since construction
+  uint64_t pushed = 0;    ///< tasks accepted
+  uint64_t popped = 0;    ///< tasks delivered to consumers
+  uint64_t rejected = 0;  ///< pushes refused (full / timed out / closed)
+  bool closed = false;
+};
 
 /// Fixed-capacity multi-producer/multi-consumer queue of tasks.
 ///
@@ -43,14 +78,66 @@ class BoundedTaskQueue {
     mu_.Lock();
     while (!closed_ && tasks_.size() >= capacity_) not_full_.Wait(mu_);
     if (closed_) {
+      ++rejected_;
       mu_.Unlock();
       return false;
     }
-    tasks_.push_back(std::move(task));
-    if (tasks_.size() > max_depth_) max_depth_ = tasks_.size();
+    EnqueueLocked(std::move(task));
     mu_.Unlock();  // unlock before notify: the woken consumer runs sooner
     not_empty_.NotifyOne();
     return true;
+  }
+
+  /// Non-blocking admission: enqueues iff a slot is free right now. The
+  /// result is [[nodiscard]] — dropping it silently drops the task, which
+  /// is exactly the bug load-shedding exists to make explicit
+  /// (eeb_lint: dropped-admission).
+  [[nodiscard]] PushOutcome TryPush(Task task) EEB_EXCLUDES(mu_) {
+    mu_.Lock();
+    if (closed_) {
+      ++rejected_;
+      mu_.Unlock();
+      return PushOutcome::kClosed;
+    }
+    if (tasks_.size() >= capacity_) {
+      ++rejected_;
+      mu_.Unlock();
+      return PushOutcome::kFull;
+    }
+    EnqueueLocked(std::move(task));
+    mu_.Unlock();
+    not_empty_.NotifyOne();
+    return PushOutcome::kAccepted;
+  }
+
+  /// Bounded-wait admission: blocks up to `timeout_ms` for a slot. A zero or
+  /// negative timeout degenerates to TryPush semantics (with kTimedOut in
+  /// place of kFull, naming the policy that rejected it).
+  [[nodiscard]] PushOutcome PushWithDeadline(Task task, double timeout_ms)
+      EEB_EXCLUDES(mu_) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(
+                timeout_ms > 0.0 ? timeout_ms : 0.0));
+    mu_.Lock();
+    while (!closed_ && tasks_.size() >= capacity_) {
+      if (not_full_.WaitUntil(mu_, deadline) == std::cv_status::timeout &&
+          !closed_ && tasks_.size() >= capacity_) {
+        ++rejected_;
+        mu_.Unlock();
+        return PushOutcome::kTimedOut;
+      }
+    }
+    if (closed_) {
+      ++rejected_;
+      mu_.Unlock();
+      return PushOutcome::kClosed;
+    }
+    EnqueueLocked(std::move(task));
+    mu_.Unlock();
+    not_empty_.NotifyOne();
+    return PushOutcome::kAccepted;
   }
 
   /// Dequeues into `*task`, blocking while the queue is empty. Returns false
@@ -64,6 +151,7 @@ class BoundedTaskQueue {
     }
     *task = std::move(tasks_.front());
     tasks_.pop_front();
+    ++popped_;
     mu_.Unlock();
     not_full_.NotifyOne();
     return true;
@@ -95,13 +183,37 @@ class BoundedTaskQueue {
     return max_depth_;
   }
 
+  /// Consistent snapshot of the accounting; valid before, during and after
+  /// Shutdown (totals are never reset).
+  QueueStats Stats() const EEB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    QueueStats s;
+    s.depth = tasks_.size();
+    s.capacity = capacity_;
+    s.max_depth = max_depth_;
+    s.pushed = pushed_;
+    s.popped = popped_;
+    s.rejected = rejected_;
+    s.closed = closed_;
+    return s;
+  }
+
  private:
+  void EnqueueLocked(Task task) EEB_REQUIRES(mu_) {
+    tasks_.push_back(std::move(task));
+    ++pushed_;
+    if (tasks_.size() > max_depth_) max_depth_ = tasks_.size();
+  }
+
   const size_t capacity_;
   mutable Mutex mu_;
   CondVar not_full_;   // signaled after Pop frees a slot
   CondVar not_empty_;  // signaled after Push adds a task
   std::deque<Task> tasks_ EEB_GUARDED_BY(mu_);
   size_t max_depth_ EEB_GUARDED_BY(mu_) = 0;
+  uint64_t pushed_ EEB_GUARDED_BY(mu_) = 0;
+  uint64_t popped_ EEB_GUARDED_BY(mu_) = 0;
+  uint64_t rejected_ EEB_GUARDED_BY(mu_) = 0;
   bool closed_ EEB_GUARDED_BY(mu_) = false;
 };
 

@@ -35,6 +35,34 @@ bool ThreadPool::Submit(BoundedTaskQueue::Task task) {
   return true;
 }
 
+PushOutcome ThreadPool::TrySubmit(BoundedTaskQueue::Task task) {
+  {
+    MutexLock lock(drain_mu_);
+    ++submitted_;
+  }
+  const PushOutcome outcome = queue_.TryPush(std::move(task));
+  if (outcome != PushOutcome::kAccepted) {
+    MutexLock lock(drain_mu_);
+    --submitted_;
+  }
+  return outcome;
+}
+
+PushOutcome ThreadPool::SubmitWithDeadline(BoundedTaskQueue::Task task,
+                                           double timeout_ms) {
+  {
+    MutexLock lock(drain_mu_);
+    ++submitted_;
+  }
+  const PushOutcome outcome =
+      queue_.PushWithDeadline(std::move(task), timeout_ms);
+  if (outcome != PushOutcome::kAccepted) {
+    MutexLock lock(drain_mu_);
+    --submitted_;
+  }
+  return outcome;
+}
+
 void ThreadPool::Drain() {
   // Explicit while-Wait (not a lambda predicate) so the analysis sees the
   // guarded reads of submitted_/completed_.

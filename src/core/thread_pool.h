@@ -37,6 +37,18 @@ class ThreadPool {
   /// the pool is shutting down.
   bool Submit(BoundedTaskQueue::Task task) EEB_EXCLUDES(drain_mu_);
 
+  /// Non-blocking admission (load shedding, docs/ROBUSTNESS.md): enqueues
+  /// iff a queue slot is free right now; kFull otherwise. Drain accounting
+  /// only counts accepted tasks, so a shed producer owes nothing.
+  [[nodiscard]] PushOutcome TrySubmit(BoundedTaskQueue::Task task)
+      EEB_EXCLUDES(drain_mu_);
+
+  /// Bounded-wait admission: blocks up to `timeout_ms` for a queue slot;
+  /// kTimedOut when the queue stayed full for the whole wait.
+  [[nodiscard]] PushOutcome SubmitWithDeadline(BoundedTaskQueue::Task task,
+                                               double timeout_ms)
+      EEB_EXCLUDES(drain_mu_);
+
   /// Blocks until every task submitted so far has finished executing.
   void Drain() EEB_EXCLUDES(drain_mu_);
 
@@ -50,6 +62,11 @@ class ThreadPool {
   size_t busy_workers() const {
     return busy_.load(std::memory_order_relaxed);
   }
+
+  /// Full queue accounting (depth, high-water mark, pushed/popped/rejected
+  /// totals); valid across the pool's whole lifetime, including after the
+  /// queue closed. Published by System::SampleWorkerGauges.
+  QueueStats queue_stats() const { return queue_.Stats(); }
 
  private:
   void WorkerLoop();

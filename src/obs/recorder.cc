@@ -48,6 +48,22 @@ const char* DegradedCauseName(DegradedCause cause) {
   return "unknown";
 }
 
+const char* ShedCauseName(ShedCause cause) {
+  switch (cause) {
+    case ShedCause::kNone:
+      return "none";
+    case ShedCause::kQueueFull:
+      return "queue_full";
+    case ShedCause::kQueueTimeout:
+      return "queue_timeout";
+    case ShedCause::kDeadlineExpired:
+      return "deadline_expired";
+    case ShedCause::kBrownout:
+      return "brownout";
+  }
+  return "unknown";
+}
+
 void AppendExplainJson(const QueryExplain& e, std::string* out) {
   AppendF(out,
           "{\"cache_generation\":%" PRIu64
@@ -60,6 +76,11 @@ void AppendExplainJson(const QueryExplain& e, std::string* out) {
           "\"substituted\":%u,\"read_failures\":%u,\"degraded_cause\":\"%s\"",
           e.point_reads, e.pages_read, e.distinct_pages, e.substituted,
           e.read_failures, DegradedCauseName(e.degraded_cause));
+  AppendF(out,
+          ",\"shed_cause\":\"%s\",\"breaker_state\":%u,"
+          "\"queue_wait_ms\":%.9g",
+          ShedCauseName(e.shed_cause), static_cast<unsigned>(e.breaker_state),
+          e.queue_wait_ms);
   out->append(",\"lbk\":");
   AppendJsonDouble(out, e.lbk);
   out->append(",\"ubk\":");
@@ -157,7 +178,11 @@ uint64_t FlightRecorder::Record(QueryRecord record) {
   const bool degraded =
       record.explain.degraded_cause != DegradedCause::kNone ||
       record.explain.read_failures > 0;
-  if (slow || degraded) {
+  // Shed queries are always interesting: they are the direct evidence of
+  // admission control acting, and there are few of them relative to traffic
+  // in any healthy window.
+  const bool shed = record.explain.shed_cause != ShedCause::kNone;
+  if (slow || degraded || shed) {
     retained_total_.fetch_add(1, std::memory_order_relaxed);
     MutexLock lock(slow_mu_);
     slow_.push_back(record);

@@ -44,6 +44,20 @@ enum class DegradedCause : uint8_t {
 
 const char* DegradedCauseName(DegradedCause cause);
 
+/// Why a query was shed (never executed) by admission control
+/// (docs/ROBUSTNESS.md). A shed query has an empty result and shed=true in
+/// its QueryResult; it is counted separately from degraded queries, whose
+/// answers are best-effort but real.
+enum class ShedCause : uint8_t {
+  kNone = 0,
+  kQueueFull = 1,        // shed policy: TryPush found the queue at capacity
+  kQueueTimeout = 2,     // timeout policy: the bounded producer wait expired
+  kDeadlineExpired = 3,  // queue wait consumed the end-to-end deadline
+  kBrownout = 4,         // HealthMonitor in shedding state refused admission
+};
+
+const char* ShedCauseName(ShedCause cause);
+
 /// Compact per-query explain record: enough to reconstruct what Algorithm 1
 /// did for one query — candidate funnel, bounds, I/O, cache generation —
 /// without per-candidate events. Trivially copyable on purpose: the flight
@@ -68,7 +82,11 @@ struct QueryExplain {
   uint32_t substituted = 0;    // answers substituted from cached bounds
   uint32_t read_failures = 0;  // refinement reads that failed
   DegradedCause degraded_cause = DegradedCause::kNone;
-  uint8_t pad_[7] = {};        // keep sizeof a multiple of 8 explicitly
+  ShedCause shed_cause = ShedCause::kNone;  // non-kNone => query never ran
+  uint8_t breaker_state = 0;   // storage circuit breaker at record time
+                               // (CircuitBreakerEnv::State numeric value)
+  uint8_t pad_[5] = {};        // keep sizeof a multiple of 8 explicitly
+  double queue_wait_ms = 0.0;  // admission-to-dequeue wait (Serve path)
 };
 static_assert(std::is_trivially_copyable_v<QueryExplain>);
 static_assert(sizeof(QueryExplain) % 8 == 0);

@@ -47,6 +47,8 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "degraded";
     case TraceEventType::kDeadlineCut:
       return "deadline_cut";
+    case TraceEventType::kBreakerOpen:
+      return "breaker_open";
   }
   return "?";
 }

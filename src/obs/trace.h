@@ -31,6 +31,8 @@ enum class TraceEventType : uint8_t {
   kReadFailure,  ///< disk read ultimately failed (post-retry); value = 0
   kDegraded,     ///< candidate scored from cached bounds; value = used bound
   kDeadlineCut,  ///< deadline_ms exceeded, refinement switched to degraded
+  kBreakerOpen,  ///< storage circuit breaker non-closed during this query;
+                 ///< value = numeric breaker state (1 open, 2 half-open)
 };
 
 const char* TraceEventTypeName(TraceEventType type);

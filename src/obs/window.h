@@ -62,6 +62,9 @@ struct QuerySample {
   uint64_t read_failures = 0;
   bool degraded = false;
   bool deadline_hit = false;
+  // Dropped by admission control before the engine ran: counted in the shed
+  // rate but excluded from latency/QPS/funnel figures (nothing executed).
+  bool shed = false;
 };
 
 struct WindowOptions {
@@ -91,6 +94,8 @@ struct WindowSnapshot {
   double degraded_rate = 0.0;
   uint64_t deadline_hits = 0;
   uint64_t read_failures = 0;
+  uint64_t shed = 0;      // admission-dropped arrivals in the window
+  double shed_rate = 0.0;  // shed / (queries + shed): fraction of arrivals
   uint64_t cache_admits = 0;     // from the cache tap, windowed
   uint64_t cache_evictions = 0;  // from the cache tap, windowed
   double admit_ratio = 0.0;      // admits / misses in the window
@@ -99,11 +104,16 @@ struct WindowSnapshot {
   uint64_t busy_workers = 0;
   uint64_t workers = 0;
   double worker_utilization = 0.0;  // busy / workers
+  // Latest sampled queue-lifetime stats (cumulative; last observation wins).
+  uint64_t queue_capacity = 0;
+  uint64_t queue_max_depth = 0;
+  uint64_t queue_rejected = 0;
   // Since-construction totals for reconciliation with cumulative counters.
   uint64_t total_queries = 0;
   uint64_t total_candidates = 0;
   uint64_t total_cache_hits = 0;
   uint64_t total_degraded = 0;
+  uint64_t total_shed = 0;
   // Windowed per-config shadow-cache simulation results (empty when no
   // shadow tap is installed).
   struct ShadowStat {
@@ -141,6 +151,11 @@ class WindowedMetrics {
   void SampleQueue(uint64_t queue_depth, uint64_t busy_workers,
                    uint64_t workers);
 
+  /// Records the latest queue-lifetime stats (capacity, high-water depth,
+  /// admission rejections). Sampled like SampleQueue: last observation wins.
+  void SampleQueueStats(uint64_t capacity, uint64_t max_depth,
+                        uint64_t rejected);
+
   WindowSnapshot GetSnapshot() EEB_EXCLUDES(mu_);
 
   /// Publishes a snapshot as "live.*" gauges on `registry`.
@@ -164,6 +179,7 @@ class WindowedMetrics {
     uint64_t degraded = 0;
     uint64_t deadline_hits = 0;
     uint64_t read_failures = 0;
+    uint64_t shed = 0;
     uint64_t tap_hits = 0;
     uint64_t tap_misses = 0;
     uint64_t tap_admits = 0;
@@ -206,11 +222,15 @@ class WindowedMetrics {
   std::atomic<uint64_t> queue_depth_{0};
   std::atomic<uint64_t> busy_workers_{0};
   std::atomic<uint64_t> workers_{0};
+  std::atomic<uint64_t> queue_capacity_{0};
+  std::atomic<uint64_t> queue_max_depth_{0};
+  std::atomic<uint64_t> queue_rejected_{0};
 
   std::atomic<uint64_t> total_queries_{0};
   std::atomic<uint64_t> total_candidates_{0};
   std::atomic<uint64_t> total_cache_hits_{0};
   std::atomic<uint64_t> total_degraded_{0};
+  std::atomic<uint64_t> total_shed_{0};
 };
 
 /// Renders one snapshot as a single JSON line (no trailing newline).

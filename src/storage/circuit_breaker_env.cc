@@ -1,0 +1,220 @@
+#include "storage/circuit_breaker_env.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace eeb::storage {
+namespace {
+
+double SteadyNowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+CircuitBreakerPolicy Sanitize(CircuitBreakerPolicy policy) {
+  if (policy.window_ops < 1) policy.window_ops = 1;
+  if (policy.min_failures < 1) policy.min_failures = 1;
+  if (policy.failure_rate_threshold <= 0.0) {
+    policy.failure_rate_threshold = 0.5;
+  }
+  if (policy.open_backoff_initial_ms < 0.0) policy.open_backoff_initial_ms = 0;
+  if (policy.open_backoff_multiplier < 1.0) policy.open_backoff_multiplier = 1;
+  if (policy.open_backoff_max_ms < policy.open_backoff_initial_ms) {
+    policy.open_backoff_max_ms = policy.open_backoff_initial_ms;
+  }
+  policy.backoff_jitter = std::clamp(policy.backoff_jitter, 0.0, 1.0);
+  if (policy.half_open_probes < 1) policy.half_open_probes = 1;
+  if (!policy.now_ms) policy.now_ms = SteadyNowMs;
+  return policy;
+}
+
+class BreakerFile : public RandomAccessFile {
+ public:
+  BreakerFile(std::unique_ptr<RandomAccessFile> base, CircuitBreakerEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Read(uint64_t offset, size_t n, char* scratch) const override {
+    return env_->GuardedRead(
+        [&]() { return base_->Read(offset, n, scratch); });
+  }
+
+  uint64_t Size() const override { return base_->Size(); }
+
+ private:
+  std::unique_ptr<RandomAccessFile> base_;
+  CircuitBreakerEnv* env_;
+};
+
+}  // namespace
+
+const char* CircuitBreakerStateName(CircuitBreakerEnv::State state) {
+  switch (state) {
+    case CircuitBreakerEnv::State::kClosed:
+      return "closed";
+    case CircuitBreakerEnv::State::kOpen:
+      return "open";
+    case CircuitBreakerEnv::State::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+CircuitBreakerEnv::CircuitBreakerEnv(Env* base, CircuitBreakerPolicy policy)
+    : base_(base),
+      policy_(Sanitize(std::move(policy))),
+      window_(static_cast<size_t>(policy_.window_ops), 0),
+      current_backoff_ms_(policy_.open_backoff_initial_ms),
+      jitter_rng_(policy_.seed) {}
+
+double CircuitBreakerEnv::JitteredBackoffLocked() {
+  double backoff = current_backoff_ms_;
+  if (policy_.backoff_jitter > 0.0) {
+    backoff *= 1.0 + policy_.backoff_jitter *
+                         (2.0 * jitter_rng_.NextDouble() - 1.0);
+  }
+  return backoff;
+}
+
+void CircuitBreakerEnv::TransitionLocked(State next) {
+  if (state_ == next) return;
+  if (next == State::kOpen) {
+    opens_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::Counter* c = obs_opens_.load(std::memory_order_acquire);
+        c != nullptr) {
+      c->Add(1);
+    }
+  }
+  state_ = next;
+  if (obs::Gauge* g = obs_state_.load(std::memory_order_acquire);
+      g != nullptr) {
+    g->Set(static_cast<double>(static_cast<uint8_t>(next)));
+  }
+}
+
+CircuitBreakerEnv::Admit CircuitBreakerEnv::AdmitRead() {
+  if (!policy_.enabled) return Admit::kAllow;
+  MutexLock lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return Admit::kAllow;
+    case State::kOpen:
+      if (NowMs() < open_until_ms_) break;  // still cooling off
+      // Backoff elapsed: go half-open and treat this read as the probe.
+      TransitionLocked(State::kHalfOpen);
+      probes_outstanding_ = 1;
+      probes_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::Counter* c = obs_probes_.load(std::memory_order_acquire);
+          c != nullptr) {
+        c->Add(1);
+      }
+      return Admit::kProbe;
+    case State::kHalfOpen:
+      if (probes_outstanding_ < policy_.half_open_probes) {
+        ++probes_outstanding_;
+        probes_.fetch_add(1, std::memory_order_relaxed);
+        if (obs::Counter* c = obs_probes_.load(std::memory_order_acquire);
+            c != nullptr) {
+          c->Add(1);
+        }
+        return Admit::kProbe;
+      }
+      break;
+  }
+  short_circuits_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::Counter* c = obs_short_circuits_.load(std::memory_order_acquire);
+      c != nullptr) {
+    c->Add(1);
+  }
+  return Admit::kShortCircuit;
+}
+
+void CircuitBreakerEnv::OnReadResult(bool ok, bool was_probe) {
+  if (!policy_.enabled) return;
+  MutexLock lock(mu_);
+  if (was_probe) {
+    if (probes_outstanding_ > 0) --probes_outstanding_;
+    // A probe verdict only matters while still half-open: a sibling probe
+    // may already have decided the state.
+    if (state_ == State::kHalfOpen) {
+      if (ok) {
+        // Recovery: reset the window and the backoff ladder.
+        std::fill(window_.begin(), window_.end(), 0);
+        window_pos_ = 0;
+        window_filled_ = 0;
+        window_failures_ = 0;
+        current_backoff_ms_ = policy_.open_backoff_initial_ms;
+        TransitionLocked(State::kClosed);
+      } else {
+        current_backoff_ms_ = std::min(
+            current_backoff_ms_ * policy_.open_backoff_multiplier,
+            policy_.open_backoff_max_ms);
+        open_until_ms_ = NowMs() + JitteredBackoffLocked();
+        TransitionLocked(State::kOpen);
+      }
+    }
+    return;
+  }
+  if (state_ != State::kClosed) return;  // outcome raced a transition
+  const uint8_t fail = ok ? 0 : 1;
+  window_failures_ += static_cast<int>(fail) -
+                      static_cast<int>(window_[window_pos_]);
+  window_[window_pos_] = fail;
+  window_pos_ = (window_pos_ + 1) % window_.size();
+  window_filled_ = std::min(window_filled_ + 1, window_.size());
+  if (window_failures_ >= policy_.min_failures &&
+      static_cast<double>(window_failures_) >=
+          policy_.failure_rate_threshold *
+              static_cast<double>(window_filled_)) {
+    open_until_ms_ = NowMs() + JitteredBackoffLocked();
+    TransitionLocked(State::kOpen);
+  }
+}
+
+Status CircuitBreakerEnv::GuardedRead(const std::function<Status()>& op) {
+  const Admit admit = AdmitRead();
+  if (admit == Admit::kShortCircuit) {
+    return Status::IOError("circuit breaker open: read short-circuited");
+  }
+  const Status st = op();
+  // Both transient I/O errors and checksum corruption mean the disk is
+  // returning garbage; anything else (e.g. InvalidArgument) is a caller bug
+  // and says nothing about disk health.
+  const bool ok = !st.IsIOError() && !st.IsCorruption();
+  OnReadResult(ok, admit == Admit::kProbe);
+  return st;
+}
+
+Status CircuitBreakerEnv::NewRandomAccessFile(
+    const std::string& path, std::unique_ptr<RandomAccessFile>* out) {
+  std::unique_ptr<RandomAccessFile> base;
+  EEB_RETURN_IF_ERROR(
+      GuardedRead([&]() { return base_->NewRandomAccessFile(path, &base); }));
+  out->reset(new BreakerFile(std::move(base), this));
+  return Status::OK();
+}
+
+void CircuitBreakerEnv::BindMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    obs_state_.store(nullptr, std::memory_order_release);
+    obs_opens_.store(nullptr, std::memory_order_release);
+    obs_short_circuits_.store(nullptr, std::memory_order_release);
+    obs_probes_.store(nullptr, std::memory_order_release);
+    return;
+  }
+  obs::Gauge* state_gauge = registry->GetGauge("io.breaker.state");
+  {
+    MutexLock lock(mu_);
+    state_gauge->Set(static_cast<double>(static_cast<uint8_t>(state_)));
+  }
+  obs_state_.store(state_gauge, std::memory_order_release);
+  obs_opens_.store(registry->GetCounter("io.breaker.opens"),
+                   std::memory_order_release);
+  obs_short_circuits_.store(registry->GetCounter("io.breaker.short_circuits"),
+                            std::memory_order_release);
+  obs_probes_.store(registry->GetCounter("io.breaker.probes"),
+                    std::memory_order_release);
+}
+
+}  // namespace eeb::storage

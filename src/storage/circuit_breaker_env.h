@@ -1,0 +1,165 @@
+// CircuitBreakerEnv: a storage circuit breaker (docs/ROBUSTNESS.md). Wraps
+// an Env — in the serving stack, the RetryingEnv — and tracks a sliding
+// window of recent read outcomes. When the windowed failure rate crosses the
+// threshold the breaker OPENS: reads fail immediately with IOError instead
+// of paying the retry ladder per candidate, which flips the engine into its
+// cached-bound degraded mode at once on a dead disk. After a jittered
+// backoff the breaker goes HALF-OPEN and lets a limited number of probe
+// reads through; a successful probe closes it, a failed probe re-opens it
+// with a longer backoff.
+//
+//   CLOSED --(failure rate >= threshold over the window)--> OPEN
+//   OPEN   --(backoff elapsed)--> HALF-OPEN
+//   HALF-OPEN --(probe ok)--> CLOSED      (window and backoff reset)
+//   HALF-OPEN --(probe failed)--> OPEN    (backoff *= multiplier, capped)
+//
+// Both IOError and Corruption count as failures — either way the disk is
+// returning garbage — but the short-circuit itself is always IOError, which
+// the engine's DegradableFailure() absorbs. Writes, deletes and existence
+// checks pass through unguarded: the breaker protects the high-volume query
+// read path, and writers already recover via CleanupIfError.
+//
+// The clock is injectable (milliseconds, monotonic) so tests can script the
+// backoff deterministically; jitter comes from a seeded common/random Rng.
+
+#ifndef EEB_STORAGE_CIRCUIT_BREAKER_ENV_H_
+#define EEB_STORAGE_CIRCUIT_BREAKER_ENV_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/random.h"
+#include "common/thread_annotations.h"
+#include "obs/metrics.h"
+#include "storage/env.h"
+
+namespace eeb::storage {
+
+/// Thresholds and backoff shape for the storage circuit breaker.
+struct CircuitBreakerPolicy {
+  /// Master switch: a disabled breaker is wired as a pure pass-through and
+  /// never trips (System only interposes the wrapper when enabled).
+  bool enabled = false;
+  /// Number of most-recent read outcomes the failure rate is computed over.
+  int window_ops = 32;
+  /// Minimum failures in the window before the rate can trip the breaker —
+  /// keeps one unlucky read on a quiet disk from opening it.
+  int min_failures = 8;
+  /// Windowed failure rate (failures / outcomes) at or above which the
+  /// breaker opens.
+  double failure_rate_threshold = 0.5;
+  /// Backoff before the first half-open probe, in milliseconds.
+  double open_backoff_initial_ms = 5.0;
+  /// Multiplier applied after each failed probe.
+  double open_backoff_multiplier = 2.0;
+  /// Upper bound on the backoff, in milliseconds.
+  double open_backoff_max_ms = 200.0;
+  /// Fraction of each backoff randomized (uniformly in [1-j, 1+j]) so many
+  /// processes sharing a failed disk do not probe in lockstep.
+  double backoff_jitter = 0.2;
+  /// Probe reads allowed through concurrently while half-open.
+  int half_open_probes = 1;
+  /// Seed for the deterministic jitter stream.
+  uint64_t seed = 29;
+  /// Monotonic now() in milliseconds. Defaults to steady_clock.
+  std::function<double()> now_ms;
+};
+
+/// Env wrapper applying CircuitBreakerPolicy to reads and opens.
+/// Pass-through for everything else. The base Env must outlive the wrapper.
+class CircuitBreakerEnv : public Env {
+ public:
+  /// Breaker state. Numeric values are stable — they are exported as the
+  /// "io.breaker.state" gauge and stamped into QueryExplain.breaker_state.
+  enum class State : uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  explicit CircuitBreakerEnv(Env* base, CircuitBreakerPolicy policy = {});
+
+  Status NewRandomAccessFile(const std::string& path,
+                             std::unique_ptr<RandomAccessFile>* out) override;
+  Status NewWritableFile(const std::string& path,
+                         std::unique_ptr<WritableFile>* out) override {
+    return base_->NewWritableFile(path, out);  // writes are not guarded
+  }
+  bool FileExists(const std::string& path) override {
+    return base_->FileExists(path);
+  }
+  Status DeleteFile(const std::string& path) override {
+    return base_->DeleteFile(path);
+  }
+
+  /// Runs `op` under the breaker: short-circuits with IOError while open,
+  /// feeds the outcome into the window otherwise. Exposed so BreakerFile
+  /// (internal) and tests can drive it directly.
+  Status GuardedRead(const std::function<Status()>& op) EEB_EXCLUDES(mu_);
+
+  const CircuitBreakerPolicy& policy() const { return policy_; }
+
+  State state() const EEB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return state_;
+  }
+
+  /// Closed→open transitions / reads rejected while open / half-open probes
+  /// attempted. Monotonic since construction.
+  uint64_t opens() const { return opens_.load(std::memory_order_relaxed); }
+  uint64_t short_circuits() const {
+    return short_circuits_.load(std::memory_order_relaxed);
+  }
+  uint64_t probes() const { return probes_.load(std::memory_order_relaxed); }
+
+  /// Binds "io.breaker.state" (gauge; State numeric value), and the
+  /// "io.breaker.opens" / "io.breaker.short_circuits" / "io.breaker.probes"
+  /// counters in `registry`; nullptr detaches. Counters record deltas from
+  /// bind time.
+  void BindMetrics(obs::MetricsRegistry* registry) EEB_EXCLUDES(mu_);
+
+ private:
+  /// Admission decision for one read. kShortCircuit carries no token;
+  /// kProbe marks the read as a half-open probe whose outcome decides the
+  /// next state.
+  enum class Admit : uint8_t { kAllow, kProbe, kShortCircuit };
+
+  Admit AdmitRead() EEB_EXCLUDES(mu_);
+  void OnReadResult(bool ok, bool was_probe) EEB_EXCLUDES(mu_);
+  void TransitionLocked(State next) EEB_REQUIRES(mu_);
+  double JitteredBackoffLocked() EEB_REQUIRES(mu_);
+  double NowMs() const { return policy_.now_ms(); }
+
+  Env* const base_;
+  const CircuitBreakerPolicy policy_;
+
+  mutable Mutex mu_;
+  State state_ EEB_GUARDED_BY(mu_) = State::kClosed;
+  // Ring of recent outcomes (1 = failure); fixed size window_ops.
+  std::vector<uint8_t> window_ EEB_GUARDED_BY(mu_);
+  size_t window_pos_ EEB_GUARDED_BY(mu_) = 0;
+  size_t window_filled_ EEB_GUARDED_BY(mu_) = 0;
+  int window_failures_ EEB_GUARDED_BY(mu_) = 0;
+  double current_backoff_ms_ EEB_GUARDED_BY(mu_);
+  double open_until_ms_ EEB_GUARDED_BY(mu_) = 0.0;
+  int probes_outstanding_ EEB_GUARDED_BY(mu_) = 0;
+  Rng jitter_rng_ EEB_GUARDED_BY(mu_);
+
+  std::atomic<uint64_t> opens_{0};
+  std::atomic<uint64_t> short_circuits_{0};
+  std::atomic<uint64_t> probes_{0};
+  // Atomic pointers: BindMetrics may run while reads flow on serving
+  // threads (System wires observability around a live Env). The instruments
+  // themselves are internally atomic.
+  std::atomic<obs::Gauge*> obs_state_{nullptr};
+  std::atomic<obs::Counter*> obs_opens_{nullptr};
+  std::atomic<obs::Counter*> obs_short_circuits_{nullptr};
+  std::atomic<obs::Counter*> obs_probes_{nullptr};
+};
+
+const char* CircuitBreakerStateName(CircuitBreakerEnv::State state);
+
+}  // namespace eeb::storage
+
+#endif  // EEB_STORAGE_CIRCUIT_BREAKER_ENV_H_

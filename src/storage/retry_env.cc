@@ -26,6 +26,17 @@ class RetryingFile : public RandomAccessFile {
 
 }  // namespace
 
+double RetryingEnv::JitteredSleepMs(double sleep_ms) {
+  if (policy_.backoff_jitter <= 0.0 || sleep_ms <= 0.0) return sleep_ms;
+  double factor;
+  {
+    MutexLock lock(jitter_mu_);
+    factor = 1.0 + policy_.backoff_jitter *
+                       (2.0 * jitter_rng_.NextDouble() - 1.0);
+  }
+  return sleep_ms * factor;
+}
+
 Status RetryingEnv::WithRetries(const std::function<Status()>& op) {
   Status st = op();
   double sleep_ms = policy_.backoff_initial_ms;
@@ -35,9 +46,10 @@ Status RetryingEnv::WithRetries(const std::function<Status()>& op) {
     obs::Counter* retries_counter =
         obs_retries_.load(std::memory_order_acquire);
     if (retries_counter != nullptr) retries_counter->Add(1);
-    if (sleep_ms > 0.0) {
+    const double jittered_ms = JitteredSleepMs(sleep_ms);
+    if (jittered_ms > 0.0) {
       std::this_thread::sleep_for(
-          std::chrono::duration<double, std::milli>(sleep_ms));
+          std::chrono::duration<double, std::milli>(jittered_ms));
     }
     sleep_ms = std::min(sleep_ms * policy_.backoff_multiplier,
                         policy_.backoff_max_ms);

@@ -18,6 +18,9 @@
 #include <memory>
 #include <string>
 
+#include "common/mutex.h"
+#include "common/random.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "storage/env.h"
 
@@ -33,6 +36,12 @@ struct RetryPolicy {
   double backoff_multiplier = 2.0;
   /// Upper bound on a single sleep, in milliseconds.
   double backoff_max_ms = 5.0;
+  /// Fraction of each sleep randomized (uniformly in [1-j, 1+j]) so many
+  /// readers hitting the same transient fault do not retry in lockstep.
+  /// 0 disables jitter (the exact pre-jitter schedule).
+  double backoff_jitter = 0.2;
+  /// Seed for the deterministic jitter stream.
+  uint64_t jitter_seed = 17;
 };
 
 /// Env wrapper applying RetryPolicy to reads and opens. Pass-through for
@@ -40,7 +49,7 @@ struct RetryPolicy {
 class RetryingEnv : public Env {
  public:
   explicit RetryingEnv(Env* base, RetryPolicy policy = {})
-      : base_(base), policy_(policy) {}
+      : base_(base), policy_(policy), jitter_rng_(policy.jitter_seed) {}
 
   Status NewRandomAccessFile(const std::string& path,
                              std::unique_ptr<RandomAccessFile>* out) override;
@@ -72,8 +81,13 @@ class RetryingEnv : public Env {
   void BindMetrics(obs::MetricsRegistry* registry);
 
  private:
+  /// Next sleep scaled by a jitter factor drawn from the seeded stream.
+  double JitteredSleepMs(double sleep_ms) EEB_EXCLUDES(jitter_mu_);
+
   Env* const base_;
   const RetryPolicy policy_;
+  Mutex jitter_mu_;  // serializes the shared jitter stream across readers
+  Rng jitter_rng_ EEB_GUARDED_BY(jitter_mu_);
   std::atomic<uint64_t> retries_{0};
   std::atomic<uint64_t> exhausted_{0};
   // Atomic pointers: BindMetrics may run while reads retry on serving

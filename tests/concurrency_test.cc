@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <span>
 #include <thread>
@@ -16,6 +17,7 @@
 #include "cache/exact_cache.h"
 #include "cache/knn_cache.h"
 #include "common/dataset.h"
+#include "core/health.h"
 #include "core/system.h"
 #include "core/task_queue.h"
 #include "core/thread_pool.h"
@@ -70,6 +72,97 @@ TEST(BoundedTaskQueueTest, PushBlocksAtCapacityUntilPop) {
   ASSERT_TRUE(q.Pop(&t));
   producer.join();
   EXPECT_TRUE(second_pushed.load());
+}
+
+TEST(BoundedTaskQueueTest, TryPushShedsWhenFullAndRecoversAfterPop) {
+  core::BoundedTaskQueue q(2);
+  EXPECT_EQ(q.TryPush([] {}), core::PushOutcome::kAccepted);
+  EXPECT_EQ(q.TryPush([] {}), core::PushOutcome::kAccepted);
+  // Full: the verdict is immediate, no blocking.
+  EXPECT_EQ(q.TryPush([] {}), core::PushOutcome::kFull);
+  core::BoundedTaskQueue::Task t;
+  ASSERT_TRUE(q.Pop(&t));
+  // One freed slot is enough to admit again.
+  EXPECT_EQ(q.TryPush([] {}), core::PushOutcome::kAccepted);
+}
+
+TEST(BoundedTaskQueueTest, TryPushAfterShutdownReportsClosed) {
+  core::BoundedTaskQueue q(4);
+  q.Shutdown();
+  // kClosed, not kFull: the caller must distinguish "overloaded" (retry
+  // later) from "wound down" (stop submitting).
+  EXPECT_EQ(q.TryPush([] {}), core::PushOutcome::kClosed);
+  EXPECT_EQ(q.PushWithDeadline([] {}, 50.0), core::PushOutcome::kClosed);
+}
+
+TEST(BoundedTaskQueueTest, PushWithDeadlineTimesOutOnAPersistentlyFullQueue) {
+  core::BoundedTaskQueue q(1);
+  EXPECT_EQ(q.TryPush([] {}), core::PushOutcome::kAccepted);
+  // Nobody pops: the bounded wait must expire with kTimedOut, naming the
+  // policy that rejected the task (not kFull).
+  EXPECT_EQ(q.PushWithDeadline([] {}, 5.0), core::PushOutcome::kTimedOut);
+  // A zero budget degenerates to TryPush semantics.
+  EXPECT_EQ(q.PushWithDeadline([] {}, 0.0), core::PushOutcome::kTimedOut);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(BoundedTaskQueueTest, PushWithDeadlineAdmitsWhenAConsumerFreesASlot) {
+  core::BoundedTaskQueue q(1);
+  EXPECT_EQ(q.TryPush([] {}), core::PushOutcome::kAccepted);
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    core::BoundedTaskQueue::Task t;
+    ASSERT_TRUE(q.Pop(&t));
+  });
+  // A generous budget outlives the consumer's delay: the wait ends in
+  // admission, not a timeout.
+  EXPECT_EQ(q.PushWithDeadline([] {}, 10000.0), core::PushOutcome::kAccepted);
+  consumer.join();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(BoundedTaskQueueTest, StatsReconcileAttemptsAcrossShutdown) {
+  core::BoundedTaskQueue q(2);
+  uint64_t attempts = 0;
+  ASSERT_TRUE(q.Push([] {}));
+  attempts++;
+  EXPECT_EQ(q.TryPush([] {}), core::PushOutcome::kAccepted);
+  attempts++;
+  EXPECT_EQ(q.TryPush([] {}), core::PushOutcome::kFull);
+  attempts++;
+  EXPECT_EQ(q.PushWithDeadline([] {}, 0.0), core::PushOutcome::kTimedOut);
+  attempts++;
+
+  core::QueueStats s = q.Stats();
+  EXPECT_EQ(s.depth, 2u);
+  EXPECT_EQ(s.capacity, 2u);
+  EXPECT_EQ(s.max_depth, 2u);
+  EXPECT_EQ(s.pushed, 2u);
+  EXPECT_EQ(s.popped, 0u);
+  EXPECT_EQ(s.rejected, 2u);
+  EXPECT_FALSE(s.closed);
+  EXPECT_EQ(attempts, s.pushed + s.rejected);
+
+  core::BoundedTaskQueue::Task t;
+  ASSERT_TRUE(q.Pop(&t));
+  ASSERT_TRUE(q.Pop(&t));
+  q.Shutdown();
+  EXPECT_FALSE(q.Push([] {}));
+  attempts++;
+  EXPECT_EQ(q.TryPush([] {}), core::PushOutcome::kClosed);
+  attempts++;
+
+  // Totals survive Shutdown: the post-mortem of a saturated window reads
+  // the same numbers the live gauges published.
+  s = q.Stats();
+  EXPECT_TRUE(s.closed);
+  EXPECT_EQ(s.depth, 0u);
+  EXPECT_EQ(s.max_depth, 2u);
+  EXPECT_EQ(s.pushed, 2u);
+  EXPECT_EQ(s.popped, 2u);
+  EXPECT_EQ(s.rejected, 4u);
+  EXPECT_EQ(attempts, s.pushed + s.rejected);
+  EXPECT_FALSE(q.Pop(&t));
 }
 
 TEST(ThreadPoolTest, RunsEveryTaskAcrossThreads) {
@@ -476,6 +569,219 @@ TEST(ConcurrencyTest, CacheSizeReadableWhileAdmitting) {
   EXPECT_GT(polls.load(), 0u);
   EXPECT_GT(cache.size(), 0u);
   EXPECT_LE(cache.size(), kCapacityItems);
+}
+
+// ---- Open-loop serving (System::Serve) ------------------------------------
+
+// Serial reference results for the rig's test log: the bit-exactness oracle
+// every completed Serve query is checked against.
+std::vector<core::QueryResult> SerialReference(ConcurrencyRig* rig, size_t k) {
+  std::vector<core::QueryResult> serial(rig->log.test.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(rig->system->Query(rig->log.test[i], k, &serial[i]).ok());
+  }
+  return serial;
+}
+
+// The exact-reconciliation contract of one ServeReport: completed + shed ==
+// submitted, the four causes sum to shed, and the per-query shed flags agree
+// with the report. Shed queries must never have executed (no candidate
+// funnel, no results); completed ones must match the serial reference unless
+// `check_exact` is off (deadline runs legitimately degrade).
+void ExpectServeReconciles(const core::ServeReport& report,
+                           const std::vector<core::QueryResult>& per_query,
+                           const std::vector<core::QueryResult>& serial,
+                           bool check_exact) {
+  EXPECT_EQ(report.submitted, per_query.size());
+  EXPECT_EQ(report.completed + report.shed, report.submitted);
+  EXPECT_EQ(report.shed_queue_full + report.shed_timeout +
+                report.shed_expired + report.shed_brownout,
+            report.shed);
+  size_t flagged_shed = 0;
+  for (size_t i = 0; i < per_query.size(); ++i) {
+    const core::QueryResult& r = per_query[i];
+    if (r.shed) {
+      flagged_shed++;
+      EXPECT_NE(r.shed_cause, obs::ShedCause::kNone) << "query " << i;
+      EXPECT_TRUE(r.result_ids.empty()) << "query " << i;
+      EXPECT_EQ(r.candidates, 0u) << "query " << i;
+      EXPECT_EQ(r.fetched, 0u) << "query " << i;
+    } else {
+      EXPECT_EQ(r.shed_cause, obs::ShedCause::kNone) << "query " << i;
+      if (check_exact) {
+        EXPECT_EQ(r.result_ids, serial[i].result_ids) << "query " << i;
+        EXPECT_EQ(r.candidates, serial[i].candidates) << "query " << i;
+        EXPECT_EQ(r.cache_hits, serial[i].cache_hits) << "query " << i;
+        EXPECT_EQ(r.substituted, 0u) << "query " << i;
+      }
+    }
+  }
+  EXPECT_EQ(flagged_shed, report.shed);
+  EXPECT_EQ(report.agg.queries, report.completed);
+}
+
+TEST(ServeTest, BlockingServeIsBitExactWithRunQueriesConcurrent) {
+  ConcurrencyRig rig;
+  const size_t k = 10;
+  const auto serial = SerialReference(&rig, k);
+
+  // Default options: blocking admission, no deadline — the closed-loop
+  // batch contract. Nothing may shed and every answer is exact.
+  core::ServeOptions opt;
+  opt.n_threads = kThreads;
+  core::ServeReport report;
+  std::vector<core::QueryResult> per_query;
+  ASSERT_TRUE(
+      rig.system->Serve(rig.log.test, k, opt, &report, &per_query).ok());
+  EXPECT_EQ(report.shed, 0u);
+  EXPECT_EQ(report.completed, rig.log.test.size());
+  ExpectServeReconciles(report, per_query, serial, /*check_exact=*/true);
+
+  // And the aggregate matches RunQueriesConcurrent bit for bit.
+  core::AggregateResult conc;
+  ASSERT_TRUE(rig.system
+                  ->RunQueriesConcurrent(rig.log.test, k, kThreads, &conc)
+                  .ok());
+  // CPU-time-bearing fields (avg_response_seconds) are excluded: only the
+  // deterministic, I/O-derived aggregates are contractually bit-exact.
+  EXPECT_EQ(report.agg.queries, conc.queries);
+  EXPECT_DOUBLE_EQ(report.agg.avg_candidates, conc.avg_candidates);
+  EXPECT_DOUBLE_EQ(report.agg.avg_fetched, conc.avg_fetched);
+  EXPECT_DOUBLE_EQ(report.agg.avg_refine_pages, conc.avg_refine_pages);
+  EXPECT_DOUBLE_EQ(report.agg.hit_ratio, conc.hit_ratio);
+  EXPECT_DOUBLE_EQ(report.agg.prune_ratio, conc.prune_ratio);
+}
+
+TEST(ServeTest, ShedAdmissionReconcilesExactlyUnderEightThreads) {
+  ConcurrencyRig rig;
+  const size_t k = 10;
+  const auto serial = SerialReference(&rig, k);
+
+  // A one-slot queue under an open-loop producer that never waits: most
+  // arrivals find the slot occupied. The invariant under test is exact
+  // accounting — shed + completed == submitted with no query lost or
+  // double-counted — not how many shed (that is scheduling-dependent).
+  core::ServeOptions opt;
+  opt.n_threads = kThreads;
+  opt.queue_capacity = 1;
+  opt.admission = core::AdmissionPolicy::kShed;
+  core::ServeReport report;
+  std::vector<core::QueryResult> per_query;
+  ASSERT_TRUE(
+      rig.system->Serve(rig.log.test, k, opt, &report, &per_query).ok());
+  ExpectServeReconciles(report, per_query, serial, /*check_exact=*/true);
+  EXPECT_GT(report.shed, 0u);
+  EXPECT_EQ(report.shed_queue_full, report.shed);  // the only active cause
+  for (const core::QueryResult& r : per_query) {
+    if (r.shed) {
+      EXPECT_EQ(r.shed_cause, obs::ShedCause::kQueueFull);
+    }
+  }
+}
+
+TEST(ServeTest, TimeoutAdmissionShedsWithTheTimeoutCause) {
+  ConcurrencyRig rig;
+  const size_t k = 10;
+  const auto serial = SerialReference(&rig, k);
+
+  core::ServeOptions opt;
+  opt.n_threads = 2;
+  opt.queue_capacity = 1;
+  opt.admission = core::AdmissionPolicy::kTimeout;
+  opt.admission_timeout_ms = 0.01;  // far below a query's service time
+  core::ServeReport report;
+  std::vector<core::QueryResult> per_query;
+  ASSERT_TRUE(
+      rig.system->Serve(rig.log.test, k, opt, &report, &per_query).ok());
+  ExpectServeReconciles(report, per_query, serial, /*check_exact=*/true);
+  EXPECT_GT(report.shed, 0u);
+  EXPECT_EQ(report.shed_timeout, report.shed);
+  for (const core::QueryResult& r : per_query) {
+    if (r.shed) {
+      EXPECT_EQ(r.shed_cause, obs::ShedCause::kQueueTimeout);
+    }
+  }
+}
+
+TEST(ServeTest, QueueWaitBurnsTheDeadlineAndExpiredQueriesNeverExecute) {
+  ConcurrencyRig rig;
+  const size_t k = 10;
+  const auto serial = SerialReference(&rig, k);
+
+  // One worker, a queue wide enough that admission never sheds, and an
+  // end-to-end deadline far below the backlog's drain time: all but the
+  // first few queries burn their whole budget waiting and must be shed on
+  // dequeue — without touching the engine.
+  core::ServeOptions opt;
+  opt.n_threads = 1;
+  opt.queue_capacity = rig.log.test.size();
+  opt.admission = core::AdmissionPolicy::kBlock;
+  opt.deadline_ms = 0.05;
+  core::ServeReport report;
+  std::vector<core::QueryResult> per_query;
+  ASSERT_TRUE(
+      rig.system->Serve(rig.log.test, k, opt, &report, &per_query).ok());
+  // Deadline-cut completions may degrade, so skip the bit-exact check; the
+  // accounting contract still holds exactly.
+  ExpectServeReconciles(report, per_query, serial, /*check_exact=*/false);
+  EXPECT_EQ(report.shed_expired, report.shed);
+  EXPECT_GE(report.shed_expired, rig.log.test.size() / 2);
+  for (const core::QueryResult& r : per_query) {
+    if (r.shed) {
+      EXPECT_EQ(r.shed_cause, obs::ShedCause::kDeadlineExpired);
+      // The wait that killed it is on the record.
+      EXPECT_GE(r.queue_wait_ms, opt.deadline_ms);
+    }
+  }
+}
+
+TEST(ServeTest, BrownoutShedsAtAdmissionOnOpenLoopPoliciesOnly) {
+  ConcurrencyRig rig;
+  const size_t k = 10;
+  const auto serial = SerialReference(&rig, k);
+
+  // Force the monitor into SHEDDING with one saturated snapshot (occupancy
+  // 1.0 >= the default shed fraction); no recovery evaluations follow, so
+  // the state holds for the whole test.
+  core::HealthMonitor health;
+  obs::WindowSnapshot saturated;
+  saturated.queue_depth = 100;
+  saturated.queue_capacity = 100;
+  ASSERT_EQ(health.Evaluate(saturated), core::HealthState::kShedding);
+  rig.system->SetHealthMonitor(&health);
+
+  // Open-loop admission: every arrival is dropped at the door with the
+  // brownout cause — the queue is never even tried.
+  core::ServeOptions opt;
+  opt.n_threads = 2;
+  opt.queue_capacity = rig.log.test.size();
+  opt.admission = core::AdmissionPolicy::kShed;
+  core::ServeReport report;
+  std::vector<core::QueryResult> per_query;
+  ASSERT_TRUE(
+      rig.system->Serve(rig.log.test, k, opt, &report, &per_query).ok());
+  ExpectServeReconciles(report, per_query, serial, /*check_exact=*/true);
+  EXPECT_EQ(report.shed_brownout, report.submitted);
+  EXPECT_EQ(report.completed, 0u);
+  for (const core::QueryResult& r : per_query) {
+    EXPECT_EQ(r.shed_cause, obs::ShedCause::kBrownout);
+  }
+
+  // Blocking admission is the closed-loop batch contract: the monitor must
+  // not drop queries out of a batch even while shedding.
+  opt.admission = core::AdmissionPolicy::kBlock;
+  ASSERT_TRUE(
+      rig.system->Serve(rig.log.test, k, opt, &report, &per_query).ok());
+  EXPECT_EQ(report.shed, 0u);
+  ExpectServeReconciles(report, per_query, serial, /*check_exact=*/true);
+
+  // Detached, the same open-loop options serve everything again.
+  rig.system->SetHealthMonitor(nullptr);
+  opt.admission = core::AdmissionPolicy::kShed;
+  ASSERT_TRUE(
+      rig.system->Serve(rig.log.test, k, opt, &report, &per_query).ok());
+  EXPECT_EQ(report.shed, 0u);
+  ExpectServeReconciles(report, per_query, serial, /*check_exact=*/true);
 }
 
 }  // namespace

@@ -18,6 +18,7 @@
 
 #include "cache/shadow_cache.h"
 #include "common/dataset.h"
+#include "core/health.h"
 #include "core/system.h"
 #include "obs/cache_analytics.h"
 #include "obs/metrics.h"
@@ -350,6 +351,202 @@ TEST(WindowedMetricsTest, SnapshotJsonHasLiveAndCumulativeSections) {
   EXPECT_NE(line.find("\"cumulative\":{\"queries\":1"), std::string::npos);
   EXPECT_NE(line.find("\"latency\":{"), std::string::npos);
   EXPECT_EQ(line.find('\n'), std::string::npos);  // one line, no newline
+}
+
+TEST(WindowedMetricsTest, ShedSamplesCountInShedRateButNotLatency) {
+  double t = 0.0;
+  obs::WindowOptions opt;
+  opt.now = [&t] { return t; };
+  obs::WindowedMetrics w(opt);
+
+  w.RecordQuery(Sample(0.010, /*candidates=*/100, /*hits=*/40));
+  w.RecordQuery(Sample(0.030, /*candidates=*/100, /*hits=*/40));
+  w.RecordQuery(Sample(0.020, /*candidates=*/100, /*hits=*/40));
+  obs::QuerySample shed;
+  shed.shed = true;
+  w.RecordQuery(shed);
+  w.RecordQuery(shed);
+  t = 2.0;
+  const obs::WindowSnapshot snap = w.GetSnapshot();
+
+  // Shed arrivals never executed: they appear in the shed rate's
+  // denominator as arrivals, but must not dilute latency, QPS or the
+  // candidate funnel toward zero.
+  EXPECT_EQ(snap.queries, 3u);
+  EXPECT_EQ(snap.shed, 2u);
+  EXPECT_DOUBLE_EQ(snap.shed_rate, 0.4);  // 2 / (3 + 2) arrivals
+  EXPECT_DOUBLE_EQ(snap.qps, 1.5);        // completed only
+  EXPECT_DOUBLE_EQ(snap.mean_seconds, 0.020);
+  EXPECT_DOUBLE_EQ(snap.max_seconds, 0.030);
+  EXPECT_EQ(snap.candidates, 300u);
+  EXPECT_DOUBLE_EQ(snap.hit_ratio, 0.4);
+  EXPECT_EQ(snap.total_queries, 3u);
+  EXPECT_EQ(snap.total_shed, 2u);
+}
+
+TEST(WindowedMetricsTest, QueueLifetimeStatsLastObservationWins) {
+  obs::WindowedMetrics w;
+  w.SampleQueueStats(/*capacity=*/16, /*max_depth=*/12, /*rejected=*/5);
+  w.SampleQueueStats(/*capacity=*/16, /*max_depth=*/14, /*rejected=*/9);
+  const obs::WindowSnapshot snap = w.GetSnapshot();
+  EXPECT_EQ(snap.queue_capacity, 16u);
+  EXPECT_EQ(snap.queue_max_depth, 14u);
+  EXPECT_EQ(snap.queue_rejected, 9u);
+}
+
+TEST(WindowedMetricsTest, PublishToSetsShedAndQueueGauges) {
+  double t = 0.0;
+  obs::WindowOptions opt;
+  opt.now = [&t] { return t; };
+  obs::WindowedMetrics w(opt);
+  w.RecordQuery(Sample(0.010, 10, 5));
+  obs::QuerySample shed;
+  shed.shed = true;
+  w.RecordQuery(shed);
+  w.SampleQueueStats(8, 7, 3);
+  t = 1.0;
+
+  obs::MetricsRegistry registry;
+  w.PublishTo(&registry);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("live.shed")->value(), 1.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("live.shed_rate")->value(), 0.5);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("live.queue_capacity")->value(), 8.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("live.queue_max_depth")->value(), 7.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("live.queue_rejected")->value(), 3.0);
+}
+
+TEST(WindowedMetricsTest, SnapshotJsonCarriesShedAndQueueFields) {
+  obs::WindowedMetrics w;
+  w.RecordQuery(Sample(0.010, 10, 5));
+  obs::QuerySample shed;
+  shed.shed = true;
+  w.RecordQuery(shed);
+  w.SampleQueueStats(16, 14, 9);
+  const std::string line =
+      obs::WindowSnapshotJson(w.GetSnapshot(), /*uptime=*/1.0);
+  EXPECT_NE(line.find("\"shed\":1,\"shed_rate\":0.5"), std::string::npos)
+      << line;
+  EXPECT_NE(line.find("\"queue_capacity\":16"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"queue_max_depth\":14"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"queue_rejected\":9"), std::string::npos) << line;
+  // The cumulative section keeps its own shed total.
+  EXPECT_NE(line.find("\"cumulative\":{"), std::string::npos);
+  EXPECT_NE(line.rfind("\"shed\":1}}"), std::string::npos) << line;
+}
+
+// ---- HealthMonitor --------------------------------------------------------
+
+obs::WindowSnapshot Occupancy(uint64_t depth, uint64_t capacity) {
+  obs::WindowSnapshot s;
+  s.queue_depth = depth;
+  s.queue_capacity = capacity;
+  return s;
+}
+
+TEST(HealthMonitorTest, EscalatesImmediatelyRecoversOneLevelPerCalmStreak) {
+  core::HealthPolicy policy;
+  policy.recover_evals = 2;
+  core::HealthMonitor health(policy);
+  EXPECT_EQ(health.state(), core::HealthState::kHealthy);
+  EXPECT_FALSE(health.ShouldShed());
+
+  // One saturated snapshot is enough: under overload every delayed
+  // evaluation grows the queue.
+  EXPECT_EQ(health.Evaluate(Occupancy(100, 100)),
+            core::HealthState::kShedding);
+  EXPECT_TRUE(health.ShouldShed());
+  EXPECT_EQ(health.transitions(), 1u);
+
+  // One calm evaluation is not a recovery...
+  EXPECT_EQ(health.Evaluate(Occupancy(0, 100)),
+            core::HealthState::kShedding);
+  // ...and a relapse resets the calm streak entirely.
+  EXPECT_EQ(health.Evaluate(Occupancy(100, 100)),
+            core::HealthState::kShedding);
+  EXPECT_EQ(health.Evaluate(Occupancy(0, 100)),
+            core::HealthState::kShedding);
+  // The second consecutive calm eval steps down ONE level, not to healthy.
+  EXPECT_EQ(health.Evaluate(Occupancy(0, 100)),
+            core::HealthState::kBrownedOut);
+  EXPECT_FALSE(health.ShouldShed());
+  // Two more calm evals complete the descent.
+  EXPECT_EQ(health.Evaluate(Occupancy(0, 100)),
+            core::HealthState::kBrownedOut);
+  EXPECT_EQ(health.Evaluate(Occupancy(0, 100)),
+            core::HealthState::kHealthy);
+  EXPECT_EQ(health.transitions(), 3u);
+}
+
+TEST(HealthMonitorTest, ClassifiesEachPressureSignalIndependently) {
+  core::HealthPolicy policy;
+  policy.p95_brownout_seconds = 0.1;
+  policy.p95_shed_seconds = 0.5;
+  policy.degraded_brownout_rate = 0.3;
+
+  // Latency: between the thresholds is a brownout, above both is shedding.
+  {
+    core::HealthMonitor health(policy);
+    obs::WindowSnapshot slow;
+    slow.p95_seconds = 0.2;
+    EXPECT_EQ(health.Evaluate(slow), core::HealthState::kBrownedOut);
+    slow.p95_seconds = 0.6;
+    EXPECT_EQ(health.Evaluate(slow), core::HealthState::kShedding);
+  }
+  // Occupancy: the default fractions (0.75 / 0.95) stay active.
+  {
+    core::HealthMonitor health(policy);
+    EXPECT_EQ(health.Evaluate(Occupancy(80, 100)),
+              core::HealthState::kBrownedOut);
+    EXPECT_EQ(health.Evaluate(Occupancy(96, 100)),
+              core::HealthState::kShedding);
+  }
+  // A sick disk (degraded rate) browns out: deadline tightening relieves it.
+  {
+    core::HealthMonitor health(policy);
+    obs::WindowSnapshot sick;
+    sick.degraded_rate = 0.5;
+    EXPECT_EQ(health.Evaluate(sick), core::HealthState::kBrownedOut);
+  }
+  // No queue attached (capacity 0): depth alone is not occupancy.
+  {
+    core::HealthMonitor health(policy);
+    EXPECT_EQ(health.Evaluate(Occupancy(50, 0)),
+              core::HealthState::kHealthy);
+  }
+}
+
+TEST(HealthMonitorTest, EffectiveDeadlineTightensWhileBrownedOut) {
+  core::HealthPolicy policy;
+  policy.brownout_deadline_factor = 0.5;
+  core::HealthMonitor health(policy);
+
+  EXPECT_DOUBLE_EQ(health.EffectiveDeadlineMs(10.0), 10.0);
+  EXPECT_EQ(health.Evaluate(Occupancy(80, 100)),
+            core::HealthState::kBrownedOut);
+  EXPECT_DOUBLE_EQ(health.EffectiveDeadlineMs(10.0), 5.0);
+  // Disabled / engine-default deadlines pass through untightened.
+  EXPECT_DOUBLE_EQ(health.EffectiveDeadlineMs(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(health.EffectiveDeadlineMs(-1.0), -1.0);
+}
+
+TEST(HealthMonitorTest, BindMetricsPublishesStateAndTransitions) {
+  core::HealthMonitor health;
+  obs::MetricsRegistry registry;
+  health.BindMetrics(&registry);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("health.state")->value(), 0.0);
+
+  health.Evaluate(Occupancy(100, 100));
+  EXPECT_DOUBLE_EQ(registry.GetGauge("health.state")->value(), 2.0);
+  EXPECT_EQ(registry.GetCounter("health.transitions")->value(), 1u);
+
+  // Detached, further evaluations leave the registry untouched.
+  health.BindMetrics(nullptr);
+  // Default recover_evals is 3: six calm evaluations walk shedding ->
+  // browned_out -> healthy.
+  for (int i = 0; i < 6; ++i) health.Evaluate(Occupancy(0, 100));
+  EXPECT_EQ(health.state(), core::HealthState::kHealthy);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("health.state")->value(), 2.0);
+  EXPECT_EQ(registry.GetCounter("health.transitions")->value(), 1u);
 }
 
 // ---- FlightRecorder -------------------------------------------------------

@@ -10,6 +10,8 @@
 //                 [--metrics-out m.json] [--metrics-prom m.prom]
 //                 [--trace-out t.jsonl] [--profile-out p.json]
 //                 [--threads N] [--repeat R] [--explain]
+//                 [--admission block|shed|timeout]
+//                 [--admission-timeout-ms MS] [--queue-cap N]
 //                 [--stats-interval-ms MS] [--stats-out s.jsonl]
 //                 [--recorder-out r.json] [--mrc-out mrc.json]
 //                 [--mrc-rate 0.01] [--shadow-configs SPEC|default]
@@ -25,7 +27,13 @@
 // --repeat re-runs it (a long-lived run), --stats-interval-ms/--stats-out
 // stream one live.* JSON snapshot line per interval, --explain prints a
 // per-query explain record, and --recorder-out dumps the flight recorder
-// (recent ring + retained slow/degraded queries).
+// (recent ring + retained slow/degraded/shed queries).
+//
+// Overload mode (docs/ROBUSTNESS.md): --admission switches the batch onto
+// System::Serve — "shed" drops arrivals on a full queue, "timeout" waits up
+// to --admission-timeout-ms first; --queue-cap bounds the backlog, and with
+// --deadline-ms the queue wait counts against each query's end-to-end
+// deadline. The summary then reports the shed reconciliation.
 
 #include <cstdio>
 #include <cstdlib>
@@ -148,6 +156,14 @@ int CmdInfo(const Args& args) {
               path.c_str(), data.size(), data.dim(), data.MaxValue(),
               data.size() * data.dim() * 4.0 / (1 << 20));
   return 0;
+}
+
+core::AdmissionPolicy ParseAdmission(const std::string& name) {
+  if (name == "block") return core::AdmissionPolicy::kBlock;
+  if (name == "shed") return core::AdmissionPolicy::kShed;
+  if (name == "timeout") return core::AdmissionPolicy::kTimeout;
+  std::fprintf(stderr, "unknown admission policy: %s\n", name.c_str());
+  std::exit(2);
 }
 
 core::CacheMethod ParseMethod(const std::string& name) {
@@ -333,10 +349,26 @@ int CmdQuery(const Args& args) {
   }
 
   const size_t k = static_cast<size_t>(args.Int("k", 10));
+  const bool serve_mode = args.Has("admission") || args.Has("queue-cap") ||
+                          args.Has("admission-timeout-ms");
   core::AggregateResult agg;
+  core::ServeReport serve_report;
   std::vector<core::QueryResult> per_query;
   for (long r = 0; r < repeat; ++r) {
-    if (threads > 0 || explain) {
+    if (serve_mode) {
+      core::ServeOptions sopt;
+      sopt.n_threads = std::max<size_t>(1, threads);
+      sopt.queue_capacity = static_cast<size_t>(args.Int("queue-cap", 0));
+      sopt.admission = ParseAdmission(args.Str("admission", "block"));
+      sopt.admission_timeout_ms = args.Dbl("admission-timeout-ms", 1.0);
+      // With --deadline-ms the queue wait counts against the end-to-end
+      // budget; without it, engine-configured semantics (same as --threads).
+      sopt.deadline_ms =
+          args.Has("deadline-ms") ? args.Dbl("deadline-ms", 0.0) : -1.0;
+      st = system->Serve(log.test, k, sopt, &serve_report,
+                         explain ? &per_query : nullptr);
+      agg = serve_report.agg;
+    } else if (threads > 0 || explain) {
       // --explain needs per-query results; the concurrent path is bit-exact
       // with the serial one, so one worker is a faithful substitute.
       st = system->RunQueriesConcurrent(log.test, k,
@@ -406,6 +438,16 @@ int CmdQuery(const Args& args) {
               "%.2f | read failures %zu | deadline cuts %zu\n",
               agg.degraded_queries, agg.queries, agg.degraded_rate,
               agg.avg_substituted, agg.read_failures, agg.deadline_cuts);
+  if (serve_mode) {
+    std::printf("admission: %s | submitted %zu completed %zu shed %zu "
+                "(queue_full %zu timeout %zu expired %zu brownout %zu)\n",
+                core::AdmissionPolicyName(
+                    ParseAdmission(args.Str("admission", "block"))),
+                serve_report.submitted, serve_report.completed,
+                serve_report.shed, serve_report.shed_queue_full,
+                serve_report.shed_timeout, serve_report.shed_expired,
+                serve_report.shed_brownout);
+  }
   {
     const obs::WindowSnapshot live = window.GetSnapshot();
     std::printf("live: window %.1fs qps %.1f | p95 %.4fs ewma %.4fs | "
@@ -460,6 +502,8 @@ void Usage() {
                "[--trace-out F.jsonl]\n"
                "        [--profile-out F.json]\n"
                "        [--threads N] [--repeat R] [--explain]\n"
+               "        [--admission block|shed|timeout] "
+               "[--admission-timeout-ms MS] [--queue-cap N]\n"
                "        [--stats-interval-ms MS] [--stats-out F.jsonl] "
                "[--recorder-out F.json]\n"
                "        [--mrc-out F.json] [--mrc-rate R] "
